@@ -1,0 +1,46 @@
+"""Figure 1: Kiviat graphs of the α/β/γ illustrative workloads.
+
+Shape criteria: α and β are Euclidean-close in raw-characteristic space
+while γ is distant — yet γ tolerates α's kind of configuration better
+than β does (the motivating example for configurational
+characterization).
+"""
+
+import numpy as np
+
+from repro.explore import AnnealingSchedule, XpScalar
+from repro.experiments import figure1, render_table
+from repro.workloads import figure1_profiles
+
+
+def test_bench_figure1(benchmark, save_artifact):
+    graphs, dist = benchmark(figure1)
+    names = [g.name for g in graphs]
+    a, b, g = names.index("alpha"), names.index("beta"), names.index("gamma")
+
+    # Raw-characteristic similarity: alpha-beta is the closest pair.
+    assert dist[a, b] < dist[a, g]
+    assert dist[a, b] < dist[b, g]
+
+    # Yet configurationally, gamma suits alpha's customized core at least
+    # as well as beta does (the paper's argument in §1.1).
+    xp = XpScalar(schedule=AnnealingSchedule(iterations=1200))
+    profiles = figure1_profiles()
+    alpha = next(p for p in profiles if p.name == "alpha")
+    beta = next(p for p in profiles if p.name == "beta")
+    gamma = next(p for p in profiles if p.name == "gamma")
+    alpha_config = xp.customize(alpha, seed=5).config
+    slowdown_beta = 1 - xp.score(beta, alpha_config) / xp.customize(beta, seed=6).score
+    slowdown_gamma = 1 - xp.score(gamma, alpha_config) / xp.customize(gamma, seed=7).score
+    assert slowdown_gamma <= slowdown_beta + 0.02
+
+    rows = [[g_.name] + [f"{v:.1f}" for v in g_.values] for g_ in graphs]
+    text = render_table(
+        ["workload", *graphs[0].axes], rows, title="Figure 1: Kiviat values (0-10)"
+    )
+    text += (
+        f"\n\nraw distance alpha-beta {dist[a, b]:.2f}, alpha-gamma {dist[a, g]:.2f}"
+        f"\nslowdown on alpha's core: beta {slowdown_beta * 100:.1f}%, "
+        f"gamma {slowdown_gamma * 100:.1f}%"
+    )
+    save_artifact("figure1_kiviat", text)

@@ -1,0 +1,60 @@
+"""Figure 2: clock period vs issue-queue/L1 sizing slack scenarios.
+
+Shape criteria: scenario a leaves considerable slack on the L1's cycles;
+b removes slack by shrinking the clock (deepening the pipe); c removes
+issue-queue slack by downsizing it; d instead upsizes the L1 to use the
+full two cycles at the original clock.
+"""
+
+from repro.experiments import figure2_scenarios, render_table
+
+
+def test_bench_figure2(benchmark, save_artifact):
+    scenarios = benchmark(figure2_scenarios)
+    by_name = {s.name: s for s in scenarios}
+    a, b, c, d = (by_name[k] for k in "abcd")
+
+    assert a.l1_slack_ns > 0.5  # considerable slack at the 1 ns clock
+    assert b.clock_ns < a.clock_ns
+    assert b.total_slack_ns < a.total_slack_ns
+    assert c.iq_size < b.iq_size
+    assert c.iq_slack_ns < b.iq_slack_ns
+    assert c.total_slack_ns < b.total_slack_ns
+    assert d.clock_ns == a.clock_ns
+    assert d.l1_capacity_bytes > a.l1_capacity_bytes
+    assert d.l1_slack_ns < a.l1_slack_ns
+
+    rows = [
+        [
+            s.name,
+            f"{s.clock_ns:.2f}",
+            s.iq_size,
+            f"{s.iq_delay_ns:.2f}",
+            s.iq_cycles,
+            f"{s.iq_slack_ns:.2f}",
+            f"{s.l1_capacity_bytes // 1024}K",
+            f"{s.l1_delay_ns:.2f}",
+            s.l1_cycles,
+            f"{s.l1_slack_ns:.2f}",
+        ]
+        for s in scenarios
+    ]
+    save_artifact(
+        "figure2_slack",
+        render_table(
+            [
+                "scenario",
+                "clock",
+                "IQ",
+                "IQ ns",
+                "IQ cyc",
+                "IQ slack",
+                "L1",
+                "L1 ns",
+                "L1 cyc",
+                "L1 slack",
+            ],
+            rows,
+            title="Figure 2: clock/sizing slack scenarios",
+        ),
+    )

@@ -1,0 +1,58 @@
+"""Figures 7 and 8: greedy surrogates with full / forward propagation.
+
+Shape criteria: both policies reduce the architecture set to two roots;
+the greedy outcome is no better than the complete 2-core search (the
+paper: 1.74 vs 1.88); the greedy edges follow Appendix A's cheapest
+entries; forward-only and full propagation may pick different groupings.
+"""
+
+from repro.communal import best_combination, surrogate_merits
+from repro.experiments import figure7, figure8, render_surrogate_graph
+
+
+def test_bench_figure7_full_propagation(cross, benchmark, save_artifact):
+    graph = benchmark(lambda: figure7(cross, target_roots=2))
+
+    assert graph.policy.value == "full"
+    assert len(graph.roots) == 2
+
+    merits = surrogate_merits(cross, graph)
+    exhaustive = best_combination(cross, 2, "har").harmonic
+    assert merits["harmonic_ipt"] <= exhaustive + 1e-9
+
+    # Greedy order: the first assignment is the globally cheapest
+    # slowdown in Appendix A.
+    slowdown = cross.slowdown_matrix()
+    import numpy as np
+
+    off_diag = slowdown + np.eye(cross.size) * 10
+    assert graph.edges[0].slowdown <= off_diag.min() + 1e-9
+
+    text = render_surrogate_graph(graph)
+    text += (
+        f"\nharmonic IPT {merits['harmonic_ipt']:.2f} "
+        f"(complete search: {exhaustive:.2f})"
+    )
+    save_artifact("figure7_surrogates_full", text)
+
+
+def test_bench_figure8_forward_propagation(cross, benchmark, save_artifact):
+    graph = benchmark(lambda: figure8(cross, target_roots=2))
+
+    assert graph.policy.value == "forward"
+    assert len(graph.roots) <= 3
+
+    # Forward-only: no consumer's architecture ever serves anyone.
+    consumers = set()
+    for edge in graph.edges:
+        assert edge.effective_root == edge.provider  # no backward routing
+        assert edge.provider not in consumers
+        consumers.add(edge.consumer)
+
+    merits = surrogate_merits(cross, graph)
+    exhaustive = best_combination(cross, 2, "har").harmonic
+    assert merits["harmonic_ipt"] <= exhaustive + 1e-9
+
+    text = render_surrogate_graph(graph)
+    text += f"\nharmonic IPT {merits['harmonic_ipt']:.2f}"
+    save_artifact("figure8_surrogates_forward", text)

@@ -1,0 +1,41 @@
+"""How the unified clock re-balances a whole design (Figure 2's point).
+
+Sweeps the clock period with everything else annealed at each point for
+three contrasting workloads, printing the best configuration per clock:
+watch the issue queue, ROB and caches shrink (or their pipelines deepen)
+as the clock tightens, and the optimum land at different clocks per
+workload.
+
+Run:  python examples/clock_frequency_tradeoff.py
+"""
+
+from repro.explore import XpScalar
+from repro.explore.sweep import ClockSweep
+from repro.workloads import spec2000_profile
+
+CLOCKS = [0.18, 0.24, 0.30, 0.36, 0.42, 0.48]
+WORKLOADS = ("gzip", "gcc", "mcf")
+
+
+def main() -> None:
+    xp = XpScalar()
+    sweep = ClockSweep(xp, iterations=700)
+    for name in WORKLOADS:
+        profile = spec2000_profile(name)
+        print(f"\n=== {name} ===")
+        print(f"{'clock':>6s} {'IPT':>6s} {'W':>2s} {'ROB':>5s} {'IQ':>4s} "
+              f"{'lw':>3s} {'L1':>7s} {'L2':>8s}")
+        points = sweep.run(profile, CLOCKS, seed=1)
+        best = max(points, key=lambda p: p.score)
+        for p in points:
+            c = p.config
+            marker = "  <= best" if p is best else ""
+            print(f"{p.clock_period_ns:6.2f} {p.score:6.2f} {c.width:2d} "
+                  f"{c.rob_size:5d} {c.iq_size:4d} {c.wakeup_latency:3d} "
+                  f"{c.l1.capacity_bytes // 1024:5d}K/{c.l1.latency_cycles} "
+                  f"{c.l2.capacity_bytes // 1024:6d}K/{c.l2.latency_cycles}"
+                  f"{marker}")
+
+
+if __name__ == "__main__":
+    main()

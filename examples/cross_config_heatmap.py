@@ -1,0 +1,50 @@
+"""Visualize cross-configuration performance (xp-scalar's companion tool).
+
+The paper's framework includes "a tool for visualizing the performance
+of the benchmarks on each other's customized configurations, which eases
+the identification of discrepancies and can help expedite the
+exploration process".  This example renders the slowdown matrix as an
+ASCII heatmap, the raw-characteristic dendrogram next to it, and lists
+where the two disagree — the paper's §5.4 critique at a glance.
+
+Run:  python examples/cross_config_heatmap.py [--fast]
+"""
+
+import sys
+
+from repro.communal import (
+    build_dendrogram,
+    raw_distance_matrix,
+    surrogate_disagreement,
+)
+from repro.experiments import render_heatmap, run_pipeline
+
+
+def main() -> None:
+    iterations = 800 if "--fast" in sys.argv else 2500
+    print("running the exploration pipeline...\n")
+    pipe = run_pipeline(iterations=iterations)
+    cross = pipe.cross
+    names = list(cross.names)
+
+    print(render_heatmap(
+        names, cross.slowdown_matrix(),
+        title="Slowdown of each benchmark (rows) on each customized "
+        "configuration (columns); dark = expensive surrogate",
+    ))
+
+    print("\nRaw-characteristic dendrogram (what subsetting sees):")
+    tree = build_dendrogram(names, raw_distance_matrix(pipe.profiles))
+    print(tree.render())
+
+    for k in (2, 3, 4):
+        report = surrogate_disagreement(cross, tree, n_clusters=k)
+        print(f"\ncut at {k} clusters: {report.count} disagreement(s) "
+              f"with the true surrogate structure")
+        for workload, best, prescribed in report.disagreements:
+            print(f"  {workload}: best surrogate {best}, "
+                  f"dendrogram prescribes {prescribed}")
+
+
+if __name__ == "__main__":
+    main()

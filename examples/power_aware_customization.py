@@ -1,0 +1,64 @@
+"""Power/area-aware core customization — the paper's §3 extension.
+
+The paper optimizes pure IPT but notes extending the exploration "to
+conduct exploration based on a metric that represents some combination
+of performance, power and die area should not be exceptionally
+difficult".  This example customizes cores for two workloads under three
+objectives (IPT, energy-delay product, EPI-throttled IPT) and reports
+the performance/power/area of each design.
+
+Run:  python examples/power_aware_customization.py
+"""
+
+from repro.explore import AnnealingSchedule, XpScalar
+from repro.tech import (
+    core_area_mm2,
+    edp_objective,
+    energy_per_instruction_nj,
+    epi_objective,
+    estimate_power,
+)
+from repro.workloads import spec2000_profile
+
+ITERATIONS = 2000
+
+
+def customize_with(score_fn, profile, seed):
+    """Run xp-scalar with a (profile, config, result) -> float objective."""
+
+    class CustomObjectiveXpScalar(XpScalar):
+        def score(self, p, config):
+            return score_fn(p, config, self.evaluate(p, config))
+
+    xp = CustomObjectiveXpScalar(schedule=AnnealingSchedule(iterations=ITERATIONS))
+    return xp, xp.customize(profile, seed=seed)
+
+
+def main() -> None:
+    base = XpScalar()
+    tech = base.tech
+    objectives = {
+        "IPT (paper)": lambda p, c, r: r.ipt,
+        "1/EDP": edp_objective(tech),
+        "EPI-throttled (3 nJ)": epi_objective(tech, 3.0),
+    }
+
+    for name in ("gzip", "mcf"):
+        profile = spec2000_profile(name)
+        print(f"\n=== {name} ===")
+        print(f"{'objective':>22s} {'IPT':>6s} {'W(atts)':>8s} {'EPI nJ':>7s} "
+              f"{'mm^2':>6s} {'clk':>5s} {'ROB':>5s} {'L2':>7s}")
+        for label, score_fn in objectives.items():
+            xp, result = customize_with(score_fn, profile, seed=11)
+            r = xp.evaluate(profile, result.config)
+            power = estimate_power(tech, profile, result.config, r)
+            epi = energy_per_instruction_nj(tech, profile, result.config, r)
+            area = core_area_mm2(tech, result.config)
+            c = result.config
+            print(f"{label:>22s} {r.ipt:6.2f} {power.total_w:8.1f} {epi:7.2f} "
+                  f"{area:6.1f} {c.clock_period_ns:5.2f} {c.rob_size:5d} "
+                  f"{c.l2.capacity_bytes // 1024:5d}K")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Quickstart: customize one core and inspect what the workload costs.
+
+Runs the xp-scalar annealing exploration for a single SPEC2000 workload
+model (gcc), prints the customized configuration (the workload's
+*configurational characteristics*) and the interval model's CPI
+breakdown on it.
+
+Run:  python examples/quickstart.py [benchmark]
+"""
+
+import sys
+
+from repro.explore import AnnealingSchedule, XpScalar
+from repro.uarch import initial_configuration
+from repro.workloads import SPEC2000_INT_NAMES, spec2000_profile
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "gcc"
+    if name not in SPEC2000_INT_NAMES:
+        raise SystemExit(f"unknown benchmark {name!r}; pick from {SPEC2000_INT_NAMES}")
+    profile = spec2000_profile(name)
+
+    xp = XpScalar(schedule=AnnealingSchedule(iterations=2500))
+    start = initial_configuration(xp.tech)
+    print(f"=== {name}: exploring the design space ===")
+    print(f"initial configuration scores {xp.score(profile, start):.2f} IPT\n")
+
+    result = xp.customize(profile, seed=0)
+    print(f"customized configuration ({result.score:.2f} IPT, "
+          f"{result.annealing.evaluations} simulations, "
+          f"{result.annealing.rollbacks} rollbacks):\n")
+    print(result.config.describe())
+
+    stack = result.result.cpi_stack
+    print(f"\nCPI breakdown on the customized core "
+          f"(IPC {result.result.ipc:.2f}):")
+    print(f"  base (issue)       {stack.base:.3f}")
+    print(f"  branch recovery    {stack.branch:.3f}")
+    print(f"  L2 accesses        {stack.l2_access:.3f}")
+    print(f"  memory             {stack.memory:.3f}")
+
+
+if __name__ == "__main__":
+    main()

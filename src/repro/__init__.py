@@ -1,0 +1,71 @@
+"""repro — a reproduction of *Configurational Workload Characterization*
+(Najaf-abadi & Rotenberg, ISPASS 2008).
+
+The package rebuilds the paper's full stack in Python:
+
+* :mod:`repro.tech` — a CACTI-style timing model for caches, CAMs and
+  register files in a parameterized technology node;
+* :mod:`repro.workloads` — statistical models of the SPEC2000 C integer
+  benchmarks, synthetic trace generation and raw (microarchitecture-
+  independent) characterization;
+* :mod:`repro.uarch` — the superscalar configuration schema (Tables 3/4),
+  the size-to-fit solver coupling clock period to unit sizes, branch
+  predictors and cache simulation;
+* :mod:`repro.sim` — two timing simulators sharing one configuration
+  schema: a fast mechanistic interval model and a trace-driven
+  cycle-level simulator;
+* :mod:`repro.explore` — **xp-scalar**: the simulated-annealing
+  design-space exploration framework;
+* :mod:`repro.characterize` — configurational characteristics (Table 4)
+  and cross-configuration performance (Table 5 / Appendix A);
+* :mod:`repro.communal` — communal customization: figures of merit,
+  exhaustive core-combination search, surrogate graphs, subsetting and
+  K-means baselines, BPMST balancing and job-stream simulation;
+* :mod:`repro.experiments` — one driver per table and figure of the
+  paper, plus the end-to-end pipeline.
+
+Quickstart::
+
+    from repro.experiments import default_pipeline, table7_summary
+    pipe = default_pipeline()
+    print(table7_summary(pipe.cross))
+"""
+
+from . import (
+    characterize,
+    communal,
+    experiments,
+    explore,
+    sim,
+    tech,
+    uarch,
+    workloads,
+)
+from .errors import (
+    CommunalError,
+    ConfigurationError,
+    ExplorationError,
+    ReproError,
+    TimingError,
+    WorkloadError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "characterize",
+    "communal",
+    "experiments",
+    "explore",
+    "sim",
+    "tech",
+    "uarch",
+    "workloads",
+    "CommunalError",
+    "ConfigurationError",
+    "ExplorationError",
+    "ReproError",
+    "TimingError",
+    "WorkloadError",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Configurational characterization: customized configurations (Table 4)
+and cross-configuration performance (Table 5 / Appendix A)."""
+
+from .configurational import (
+    CONFIG_VECTOR_FIELDS,
+    ConfigurationalCharacteristics,
+    characterize_workloads,
+    config_distance_matrix,
+    from_results,
+)
+from .cross import CrossPerformance, cross_performance
+
+__all__ = [
+    "CONFIG_VECTOR_FIELDS",
+    "ConfigurationalCharacteristics",
+    "characterize_workloads",
+    "config_distance_matrix",
+    "from_results",
+    "CrossPerformance",
+    "cross_performance",
+]

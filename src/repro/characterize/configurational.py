@@ -1,0 +1,132 @@
+"""Configurational characterization — the paper's central artifact.
+
+A workload's *configurational characteristics* are simply the parameters
+of its customized (close-to-optimal) configuration (§1.2).  This module
+produces the reproduction's Table 4: one customized configuration per
+workload, obtained from the xp-scalar exploration, plus vector encodings
+of configurations used by the clustering baselines (Lee & Brooks-style
+K-means operates on exactly these vectors).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import CommunalError
+from ..explore.xpscalar import ExplorationResult, XpScalar
+from ..uarch.config import CoreConfig
+from ..workloads.profile import WorkloadProfile
+
+#: Fields of the configuration vector, in Table 4's row order.
+CONFIG_VECTOR_FIELDS = (
+    "log2_memory_cycles",
+    "frontend_stages",
+    "width",
+    "log2_rob",
+    "log2_iq",
+    "wakeup_latency",
+    "scheduler_depth",
+    "clock_period_ns",
+    "log2_l1_capacity",
+    "l1_latency",
+    "log2_l2_capacity",
+    "l2_latency",
+    "log2_lsq",
+)
+
+
+@dataclass(frozen=True)
+class ConfigurationalCharacteristics:
+    """One workload's customized configuration plus its achieved score."""
+
+    workload: str
+    config: CoreConfig
+    ipt: float
+
+    def as_vector(self) -> np.ndarray:
+        """Numeric encoding of the configuration (log-scaled sizes).
+
+        Sizes are log2-scaled so that e.g. ROB 64 vs 128 and 512 vs 1024
+        are equally 'far apart', matching how architects perceive the
+        design space.  This vector is what the Lee & Brooks-style K-means
+        baseline clusters.
+        """
+        c = self.config
+        return np.array(
+            [
+                math.log2(c.memory_cycles),
+                float(c.frontend_stages),
+                float(c.width),
+                math.log2(c.rob_size),
+                math.log2(c.iq_size),
+                float(c.wakeup_latency),
+                float(c.scheduler_depth),
+                c.clock_period_ns,
+                math.log2(c.l1.capacity_bytes),
+                float(c.l1.latency_cycles),
+                math.log2(c.l2.capacity_bytes),
+                float(c.l2.latency_cycles),
+                math.log2(c.lsq_size),
+            ],
+            dtype=float,
+        )
+
+
+def characterize_workloads(
+    explorer: XpScalar,
+    profiles: Sequence[WorkloadProfile],
+    seed: int = 0,
+    cross_seed_rounds: int = 2,
+) -> dict[str, ConfigurationalCharacteristics]:
+    """Run the full configurational characterization (Table 4).
+
+    Explores a customized configuration for every profile (with the
+    paper's cross-seeding refinement) and packages the results.
+    """
+    results = explorer.customize_all(
+        profiles, seed=seed, cross_seed_rounds=cross_seed_rounds
+    )
+    return {
+        name: ConfigurationalCharacteristics(
+            workload=name, config=res.config, ipt=res.score
+        )
+        for name, res in results.items()
+    }
+
+
+def from_results(
+    results: Mapping[str, ExplorationResult],
+) -> dict[str, ConfigurationalCharacteristics]:
+    """Package raw exploration results as configurational characteristics."""
+    return {
+        name: ConfigurationalCharacteristics(
+            workload=name, config=res.config, ipt=res.score
+        )
+        for name, res in results.items()
+    }
+
+
+def config_distance_matrix(
+    characteristics: Mapping[str, ConfigurationalCharacteristics],
+    names: Sequence[str],
+) -> np.ndarray:
+    """Pairwise Euclidean distances between normalized config vectors.
+
+    Columns are min-max normalized across the population first — the
+    paper (§2.2) notes that such normalization choices are exactly what
+    makes clustering on configuration vectors ad hoc, which is why its
+    own method works on cross-configuration *performance* instead.  The
+    matrix is still useful for the Lee & Brooks comparison baseline.
+    """
+    if not names:
+        raise CommunalError("need at least one workload name")
+    vectors = np.array([characteristics[n].as_vector() for n in names])
+    lo, hi = vectors.min(axis=0), vectors.max(axis=0)
+    span = np.where(hi - lo > 1e-12, hi - lo, 1.0)
+    normalized = (vectors - lo) / span
+    diff = normalized[:, None, :] - normalized[None, :, :]
+    return np.sqrt((diff**2).sum(axis=2))

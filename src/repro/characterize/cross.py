@@ -1,0 +1,128 @@
+"""Cross-configuration performance — Table 5 and Appendix A.
+
+Once every workload has a customized configuration, every workload is
+evaluated on every *other* workload's configuration.  The resulting
+matrix is the data substrate of the whole communal-customization study:
+
+* Table 5 is the raw IPT matrix (rows = workloads, columns = whose
+  customized configuration);
+* Appendix A is the percentage-slowdown form
+  (``1 - IPT_on_other / IPT_on_own``);
+* every figure of merit, core-combination search and surrogate graph in
+  :mod:`repro.communal` consumes a :class:`CrossPerformance`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import CommunalError
+from ..explore.xpscalar import XpScalar
+from ..uarch.config import CoreConfig
+from ..workloads.profile import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class CrossPerformance:
+    """The cross-configuration IPT matrix for one workload population.
+
+    ``ipt[i, j]`` is workload ``names[i]`` executed on the customized
+    configuration of ``names[j]`` (Table 5's layout).
+    """
+
+    names: tuple[str, ...]
+    ipt: np.ndarray
+    configs: tuple[CoreConfig, ...]
+    weights: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        n = len(self.names)
+        if self.ipt.shape != (n, n):
+            raise CommunalError(
+                f"IPT matrix shape {self.ipt.shape} does not match {n} workloads"
+            )
+        if len(self.configs) != n:
+            raise CommunalError("need one configuration per workload")
+        if len(self.weights) != n:
+            raise CommunalError("need one weight per workload")
+        if (self.ipt <= 0).any():
+            raise CommunalError("IPT values must be positive")
+        if any(w <= 0 for w in self.weights):
+            raise CommunalError("weights must be positive")
+
+    @property
+    def size(self) -> int:
+        return len(self.names)
+
+    def index(self, name: str) -> int:
+        """Row/column index of a workload."""
+        try:
+            return self.names.index(name)
+        except ValueError:
+            raise CommunalError(
+                f"unknown workload {name!r}; known: {', '.join(self.names)}"
+            ) from None
+
+    def own_ipt(self, name: str) -> float:
+        """IPT of a workload on its own customized configuration."""
+        i = self.index(name)
+        return float(self.ipt[i, i])
+
+    def ipt_on(self, workload: str, config_of: str) -> float:
+        """IPT of ``workload`` on the configuration of ``config_of``."""
+        return float(self.ipt[self.index(workload), self.index(config_of)])
+
+    def slowdown_matrix(self) -> np.ndarray:
+        """Appendix A: fractional slowdown vs own configuration.
+
+        ``slowdown[i, j] = 1 - ipt[i, j] / ipt[i, i]``; the diagonal is 0.
+        A negative entry means workload i actually prefers j's
+        configuration (possible before cross-seeding, by construction
+        absent after it).
+        """
+        own = np.diag(self.ipt)
+        return 1.0 - self.ipt / own[:, None]
+
+    def best_config_for(self, workload: str, available: Sequence[str]) -> str:
+        """The configuration (among ``available``) this workload prefers."""
+        if not available:
+            raise CommunalError("no configurations available")
+        i = self.index(workload)
+        best = max(available, key=lambda c: self.ipt[i, self.index(c)])
+        return best
+
+    def subset(self, names: Sequence[str]) -> "CrossPerformance":
+        """Restrict the matrix to a subset of workloads (both axes)."""
+        idx = [self.index(n) for n in names]
+        return CrossPerformance(
+            names=tuple(self.names[i] for i in idx),
+            ipt=self.ipt[np.ix_(idx, idx)].copy(),
+            configs=tuple(self.configs[i] for i in idx),
+            weights=tuple(self.weights[i] for i in idx),
+        )
+
+
+def cross_performance(
+    explorer: XpScalar,
+    profiles: Sequence[WorkloadProfile],
+    configs: Mapping[str, CoreConfig],
+) -> CrossPerformance:
+    """Evaluate every workload on every customized configuration (Table 5)."""
+    names = tuple(p.name for p in profiles)
+    missing = [n for n in names if n not in configs]
+    if missing:
+        raise CommunalError(f"missing configurations for: {', '.join(missing)}")
+    n = len(names)
+    ipt = np.zeros((n, n), dtype=float)
+    for i, profile in enumerate(profiles):
+        for j, config_name in enumerate(names):
+            ipt[i, j] = explorer.score(profile, configs[config_name])
+    return CrossPerformance(
+        names=names,
+        ipt=ipt,
+        configs=tuple(configs[n] for n in names),
+        weights=tuple(p.weight for p in profiles),
+    )

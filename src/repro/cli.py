@@ -1,0 +1,283 @@
+"""Command-line interface: regenerate any paper artifact from a shell.
+
+Examples::
+
+    python -m repro customize mcf
+    python -m repro table 5 --iterations 1200
+    python -m repro figure 7
+    python -m repro sweep gzip --clocks 0.18 0.30 0.42
+    python -m repro validate
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .communal import surrogate_merits
+from .experiments import (
+    figure1,
+    figure2_scenarios,
+    figure4,
+    figure6,
+    figure7,
+    figure8,
+    render_kv,
+    render_matrix,
+    render_surrogate_graph,
+    render_table,
+    run_pipeline,
+    table1_unit_delays,
+    table2_fixed_parameters,
+    table3_initial_configuration,
+    table4_rows,
+    table6_rows,
+    table7_summary,
+)
+from .explore import AnnealingSchedule, ClockSweep, XpScalar
+from .sim import validate_interval_model
+from .uarch import initial_configuration
+from .workloads import SPEC2000_INT_NAMES, spec2000_profile, spec2000_profiles
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Configurational Workload Characterization' "
+        "(ISPASS 2008)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("customize", help="customize a core for one benchmark")
+    p.add_argument("benchmark", choices=SPEC2000_INT_NAMES)
+    p.add_argument("--iterations", type=int, default=2500)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("table", help="regenerate a table of the paper")
+    p.add_argument("which", choices=["1", "2", "3", "4", "5", "6", "7", "a"])
+    p.add_argument("--iterations", type=int, default=2500)
+    p.add_argument("--seed", type=int, default=2008)
+
+    p = sub.add_parser("figure", help="regenerate a figure of the paper")
+    p.add_argument("which", choices=["1", "2", "4", "6", "7", "8"])
+    p.add_argument("--iterations", type=int, default=2500)
+    p.add_argument("--seed", type=int, default=2008)
+
+    p = sub.add_parser("sweep", help="pinned-clock sweep for one benchmark")
+    p.add_argument("benchmark", choices=SPEC2000_INT_NAMES)
+    p.add_argument("--clocks", type=float, nargs="+", default=None)
+    p.add_argument("--iterations", type=int, default=600)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "validate", help="cross-validate the interval model against the cycle simulator"
+    )
+    p.add_argument("--trace-length", type=int, default=12000)
+
+    p = sub.add_parser(
+        "report", help="regenerate every table/figure artifact into a directory"
+    )
+    p.add_argument("--out", default="results")
+    p.add_argument("--iterations", type=int, default=2500)
+    p.add_argument("--seed", type=int, default=2008)
+
+    return parser
+
+
+def _pipeline(args):
+    return run_pipeline(iterations=args.iterations, seed=args.seed)
+
+
+def cmd_customize(args) -> int:
+    xp = XpScalar(schedule=AnnealingSchedule(iterations=args.iterations))
+    result = xp.customize(spec2000_profile(args.benchmark), seed=args.seed)
+    print(f"{args.benchmark}: IPT {result.score:.2f} "
+          f"({result.annealing.evaluations} evaluations)")
+    print(result.config.describe())
+    return 0
+
+
+def cmd_table(args) -> int:
+    which = args.which
+    if which == "1":
+        config = initial_configuration(XpScalar().tech)
+        print(render_kv({k: f"{v:.3f} ns" for k, v in table1_unit_delays(config).items()},
+                        title="Table 1: unit delays (Table 3 configuration)"))
+        return 0
+    if which == "2":
+        print(render_kv(table2_fixed_parameters(), title="Table 2: fixed parameters"))
+        return 0
+    if which == "3":
+        print("Table 3: initial configuration")
+        print(table3_initial_configuration().describe())
+        return 0
+
+    pipe = _pipeline(args)
+    cross = pipe.cross
+    if which == "4":
+        headers, rows = table4_rows(pipe.characteristics, list(cross.names))
+        print(render_table(headers, rows, title="Table 4: customized configurations"))
+    elif which == "5":
+        print(render_matrix(list(cross.names), cross.ipt,
+                            title="Table 5: cross-configuration IPT"))
+    elif which == "6":
+        print("Table 6: best core combinations")
+        for row in table6_rows(cross):
+            c = row.combination
+            print(f"  {row.label:35s} {', '.join(c.configs):30s} "
+                  f"avg {c.average:.2f}  har {c.harmonic:.2f}  "
+                  f"cw {c.contention_weighted:.2f}")
+    elif which == "7":
+        s = table7_summary(cross)
+        rows = [
+            ["ideal", f"{s.ideal_harmonic:.2f}", "0%"],
+            [f"homogeneous ({s.homogeneous_config})",
+             f"{s.homogeneous_harmonic:.2f}",
+             f"{s.slowdown_vs_ideal(s.homogeneous_harmonic) * 100:.0f}%"],
+            [f"complete search ({', '.join(s.complete_search_configs)})",
+             f"{s.complete_search_harmonic:.2f}",
+             f"{s.slowdown_vs_ideal(s.complete_search_harmonic) * 100:.0f}%"],
+            [f"greedy surrogates ({', '.join(s.surrogate_configs)})",
+             f"{s.surrogate_harmonic:.2f}",
+             f"{s.slowdown_vs_ideal(s.surrogate_harmonic) * 100:.0f}%"],
+        ]
+        print(render_table(["scenario", "har IPT", "slowdown"], rows,
+                           title="Table 7: dual-core summary"))
+    else:  # appendix a
+        print(render_matrix(list(cross.names), cross.slowdown_matrix(),
+                            percent=True, fmt="{:5.1f}",
+                            title="Appendix A: slowdowns"))
+    return 0
+
+
+def cmd_figure(args) -> int:
+    which = args.which
+    if which == "1":
+        graphs, dist = figure1()
+        rows = [[g.name] + [f"{v:.1f}" for v in g.values] for g in graphs]
+        print(render_table(["workload", *graphs[0].axes], rows,
+                           title="Figure 1: Kiviat values (0-10)"))
+        return 0
+    if which == "2":
+        rows = [
+            [s.name, f"{s.clock_ns:.2f}", s.iq_size, f"{s.iq_slack_ns:.2f}",
+             f"{s.l1_capacity_bytes // 1024}K", f"{s.l1_slack_ns:.2f}"]
+            for s in figure2_scenarios()
+        ]
+        print(render_table(
+            ["scenario", "clock", "IQ", "IQ slack", "L1", "L1 slack"], rows,
+            title="Figure 2: slack scenarios"))
+        return 0
+
+    pipe = _pipeline(args)
+    cross = pipe.cross
+    if which == "4":
+        series = figure4(cross)
+        rows = [[w] + [f"{s.ipt[w]:.2f}" for s in series] for w in cross.names]
+        print(render_table(["benchmark"] + [s.label for s in series], rows,
+                           title="Figure 4: IPT per configuration set"))
+    else:
+        graph = {"6": figure6, "7": figure7, "8": figure8}[which](cross)
+        print(render_surrogate_graph(graph))
+        merits = surrogate_merits(cross, graph)
+        print(f"harmonic IPT {merits['harmonic_ipt']:.2f}, "
+              f"average slowdown {merits['average_slowdown'] * 100:.1f}%")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    xp = XpScalar()
+    sweep = ClockSweep(xp, iterations=args.iterations)
+    points = sweep.run(spec2000_profile(args.benchmark), args.clocks, seed=args.seed)
+    rows = [
+        [f"{p.clock_period_ns:.2f}", f"{p.score:.2f}", p.config.width,
+         p.config.rob_size, p.config.iq_size,
+         f"{p.config.l1.capacity_bytes // 1024}K",
+         f"{p.config.l2.capacity_bytes // 1024}K"]
+        for p in points
+    ]
+    print(render_table(["clock", "IPT", "W", "ROB", "IQ", "L1", "L2"], rows,
+                       title=f"clock sweep: {args.benchmark}"))
+    return 0
+
+
+def cmd_validate(args) -> int:
+    config = initial_configuration(XpScalar().tech)
+    pairs = [(p, config) for p in spec2000_profiles()]
+    report = validate_interval_model(pairs, trace_length=args.trace_length)
+    print(f"pairs: {report.pairs}")
+    print(f"rank correlation (IPT): {report.rank_correlation:.2f}")
+    print(f"geometric-mean IPC ratio (interval/cycle): {report.mean_ratio:.2f}")
+    print(f"worst ratio: {report.worst_ratio:.2f}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    import pathlib
+
+    from .experiments import appendix_a_matrix, render_heatmap
+
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    pipe = _pipeline(args)
+    cross = pipe.cross
+
+    headers, rows = table4_rows(pipe.characteristics, list(cross.names))
+    artifacts = {
+        "table4_customization": render_table(
+            headers, rows, title="Table 4: customized configurations"
+        ),
+        "table5_cross_ipt": render_matrix(
+            list(cross.names), cross.ipt, title="Table 5: cross-configuration IPT"
+        ),
+        "appendix_a_slowdowns": render_matrix(
+            list(cross.names), appendix_a_matrix(cross), percent=True,
+            fmt="{:5.1f}", title="Appendix A: slowdowns",
+        ),
+        "slowdown_heatmap": render_heatmap(
+            list(cross.names), cross.slowdown_matrix(),
+            title="cross-configuration slowdowns",
+        ),
+    }
+    for figure_fn, name in ((figure6, "figure6"), (figure7, "figure7"), (figure8, "figure8")):
+        artifacts[name] = render_surrogate_graph(figure_fn(cross))
+    table6_lines = ["Table 6: best core combinations"]
+    for row in table6_rows(cross):
+        c = row.combination
+        table6_lines.append(
+            f"  {row.label:35s} {', '.join(c.configs):30s} "
+            f"avg {c.average:.2f}  har {c.harmonic:.2f}"
+        )
+    artifacts["table6_combinations"] = "\n".join(table6_lines)
+    s = table7_summary(cross)
+    artifacts["table7_summary"] = (
+        f"ideal {s.ideal_harmonic:.2f} | "
+        f"homogeneous {s.homogeneous_harmonic:.2f} ({s.homogeneous_config}) | "
+        f"search {s.complete_search_harmonic:.2f} "
+        f"({', '.join(s.complete_search_configs)}) | "
+        f"surrogates {s.surrogate_harmonic:.2f} ({', '.join(s.surrogate_configs)})"
+    )
+    for name, text in artifacts.items():
+        (out / f"{name}.txt").write_text(text + "\n")
+        print(f"wrote {out / (name + '.txt')}")
+    return 0
+
+
+_COMMANDS = {
+    "customize": cmd_customize,
+    "table": cmd_table,
+    "figure": cmd_figure,
+    "sweep": cmd_sweep,
+    "validate": cmd_validate,
+    "report": cmd_report,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,120 @@
+"""Communal customization: figures of merit, core-combination search,
+surrogate graphs, subsetting/K-means baselines, BPMST balancing, and the
+multi-programmed job-stream simulation."""
+
+from .approaches import (
+    ApproachComparison,
+    SubsetFirstDesign,
+    compare_approaches,
+    subset_first_design,
+)
+from .bpmst import BpmstPartition, bpmst_partition
+from .dendrogram import (
+    Dendrogram,
+    Merge,
+    SurrogateDisagreement,
+    build_dendrogram,
+    surrogate_disagreement,
+)
+from .combination import (
+    Combination,
+    best_combination,
+    best_combinations_table,
+    evaluate_combination,
+    per_workload_ipt,
+)
+from .jobstream import ContentionPolicy, JobStreamResult, simulate_job_stream
+from .kmeans import KMeansResult, kmeans_configurations
+from .plackettburman import (
+    BottleneckProfile,
+    PbFactor,
+    bottleneck_effects,
+    bottleneck_rank_distance,
+    default_factors,
+    plackett_burman_design,
+)
+from .merit import (
+    MERITS,
+    assigned_ipts,
+    assignment,
+    average_ipt,
+    average_slowdown,
+    contention_weighted_harmonic_ipt,
+    harmonic_ipt,
+    ideal_average_ipt,
+    ideal_harmonic_ipt,
+)
+from .subsetting import (
+    Cluster,
+    SubsettingExperiment,
+    characteristics_matrix,
+    closest_pairs,
+    cluster_workloads,
+    raw_distance_matrix,
+    subsetting_experiment,
+)
+from .surrogate import (
+    FeedbackEvent,
+    Propagation,
+    SurrogateEdge,
+    SurrogateGraph,
+    greedy_surrogates,
+    surrogate_merits,
+)
+from .weights import frequency_weights, reweighted, runtime_weights, weighted_profiles
+
+__all__ = [
+    "ApproachComparison",
+    "SubsetFirstDesign",
+    "compare_approaches",
+    "subset_first_design",
+    "Dendrogram",
+    "Merge",
+    "SurrogateDisagreement",
+    "build_dendrogram",
+    "surrogate_disagreement",
+    "BottleneckProfile",
+    "PbFactor",
+    "bottleneck_effects",
+    "bottleneck_rank_distance",
+    "default_factors",
+    "plackett_burman_design",
+    "BpmstPartition",
+    "bpmst_partition",
+    "Combination",
+    "best_combination",
+    "best_combinations_table",
+    "evaluate_combination",
+    "per_workload_ipt",
+    "ContentionPolicy",
+    "JobStreamResult",
+    "simulate_job_stream",
+    "KMeansResult",
+    "kmeans_configurations",
+    "MERITS",
+    "assigned_ipts",
+    "assignment",
+    "average_ipt",
+    "average_slowdown",
+    "contention_weighted_harmonic_ipt",
+    "harmonic_ipt",
+    "ideal_average_ipt",
+    "ideal_harmonic_ipt",
+    "Cluster",
+    "SubsettingExperiment",
+    "characteristics_matrix",
+    "closest_pairs",
+    "cluster_workloads",
+    "raw_distance_matrix",
+    "subsetting_experiment",
+    "FeedbackEvent",
+    "Propagation",
+    "SurrogateEdge",
+    "SurrogateGraph",
+    "greedy_surrogates",
+    "surrogate_merits",
+    "frequency_weights",
+    "reweighted",
+    "runtime_weights",
+    "weighted_profiles",
+]

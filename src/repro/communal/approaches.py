@@ -1,0 +1,162 @@
+"""The two communal-customization approaches of Figure 3.
+
+The paper contrasts two flows for finding the optimal core combination:
+
+* **approach (a)** — *subset first*: select representative workloads by
+  raw-characteristic similarity, then exhaustively search
+  workload-architecture combinations only for the representatives
+  (Kumar et al.'s flow; feasible because the set is small);
+* **approach (b)** — *characterize configurationally first*: customize an
+  architecture per workload, then reduce the set of architectures
+  (xp-scalar's flow, Figure 3b — the paper's proposal).
+
+:func:`subset_first_design` implements approach (a) end to end so the
+two flows can be compared on equal footing: cluster the workloads, keep
+one representative per cluster, customize cores only for the
+representatives, and hand every workload the best of those cores.  The
+crucial property (and the paper's point) is that non-representative
+workloads never influence the design — their slowdown is whatever the
+representatives' cores happen to give them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..characterize.cross import CrossPerformance
+from ..errors import CommunalError
+from ..explore.xpscalar import XpScalar
+from ..uarch.config import CoreConfig
+from ..workloads.profile import WorkloadProfile
+from .merit import average_ipt, harmonic_ipt
+from .subsetting import cluster_workloads
+
+
+@dataclass(frozen=True)
+class SubsetFirstDesign:
+    """Outcome of the Figure 3(a) flow."""
+
+    representatives: tuple[str, ...]
+    clusters: tuple[tuple[str, ...], ...]
+    configs: dict[str, CoreConfig]  # one per representative
+    cross: CrossPerformance  # all workloads on the representative cores
+    average: float
+    harmonic: float
+
+
+def subset_first_design(
+    explorer: XpScalar,
+    profiles: Sequence[WorkloadProfile],
+    n_cores: int,
+    seed: int = 0,
+) -> SubsetFirstDesign:
+    """Run approach (a): subset by raw characteristics, then customize.
+
+    Returns the design plus its merits over the *full* workload
+    population (each workload running on the best representative core).
+    """
+    if not 1 <= n_cores <= len(profiles):
+        raise CommunalError(
+            f"n_cores={n_cores} out of range for {len(profiles)} workloads"
+        )
+    clusters = cluster_workloads(profiles, n_clusters=n_cores)
+    representatives = tuple(c.representative for c in clusters)
+    by_name = {p.name: p for p in profiles}
+
+    results = explorer.customize_all(
+        [by_name[r] for r in representatives], seed=seed, cross_seed_rounds=1
+    )
+    configs = {r: results[r].config for r in representatives}
+
+    # Evaluate the whole population on the representative cores: build a
+    # cross matrix whose columns are the representative configurations
+    # assigned to every workload's row.
+    full_cross = _population_on_configs(explorer, profiles, configs)
+
+    available = list(representatives)
+    return SubsetFirstDesign(
+        representatives=representatives,
+        clusters=tuple(c.members for c in clusters),
+        configs=configs,
+        cross=full_cross,
+        average=average_ipt(full_cross, available),
+        harmonic=harmonic_ipt(full_cross, available),
+    )
+
+
+def _population_on_configs(
+    explorer: XpScalar,
+    profiles: Sequence[WorkloadProfile],
+    configs: dict[str, CoreConfig],
+) -> CrossPerformance:
+    """A cross matrix of all workloads over an arbitrary config set.
+
+    Workloads without their own configuration get a placeholder column
+    equal to their best available core so the container's invariants
+    (square, positive) hold; merits only ever query the real columns.
+    """
+    import numpy as np
+
+    names = tuple(p.name for p in profiles)
+    n = len(names)
+    ipt = np.zeros((n, n))
+    column_configs: list[CoreConfig] = []
+    rep_names = list(configs)
+    for j, name in enumerate(names):
+        config = configs.get(name)
+        if config is None:
+            # Placeholder: this workload has no customized core under
+            # approach (a); reuse the first representative's core.
+            config = configs[rep_names[0]]
+        column_configs.append(config)
+    for i, profile in enumerate(profiles):
+        for j in range(n):
+            ipt[i, j] = explorer.score(profile, column_configs[j])
+    return CrossPerformance(
+        names=names,
+        ipt=ipt,
+        configs=tuple(column_configs),
+        weights=tuple(p.weight for p in profiles),
+    )
+
+
+@dataclass(frozen=True)
+class ApproachComparison:
+    """Figure 3's two flows, same core count, same workload population."""
+
+    n_cores: int
+    subset_first_harmonic: float
+    subset_first_cores: tuple[str, ...]
+    configurational_harmonic: float
+    configurational_cores: tuple[str, ...]
+
+    @property
+    def configurational_advantage(self) -> float:
+        """Fractional harmonic-IPT gain of approach (b) over (a)."""
+        return self.configurational_harmonic / self.subset_first_harmonic - 1.0
+
+
+def compare_approaches(
+    explorer: XpScalar,
+    profiles: Sequence[WorkloadProfile],
+    cross: CrossPerformance,
+    n_cores: int,
+    seed: int = 0,
+) -> ApproachComparison:
+    """Run approach (a) from scratch and compare with approach (b).
+
+    ``cross`` must be the full configurational characterization (the
+    Table 5 matrix) from which approach (b)'s complete search draws.
+    """
+    from .combination import best_combination
+
+    subset = subset_first_design(explorer, profiles, n_cores, seed=seed)
+    search = best_combination(cross, n_cores, "har")
+    return ApproachComparison(
+        n_cores=n_cores,
+        subset_first_harmonic=subset.harmonic,
+        subset_first_cores=subset.representatives,
+        configurational_harmonic=search.harmonic,
+        configurational_cores=search.configs,
+    )

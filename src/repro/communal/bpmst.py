@@ -1,0 +1,167 @@
+"""Balanced partitioning of minimum spanning trees — §5.5.
+
+For multithreaded operation, workloads stall when their assigned core is
+busy, so beyond minimizing surrogate slowdown the *aggregate importance
+weight* per core should be balanced.  The paper maps this to the
+Balanced Partitioning of Minimum Spanning Trees (BPMST) problem [31]:
+build a minimum spanning tree over the workloads (edge weights =
+surrogate slowdowns) and cut it into *k* components whose total weights
+are as equal as possible.
+
+The exact problem is NP-hard; we implement the standard tree-partition
+heuristic: build the MST (Prim), then greedily remove the k-1 edges that
+best improve weight balance, with slowdown cost as a tiebreaker.  Each
+resulting component is served by the member whose configuration
+minimizes the weighted slowdown of the whole component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..characterize.cross import CrossPerformance
+from ..errors import CommunalError
+
+
+@dataclass(frozen=True)
+class BpmstPartition:
+    """One balanced partition of the workload MST."""
+
+    groups: tuple[tuple[str, ...], ...]
+    cores: tuple[str, ...]  # chosen configuration per group
+    group_weights: tuple[float, ...]
+    imbalance: float  # max group weight / mean group weight - 1
+    average_slowdown: float
+
+
+def _mst_edges(dist: np.ndarray) -> list[tuple[int, int]]:
+    """Prim's algorithm over a symmetric distance matrix."""
+    n = dist.shape[0]
+    in_tree = {0}
+    edges: list[tuple[int, int]] = []
+    while len(in_tree) < n:
+        best: tuple[float, int, int] | None = None
+        for u in in_tree:
+            for v in range(n):
+                if v in in_tree:
+                    continue
+                if best is None or dist[u, v] < best[0]:
+                    best = (float(dist[u, v]), u, v)
+        assert best is not None
+        _, u, v = best
+        in_tree.add(v)
+        edges.append((u, v))
+    return edges
+
+
+def bpmst_partition(cross: CrossPerformance, k: int) -> BpmstPartition:
+    """Partition workloads into ``k`` balanced groups along the MST.
+
+    Edge weights are symmetrized surrogate slowdowns
+    (``min(S[i,j], S[j,i])`` — the cheaper direction of serving one
+    workload with the other's configuration).
+    """
+    n = cross.size
+    if not 1 <= k <= n:
+        raise CommunalError(f"k={k} out of range for {n} workloads")
+    slowdown = cross.slowdown_matrix()
+    sym = np.minimum(slowdown, slowdown.T)
+    np.fill_diagonal(sym, 0.0)
+
+    edges = _mst_edges(sym)
+    weights = np.array(cross.weights)
+
+    # Greedily cut k-1 edges, each time choosing the cut that minimizes
+    # the resulting weight imbalance (slowdown of the cut edge breaks
+    # ties toward keeping tightly-coupled workloads together).
+    removed: set[tuple[int, int]] = set()
+    for _ in range(k - 1):
+        best: tuple[float, float, tuple[int, int]] | None = None
+        for edge in edges:
+            if edge in removed:
+                continue
+            trial = removed | {edge}
+            imbalance = _imbalance(edges, trial, weights, n)
+            cost = float(sym[edge[0], edge[1]])
+            key = (imbalance, -cost, edge)
+            if best is None or key < best:
+                best = key
+        assert best is not None
+        removed.add(best[2])
+
+    components = _components(edges, removed, n)
+    names = cross.names
+    groups = []
+    cores = []
+    group_weights = []
+    total_slow = 0.0
+    total_weight = 0.0
+    for comp in components:
+        members = tuple(names[i] for i in sorted(comp))
+        # Serve the component with the member config that minimizes the
+        # weighted slowdown of every member.
+        def component_cost(core: str) -> float:
+            return sum(
+                weights[cross.index(m)]
+                * slowdown[cross.index(m), cross.index(core)]
+                for m in members
+            )
+
+        core = min(members, key=component_cost)
+        groups.append(members)
+        cores.append(core)
+        gw = float(sum(weights[cross.index(m)] for m in members))
+        group_weights.append(gw)
+        total_slow += component_cost(core)
+        total_weight += gw
+
+    gw_arr = np.array(group_weights)
+    imbalance = float(gw_arr.max() / gw_arr.mean() - 1.0)
+    return BpmstPartition(
+        groups=tuple(groups),
+        cores=tuple(cores),
+        group_weights=tuple(group_weights),
+        imbalance=imbalance,
+        average_slowdown=total_slow / total_weight,
+    )
+
+
+def _components(
+    edges: Sequence[tuple[int, int]], removed: set[tuple[int, int]], n: int
+) -> list[set[int]]:
+    adj: dict[int, set[int]] = {i: set() for i in range(n)}
+    for u, v in edges:
+        if (u, v) in removed:
+            continue
+        adj[u].add(v)
+        adj[v].add(u)
+    seen: set[int] = set()
+    comps = []
+    for start in range(n):
+        if start in seen:
+            continue
+        stack = [start]
+        comp = set()
+        while stack:
+            node = stack.pop()
+            if node in comp:
+                continue
+            comp.add(node)
+            stack.extend(adj[node] - comp)
+        seen |= comp
+        comps.append(comp)
+    return comps
+
+
+def _imbalance(
+    edges: Sequence[tuple[int, int]],
+    removed: set[tuple[int, int]],
+    weights: np.ndarray,
+    n: int,
+) -> float:
+    comps = _components(edges, removed, n)
+    totals = np.array([sum(weights[i] for i in comp) for comp in comps])
+    return float(totals.max() / totals.mean() - 1.0)

@@ -1,0 +1,117 @@
+"""Exhaustive core-combination search — Table 6 and Figure 4.
+
+"A complete search of all possible core-combinations" (§5.2): for a
+target core count *k*, enumerate every k-subset of the customized
+configurations and keep the subset maximizing the requested figure of
+merit.  The paper ships a tool for exactly this inside the xp-scalar
+framework; :func:`best_combination` is that tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Callable, Sequence
+
+from ..characterize.cross import CrossPerformance
+from ..errors import CommunalError
+from .merit import (
+    MERITS,
+    assignment,
+    average_ipt,
+    contention_weighted_harmonic_ipt,
+    harmonic_ipt,
+)
+
+MeritFn = Callable[[CrossPerformance, Sequence[str]], float]
+
+
+@dataclass(frozen=True)
+class Combination:
+    """One evaluated core combination."""
+
+    configs: tuple[str, ...]
+    merit_name: str
+    merit: float
+    average: float
+    harmonic: float
+    contention_weighted: float
+    assignment: tuple[tuple[str, str], ...]  # (workload, chosen config)
+
+
+def _resolve_merit(merit: str | MeritFn) -> tuple[str, MeritFn]:
+    if callable(merit):
+        return getattr(merit, "__name__", "custom"), merit
+    try:
+        return merit, MERITS[merit]  # type: ignore[return-value]
+    except KeyError:
+        raise CommunalError(
+            f"unknown merit {merit!r}; known: {', '.join(MERITS)}"
+        ) from None
+
+
+def evaluate_combination(
+    cross: CrossPerformance,
+    configs: Sequence[str],
+    merit: str | MeritFn = "har",
+) -> Combination:
+    """Score one specific set of available configurations."""
+    name, fn = _resolve_merit(merit)
+    chosen = assignment(cross, configs)
+    return Combination(
+        configs=tuple(configs),
+        merit_name=name,
+        merit=float(fn(cross, configs)),
+        average=average_ipt(cross, configs),
+        harmonic=harmonic_ipt(cross, configs),
+        contention_weighted=contention_weighted_harmonic_ipt(cross, configs),
+        assignment=tuple(sorted(chosen.items())),
+    )
+
+
+def best_combination(
+    cross: CrossPerformance,
+    k: int,
+    merit: str | MeritFn = "har",
+    candidates: Sequence[str] | None = None,
+) -> Combination:
+    """Exhaustively search the best k-core combination under a merit.
+
+    ``candidates`` restricts the configurations considered (used by the
+    §5.3 subsetting experiment, where bzip's configuration is excluded);
+    all workloads still contribute to the merit.
+    """
+    pool = tuple(candidates) if candidates is not None else cross.names
+    if not 1 <= k <= len(pool):
+        raise CommunalError(
+            f"k={k} out of range for {len(pool)} candidate configurations"
+        )
+    name, fn = _resolve_merit(merit)
+    best: tuple[float, tuple[str, ...]] | None = None
+    for subset in combinations(pool, k):
+        score = fn(cross, subset)
+        if best is None or score > best[0] + 1e-12:
+            best = (score, subset)
+    assert best is not None
+    return evaluate_combination(cross, best[1], merit)
+
+
+def best_combinations_table(
+    cross: CrossPerformance,
+    ks: Sequence[int] = (1, 2, 3, 4),
+    merits: Sequence[str] = ("avg", "har", "cw-har"),
+) -> list[Combination]:
+    """The full Table 6 sweep: best combination per (k, merit)."""
+    rows = []
+    for k in ks:
+        for merit in merits:
+            rows.append(best_combination(cross, k, merit))
+    return rows
+
+
+def per_workload_ipt(
+    cross: CrossPerformance, configs: Sequence[str]
+) -> dict[str, float]:
+    """Figure 4's series: each workload's IPT on its best available core."""
+    chosen = assignment(cross, configs)
+    return {w: cross.ipt_on(w, chosen[w]) for w in cross.names}

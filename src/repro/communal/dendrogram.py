@@ -1,0 +1,158 @@
+"""Dendrograms — and why they mislead for surrogate assignment (§5.4).
+
+"While the use of the dendrogram is customary in displaying subsetting
+properties, its use for displaying the potential for surrogating ... can
+potentially be misleading": once two clusters merge, a dendrogram forces
+every member to share a representative, whereas the best surrogate for a
+workload can change depending on which architectures remain available.
+
+This module provides a full agglomerative dendrogram over any distance
+matrix (average/single/complete linkage), cut extraction, ASCII
+rendering, and :func:`surrogate_disagreement`, which quantifies the
+paper's complaint: how often a workload's best surrogate (from the
+cross-configuration matrix) lies *outside* its dendrogram cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Sequence
+
+import numpy as np
+
+from ..characterize.cross import CrossPerformance
+from ..errors import CommunalError
+
+Linkage = Literal["average", "single", "complete"]
+
+
+@dataclass(frozen=True)
+class Merge:
+    """One agglomeration step."""
+
+    left: int  # node id (leaf: 0..n-1; internal: n, n+1, ...)
+    right: int
+    height: float
+    node: int  # id of the merged node
+
+
+@dataclass(frozen=True)
+class Dendrogram:
+    """An agglomerative clustering tree over named leaves."""
+
+    names: tuple[str, ...]
+    merges: tuple[Merge, ...]
+    linkage: str
+
+    def cut(self, n_clusters: int) -> list[tuple[str, ...]]:
+        """Clusters obtained by undoing the last ``n_clusters - 1`` merges."""
+        n = len(self.names)
+        if not 1 <= n_clusters <= n:
+            raise CommunalError(f"n_clusters={n_clusters} out of range for {n} leaves")
+        members: dict[int, list[int]] = {i: [i] for i in range(n)}
+        for merge in self.merges[: n - n_clusters]:
+            members[merge.node] = members.pop(merge.left) + members.pop(merge.right)
+        return [
+            tuple(self.names[i] for i in sorted(group))
+            for group in sorted(members.values(), key=min)
+        ]
+
+    def render(self) -> str:
+        """ASCII rendering: one line per merge with its height."""
+        n = len(self.names)
+        label: dict[int, str] = {i: self.names[i] for i in range(n)}
+        lines = [f"dendrogram ({self.linkage} linkage)"]
+        for merge in self.merges:
+            joined = f"({label[merge.left]} + {label[merge.right]})"
+            lines.append(
+                f"  h={merge.height:6.3f}  {label[merge.left]}  +  {label[merge.right]}"
+            )
+            label[merge.node] = joined
+        return "\n".join(lines)
+
+
+def build_dendrogram(
+    names: Sequence[str],
+    distance: np.ndarray,
+    linkage: Linkage = "average",
+) -> Dendrogram:
+    """Agglomerative clustering over a symmetric distance matrix."""
+    n = len(names)
+    distance = np.asarray(distance, dtype=float)
+    if distance.shape != (n, n):
+        raise CommunalError(
+            f"distance matrix shape {distance.shape} does not match {n} names"
+        )
+    if n == 0:
+        raise CommunalError("need at least one leaf")
+    if linkage not in ("average", "single", "complete"):
+        raise CommunalError(f"unknown linkage {linkage!r}")
+
+    clusters: dict[int, list[int]] = {i: [i] for i in range(n)}
+    merges: list[Merge] = []
+    next_id = n
+    while len(clusters) > 1:
+        best: tuple[float, int, int] | None = None
+        ids = sorted(clusters)
+        for ai in range(len(ids)):
+            for bi in range(ai + 1, len(ids)):
+                a, b = ids[ai], ids[bi]
+                pairwise = [
+                    distance[i, j] for i in clusters[a] for j in clusters[b]
+                ]
+                if linkage == "average":
+                    d = float(np.mean(pairwise))
+                elif linkage == "single":
+                    d = float(np.min(pairwise))
+                else:
+                    d = float(np.max(pairwise))
+                if best is None or d < best[0]:
+                    best = (d, a, b)
+        assert best is not None
+        d, a, b = best
+        clusters[next_id] = clusters.pop(a) + clusters.pop(b)
+        merges.append(Merge(left=a, right=b, height=d, node=next_id))
+        next_id += 1
+    return Dendrogram(names=tuple(names), merges=tuple(merges), linkage=linkage)
+
+
+@dataclass(frozen=True)
+class SurrogateDisagreement:
+    """How often dendrogram clusters contradict actual best surrogates."""
+
+    n_clusters: int
+    disagreements: tuple[tuple[str, str, str], ...]
+    # (workload, best surrogate overall, its dendrogram cluster rep.)
+
+    @property
+    def count(self) -> int:
+        return len(self.disagreements)
+
+
+def surrogate_disagreement(
+    cross: CrossPerformance,
+    dendrogram: Dendrogram,
+    n_clusters: int,
+) -> SurrogateDisagreement:
+    """Quantify §5.4's dendrogram critique.
+
+    For each workload, compare its *actual* best surrogate architecture
+    (smallest slowdown in the cross matrix) with the dendrogram's
+    prescription (stay inside your cluster).  A disagreement is a
+    workload whose best surrogate lives in another cluster.
+    """
+    clusters = dendrogram.cut(n_clusters)
+    cluster_of = {m: c for c in clusters for m in c}
+    slowdown = cross.slowdown_matrix()
+    disagreements = []
+    for i, name in enumerate(cross.names):
+        row = slowdown[i].copy()
+        row[i] = np.inf
+        best = cross.names[int(np.argmin(row))]
+        if best not in cluster_of[name] and len(cluster_of[name]) > 1:
+            in_cluster = [m for m in cluster_of[name] if m != name]
+            rep = min(in_cluster, key=lambda m: slowdown[i, cross.index(m)])
+            disagreements.append((name, best, rep))
+    return SurrogateDisagreement(
+        n_clusters=n_clusters, disagreements=tuple(disagreements)
+    )

@@ -1,0 +1,150 @@
+"""Multi-programmed job-stream simulation — the §5.5 scenario.
+
+The paper defers multithreaded communal customization to future work but
+sketches the setting: jobs arrive (Poisson), each is an instance of one
+workload, and contention for a surrogate core either stalls the job or
+redirects it to the next most suitable free core.  This module
+implements that queueing simulation so the BPMST-balanced assignments
+can be evaluated under load.
+
+Time is measured in abstract work units: a job's service time on a core
+is ``work / IPT(workload, core)``, so better-suited cores finish jobs
+proportionally faster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..characterize.cross import CrossPerformance
+from ..errors import CommunalError
+
+
+class ContentionPolicy(Enum):
+    """What a job does when its assigned core is busy (§5.5)."""
+
+    STALL = "stall"  # wait for the assigned surrogate core
+    REDIRECT = "redirect"  # take the best *free* core instead
+
+
+@dataclass(frozen=True)
+class JobStreamResult:
+    """Aggregate queueing metrics of one simulated job stream."""
+
+    jobs_completed: int
+    mean_turnaround: float
+    mean_service: float
+    mean_wait: float
+    core_utilization: Mapping[str, float]
+
+
+def simulate_job_stream(
+    cross: CrossPerformance,
+    cores: Sequence[str],
+    assignment: Mapping[str, str],
+    arrival_rate: float,
+    n_jobs: int = 2000,
+    job_work: float = 100.0,
+    policy: ContentionPolicy = ContentionPolicy.STALL,
+    seed: int = 0,
+    burstiness: float = 1.0,
+) -> JobStreamResult:
+    """Simulate a stream of jobs over a heterogeneous core set.
+
+    Parameters
+    ----------
+    cross:
+        Cross-configuration performance (provides IPT of any workload on
+        any core).
+    cores:
+        The physical cores, named by the workload whose customized
+        configuration they implement.  Duplicates allowed.
+    assignment:
+        Workload -> core-name surrogate assignment (each workload's home
+        core); required for both policies.
+    arrival_rate:
+        Mean job arrivals per unit time (Poisson process).
+    burstiness:
+        >1 makes inter-arrival times heavier-tailed (hyperexponential
+        mixture), modelling the paper's remark that benefit diminishes as
+        burstiness grows.
+    """
+    if not cores:
+        raise CommunalError("need at least one core")
+    if arrival_rate <= 0:
+        raise CommunalError("arrival rate must be positive")
+    if not 1.0 <= burstiness < 10.0:
+        raise CommunalError("burstiness must be in [1, 10)")
+    for w in cross.names:
+        if w not in assignment:
+            raise CommunalError(f"workload {w} has no assigned core")
+        if assignment[w] not in cores:
+            raise CommunalError(
+                f"workload {w} assigned to {assignment[w]}, not a physical core"
+            )
+
+    rng = np.random.default_rng(seed)
+    names = cross.names
+    weights = np.array(cross.weights, dtype=float)
+    probs = weights / weights.sum()
+
+    core_free_at = {i: 0.0 for i in range(len(cores))}
+    core_busy_time = {i: 0.0 for i in range(len(cores))}
+    by_name: dict[str, list[int]] = {}
+    for i, c in enumerate(cores):
+        by_name.setdefault(c, []).append(i)
+
+    t = 0.0
+    turnarounds = []
+    services = []
+    waits = []
+    for _ in range(n_jobs):
+        # Mean-preserving hyperexponential inter-arrival: 10% of gaps are
+        # `burstiness` times longer, the rest shortened to compensate, so
+        # higher burstiness clumps arrivals without changing the rate.
+        if burstiness > 1.0 and rng.random() < 0.1:
+            gap = rng.exponential(burstiness / arrival_rate)
+        elif burstiness > 1.0:
+            gap = rng.exponential((1.0 - 0.1 * burstiness) / 0.9 / arrival_rate)
+        else:
+            gap = rng.exponential(1.0 / arrival_rate)
+        t += gap
+        workload = names[int(rng.choice(len(names), p=probs))]
+        home = assignment[workload]
+
+        if policy is ContentionPolicy.STALL:
+            # Wait for the earliest-free instance of the home core.
+            core = min(by_name[home], key=lambda i: core_free_at[i])
+        else:
+            # Redirect: among cores free at arrival, take the one giving
+            # the best IPT; if none is free, fall back to earliest-free.
+            free = [i for i in core_free_at if core_free_at[i] <= t]
+            if free:
+                core = max(free, key=lambda i: cross.ipt_on(workload, cores[i]))
+            else:
+                core = min(core_free_at, key=lambda i: core_free_at[i])
+
+        start = max(t, core_free_at[core])
+        service = job_work / cross.ipt_on(workload, cores[core])
+        finish = start + service
+        core_free_at[core] = finish
+        core_busy_time[core] += service
+        turnarounds.append(finish - t)
+        services.append(service)
+        waits.append(start - t)
+
+    horizon = max(max(core_free_at.values()), t)
+    utilization = {
+        f"{cores[i]}#{i}": core_busy_time[i] / horizon for i in core_free_at
+    }
+    return JobStreamResult(
+        jobs_completed=n_jobs,
+        mean_turnaround=float(np.mean(turnarounds)),
+        mean_service=float(np.mean(services)),
+        mean_wait=float(np.mean(waits)),
+        core_utilization=utilization,
+    )

@@ -1,0 +1,111 @@
+"""K-means over configuration vectors — the Lee & Brooks baseline (§2.2).
+
+Lee & Brooks [37] cluster the *customized architectures* themselves with
+K-means and hand each benchmark the centroid nearest its customized
+architecture as a compromise.  The paper calls this approach "ad hoc in
+that its outcome is highly dependent on how the different architectural
+parameters are normalized and weighed" — but it is the closest prior
+work, so we implement it as a comparison baseline: cluster the
+configuration vectors, then map each centroid back to the nearest actual
+customized configuration (centroids themselves are generally not legal
+design points).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..characterize.configurational import ConfigurationalCharacteristics
+from ..errors import CommunalError
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Clustering of workloads by customized-configuration similarity."""
+
+    clusters: tuple[tuple[str, ...], ...]
+    representatives: tuple[str, ...]  # nearest real config per centroid
+    assignment: Mapping[str, str]  # workload -> representative config
+    inertia: float
+
+
+def _normalized_vectors(
+    characteristics: Mapping[str, ConfigurationalCharacteristics],
+    names: Sequence[str],
+) -> np.ndarray:
+    vectors = np.array([characteristics[n].as_vector() for n in names])
+    lo, hi = vectors.min(axis=0), vectors.max(axis=0)
+    span = np.where(hi - lo > 1e-12, hi - lo, 1.0)
+    return (vectors - lo) / span
+
+
+def kmeans_configurations(
+    characteristics: Mapping[str, ConfigurationalCharacteristics],
+    k: int,
+    seed: int = 0,
+    iterations: int = 100,
+) -> KMeansResult:
+    """Cluster customized configurations into ``k`` compromise groups."""
+    names = sorted(characteristics)
+    n = len(names)
+    if not 1 <= k <= n:
+        raise CommunalError(f"k={k} out of range for {n} configurations")
+    vectors = _normalized_vectors(characteristics, names)
+    rng = np.random.default_rng(seed)
+
+    # k-means++ style seeding for stability.
+    centroids = [vectors[int(rng.integers(0, n))]]
+    while len(centroids) < k:
+        d2 = np.min(
+            [np.sum((vectors - c) ** 2, axis=1) for c in centroids], axis=0
+        )
+        if d2.sum() <= 0:
+            centroids.append(vectors[int(rng.integers(0, n))])
+            continue
+        probs = d2 / d2.sum()
+        centroids.append(vectors[int(rng.choice(n, p=probs))])
+    centers = np.array(centroids)
+
+    labels = np.zeros(n, dtype=int)
+    for _ in range(iterations):
+        dists = np.linalg.norm(vectors[:, None, :] - centers[None, :, :], axis=2)
+        new_labels = dists.argmin(axis=1)
+        if (new_labels == labels).all() and _ > 0:
+            break
+        labels = new_labels
+        for c in range(k):
+            members = vectors[labels == c]
+            if len(members):
+                centers[c] = members.mean(axis=0)
+
+    clusters: list[tuple[str, ...]] = []
+    representatives: list[str] = []
+    assignment: dict[str, str] = {}
+    for c in range(k):
+        member_idx = [i for i in range(n) if labels[i] == c]
+        if not member_idx:
+            continue
+        rep_i = min(
+            member_idx, key=lambda i: float(np.linalg.norm(vectors[i] - centers[c]))
+        )
+        rep = names[rep_i]
+        clusters.append(tuple(names[i] for i in member_idx))
+        representatives.append(rep)
+        for i in member_idx:
+            assignment[names[i]] = rep
+
+    inertia = float(
+        sum(
+            np.linalg.norm(vectors[i] - centers[labels[i]]) ** 2
+            for i in range(n)
+        )
+    )
+    return KMeansResult(
+        clusters=tuple(clusters),
+        representatives=tuple(representatives),
+        assignment=assignment,
+        inertia=inertia,
+    )

@@ -1,0 +1,126 @@
+"""Figures of merit for heterogeneous core combinations (§5.2).
+
+Given the cross-configuration performance matrix and a set of *available*
+core configurations, every workload runs on the available core it
+prefers.  Three figures of merit summarize the population, matching the
+paper's three design goals:
+
+* **average IPT** — maximize the expected performance of an arbitrary
+  job submitted in isolation;
+* **harmonic-mean IPT** — minimize the total execution time of the whole
+  suite run back to back (the classic single-core metric);
+* **contention-weighed harmonic-mean IPT** — the multi-programmed goal:
+  each workload's IPT is divided by the number of workloads sharing its
+  chosen core before taking the harmonic mean, penalizing combinations
+  that funnel everyone onto one super-core.
+
+All merits support the paper's importance weights (§5.4): a workload's
+contribution is scaled by its weight.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..characterize.cross import CrossPerformance
+from ..errors import CommunalError
+
+
+def assignment(
+    cross: CrossPerformance, available: Sequence[str]
+) -> dict[str, str]:
+    """Map every workload to the available configuration it prefers."""
+    if not available:
+        raise CommunalError("at least one configuration must be available")
+    for name in available:
+        cross.index(name)  # validates
+    return {
+        workload: cross.best_config_for(workload, available)
+        for workload in cross.names
+    }
+
+
+def assigned_ipts(
+    cross: CrossPerformance, available: Sequence[str]
+) -> np.ndarray:
+    """IPT of each workload on its preferred available configuration."""
+    chosen = assignment(cross, available)
+    return np.array(
+        [cross.ipt_on(w, chosen[w]) for w in cross.names], dtype=float
+    )
+
+
+def average_ipt(cross: CrossPerformance, available: Sequence[str]) -> float:
+    """Weighted arithmetic mean of per-workload IPT on best available cores."""
+    ipts = assigned_ipts(cross, available)
+    weights = np.array(cross.weights)
+    return float((ipts * weights).sum() / weights.sum())
+
+
+def harmonic_ipt(cross: CrossPerformance, available: Sequence[str]) -> float:
+    """Weighted harmonic mean of per-workload IPT on best available cores."""
+    ipts = assigned_ipts(cross, available)
+    weights = np.array(cross.weights)
+    return float(weights.sum() / (weights / ipts).sum())
+
+
+def contention_weighted_harmonic_ipt(
+    cross: CrossPerformance, available: Sequence[str]
+) -> float:
+    """Harmonic mean with each IPT divided by its core's sharer count.
+
+    The paper: "first dividing the performance of each benchmark when run
+    on the most suitable core available for it, by the number of
+    benchmarks with which it shares that core, and then taking the
+    harmonic mean."
+    """
+    chosen = assignment(cross, available)
+    sharers = Counter(chosen.values())
+    weights = np.array(cross.weights)
+    ipts = np.array(
+        [
+            cross.ipt_on(w, chosen[w]) / sharers[chosen[w]]
+            for w in cross.names
+        ],
+        dtype=float,
+    )
+    return float(weights.sum() / (weights / ipts).sum())
+
+
+def ideal_average_ipt(cross: CrossPerformance) -> float:
+    """Average IPT when every workload has its own customized core."""
+    return average_ipt(cross, list(cross.names))
+
+
+def ideal_harmonic_ipt(cross: CrossPerformance) -> float:
+    """Harmonic-mean IPT when every workload has its own customized core."""
+    return harmonic_ipt(cross, list(cross.names))
+
+
+def average_slowdown(cross: CrossPerformance, available: Sequence[str]) -> float:
+    """Weighted mean fractional slowdown vs every-workload-ideal.
+
+    This is the paper's "average slowdown across all benchmarks compared
+    to the ideal case of all benchmarks being executed on their own
+    customized architectures."
+    """
+    chosen = assignment(cross, available)
+    weights = np.array(cross.weights)
+    slow = np.array(
+        [
+            1.0 - cross.ipt_on(w, chosen[w]) / cross.own_ipt(w)
+            for w in cross.names
+        ],
+        dtype=float,
+    )
+    return float((slow * weights).sum() / weights.sum())
+
+
+MERITS: Mapping[str, object] = {
+    "avg": average_ipt,
+    "har": harmonic_ipt,
+    "cw-har": contention_weighted_harmonic_ipt,
+}

@@ -1,0 +1,171 @@
+"""Plackett-Burman bottleneck analysis — the Yi et al. subsetting baseline.
+
+The paper's related work (§2.1) singles out the "statistically rigorous"
+subsetting approach of Yi, Lilja & Hawkins [32] and its use for
+benchmark subsetting [27]: run each workload on a two-level
+Plackett-Burman design over the processor's parameters, rank the
+parameters by the magnitude of their main effects (the workload's
+*architectural bottlenecks*), and call workloads similar when they rank
+bottlenecks similarly.  The paper argues this still assumes parameter
+interactions are negligible, which the unified clock violates.
+
+This module implements that baseline end to end so it can be compared
+against configurational characterization:
+
+* :func:`plackett_burman_design` — the standard cyclic PB construction
+  (N runs for up to N-1 two-level factors, N a multiple of 4);
+* :class:`PbFactor` — a design factor mapping the +/- levels onto
+  concrete configuration edits;
+* :func:`default_factors` — the eight classic factors (width, ROB, IQ,
+  LSQ, L1/L2 capacity and latency, memory latency);
+* :func:`bottleneck_effects` — per-workload main effects measured with
+  the interval simulator;
+* :func:`bottleneck_rank_distance` — the rank-based similarity matrix
+  the subsetting methodology uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import CommunalError
+from ..explore.xpscalar import XpScalar
+from ..uarch.config import CacheGeometry, CoreConfig
+from ..workloads.profile import WorkloadProfile
+
+#: Seed row of the N=12 Plackett-Burman design (classic construction).
+_PB12_SEED = (1, 1, -1, 1, 1, 1, -1, -1, -1, 1, -1)
+
+
+def plackett_burman_design(n_factors: int) -> np.ndarray:
+    """The N=12 cyclic Plackett-Burman design matrix, ±1 entries.
+
+    Supports up to 11 factors (the classic 12-run design, enough for the
+    paper-scale parameter set); rows are runs, columns are factors.
+    """
+    if not 1 <= n_factors <= 11:
+        raise CommunalError(f"the 12-run PB design supports 1..11 factors, got {n_factors}")
+    rows = []
+    seed = list(_PB12_SEED)
+    for shift in range(11):
+        rows.append(seed[-shift:] + seed[:-shift])
+    rows.append([-1] * 11)
+    return np.array(rows, dtype=int)[:, :n_factors]
+
+
+@dataclass(frozen=True)
+class PbFactor:
+    """One two-level design factor.
+
+    ``apply(config, high)`` returns a copy of ``config`` with this factor
+    set to its high (+1) or low (-1) level.
+    """
+
+    name: str
+    apply: Callable[[CoreConfig, bool], CoreConfig]
+
+
+def _set_l1(config: CoreConfig, high: bool) -> CoreConfig:
+    geometry = (
+        CacheGeometry(nsets=1024, assoc=2, block_bytes=64, latency_cycles=6)
+        if high
+        else CacheGeometry(nsets=128, assoc=2, block_bytes=64, latency_cycles=2)
+    )
+    return config.replace(l1=geometry)
+
+
+def _set_l2(config: CoreConfig, high: bool) -> CoreConfig:
+    geometry = (
+        CacheGeometry(nsets=4096, assoc=4, block_bytes=128, latency_cycles=30)
+        if high
+        else CacheGeometry(nsets=1024, assoc=2, block_bytes=128, latency_cycles=14)
+    )
+    return config.replace(l2=geometry)
+
+
+def default_factors() -> list[PbFactor]:
+    """The classic PB factor set over the superscalar parameters."""
+    return [
+        PbFactor("width", lambda c, h: c.replace(width=6 if h else 2)),
+        PbFactor("rob", lambda c, h: c.replace(rob_size=512 if h else 64,
+                                               iq_size=min(c.iq_size, 512 if h else 64))),
+        PbFactor("iq", lambda c, h: c.replace(iq_size=min(128 if h else 16, c.rob_size))),
+        PbFactor("lsq", lambda c, h: c.replace(lsq_size=256 if h else 32)),
+        PbFactor("l1", _set_l1),
+        PbFactor("l2", _set_l2),
+        PbFactor("wakeup", lambda c, h: c.replace(wakeup_latency=0 if h else 3)),
+        PbFactor(
+            "memory",
+            lambda c, h: c.replace(memory_cycles=120 if h else 320),
+        ),
+    ]
+
+
+@dataclass(frozen=True)
+class BottleneckProfile:
+    """One workload's PB main effects, ranked by magnitude."""
+
+    workload: str
+    factors: tuple[str, ...]
+    effects: tuple[float, ...]  # signed main effect on IPT per factor
+
+    def ranks(self) -> np.ndarray:
+        """Rank of each factor by |effect| (1 = biggest bottleneck)."""
+        order = np.argsort(-np.abs(np.array(self.effects)))
+        ranks = np.empty(len(self.factors), dtype=int)
+        ranks[order] = np.arange(1, len(self.factors) + 1)
+        return ranks
+
+
+def bottleneck_effects(
+    explorer: XpScalar,
+    profile: WorkloadProfile,
+    base: CoreConfig,
+    factors: Sequence[PbFactor] | None = None,
+) -> BottleneckProfile:
+    """Measure a workload's PB main effects around a base configuration.
+
+    Each design run applies every factor at its assigned level (ignoring
+    timing legality, as the original methodology does — the point is
+    sensitivity, not feasibility) and evaluates IPT; the main effect of a
+    factor is the mean IPT at its high level minus at its low level.
+    """
+    factors = list(factors) if factors is not None else default_factors()
+    design = plackett_burman_design(len(factors))
+    ipts = np.zeros(len(design))
+    for r, row in enumerate(design):
+        config = base
+        for level, factor in zip(row, factors):
+            config = factor.apply(config, level > 0)
+        ipts[r] = explorer.simulator.evaluate(profile, config).ipt
+    effects = tuple(
+        float(ipts[design[:, f] > 0].mean() - ipts[design[:, f] < 0].mean())
+        for f in range(len(factors))
+    )
+    return BottleneckProfile(
+        workload=profile.name,
+        factors=tuple(f.name for f in factors),
+        effects=effects,
+    )
+
+
+def bottleneck_rank_distance(
+    profiles: Sequence[BottleneckProfile],
+) -> np.ndarray:
+    """Pairwise distance between workloads' bottleneck rankings.
+
+    The Yi et al. similarity criterion: workloads with the same ranked
+    bottlenecks are candidates for subsetting.  Distance is the mean
+    absolute rank difference across factors.
+    """
+    if not profiles:
+        raise CommunalError("need at least one bottleneck profile")
+    factor_sets = {p.factors for p in profiles}
+    if len(factor_sets) != 1:
+        raise CommunalError("bottleneck profiles use different factor sets")
+    ranks = np.array([p.ranks() for p in profiles], dtype=float)
+    diff = np.abs(ranks[:, None, :] - ranks[None, :, :]).mean(axis=2)
+    return diff

@@ -1,0 +1,162 @@
+"""Workload subsetting on raw characteristics — the baseline under attack.
+
+Classic subsetting (§2.1, [27, 29, 30]) clusters workloads by Euclidean
+distance between their (normalized) microarchitecture-independent
+characteristic vectors and keeps one representative per cluster.  The
+paper's §5.3 shows that doing this before communal customization hurts:
+bzip and gzip — the literature's canonical "similar pair" — have very
+different customized architectures, and dropping bzip in favour of gzip
+changes (and degrades) the chosen dual-core combination.
+
+This module provides:
+
+* agglomerative (average-linkage) clustering over characteristic
+  vectors, the standard dendrogram-style subsetting procedure;
+* representative selection (the member closest to its cluster centroid);
+* :func:`subsetting_experiment`, the §5.3 protocol: re-run the best-
+  combination search with one workload's configuration replaced by its
+  subsetting representative's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..characterize.cross import CrossPerformance
+from ..errors import CommunalError
+from ..workloads.characteristics import (
+    euclidean_distance_matrix,
+    normalize_matrix,
+    profile_characteristics,
+)
+from ..workloads.profile import WorkloadProfile
+from .combination import Combination, best_combination
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """One subsetting cluster with its chosen representative."""
+
+    members: tuple[str, ...]
+    representative: str
+
+
+def characteristics_matrix(profiles: Sequence[WorkloadProfile]) -> np.ndarray:
+    """Normalized raw-characteristic vectors (rows follow ``profiles``)."""
+    if not profiles:
+        raise CommunalError("need at least one profile")
+    raw = np.array([profile_characteristics(p).as_vector() for p in profiles])
+    return normalize_matrix(raw)
+
+
+def raw_distance_matrix(profiles: Sequence[WorkloadProfile]) -> np.ndarray:
+    """Pairwise Euclidean distances between normalized raw characteristics."""
+    return euclidean_distance_matrix(characteristics_matrix(profiles))
+
+
+def cluster_workloads(
+    profiles: Sequence[WorkloadProfile], n_clusters: int
+) -> list[Cluster]:
+    """Average-linkage agglomerative clustering down to ``n_clusters``.
+
+    Representatives are the members nearest their cluster centroid (in
+    normalized characteristic space), the usual subsetting convention.
+    """
+    n = len(profiles)
+    if not 1 <= n_clusters <= n:
+        raise CommunalError(f"n_clusters={n_clusters} out of range for {n} profiles")
+    vectors = characteristics_matrix(profiles)
+    names = [p.name for p in profiles]
+
+    clusters: list[list[int]] = [[i] for i in range(n)]
+    while len(clusters) > n_clusters:
+        best: tuple[float, int, int] | None = None
+        for a in range(len(clusters)):
+            for b in range(a + 1, len(clusters)):
+                # Average linkage: mean pairwise distance between clusters.
+                d = float(
+                    np.mean(
+                        [
+                            np.linalg.norm(vectors[i] - vectors[j])
+                            for i in clusters[a]
+                            for j in clusters[b]
+                        ]
+                    )
+                )
+                if best is None or d < best[0]:
+                    best = (d, a, b)
+        assert best is not None
+        _, a, b = best
+        clusters[a].extend(clusters[b])
+        del clusters[b]
+
+    result = []
+    for members in clusters:
+        centroid = vectors[members].mean(axis=0)
+        rep = min(members, key=lambda i: float(np.linalg.norm(vectors[i] - centroid)))
+        result.append(
+            Cluster(
+                members=tuple(names[i] for i in sorted(members)),
+                representative=names[rep],
+            )
+        )
+    return result
+
+
+def closest_pairs(
+    profiles: Sequence[WorkloadProfile], top: int = 3
+) -> list[tuple[str, str, float]]:
+    """The most similar workload pairs by raw characteristics."""
+    dist = raw_distance_matrix(profiles)
+    names = [p.name for p in profiles]
+    pairs = [
+        (names[i], names[j], float(dist[i, j]))
+        for i in range(len(names))
+        for j in range(i + 1, len(names))
+    ]
+    return sorted(pairs, key=lambda t: t[2])[:top]
+
+
+@dataclass(frozen=True)
+class SubsettingExperiment:
+    """Outcome of the §5.3 protocol for one (dropped, representative) pair."""
+
+    dropped: str
+    representative: str
+    full_search: Combination
+    reduced_search: Combination
+    merit_loss: float  # fractional loss of the reduced vs full search
+
+
+def subsetting_experiment(
+    cross: CrossPerformance,
+    dropped: str,
+    representative: str,
+    k: int = 2,
+    merit: str = "har",
+) -> SubsettingExperiment:
+    """Re-run the best-combination search with one workload subsetted away.
+
+    The dropped workload's *configuration* leaves the candidate pool (its
+    representative stands in for it during design), but the workload
+    itself still runs on the resulting system — exactly the failure mode
+    the paper demonstrates with bzip/gzip.
+    """
+    cross.index(dropped)
+    cross.index(representative)
+    if dropped == representative:
+        raise CommunalError("a workload cannot represent itself in this experiment")
+    full = best_combination(cross, k, merit)
+    candidates = [n for n in cross.names if n != dropped]
+    reduced = best_combination(cross, k, merit, candidates=candidates)
+    loss = 1.0 - reduced.merit / full.merit
+    return SubsettingExperiment(
+        dropped=dropped,
+        representative=representative,
+        full_search=full,
+        reduced_search=reduced,
+        merit_loss=loss,
+    )

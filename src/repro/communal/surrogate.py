@@ -1,0 +1,209 @@
+"""Greedy surrogate assignment — the paper's §5.4 and Figures 5-8.
+
+A *surrogate* assignment gives workload A the customized architecture of
+workload B (B's architecture "serves" A).  Repeatedly assigning the
+cheapest surrogate (smallest importance-weighted slowdown) reduces the
+set of distinct architectures; the paper studies three policies for how
+assignments may propagate:
+
+* **non-propagation** (Figure 6) — a workload whose architecture already
+  serves someone may not itself be surrogated, and a surrogated workload
+  's architecture may not serve anyone.  The process stalls before
+  reaching small core counts.
+* **forward propagation** (Figure 8) — a provider may later be
+  surrogated itself; its dependents follow transitively to the new root.
+* **full propagation** (Figure 7, forward + backward) — additionally, a
+  surrogated workload's architecture may be chosen as a surrogate for a
+  third workload, which effectively routes that workload to the
+  provider's root.
+
+*Feedback surrogating* (§5.4.2) arises under propagation: the greedy
+choice for workload *i* may be an architecture whose chain resolves back
+to *i* itself.  Such assignments cannot reduce the architecture count;
+they are recorded as feedback events and the pair is blocked, which is
+what ultimately stops the propagation policies before a single
+configuration remains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+import numpy as np
+
+from ..characterize.cross import CrossPerformance
+from ..errors import CommunalError
+
+
+class Propagation(Enum):
+    """Surrogate-propagation policy (Figure 5's design axes)."""
+
+    NONE = "none"
+    FORWARD = "forward"
+    FULL = "full"
+
+
+@dataclass(frozen=True)
+class SurrogateEdge:
+    """One greedy assignment step.
+
+    ``provider`` is the workload whose architecture was nominally chosen;
+    ``effective_root`` is the architecture actually executed after
+    resolving propagation chains (equal to ``provider`` except under
+    backward propagation).
+    """
+
+    order: int
+    consumer: str
+    provider: str
+    effective_root: str
+    slowdown: float
+
+
+@dataclass(frozen=True)
+class FeedbackEvent:
+    """A blocked assignment whose chain resolved back to the consumer."""
+
+    consumer: str
+    provider: str
+
+
+@dataclass
+class SurrogateGraph:
+    """Outcome of a greedy surrogate-assignment run."""
+
+    policy: Propagation
+    edges: list[SurrogateEdge]
+    roots: tuple[str, ...]
+    groups: dict[str, tuple[str, ...]]  # root -> members (incl. root)
+    feedback_events: list[FeedbackEvent] = field(default_factory=list)
+    stalled: bool = False
+
+    @property
+    def assignment(self) -> dict[str, str]:
+        """Workload -> architecture root actually used."""
+        mapping = {}
+        for root, members in self.groups.items():
+            for m in members:
+                mapping[m] = root
+        return mapping
+
+
+def greedy_surrogates(
+    cross: CrossPerformance,
+    policy: Propagation = Propagation.FORWARD,
+    target_roots: int = 1,
+) -> SurrogateGraph:
+    """Run the greedy surrogate assignment down to ``target_roots`` roots.
+
+    Stops earlier when the policy stalls (non-propagation) or when every
+    remaining cheapest option is a feedback assignment.
+    """
+    if target_roots < 1:
+        raise CommunalError(f"target_roots must be >= 1: {target_roots}")
+    names = list(cross.names)
+    slowdown = cross.slowdown_matrix()
+    weights = np.array(cross.weights)
+
+    parent: dict[str, str] = {}
+    consumers: set[str] = set()
+    providers: set[str] = set()
+    blocked: set[tuple[str, str]] = set()
+    edges: list[SurrogateEdge] = []
+    feedback: list[FeedbackEvent] = []
+    stalled = False
+
+    def root_of(w: str) -> str:
+        while w in parent:
+            w = parent[w]
+        return w
+
+    def live_roots() -> set[str]:
+        return {root_of(w) for w in names}
+
+    order = 0
+    while len(live_roots()) > target_roots:
+        best: tuple[float, str, str, str] | None = None
+        feedback_best: tuple[str, str] | None = None
+        for i in names:
+            if i in consumers:
+                continue
+            if policy is Propagation.NONE and i in providers:
+                continue
+            wi = weights[cross.index(i)]
+            for j in names:
+                if j == i or (i, j) in blocked:
+                    continue
+                if j in consumers and policy is not Propagation.FULL:
+                    continue
+                effective = root_of(j) if policy is not Propagation.NONE else j
+                if effective == i:
+                    if feedback_best is None:
+                        feedback_best = (i, j)
+                    continue
+                cost = wi * slowdown[cross.index(i), cross.index(effective)]
+                if best is None or cost < best[0]:
+                    best = (cost, i, j, effective)
+
+        if best is None:
+            if feedback_best is not None:
+                feedback.append(FeedbackEvent(*feedback_best))
+                blocked.add(feedback_best)
+                continue
+            stalled = True
+            break
+
+        cost, i, j, effective = best
+        order += 1
+        parent[i] = effective
+        consumers.add(i)
+        providers.add(effective)
+        edges.append(
+            SurrogateEdge(
+                order=order,
+                consumer=i,
+                provider=j,
+                effective_root=effective,
+                slowdown=float(
+                    slowdown[cross.index(i), cross.index(effective)]
+                ),
+            )
+        )
+
+    roots = tuple(sorted(live_roots()))
+    groups: dict[str, list[str]] = {r: [] for r in roots}
+    for w in names:
+        groups[root_of(w)].append(w)
+    return SurrogateGraph(
+        policy=policy,
+        edges=edges,
+        roots=roots,
+        groups={r: tuple(ms) for r, ms in groups.items()},
+        feedback_events=feedback,
+        stalled=stalled,
+    )
+
+
+def surrogate_merits(
+    cross: CrossPerformance, graph: SurrogateGraph
+) -> dict[str, float]:
+    """Merits of the surviving architectures, with the graph's assignment.
+
+    Unlike :func:`repro.communal.merit.assignment` (which lets every
+    workload pick its favourite available core), the surrogate graph
+    *fixes* who runs where — the paper's Figures 6-8 report performance
+    under the greedy assignment itself.
+    """
+    mapping = graph.assignment
+    weights = np.array(cross.weights)
+    ipts = np.array(
+        [cross.ipt_on(w, mapping[w]) for w in cross.names], dtype=float
+    )
+    own = np.array([cross.own_ipt(w) for w in cross.names])
+    return {
+        "average_ipt": float((ipts * weights).sum() / weights.sum()),
+        "harmonic_ipt": float(weights.sum() / (weights / ipts).sum()),
+        "average_slowdown": float(
+            (((own - ipts) / own) * weights).sum() / weights.sum()
+        ),
+    }

@@ -1,0 +1,72 @@
+"""Importance weights for communal customization (§5.4).
+
+"To consider different importance weights, the slowdowns due to
+surrogating must be weighed by the importance weight of corresponding
+workloads."  Weights can come from job-submission frequency alone or
+from frequency x execution time; the latter depends on the executing
+configuration, so the paper suggests rough approximations — we use each
+workload's IPT on its own customized core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..characterize.cross import CrossPerformance
+from ..errors import CommunalError
+from ..workloads.profile import WorkloadProfile
+
+
+def weighted_profiles(
+    profiles: Sequence[WorkloadProfile], weights: Mapping[str, float]
+) -> list[WorkloadProfile]:
+    """Copies of the profiles with the given importance weights applied."""
+    missing = [p.name for p in profiles if p.name not in weights]
+    if missing:
+        raise CommunalError(f"missing weights for: {', '.join(missing)}")
+    return [replace(p, weight=float(weights[p.name])) for p in profiles]
+
+
+def frequency_weights(frequencies: Mapping[str, float]) -> dict[str, float]:
+    """Normalize job-submission frequencies into importance weights."""
+    if not frequencies:
+        raise CommunalError("need at least one frequency")
+    values = np.array(list(frequencies.values()), dtype=float)
+    if (values <= 0).any():
+        raise CommunalError("frequencies must be positive")
+    mean = values.mean()
+    return {name: float(f / mean) for name, f in frequencies.items()}
+
+
+def runtime_weights(
+    cross: CrossPerformance, frequencies: Mapping[str, float] | None = None
+) -> dict[str, float]:
+    """Weights proportional to frequency x approximate execution time.
+
+    Execution time is approximated as the reciprocal of each workload's
+    IPT on its own customized configuration (the paper's "rough
+    approximations of the relative execution times").
+    """
+    names = cross.names
+    freq = {n: 1.0 for n in names}
+    if frequencies is not None:
+        freq.update({n: float(f) for n, f in frequencies.items()})
+    raw = {n: freq[n] / cross.own_ipt(n) for n in names}
+    mean = float(np.mean(list(raw.values())))
+    return {n: v / mean for n, v in raw.items()}
+
+
+def reweighted(cross: CrossPerformance, weights: Mapping[str, float]) -> CrossPerformance:
+    """A copy of the cross-performance matrix with new importance weights."""
+    missing = [n for n in cross.names if n not in weights]
+    if missing:
+        raise CommunalError(f"missing weights for: {', '.join(missing)}")
+    return CrossPerformance(
+        names=cross.names,
+        ipt=cross.ipt.copy(),
+        configs=cross.configs,
+        weights=tuple(float(weights[n]) for n in cross.names),
+    )

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while letting
+programming errors (``TypeError``, ``ValueError`` from user code, ...)
+propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An architectural configuration is malformed or violates the design space."""
+
+
+class TimingError(ReproError):
+    """A unit cannot meet its timing budget (no legal sizing exists)."""
+
+
+class WorkloadError(ReproError):
+    """A workload profile or trace is malformed."""
+
+
+class ExplorationError(ReproError):
+    """The design-space exploration was misconfigured or failed to produce a result."""
+
+
+class CommunalError(ReproError):
+    """A communal-customization computation received inconsistent inputs."""

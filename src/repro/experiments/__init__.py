@@ -1,0 +1,74 @@
+"""Experiment drivers: one function per table/figure of the paper, plus
+the end-to-end pipeline and text reporting."""
+
+from .figures import (
+    Figure4Series,
+    SlackScenario,
+    figure1,
+    figure2_scenarios,
+    figure4,
+    figure6,
+    figure7,
+    figure8,
+)
+from .pipeline import (
+    DEFAULT_ITERATIONS,
+    DEFAULT_SEED,
+    PipelineResult,
+    default_pipeline,
+    run_pipeline,
+)
+from .stability import SeedOutcome, StabilityReport, stability_analysis
+from .reporting import (
+    render_heatmap,
+    render_kv,
+    render_matrix,
+    render_surrogate_graph,
+    render_table,
+)
+from .tables import (
+    Table6Row,
+    Table7Summary,
+    appendix_a_matrix,
+    table1_unit_delays,
+    table2_fixed_parameters,
+    table3_initial_configuration,
+    table4_rows,
+    table5_matrix,
+    table6_rows,
+    table7_summary,
+)
+
+__all__ = [
+    "Figure4Series",
+    "SlackScenario",
+    "figure1",
+    "figure2_scenarios",
+    "figure4",
+    "figure6",
+    "figure7",
+    "figure8",
+    "DEFAULT_ITERATIONS",
+    "DEFAULT_SEED",
+    "PipelineResult",
+    "default_pipeline",
+    "run_pipeline",
+    "SeedOutcome",
+    "StabilityReport",
+    "stability_analysis",
+    "render_heatmap",
+    "render_kv",
+    "render_matrix",
+    "render_surrogate_graph",
+    "render_table",
+    "Table6Row",
+    "Table7Summary",
+    "appendix_a_matrix",
+    "table1_unit_delays",
+    "table2_fixed_parameters",
+    "table3_initial_configuration",
+    "table4_rows",
+    "table5_matrix",
+    "table6_rows",
+    "table7_summary",
+]

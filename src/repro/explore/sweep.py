@@ -1,0 +1,84 @@
+"""Pinned-clock design-space sweeps.
+
+A :class:`ClockSweep` runs the xp-scalar annealing search with the clock
+period held fixed at each of a grid of values, producing the IPT-vs-clock
+curve for one workload.  This is the tool behind the Figure 2 discussion
+(how the unified clock re-balances unit sizings) and the calibration
+ablations: the full exploration should land near each curve's peak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..uarch.config import CoreConfig, initial_configuration
+from ..uarch.fit import refit_config
+from ..workloads.profile import WorkloadProfile
+from .annealing import AnnealingSchedule, SimulatedAnnealing
+from .xpscalar import XpScalar
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Best configuration found at one pinned clock period."""
+
+    clock_period_ns: float
+    score: float
+    config: CoreConfig
+
+
+class ClockSweep:
+    """Sweep the clock period, annealing all other parameters at each point."""
+
+    def __init__(self, explorer: XpScalar, iterations: int = 600) -> None:
+        self._xp = explorer
+        self._iterations = iterations
+
+    def run(
+        self,
+        profile: WorkloadProfile,
+        clocks: list[float] | None = None,
+        seed: int = 0,
+    ) -> list[SweepPoint]:
+        """Anneal at each clock on the grid; returns one point per clock."""
+        tech = self._xp.tech
+        if clocks is None:
+            clocks = [round(c, 3) for c in np.linspace(tech.min_clock_ns, tech.max_clock_ns, 9)]
+        points = []
+        for i, clock in enumerate(clocks):
+            points.append(self._run_at(profile, float(clock), seed + i))
+        return points
+
+    def _run_at(self, profile: WorkloadProfile, clock: float, seed: int) -> SweepPoint:
+        moves = self._xp._moves  # shares the explorer's move generator
+
+        def propose(config: CoreConfig, rng: np.random.Generator) -> CoreConfig:
+            candidate = moves.propose(config, rng)
+            if abs(candidate.clock_period_ns - clock) > 1e-9:
+                # Clock moves are pinned back to the sweep's clock.
+                candidate = refit_config(
+                    candidate.replace(clock_period_ns=clock),
+                    self._xp.tech,
+                    self._xp.model,
+                    self._xp.space,
+                    rng=rng,
+                )
+            return candidate
+
+        start = refit_config(
+            initial_configuration(self._xp.tech).replace(clock_period_ns=clock),
+            self._xp.tech,
+            self._xp.model,
+            self._xp.space,
+        )
+        annealer = SimulatedAnnealing(
+            propose=propose,
+            evaluate=lambda cfg: self._xp.score(profile, cfg),
+            schedule=AnnealingSchedule(iterations=self._iterations),
+        )
+        outcome = annealer.run(start, seed=seed)
+        return SweepPoint(
+            clock_period_ns=clock, score=outcome.best_score, config=outcome.best_state
+        )

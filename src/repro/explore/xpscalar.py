@@ -1,0 +1,231 @@
+"""xp-scalar: the superscalar design-space exploration framework.
+
+This is the reproduction of the paper's §3 tool: a simulated-annealing
+search for the best architectural configuration for each workload, with
+the clock period and per-unit pipeline depths as first-class knobs and
+every unit sized to fit its stage budget through the CACTI-analog timing
+model.  Fitness is IPT (instructions per time unit).
+
+The main entry points:
+
+* :meth:`XpScalar.customize` — explore one workload's configuration;
+* :meth:`XpScalar.customize_all` — explore a whole suite, including the
+  paper's cross-seeding refinement ("If a workload was found to perform
+  better on some other workload's optimal configuration, that
+  configuration would replace its own configuration in order to expedite
+  the exploration process") iterated to a fixed point;
+* :func:`configurational_characteristics` lives in
+  :mod:`repro.characterize` and consumes these results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..errors import ExplorationError
+from ..sim.interval import IntervalSimulator
+from ..sim.metrics import SimResult
+from ..tech import CactiModel, TechnologyNode, default_technology
+from ..uarch.config import CoreConfig, DesignSpace, initial_configuration, validate_config
+from ..workloads.profile import WorkloadProfile
+from .annealing import AnnealingResult, AnnealingSchedule, SimulatedAnnealing
+from .moves import MoveGenerator
+
+#: Objective signature: maps a simulation result to the fitness to
+#: maximize.  The default is IPT; power/area-aware objectives plug in
+#: here (the paper's §3 notes this extension).
+Objective = Callable[[SimResult], float]
+
+
+def ipt_objective(result: SimResult) -> float:
+    """The paper's fitness: instructions per time unit."""
+    return result.ipt
+
+
+@dataclass
+class ExplorationResult:
+    """Customization outcome for one workload."""
+
+    workload: str
+    config: CoreConfig
+    score: float
+    result: SimResult
+    annealing: AnnealingResult | None = None
+    cross_seeded_from: str | None = None
+
+
+class XpScalar:
+    """Design-space explorer: one facade over moves, annealing and timing.
+
+    Parameters
+    ----------
+    tech:
+        Technology node (defaults to the calibrated node).
+    space:
+        Design-space ranges (defaults to the paper-scale space).
+    simulator:
+        Evaluator with an ``evaluate(profile, config) -> SimResult``
+        method; defaults to the interval model.  The cycle-level
+        simulator can be adapted here for (much slower) trace-driven
+        exploration.
+    schedule:
+        Annealing schedule.
+    objective:
+        Fitness extractor (defaults to IPT).
+    """
+
+    def __init__(
+        self,
+        tech: TechnologyNode | None = None,
+        space: DesignSpace | None = None,
+        simulator: IntervalSimulator | None = None,
+        schedule: AnnealingSchedule | None = None,
+        objective: Objective = ipt_objective,
+    ) -> None:
+        self.tech = tech or default_technology()
+        self.space = space or DesignSpace()
+        self.model = CactiModel(self.tech)
+        self.simulator = simulator or IntervalSimulator()
+        self.schedule = schedule or AnnealingSchedule()
+        self.objective = objective
+        self._moves = MoveGenerator(self.tech, self.model, self.space)
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(self, profile: WorkloadProfile, config: CoreConfig) -> SimResult:
+        """Simulate one (workload, configuration) pair."""
+        return self.simulator.evaluate(profile, config)
+
+    def score(self, profile: WorkloadProfile, config: CoreConfig) -> float:
+        """Objective value of one pair."""
+        return self.objective(self.evaluate(profile, config))
+
+    # ------------------------------------------------------------------
+    # exploration
+    # ------------------------------------------------------------------
+
+    def customize(
+        self,
+        profile: WorkloadProfile,
+        seed: int = 0,
+        initial: CoreConfig | None = None,
+        restarts: int = 1,
+    ) -> ExplorationResult:
+        """Find a customized configuration for one workload.
+
+        Starts from Table 3's initial configuration unless given another
+        starting point, anneals under the configured schedule, and
+        returns the best configuration found (always validated).  With
+        ``restarts`` > 1, independent annealing runs (distinct seeds)
+        compete and the best wins — the cheap insurance against local
+        optima the paper's three-week budget bought with sheer length.
+        """
+        if restarts < 1:
+            raise ExplorationError(f"restarts must be >= 1, got {restarts}")
+        start = initial or initial_configuration(self.tech)
+        annealer = SimulatedAnnealing(
+            propose=self._moves.propose,
+            evaluate=lambda cfg: self.score(profile, cfg),
+            schedule=self.schedule,
+        )
+        outcome = annealer.run(start, seed=seed)
+        for extra in range(1, restarts):
+            rerun = annealer.run(start, seed=seed + 7919 * extra)
+            if rerun.best_score > outcome.best_score:
+                outcome = rerun
+        best = outcome.best_state
+        validate_config(best, self.tech, self.model)
+        return ExplorationResult(
+            workload=profile.name,
+            config=best,
+            score=outcome.best_score,
+            result=self.evaluate(profile, best),
+            annealing=outcome,
+        )
+
+    def customize_all(
+        self,
+        profiles: Sequence[WorkloadProfile],
+        seed: int = 0,
+        cross_seed_rounds: int = 2,
+    ) -> dict[str, ExplorationResult]:
+        """Customize a whole suite, with the paper's cross-seeding passes.
+
+        After the independent explorations, every workload is evaluated
+        on every other workload's customized configuration; whenever some
+        other configuration beats a workload's own, it is adopted — "If a
+        workload was found to perform better on some other workload's
+        optimal configuration, that configuration would replace its own
+        configuration in order to expedite the exploration process."
+        Each adoption round is followed by a re-annealing pass that
+        continues each workload's exploration from its (possibly adopted)
+        best configuration, so adopted configurations diverge again
+        toward each workload's own optimum.
+        """
+        if not profiles:
+            raise ExplorationError("customize_all needs at least one workload")
+        names = [p.name for p in profiles]
+        if len(set(names)) != len(names):
+            raise ExplorationError(f"duplicate workload names: {names}")
+
+        results = {
+            p.name: self.customize(p, seed=seed + i)
+            for i, p in enumerate(profiles)
+        }
+
+        for round_no in range(cross_seed_rounds):
+            changed = self._cross_seed_once(profiles, results)
+            # Refine: continue annealing from the current best (adopted or
+            # not); keep whichever configuration scores higher.
+            for i, profile in enumerate(profiles):
+                current = results[profile.name]
+                refined = self.customize(
+                    profile,
+                    seed=seed + 1000 * (round_no + 1) + i,
+                    initial=current.config,
+                )
+                if refined.score > current.score:
+                    refined.cross_seeded_from = current.cross_seeded_from
+                    results[profile.name] = refined
+                    changed = True
+            if not changed:
+                break
+        # Final consistency pass: after the last refinement, no workload
+        # should prefer another workload's configuration to its own.
+        self._cross_seed_once(profiles, results)
+        return results
+
+    def _cross_seed_once(
+        self,
+        profiles: Sequence[WorkloadProfile],
+        results: dict[str, ExplorationResult],
+    ) -> bool:
+        """One adoption pass; returns True if any workload switched."""
+        changed = False
+        for profile in profiles:
+            own = results[profile.name]
+            best_other: tuple[str, float] | None = None
+            for other in profiles:
+                if other.name == profile.name:
+                    continue
+                score = self.score(profile, results[other.name].config)
+                if score > own.score * (1 + 1e-9) and (
+                    best_other is None or score > best_other[1]
+                ):
+                    best_other = (other.name, score)
+            if best_other is not None:
+                donor, score = best_other
+                config = results[donor].config
+                results[profile.name] = ExplorationResult(
+                    workload=profile.name,
+                    config=config,
+                    score=score,
+                    result=self.evaluate(profile, config),
+                    annealing=own.annealing,
+                    cross_seeded_from=donor,
+                )
+                changed = True
+        return changed

@@ -1,0 +1,18 @@
+"""Timing simulation: the fast interval model and the cycle-level
+trace-driven simulator, sharing one configuration schema and one result
+type."""
+
+from .cycle import CycleSimulator
+from .interval import IntervalSimulator
+from .metrics import CpiStack, SimResult, slowdown
+from .validation import ValidationReport, validate_interval_model
+
+__all__ = [
+    "CycleSimulator",
+    "IntervalSimulator",
+    "CpiStack",
+    "SimResult",
+    "slowdown",
+    "ValidationReport",
+    "validate_interval_model",
+]

@@ -1,0 +1,208 @@
+"""Trace-driven cycle-level superscalar timing simulation.
+
+This is the reproduction's ``sim-mase`` stand-in: a detailed timing model
+that schedules every instruction of a concrete trace through a
+parameterized superscalar pipeline — front end, dispatch, wake-up/select
+issue, execution with real cache and branch-predictor state, and in-order
+commit.  It is much slower than the interval model (and therefore used
+for validation, examples and spot checks rather than inside the annealing
+loop), but it shares the exact configuration schema, so any
+:class:`~repro.uarch.config.CoreConfig` can be evaluated both ways.
+
+The scheduling algorithm is a one-pass timestamp simulation: instructions
+are processed in trace order, computing for each its dispatch, issue,
+completion and commit cycles under all structural constraints:
+
+* front-end redirect latency after mispredicted branches (a real
+  tournament predictor decides mispredictions);
+* dispatch bandwidth (``width`` per cycle) and window occupancy (ROB
+  entries free at commit, issue-queue entries free at issue, LSQ entries
+  free at commit of the memory instruction);
+* operand readiness plus the wake-up bubble between back-to-back
+  dependents when the wake-up/select loop is pipelined;
+* issue bandwidth (``width`` per cycle);
+* load latencies from a real two-level LRU cache hierarchy;
+* in-order commit, ``width`` per cycle.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..uarch.branch import TournamentPredictor
+from ..uarch.cache import MemoryHierarchy
+from ..uarch.config import CoreConfig
+from ..workloads.trace import Op, Trace
+from .metrics import SimResult
+
+_MUL_LATENCY = 3
+_ALU_LATENCY = 1
+
+
+class _BandwidthTracker:
+    """Finds the earliest cycle at or after a time with a free slot."""
+
+    def __init__(self, slots_per_cycle: int) -> None:
+        self._slots = slots_per_cycle
+        self._used: defaultdict[int, int] = defaultdict(int)
+
+    def reserve(self, earliest: int) -> int:
+        cycle = earliest
+        while self._used[cycle] >= self._slots:
+            cycle += 1
+        self._used[cycle] += 1
+        return cycle
+
+
+class CycleSimulator:
+    """Cycle-level evaluation of a trace on a core configuration."""
+
+    def __init__(self, config: CoreConfig) -> None:
+        self._config = config
+
+    @property
+    def config(self) -> CoreConfig:
+        return self._config
+
+    def run(self, trace: Trace, measure_from: int = 0) -> SimResult:
+        """Simulate the full trace; returns timing plus event statistics.
+
+        ``measure_from`` discards the first instructions from the
+        *timing* statistics (they still execute, warming caches,
+        predictors and the pipeline) — the warm-up mechanism SimPoint
+        sampling relies on.
+        """
+        cfg = self._config
+        n = len(trace)
+        if n == 0:
+            raise WorkloadError("cannot simulate an empty trace")
+        if not 0 <= measure_from < n:
+            raise WorkloadError(
+                f"measure_from={measure_from} out of range for {n} instructions"
+            )
+
+        predictor = TournamentPredictor()
+        hierarchy = MemoryHierarchy(cfg.l1, cfg.l2, cfg.memory_cycles)
+
+        dispatch_bw = _BandwidthTracker(cfg.width)
+        issue_bw = _BandwidthTracker(cfg.width)
+        commit_bw = _BandwidthTracker(cfg.width)
+
+        ready = np.zeros(n, dtype=np.int64)  # result-available cycle
+        issued = np.zeros(n, dtype=np.int64)
+        committed = np.zeros(n, dtype=np.int64)
+        mem_indices: list[int] = []  # trace indices of memory ops, in order
+
+        fetch_ready = cfg.frontend_stages  # first dispatch after fill
+        mispredictions = 0
+        branches = 0
+        forwards = 0
+        # Last in-flight store per 8-byte word, for store-to-load
+        # forwarding through the LSQ.
+        store_addresses: dict[int, int] = {}
+
+        ops = trace.ops
+        src1 = trace.src1_dist
+        src2 = trace.src2_dist
+
+        for i in range(n):
+            op = int(ops[i])
+
+            # --- dispatch: fetch stream, bandwidth, window occupancy ---
+            earliest = fetch_ready
+            if i >= cfg.rob_size:
+                earliest = max(earliest, int(committed[i - cfg.rob_size]))
+            if i >= cfg.iq_size:
+                # An IQ entry frees one cycle after its instruction issues.
+                earliest = max(earliest, int(issued[i - cfg.iq_size]) + 1)
+            is_mem = op in (int(Op.LOAD), int(Op.STORE))
+            if is_mem and len(mem_indices) >= cfg.lsq_size:
+                blocker = mem_indices[len(mem_indices) - cfg.lsq_size]
+                earliest = max(earliest, int(committed[blocker]))
+            dispatch = dispatch_bw.reserve(earliest)
+
+            # --- operand readiness and the wake-up loop ---
+            operands = dispatch
+            for dist in (int(src1[i]), int(src2[i])):
+                if 0 < dist <= i:
+                    producer_ready = int(ready[i - dist])
+                    if producer_ready > dispatch:
+                        # In-flight producer: pay the wake-up bubble.
+                        operands = max(operands, producer_ready + cfg.wakeup_latency)
+                    else:
+                        operands = max(operands, producer_ready)
+
+            # Register read through the pipelined scheduler/register file.
+            issue = issue_bw.reserve(max(dispatch + cfg.scheduler_depth, operands))
+            issued[i] = issue
+
+            # --- execute ---
+            if op == int(Op.LOAD):
+                addr = int(trace.addrs[i])
+                forward_from = store_addresses.get(addr >> 3)
+                if forward_from is not None and committed[forward_from] > issue:
+                    # Store-to-load forwarding: an in-flight store to the
+                    # same word supplies the data through the LSQ.
+                    latency = cfg.lsq_depth
+                    forwards += 1
+                    hierarchy.access(addr)  # the line is still touched
+                else:
+                    latency = hierarchy.access(addr).latency_cycles
+                mem_indices.append(i)
+            elif op == int(Op.STORE):
+                addr = int(trace.addrs[i])
+                hierarchy.access(addr)
+                store_addresses[addr >> 3] = i
+                latency = cfg.lsq_depth
+                mem_indices.append(i)
+            elif op == int(Op.MUL):
+                latency = _MUL_LATENCY
+            else:
+                latency = _ALU_LATENCY
+            ready[i] = issue + latency
+
+            # --- commit: in order, width per cycle ---
+            prev_commit = int(committed[i - 1]) if i > 0 else 0
+            commit = commit_bw.reserve(max(int(ready[i]) + 1, prev_commit))
+            committed[i] = commit
+
+            # --- control flow ---
+            if op == int(Op.BRANCH):
+                branches += 1
+                pc = int(trace.pcs[i])
+                taken = bool(trace.taken[i])
+                predicted = predictor.predict(pc)
+                predictor.update(pc, taken)
+                if predicted != taken:
+                    mispredictions += 1
+                    # Redirect: fetch restarts after resolution, and the
+                    # front end refills before the next dispatch.
+                    fetch_ready = max(fetch_ready, int(ready[i]) + cfg.frontend_stages)
+
+        if measure_from > 0:
+            cycles = float(committed[-1] - committed[measure_from - 1])
+            measured_instructions = n - measure_from
+        else:
+            cycles = float(committed[-1])
+            measured_instructions = n
+        l1 = hierarchy.l1
+        l2 = hierarchy.l2
+        return SimResult(
+            workload=trace.name,
+            instructions=measured_instructions,
+            cycles=max(cycles, 1.0),
+            clock_period_ns=cfg.clock_period_ns,
+            detail={
+                "branches": branches,
+                "mispredictions": mispredictions,
+                "misp_rate": mispredictions / branches if branches else 0.0,
+                "store_forwards": forwards,
+                "l1_accesses": l1.accesses,
+                "l1_miss_rate": l1.miss_rate,
+                "l2_accesses": l2.accesses,
+                "l2_miss_rate": l2.miss_rate,
+            },
+        )

@@ -1,0 +1,283 @@
+"""Mechanistic interval model of superscalar performance.
+
+The paper runs thousands of cycle-accurate SimpleScalar simulations per
+benchmark inside its annealing loop.  This module provides the fast
+evaluator that plays that role here: a first-order *interval analysis*
+model in the Karkhanis/Eyerman tradition.  Execution is modelled as a
+background steady-state issue rate punctuated by miss events, giving an
+additive CPI decomposition:
+
+``CPI = CPI_base + CPI_branch + CPI_L2 + CPI_memory + CPI_replay``
+
+* **CPI_base** — the issue rate sustainable between miss events, bounded
+  by three ceilings: the configured width, the fetch bandwidth after
+  taken-branch fragmentation (which is what makes width genuinely useful
+  beyond the ILP plateau), and the ILP the instruction window exposes —
+  *stretched* by the wake-up bubble between back-to-back dependents and
+  by extra L1 hit cycles on load-use chains.  The stretch is where the
+  clock period couples into the model: a faster clock either shrinks the
+  window structures (capacity loss) or deepens their pipelines (stretch
+  gain) — the paper's Figure 2 trade-off.
+* **CPI_branch** — misprediction events times the refill depth (fixed
+  front-end nanoseconds, so deeper in cycles at faster clocks) plus a
+  mild window-drain term for the branch's resolution.
+* **CPI_L2** — L1 misses hitting in L2: a visible-latency component that
+  shrinks as the window grows (out-of-order hiding) plus an occupancy
+  component (every miss consumes L2 bandwidth even when its latency is
+  hidden — this is what makes undersized L1 caches expensive).
+* **CPI_memory** — loads missing all caches: full memory latency divided
+  by achievable memory-level parallelism (capped by the workload's
+  inherent MLP and by how many misses fit in the window), plus DRAM
+  occupancy.
+* **CPI_replay** — speculative scheduling: the deeper the
+  scheduler/wake-up loop, the more issue slots each L1 miss poisons.
+
+The model is deliberately *mechanistic*, not regression-fit: the paper's
+§2.3 criticizes black-box regression models precisely because their
+accuracy cannot be verified across a constrained design space.  Every
+term is a standard first-order approximation whose inputs are
+microarchitecture-independent workload statistics.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..uarch.config import CoreConfig
+from ..workloads.profile import WorkloadProfile
+from .metrics import CpiStack, SimResult
+
+#: Instructions represented per issue-queue slot when bounding the
+#: effective window (issued-but-uncommitted instructions live in the ROB,
+#: so the IQ constrains the window more loosely than the ROB does).
+_IQ_WINDOW_FACTOR = 3.0
+
+#: Fixed branch-resolution depth beyond the front end (execute + bypass).
+_BRANCH_RESOLVE_CYCLES = 2
+
+#: L2 occupancy per L1 miss, as a fraction of the L2 access latency
+#: (pipelined banks stay busy for part of the access).
+_L2_SERVICE_FRACTION = 0.5
+
+#: DRAM-channel occupancy per memory access, in nanoseconds (the DRAM
+#: runs in its own clock domain, so this cost is fixed in time).
+_MEMORY_SERVICE_NS = 4.0
+
+#: Fraction of poisoned issue slots recovered per replayed cycle.
+_REPLAY_FACTOR = 0.5
+
+#: Nominal number of evaluated instructions reported in results.
+_NOMINAL_INSTRUCTIONS = 100_000_000
+
+
+class IntervalSimulator:
+    """Evaluate (workload, configuration) pairs analytically.
+
+    The simulator is stateless and cheap (tens of microseconds per
+    call), which is what makes the annealing exploration tractable; it
+    is validated against the trace-driven cycle simulator in the test
+    suite.
+    """
+
+    def evaluate(self, profile: WorkloadProfile, config: CoreConfig) -> SimResult:
+        """Return the modelled performance of ``profile`` on ``config``."""
+        window = self.effective_window(profile, config)
+        ipc_base = self.base_issue_rate(profile, config, window)
+        miss1 = profile.memory.miss_rate(
+            config.l1.capacity_bytes, config.l1.block_bytes, config.l1.assoc
+        )
+        miss2 = self._global_l2_miss(profile, config)
+
+        cpi_base = 1.0 / ipc_base
+        cpi_branch = self.branch_cpi(profile, config, window)
+        cpi_l2 = self.l2_access_cpi(profile, config, window, ipc_base, miss1, miss2)
+        cpi_mem = self.memory_cpi(profile, config, window, miss2)
+        cpi_replay = self.replay_cpi(profile, config, miss1)
+
+        stack = CpiStack(
+            base=cpi_base + cpi_replay,
+            branch=cpi_branch,
+            l2_access=cpi_l2,
+            memory=cpi_mem,
+        )
+        cycles = stack.total * _NOMINAL_INSTRUCTIONS
+        return SimResult(
+            workload=profile.name,
+            instructions=_NOMINAL_INSTRUCTIONS,
+            cycles=cycles,
+            clock_period_ns=config.clock_period_ns,
+            cpi_stack=stack,
+            detail={
+                "window": window,
+                "ipc_base": ipc_base,
+                "l1_miss_rate": miss1,
+                "l2_global_miss_rate": miss2,
+            },
+        )
+
+    def ipt(self, profile: WorkloadProfile, config: CoreConfig) -> float:
+        """Shorthand: the IPT of ``profile`` on ``config``."""
+        return self.evaluate(profile, config).ipt
+
+    # ------------------------------------------------------------------
+    # model components
+    # ------------------------------------------------------------------
+
+    def effective_window(self, profile: WorkloadProfile, config: CoreConfig) -> float:
+        """Instruction-window size usable by this workload.
+
+        Bounded by the ROB, by the issue queue (scaled, since issued
+        instructions leave it), and by the LSQ relative to the workload's
+        memory-operation density.
+        """
+        mem_frac = max(profile.mix.memory, 1e-6)
+        return float(
+            min(
+                config.rob_size,
+                _IQ_WINDOW_FACTOR * config.iq_size,
+                config.lsq_size / mem_frac,
+            )
+        )
+
+    def chain_stretch(self, profile: WorkloadProfile, config: CoreConfig) -> float:
+        """Average issue-slot stretch along dependence chains.
+
+        A wake-up/select loop pipelined over ``1 + wakeup_latency``
+        cycles inserts ``wakeup_latency`` bubbles between back-to-back
+        dependents; extra L1 hit cycles delay load-use consumers.  The
+        wake-up cost grows superlinearly with the loop depth: beyond one
+        bubble, the scheduler can no longer hide chained wake-ups behind
+        select, and chains of dependent pairs compound.
+        """
+        lw = config.wakeup_latency
+        wakeup = profile.dependence_density * (lw + 0.25 * lw * lw)
+        load_use = (
+            profile.mix.load
+            * profile.load_use_fraction
+            * max(0, config.l1.latency_cycles - 1)
+        )
+        return 1.0 + wakeup + load_use
+
+    def fetch_rate(self, profile: WorkloadProfile, config: CoreConfig) -> float:
+        """Sustainable fetch bandwidth after taken-branch fragmentation.
+
+        A taken branch ends the fetch block, so the front end delivers
+        ``E[min(width, run)]`` instructions per cycle where ``run`` is the
+        geometric distance between taken branches.  This is the ceiling
+        that makes wide machines worth their port costs for workloads
+        with long branch runs.
+        """
+        taken_per_instr = profile.mix.branch * profile.branch.taken_rate
+        if taken_per_instr <= 0:
+            return float(config.width)
+        run = 1.0 / taken_per_instr
+        return run * (1.0 - (1.0 - 1.0 / run) ** config.width)
+
+    def base_issue_rate(
+        self, profile: WorkloadProfile, config: CoreConfig, window: float
+    ) -> float:
+        """Steady-state issue rate between miss events (IPC)."""
+        ilp = profile.ilp(window) / self.chain_stretch(profile, config)
+        rate = min(float(config.width), self.fetch_rate(profile, config), ilp)
+        if rate <= 0:
+            raise ConfigurationError(
+                f"configuration yields non-positive issue rate for {profile.name}"
+            )
+        return rate
+
+    def branch_penalty_cycles(self, config: CoreConfig, window: float) -> float:
+        """Refill cost of one misprediction, in cycles.
+
+        Front-end refill plus scheduler drain plus the window cost: a
+        mispredicted branch deep in a filled window resolves late, and
+        the squashed window must be re-dispatched at ``width`` per cycle.
+        This is the force that keeps huge windows from being free for
+        workloads with imperfect branch prediction.
+        """
+        return (
+            config.frontend_stages
+            + config.scheduler_depth
+            + config.wakeup_latency
+            + _BRANCH_RESOLVE_CYCLES
+            + window / (4.0 * config.width)
+        )
+
+    def branch_cpi(
+        self, profile: WorkloadProfile, config: CoreConfig, window: float
+    ) -> float:
+        """CPI lost to branch mispredictions."""
+        events = profile.mix.branch * profile.branch.misp_rate
+        return events * self.branch_penalty_cycles(config, window)
+
+    def l2_access_cpi(
+        self,
+        profile: WorkloadProfile,
+        config: CoreConfig,
+        window: float,
+        ipc_base: float,
+        miss1: float,
+        miss2: float,
+    ) -> float:
+        """CPI lost to L1 load misses that hit in the L2.
+
+        Visible latency shrinks hyperbolically as the window's hiding
+        capacity grows, but every miss still occupies the L2 for a few
+        cycles — out-of-order execution hides latency, not bandwidth.
+        """
+        events = profile.mix.load * max(0.0, miss1 - miss2)
+        if events <= 0:
+            return 0.0
+        latency = config.l1.latency_cycles + config.l2.latency_cycles
+        hiding = window / ipc_base
+        visible = latency * latency / (latency + hiding)
+        occupancy = _L2_SERVICE_FRACTION * config.l2.latency_cycles
+        return events * (visible + occupancy)
+
+    def memory_cpi(
+        self,
+        profile: WorkloadProfile,
+        config: CoreConfig,
+        window: float,
+        miss2: float,
+    ) -> float:
+        """CPI lost to loads that miss all cache levels.
+
+        Long misses fill the window and stall dispatch; they overlap only
+        with *each other*, up to the workload's inherent MLP and the
+        number of misses the window can hold at once.  Each miss also
+        occupies the DRAM channel.
+        """
+        events = profile.mix.load * miss2
+        if events <= 0:
+            return 0.0
+        # Outstanding misses live in the ROB/LSQ (issued loads have left
+        # the issue queue), so the MLP window is not IQ-capped.
+        mem_window = min(
+            float(config.rob_size),
+            config.lsq_size / max(profile.mix.memory, 1e-6),
+        )
+        misses_in_window = events * mem_window
+        mlp = max(
+            1.0, min(profile.memory.achievable_mlp(mem_window), misses_in_window)
+        )
+        service = _MEMORY_SERVICE_NS / config.clock_period_ns
+        return events * (config.memory_cycles / mlp + service)
+
+    def replay_cpi(
+        self, profile: WorkloadProfile, config: CoreConfig, miss1: float
+    ) -> float:
+        """CPI lost to speculative-scheduling replays.
+
+        Schedulers issue load consumers assuming L1 hits; every L1 miss
+        poisons the slots issued during the scheduler/wake-up loop's
+        depth, which must be replayed.
+        """
+        events = profile.mix.load * miss1
+        depth = config.scheduler_depth - 1 + config.wakeup_latency
+        return events * depth * _REPLAY_FACTOR
+
+    @staticmethod
+    def _global_l2_miss(profile: WorkloadProfile, config: CoreConfig) -> float:
+        """Global miss rate past the L2 (per memory access)."""
+        return profile.memory.miss_rate(
+            config.l2.capacity_bytes, config.l2.block_bytes, config.l2.assoc
+        )

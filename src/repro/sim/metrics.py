@@ -1,0 +1,92 @@
+"""Simulation result containers and performance metrics.
+
+The paper's fitness metric is **IPT** — instructions per time unit —
+because IPC alone cannot compare configurations with different clock
+periods.  We express IPT in instructions per nanosecond, so
+``IPT = IPC / clock_period_ns``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ReproError
+
+
+@dataclass(frozen=True)
+class CpiStack:
+    """Additive CPI decomposition produced by the interval model."""
+
+    base: float
+    branch: float
+    l2_access: float
+    memory: float
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("base", self.base),
+            ("branch", self.branch),
+            ("l2_access", self.l2_access),
+            ("memory", self.memory),
+        ):
+            if value < 0:
+                raise ReproError(f"CPI component {name} cannot be negative: {value}")
+        if self.base <= 0:
+            raise ReproError(f"base CPI must be positive: {self.base}")
+
+    @property
+    def total(self) -> float:
+        return self.base + self.branch + self.l2_access + self.memory
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Outcome of evaluating one workload on one configuration."""
+
+    workload: str
+    instructions: int
+    cycles: float
+    clock_period_ns: float
+    cpi_stack: CpiStack | None = None
+    detail: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.instructions <= 0:
+            raise ReproError(f"instructions must be positive: {self.instructions}")
+        if self.cycles <= 0:
+            raise ReproError(f"cycles must be positive: {self.cycles}")
+        if self.clock_period_ns <= 0:
+            raise ReproError(f"clock period must be positive: {self.clock_period_ns}")
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle."""
+        return self.instructions / self.cycles
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per instruction."""
+        return self.cycles / self.instructions
+
+    @property
+    def ipt(self) -> float:
+        """Instructions per nanosecond — the paper's fitness metric."""
+        return self.ipc / self.clock_period_ns
+
+    @property
+    def runtime_ns(self) -> float:
+        """Total execution time."""
+        return self.cycles * self.clock_period_ns
+
+
+def slowdown(own_ipt: float, other_ipt: float) -> float:
+    """Fractional slowdown of running on ``other`` vs one's own config.
+
+    Matches Appendix A: ``slowdown = 1 - other/own`` (0 on one's own
+    configuration, 0.33 for bzip-on-gzip, ...).
+    """
+    if own_ipt <= 0:
+        raise ReproError(f"own IPT must be positive: {own_ipt}")
+    if other_ipt < 0:
+        raise ReproError(f"IPT cannot be negative: {other_ipt}")
+    return 1.0 - other_ipt / own_ipt

@@ -1,0 +1,62 @@
+"""Technology and timing substrate: the reproduction's CACTI analog.
+
+Public entry points:
+
+* :class:`~repro.tech.technology.TechnologyNode` /
+  :func:`~repro.tech.technology.default_technology` — process constants;
+* :class:`~repro.tech.cacti.CactiModel` — RAM/CAM access-time model with
+  CACTI's output interface (access time, tag comparison, data path);
+* :mod:`~repro.tech.unitdelay` — per-architectural-unit delay functions
+  implementing the paper's Table 1 mapping.
+"""
+
+from .area import area_aware_objective, core_area_mm2, unit_areas_mm2
+from .power import (
+    PowerEstimate,
+    edp_objective,
+    energy_per_instruction_nj,
+    epi_objective,
+    estimate_power,
+)
+from .array import ArrayGeometry, ArrayTiming, array_timing
+from .cacti import MIN_BLOCK_BYTES, CactiModel, CactiResult
+from .cam import CamGeometry, cam_search_ns, select_tree_ns
+from .technology import TechnologyNode, default_technology
+from .unitdelay import (
+    issue_queue_ns,
+    l1_cache_ns,
+    l2_cache_ns,
+    lsq_ns,
+    regfile_ns,
+    select_ns,
+    wakeup_ns,
+)
+
+__all__ = [
+    "area_aware_objective",
+    "core_area_mm2",
+    "unit_areas_mm2",
+    "PowerEstimate",
+    "edp_objective",
+    "energy_per_instruction_nj",
+    "epi_objective",
+    "estimate_power",
+    "ArrayGeometry",
+    "ArrayTiming",
+    "array_timing",
+    "CactiModel",
+    "CactiResult",
+    "MIN_BLOCK_BYTES",
+    "CamGeometry",
+    "cam_search_ns",
+    "select_tree_ns",
+    "TechnologyNode",
+    "default_technology",
+    "issue_queue_ns",
+    "l1_cache_ns",
+    "l2_cache_ns",
+    "lsq_ns",
+    "regfile_ns",
+    "select_ns",
+    "wakeup_ns",
+]

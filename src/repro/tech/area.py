@@ -1,0 +1,84 @@
+"""First-order die-area model.
+
+The paper excludes power and die area from its objective ("extending the
+tool to conduct exploration based on a metric that represents some
+combination of performance, power and die area should not be
+exceptionally difficult") but observes that customized configurations
+stay "within acceptable limits".  This model makes that check concrete
+and powers the area-aware objective ablation: SRAM-dominated units are
+costed per bit with quadratic port scaling (each port widens both cell
+dimensions); datapath and front-end logic scale with machine width.
+
+Constants are calibrated to the 90 nm regime the timing model targets
+(a mid-range core lands around 10-25 mm²); only *relative* area between
+configurations matters for exploration.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .technology import TechnologyNode
+
+if TYPE_CHECKING:  # avoid a circular import: uarch depends on tech
+    from ..uarch.config import CoreConfig
+
+#: mm^2 per SRAM bit at the 2-port baseline (6T cell, 90 nm-ish).
+_SRAM_MM2_PER_BIT = 1.0e-6
+#: CAM cells are roughly twice the area of SRAM cells.
+_CAM_FACTOR = 2.0
+#: mm^2 of execution datapath per unit of machine width (squared term
+#: models the bypass network).
+_DATAPATH_MM2 = 0.35
+#: Fixed front-end logic (fetch/decode/rename) plus per-width growth.
+_FRONTEND_BASE_MM2 = 1.5
+_FRONTEND_PER_WIDTH_MM2 = 0.4
+
+
+def unit_areas_mm2(tech: TechnologyNode, config: CoreConfig) -> dict[str, float]:
+    """Per-unit area estimates for one configuration."""
+
+    def sram(bits: int, read_ports: int, write_ports: int, cam: bool = False) -> float:
+        pf = tech.port_factor(read_ports, write_ports)
+        cell = _SRAM_MM2_PER_BIT * (_CAM_FACTOR if cam else 1.0)
+        return bits * cell * pf * pf
+
+    l1_bits = config.l1.capacity_bytes * 8
+    l2_bits = config.l2.capacity_bytes * 8
+    rob_bits = config.rob_size * 16 * 8
+    iq_bits = config.iq_size * 8 * 8
+    lsq_bits = config.lsq_size * 8 * 8
+    width = config.width
+
+    return {
+        "l1": sram(l1_bits, 2, 2),
+        "l2": sram(l2_bits, 2, 2),
+        "regfile": sram(rob_bits, 2 * width, width),
+        "issue_queue": sram(iq_bits, width, width, cam=True),
+        "lsq": sram(lsq_bits, 2, 2, cam=True),
+        "datapath": _DATAPATH_MM2 * width * width,
+        "frontend": _FRONTEND_BASE_MM2 + _FRONTEND_PER_WIDTH_MM2 * width,
+    }
+
+
+def core_area_mm2(tech: TechnologyNode, config: CoreConfig) -> float:
+    """Total core area estimate (mm^2)."""
+    return sum(unit_areas_mm2(tech, config).values())
+
+
+def area_aware_objective(tech: TechnologyNode, mm2_budget: float = 20.0):
+    """Build an IPT-per-area-overrun objective for the explorer.
+
+    Below the budget the objective is plain IPT; beyond it, IPT is
+    discounted proportionally to the overrun — the "combination of
+    performance ... and die area" extension the paper sketches.
+    """
+    if mm2_budget <= 0:
+        raise ValueError(f"area budget must be positive, got {mm2_budget}")
+
+    def score(profile, config, result) -> float:
+        area = core_area_mm2(tech, config)
+        overrun = max(0.0, area / mm2_budget - 1.0)
+        return result.ipt / (1.0 + overrun)
+
+    return score

@@ -1,0 +1,114 @@
+"""Analytical SRAM array delay model.
+
+This is the direct-mapped/RAM half of the CACTI-style model: decoder,
+wordline/bitline wires (modelled together as an optimally banked square
+array whose wire delay grows with the square root of the bit count, plus a
+linear long-wire term for very large arrays), sense amplifier, way
+comparison, and output drive.
+
+The model is deliberately simple but preserves the properties the paper's
+exploration relies on:
+
+* delay is strictly increasing in capacity, associativity and port count;
+* delay is sub-linear for small arrays and super-linear (wire dominated)
+  for multi-megabyte arrays;
+* extra ports grow every cell and therefore every wire.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..units import clog2, is_power_of_two
+from .technology import TechnologyNode
+
+
+@dataclass(frozen=True)
+class ArrayGeometry:
+    """Geometry of a RAM-style array (cache data/tag array, register file).
+
+    ``line_bits`` is the width of one entry in bits; ``nsets`` the number of
+    addressable rows; ``assoc`` the number of ways read in parallel.
+    """
+
+    nsets: int
+    assoc: int
+    line_bits: int
+    read_ports: int = 2
+    write_ports: int = 2
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.nsets):
+            raise ValueError(f"nsets must be a power of two, got {self.nsets}")
+        if self.assoc < 1:
+            raise ValueError(f"assoc must be >= 1, got {self.assoc}")
+        if self.line_bits < 8:
+            raise ValueError(f"line_bits must be >= 8, got {self.line_bits}")
+        if self.read_ports < 0 or self.write_ports < 0:
+            raise ValueError("port counts cannot be negative")
+        if self.read_ports + self.write_ports < 1:
+            raise ValueError("array needs at least one port")
+
+    @property
+    def total_bits(self) -> int:
+        """Total storage in bits across all sets and ways."""
+        return self.nsets * self.assoc * self.line_bits
+
+
+@dataclass(frozen=True)
+class ArrayTiming:
+    """Per-component delays (ns) of one array access."""
+
+    decode_ns: float
+    wire_ns: float
+    sense_ns: float
+    compare_ns: float
+    output_ns: float
+
+    @property
+    def access_ns(self) -> float:
+        """Full access time: every component in series."""
+        return (
+            self.decode_ns
+            + self.wire_ns
+            + self.sense_ns
+            + self.compare_ns
+            + self.output_ns
+        )
+
+    @property
+    def datapath_ns(self) -> float:
+        """Total data-path without output driver (Table 1's LSQ/select term)."""
+        return self.decode_ns + self.wire_ns + self.sense_ns + self.compare_ns
+
+
+def array_timing(geometry: ArrayGeometry, tech: TechnologyNode) -> ArrayTiming:
+    """Compute the access timing of a RAM array in the given technology."""
+    bits = geometry.total_bits
+    pf = tech.port_factor(geometry.read_ports, geometry.write_ports)
+
+    decode = tech.decode_ns_per_bit * clog2(geometry.nsets) if geometry.nsets > 1 else 0.0
+    # Optimally banked array: wires span sqrt(area); ports widen each cell so
+    # the wire term scales with the port factor.  The linear term models the
+    # global H-tree that dominates for multi-megabyte arrays.
+    wire = pf * (
+        tech.sram_sqrt_ns_per_sqrt_bit * math.sqrt(bits)
+        + tech.sram_linear_ns_per_bit * bits
+    )
+    sense = tech.sram_base_ns * 0.5
+    # Way selection: comparing one tag per way, then an assoc-way mux.
+    tag_bits = 32  # representative physical-tag width
+    compare = (
+        tech.compare_ns_per_bit * tag_bits * (0.5 + 0.5 * math.log2(geometry.assoc + 1))
+        if geometry.assoc > 1
+        else tech.compare_ns_per_bit * tag_bits * 0.5
+    )
+    output = tech.sram_base_ns * 0.5
+    return ArrayTiming(
+        decode_ns=decode,
+        wire_ns=wire,
+        sense_ns=sense,
+        compare_ns=compare,
+        output_ns=output,
+    )

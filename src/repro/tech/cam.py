@@ -1,0 +1,69 @@
+"""Analytical CAM (content-addressable memory) delay model.
+
+CACTI's fully associative mode supplies the paper's wake-up and LSQ search
+delays (Table 1).  A CAM search broadcasts a tag across every entry, each
+entry compares locally, and a match line is resolved.  The dominant terms
+are the broadcast wire (linear in the number of entries, widened by ports)
+and the per-entry comparator.
+
+The issue queue's *select* logic is modelled separately as an arbitration
+tree whose depth is logarithmic in the number of entries and whose root
+fans out to ``grant_count`` (issue width) grants.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .technology import TechnologyNode
+
+
+@dataclass(frozen=True)
+class CamGeometry:
+    """Geometry of a CAM search structure.
+
+    ``entries`` is the number of searched rows; ``tag_bits`` the compared
+    width; ports follow the Table 1 conventions (wake-up uses issue-width
+    read ports and zero write ports).
+    """
+
+    entries: int
+    tag_bits: int = 64
+    read_ports: int = 2
+    write_ports: int = 0
+
+    def __post_init__(self) -> None:
+        if self.entries < 1:
+            raise ValueError(f"CAM needs at least one entry, got {self.entries}")
+        if self.tag_bits < 1:
+            raise ValueError(f"tag_bits must be positive, got {self.tag_bits}")
+        if self.read_ports < 1:
+            raise ValueError("CAM needs at least one search port")
+        if self.write_ports < 0:
+            raise ValueError("port counts cannot be negative")
+
+
+def cam_search_ns(geometry: CamGeometry, tech: TechnologyNode) -> float:
+    """Tag broadcast + per-entry compare + match-line resolution (ns)."""
+    pf = tech.port_factor(geometry.read_ports, geometry.write_ports)
+    broadcast = pf * tech.cam_broadcast_ns_per_entry * geometry.entries
+    compare = tech.compare_ns_per_bit * geometry.tag_bits * 0.5
+    matchline = tech.sram_base_ns * 0.3
+    return broadcast + compare + matchline
+
+
+def select_tree_ns(entries: int, grant_count: int, tech: TechnologyNode) -> float:
+    """Delay of a select arbitration tree over ``entries`` requesters.
+
+    The tree has ``log2(entries)`` levels; issuing ``grant_count``
+    instructions per cycle requires replicated (cascaded) arbiters, modelled
+    as a logarithmic widening term.
+    """
+    if entries < 1:
+        raise ValueError(f"select tree needs at least one entry, got {entries}")
+    if grant_count < 1:
+        raise ValueError(f"grant_count must be positive, got {grant_count}")
+    levels = max(1.0, math.log2(entries))
+    width_factor = 1.0 + 0.35 * math.log2(grant_count) if grant_count > 1 else 1.0
+    return tech.select_ns_per_level * levels * width_factor

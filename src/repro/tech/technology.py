@@ -1,0 +1,120 @@
+"""Technology node description.
+
+The paper's exploration couples the microarchitecture to "the physical
+properties of the underlying technology": latch latency, wire and gate
+delays, and the fixed latencies of the memory system and front end
+(Table 2).  :class:`TechnologyNode` collects those constants; all delay
+models in :mod:`repro.tech` are parameterized by one.
+
+The default node (:func:`default_technology`) is calibrated so that the
+resulting unit delays land in the same regime as the paper's Table 4
+configurations: a ~32-64 KB L1 is accessible in roughly 1 ns, a 2-4 MB L2
+in 7-12 ns, and a 32-64 entry issue queue in 0.3-0.45 ns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    """Physical constants of a process technology.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (e.g. ``"90nm-generic"``).
+    latch_latency_ns:
+        Overhead of a pipeline latch; subtracted from every stage's useful
+        time budget (Table 2 uses 0.03 ns).
+    memory_latency_ns:
+        Flat main-memory access latency: the cost of a load that misses in
+        all cache levels (Table 2 uses 50 ns).
+    frontend_latency_ns:
+        Total latency of fetch + decode + rename logic; determines the
+        front-end pipeline depth at a given clock and hence the extra
+        branch-misprediction penalty (Table 2 uses 2 ns).
+    iq_entry_bits:
+        Bit width of an issue-queue entry (Table 2 uses 64: CACTI does not
+        model blocks below 8 bytes).
+    sram_base_ns:
+        Fixed component of an SRAM array access (sense amp, drivers).
+    sram_sqrt_ns_per_sqrt_bit:
+        Wire-dominated component: scales with the square root of the array's
+        bit count (optimally banked square array).
+    sram_linear_ns_per_bit:
+        Long-wire component that dominates for multi-megabyte arrays.
+    decode_ns_per_bit:
+        Decoder delay per address bit (log2 of the number of sets).
+    compare_ns_per_bit:
+        Tag/way comparator delay per compared bit.
+    cam_broadcast_ns_per_entry:
+        CAM tag-broadcast wire delay per searched entry (wake-up logic).
+    select_ns_per_level:
+        Delay per level of the select arbitration tree.
+    port_area_factor:
+        Fractional wire-length growth per port beyond the 2-port baseline
+        (each extra port widens every cell).
+    min_clock_ns / max_clock_ns:
+        Legal clock-period range for this node.
+    """
+
+    name: str = "90nm-generic"
+    latch_latency_ns: float = 0.03
+    memory_latency_ns: float = 50.0
+    frontend_latency_ns: float = 2.0
+    iq_entry_bits: int = 64
+    sram_base_ns: float = 0.10
+    sram_sqrt_ns_per_sqrt_bit: float = 7.0e-4
+    sram_linear_ns_per_bit: float = 2.1e-7
+    decode_ns_per_bit: float = 0.008
+    compare_ns_per_bit: float = 0.002
+    cam_broadcast_ns_per_entry: float = 0.0006
+    select_ns_per_level: float = 0.008
+    port_area_factor: float = 0.22
+    min_clock_ns: float = 0.18
+    max_clock_ns: float = 0.60
+
+    def __post_init__(self) -> None:
+        if self.latch_latency_ns < 0:
+            raise ValueError("latch latency cannot be negative")
+        if self.memory_latency_ns <= 0:
+            raise ValueError("memory latency must be positive")
+        if self.frontend_latency_ns <= 0:
+            raise ValueError("front-end latency must be positive")
+        if not 0 < self.min_clock_ns < self.max_clock_ns:
+            raise ValueError(
+                f"invalid clock range [{self.min_clock_ns}, {self.max_clock_ns}]"
+            )
+
+    def port_factor(self, read_ports: int, write_ports: int) -> float:
+        """Wire-length multiplier for a cell with the given port count.
+
+        A 2-port cell (1R/1W or the baseline 2 of Table 1) has factor 1.0;
+        each additional port grows every dimension of the cell.
+        """
+        total = read_ports + write_ports
+        if total < 1:
+            raise ValueError("a memory structure needs at least one port")
+        extra = max(0, total - 2)
+        return 1.0 + self.port_area_factor * extra
+
+    def usable_stage_time(self, clock_period_ns: float) -> float:
+        """Logic time available in one pipeline stage after latch overhead."""
+        return clock_period_ns - self.latch_latency_ns
+
+    def budget(self, clock_period_ns: float, stages: int) -> float:
+        """Total logic time available to a unit pipelined over ``stages``.
+
+        Matches the paper: units are scaled "to fit the product of the clock
+        period and their pipeline depth, minus the aggregate latch latency".
+        """
+        if stages < 1:
+            raise ValueError(f"stages must be >= 1, got {stages}")
+        return stages * clock_period_ns - stages * self.latch_latency_ns
+
+
+def default_technology() -> TechnologyNode:
+    """The calibrated technology node used throughout the reproduction."""
+    return TechnologyNode()

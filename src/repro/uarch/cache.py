@@ -1,0 +1,95 @@
+"""Set-associative cache simulation and the two-level data hierarchy.
+
+Used by the cycle-level simulator (real address streams) and by tests
+validating the analytical miss-rate model of
+:class:`repro.workloads.profile.MemoryModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..units import clog2, is_power_of_two
+from .config import CacheGeometry
+
+
+class CacheSim:
+    """An LRU set-associative cache over block addresses."""
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self._geometry = geometry
+        self._block_shift = clog2(geometry.block_bytes)
+        if not is_power_of_two(geometry.block_bytes):
+            raise ConfigurationError("block size must be a power of two")
+        self._set_mask = geometry.nsets - 1
+        # Each set is an ordered list of tags, most recently used last.
+        self._sets: list[list[int]] = [[] for _ in range(geometry.nsets)]
+        self.accesses = 0
+        self.misses = 0
+
+    @property
+    def geometry(self) -> CacheGeometry:
+        return self._geometry
+
+    def access(self, addr: int) -> bool:
+        """Access a byte address; returns True on hit and updates LRU."""
+        block = addr >> self._block_shift
+        index = block & self._set_mask
+        tag = block >> clog2(self._geometry.nsets) if self._geometry.nsets > 1 else block
+        ways = self._sets[index]
+        self.accesses += 1
+        if tag in ways:
+            ways.remove(tag)
+            ways.append(tag)
+            return True
+        self.misses += 1
+        ways.append(tag)
+        if len(ways) > self._geometry.assoc:
+            ways.pop(0)
+        return False
+
+    @property
+    def miss_rate(self) -> float:
+        """Observed miss rate so far (0 when never accessed)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset_stats(self) -> None:
+        """Clear counters without flushing contents."""
+        self.accesses = 0
+        self.misses = 0
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one hierarchy access."""
+
+    latency_cycles: int
+    l1_hit: bool
+    l2_hit: bool
+
+
+class MemoryHierarchy:
+    """L1 data cache backed by a unified L2 backed by flat memory."""
+
+    def __init__(self, l1: CacheGeometry, l2: CacheGeometry, memory_cycles: int) -> None:
+        if memory_cycles < 1:
+            raise ConfigurationError(f"memory_cycles must be >= 1: {memory_cycles}")
+        self.l1 = CacheSim(l1)
+        self.l2 = CacheSim(l2)
+        self._memory_cycles = memory_cycles
+
+    def access(self, addr: int) -> AccessResult:
+        """Look up an address; misses allocate in every level (inclusive)."""
+        if self.l1.access(addr):
+            return AccessResult(
+                latency_cycles=self.l1.geometry.latency_cycles, l1_hit=True, l2_hit=False
+            )
+        if self.l2.access(addr):
+            return AccessResult(
+                latency_cycles=self.l1.geometry.latency_cycles
+                + self.l2.geometry.latency_cycles,
+                l1_hit=False,
+                l2_hit=True,
+            )
+        return AccessResult(latency_cycles=self._memory_cycles, l1_hit=False, l2_hit=False)

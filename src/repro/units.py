@@ -1,0 +1,58 @@
+"""Unit helpers and conventions used throughout the library.
+
+Conventions
+-----------
+* Time is expressed in **nanoseconds** (``float``), matching the paper's
+  Table 2 (memory access latency 50 ns, latch latency 0.03 ns, ...).
+* Capacities are expressed in **bytes** (``int``).
+* Frequencies are in **GHz** (1 / clock-period-in-ns).
+* IPT is *instructions per nanosecond* (the paper's "instructions per
+  time-unit"): ``IPT = IPC / clock_period_ns``.
+"""
+
+from __future__ import annotations
+
+import math
+
+KB = 1024
+MB = 1024 * KB
+
+
+def ghz(clock_period_ns: float) -> float:
+    """Return the clock frequency in GHz for a clock period in ns."""
+    if clock_period_ns <= 0:
+        raise ValueError(f"clock period must be positive, got {clock_period_ns}")
+    return 1.0 / clock_period_ns
+
+
+def cycles_for(latency_ns: float, clock_period_ns: float) -> int:
+    """Number of whole clock cycles needed to cover ``latency_ns``.
+
+    Always at least 1: even a zero-latency operation occupies one cycle.
+    """
+    if clock_period_ns <= 0:
+        raise ValueError(f"clock period must be positive, got {clock_period_ns}")
+    if latency_ns <= 0:
+        return 1
+    return max(1, math.ceil(latency_ns / clock_period_ns - 1e-9))
+
+
+def is_power_of_two(n: int) -> bool:
+    """True when ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def clog2(n: int) -> int:
+    """Ceiling of log2 for positive integers (clog2(1) == 0)."""
+    if n < 1:
+        raise ValueError(f"clog2 requires a positive integer, got {n}")
+    return (n - 1).bit_length()
+
+
+def format_size(nbytes: int) -> str:
+    """Render a byte capacity the way the paper does (8K, 256K, 4M...)."""
+    if nbytes % MB == 0 and nbytes >= MB:
+        return f"{nbytes // MB}M"
+    if nbytes % KB == 0 and nbytes >= KB:
+        return f"{nbytes // KB}K"
+    return f"{nbytes}B"

@@ -1,0 +1,74 @@
+"""Workload modelling substrate.
+
+Statistical workload profiles (the SPEC2000 C-int substitutes), synthetic
+trace generation, microarchitecture-independent characterization, and the
+Figure 1 Kiviat machinery.
+"""
+
+from .characteristics import (
+    Characteristics,
+    euclidean_distance_matrix,
+    normalize_matrix,
+    profile_characteristics,
+    trace_characteristics,
+)
+from .generator import generate_trace
+from .kiviat import (
+    FIGURE1_AXES,
+    KiviatGraph,
+    figure1_profiles,
+    kiviat_distance_matrix,
+    kiviat_graphs,
+)
+from .profile import (
+    BranchModel,
+    InstructionMix,
+    MemoryModel,
+    WorkingSetComponent,
+    WorkloadProfile,
+)
+from .simpoint import (
+    SimPoint,
+    evaluate_simpoints,
+    interval_signatures,
+    pick_simpoints,
+)
+from .spec2000 import SPEC2000_INT_NAMES, spec2000_profile, spec2000_profiles
+from .synthetic import blended, branchy, compute_kernel, pointer_chasing, streaming
+from .trace import Instruction, Op, OP_LATENCY, Trace, concat_traces
+
+__all__ = [
+    "Characteristics",
+    "euclidean_distance_matrix",
+    "normalize_matrix",
+    "profile_characteristics",
+    "trace_characteristics",
+    "generate_trace",
+    "FIGURE1_AXES",
+    "KiviatGraph",
+    "figure1_profiles",
+    "kiviat_distance_matrix",
+    "kiviat_graphs",
+    "BranchModel",
+    "InstructionMix",
+    "MemoryModel",
+    "WorkingSetComponent",
+    "WorkloadProfile",
+    "SimPoint",
+    "evaluate_simpoints",
+    "interval_signatures",
+    "pick_simpoints",
+    "SPEC2000_INT_NAMES",
+    "spec2000_profile",
+    "spec2000_profiles",
+    "blended",
+    "branchy",
+    "compute_kernel",
+    "pointer_chasing",
+    "streaming",
+    "Instruction",
+    "Op",
+    "OP_LATENCY",
+    "Trace",
+    "concat_traces",
+]

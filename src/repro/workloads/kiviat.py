@@ -1,0 +1,140 @@
+"""Kiviat (radar) graph data — the paper's Figure 1.
+
+Figure 1 plots five microarchitecture-independent characteristics on a
+0-10 scale for three illustrative workloads α, β, γ: α and β look close
+in raw-characteristic space (they differ only in working-set size) while
+γ looks distant — yet γ is the better co-resident for α's customized
+core.  This module provides both the generic Kiviat data structure used
+to render any workload population and the three illustrative profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..units import KB, MB
+from .characteristics import (
+    Characteristics,
+    euclidean_distance_matrix,
+    normalize_matrix,
+    profile_characteristics,
+)
+from .profile import (
+    BranchModel,
+    InstructionMix,
+    MemoryModel,
+    WorkingSetComponent,
+    WorkloadProfile,
+)
+
+#: The five Figure 1 axes, in the paper's A-E order.
+FIGURE1_AXES = (
+    "working_set_log2_bytes",
+    "branch_predictability",
+    "dependence_density",
+    "load_frequency",
+    "branch_frequency",
+)
+
+
+@dataclass(frozen=True)
+class KiviatGraph:
+    """One workload's normalized radar plot."""
+
+    name: str
+    axes: tuple[str, ...]
+    values: tuple[float, ...]  # 0..10 per axis
+
+    def __post_init__(self) -> None:
+        if len(self.axes) != len(self.values):
+            raise ValueError("axes and values must have equal length")
+
+
+def kiviat_graphs(
+    profiles: list[WorkloadProfile],
+    axes: tuple[str, ...] = FIGURE1_AXES,
+) -> list[KiviatGraph]:
+    """Build 0-10-normalized Kiviat graphs for a workload population."""
+    chars = [profile_characteristics(p) for p in profiles]
+    idx = [Characteristics.field_names().index(a) for a in axes]
+    matrix = np.array([c.as_vector()[idx] for c in chars])
+    normalized = normalize_matrix(matrix)
+    return [
+        KiviatGraph(name=p.name, axes=axes, values=tuple(float(v) for v in row))
+        for p, row in zip(profiles, normalized)
+    ]
+
+
+def kiviat_distance_matrix(graphs: list[KiviatGraph]) -> np.ndarray:
+    """Euclidean distances between Kiviat graphs (subsetting's metric)."""
+    matrix = np.array([g.values for g in graphs], dtype=float)
+    return euclidean_distance_matrix(matrix)
+
+
+def figure1_profiles() -> list[WorkloadProfile]:
+    """The three illustrative workloads of Figure 1.
+
+    * **alpha** — small working set, dense dependence chains, frequent
+      loads;
+    * **beta** — like alpha but with a much larger working set;
+    * **gamma** — large working set like beta, but higher branch
+      predictability and sparser dependence chains, so it tolerates cache
+      misses and suits alpha's configuration better than beta does.
+    """
+    base_mix = InstructionMix(load=0.30, store=0.10, branch=0.14, int_alu=0.44, mul=0.02)
+    alpha = WorkloadProfile(
+        name="alpha",
+        mix=base_mix,
+        ilp_limit=2.8,
+        ilp_window_half=90.0,
+        dependence_density=0.45,
+        load_use_fraction=0.45,
+        branch=BranchModel(misp_rate=0.075, taken_rate=0.55, bias=0.82),
+        memory=MemoryModel(
+            components=(
+                WorkingSetComponent(0.85, 16 * KB),
+                WorkingSetComponent(0.14, 128 * KB),
+            ),
+            spatial_locality=0.5,
+            mlp=3.0,
+        ),
+    )
+    beta = WorkloadProfile(
+        name="beta",
+        mix=base_mix,
+        ilp_limit=2.8,
+        ilp_window_half=90.0,
+        dependence_density=0.45,
+        load_use_fraction=0.45,
+        branch=BranchModel(misp_rate=0.075, taken_rate=0.55, bias=0.82),
+        memory=MemoryModel(
+            components=(
+                WorkingSetComponent(0.45, 16 * KB),
+                WorkingSetComponent(0.45, 1 * MB),
+                WorkingSetComponent(0.09, 16 * MB),
+            ),
+            spatial_locality=0.5,
+            mlp=3.0,
+        ),
+    )
+    gamma = WorkloadProfile(
+        name="gamma",
+        mix=InstructionMix(load=0.24, store=0.10, branch=0.10, int_alu=0.54, mul=0.02),
+        ilp_limit=2.8,
+        ilp_window_half=90.0,
+        dependence_density=0.20,
+        load_use_fraction=0.25,
+        branch=BranchModel(misp_rate=0.030, taken_rate=0.55, bias=0.94),
+        memory=MemoryModel(
+            components=(
+                WorkingSetComponent(0.45, 16 * KB),
+                WorkingSetComponent(0.45, 1 * MB),
+                WorkingSetComponent(0.09, 16 * MB),
+            ),
+            spatial_locality=0.5,
+            mlp=5.0,
+        ),
+    )
+    return [alpha, beta, gamma]

@@ -1,0 +1,331 @@
+"""Calibrated statistical profiles of the SPEC2000 C integer benchmarks.
+
+The paper explores the 11 C-language integer benchmarks from SPEC2000
+compiled for PISA.  Each profile below is calibrated against published
+characterizations of those benchmarks (instruction mixes, working sets,
+branch behaviour) and against the *structure* of the paper's Table 4 — the
+point of the reproduction is that the qualitative customization results
+emerge from the models:
+
+* **mcf** is the memory-bound outlier: a huge, poorly-local working set
+  and pointer-chasing loads.  Its customized core should have the largest
+  window and large caches, and it should suffer the worst cross-
+  configuration slowdowns.
+* **crafty** and **perlbmk** are control-dense with small working sets and
+  predictable branches; their customized cores chase clock frequency with
+  deep pipelines and small, fast caches.
+* **bzip2** and **gzip** have deliberately *similar raw characteristics*
+  (both compressors: near-identical mixes and branch behaviour) but
+  diverge in working-set size and dependence density — the pair the paper
+  uses to show that subsetting misleads communal customization (§5.3).
+* **twolf** and **vpr** are the genuinely-similar place-and-route pair
+  that surrogate each other in Figures 7/8.
+
+Profiles are returned by :func:`spec2000_profiles` in the paper's ordering
+(alphabetical: bzip, crafty, gap, gcc, gzip, mcf, parser, perl, twolf,
+vortex, vpr).
+"""
+
+from __future__ import annotations
+
+from ..units import KB, MB
+from .profile import (
+    BranchModel,
+    InstructionMix,
+    MemoryModel,
+    WorkingSetComponent,
+    WorkloadProfile,
+)
+
+#: Paper ordering of the SPEC2000 C integer benchmarks.
+SPEC2000_INT_NAMES = (
+    "bzip",
+    "crafty",
+    "gap",
+    "gcc",
+    "gzip",
+    "mcf",
+    "parser",
+    "perl",
+    "twolf",
+    "vortex",
+    "vpr",
+)
+
+
+def _ws(*parts: tuple[float, int]) -> tuple[WorkingSetComponent, ...]:
+    return tuple(WorkingSetComponent(fraction=f, size_bytes=s) for f, s in parts)
+
+
+def bzip_profile() -> WorkloadProfile:
+    """bzip2: block-sorting compressor — high ILP, dense dependence chains,
+    medium-large working set (the sort blocks)."""
+    return WorkloadProfile(
+        name="bzip",
+        mix=InstructionMix(load=0.26, store=0.09, branch=0.11, int_alu=0.52, mul=0.02),
+        ilp_limit=5.5,
+        ilp_window_half=160.0,
+        dependence_density=0.62,
+        load_use_fraction=0.5,
+        branch=BranchModel(misp_rate=0.055, taken_rate=0.58, bias=0.88),
+        memory=MemoryModel(
+            components=_ws((0.92, 8 * KB), (0.045, 256 * KB), (0.035, 3 * MB)),
+            spatial_locality=0.70,
+            conflict_pressure=0.25,
+            compulsory=0.0004,
+            mlp=6.0,
+            mlp_window_half=250.0,
+        ),
+    )
+
+
+def crafty_profile() -> WorkloadProfile:
+    """crafty: chess engine — control-dense, highly predictable, small
+    working set, high ILP reachable with a small window."""
+    return WorkloadProfile(
+        name="crafty",
+        mix=InstructionMix(load=0.30, store=0.08, branch=0.11, int_alu=0.49, mul=0.02),
+        ilp_limit=6.5,
+        ilp_window_half=48.0,
+        dependence_density=0.32,
+        load_use_fraction=0.38,
+        branch=BranchModel(misp_rate=0.040, taken_rate=0.55, bias=0.92),
+        memory=MemoryModel(
+            components=_ws((0.94, 16 * KB), (0.055, 112 * KB), (0.005, 512 * KB)),
+            spatial_locality=0.40,
+            conflict_pressure=0.35,
+            compulsory=0.0003,
+            mlp=3.0,
+            mlp_window_half=100.0,
+        ),
+    )
+
+
+def gap_profile() -> WorkloadProfile:
+    """gap: group-theory interpreter — small hot working set, moderate ILP."""
+    return WorkloadProfile(
+        name="gap",
+        mix=InstructionMix(load=0.24, store=0.08, branch=0.14, int_alu=0.52, mul=0.02),
+        ilp_limit=4.5,
+        ilp_window_half=80.0,
+        dependence_density=0.45,
+        load_use_fraction=0.45,
+        branch=BranchModel(misp_rate=0.045, taken_rate=0.60, bias=0.90),
+        memory=MemoryModel(
+            components=_ws((0.95, 8 * KB), (0.045, 64 * KB), (0.005, 512 * KB)),
+            spatial_locality=0.60,
+            conflict_pressure=0.30,
+            compulsory=0.0004,
+            mlp=4.0,
+            mlp_window_half=120.0,
+        ),
+    )
+
+
+def gcc_profile() -> WorkloadProfile:
+    """gcc: compiler — the most 'average' benchmark; its customized core is
+    the paper's best single-core configuration."""
+    return WorkloadProfile(
+        name="gcc",
+        mix=InstructionMix(load=0.25, store=0.11, branch=0.16, int_alu=0.46, mul=0.02),
+        ilp_limit=4.0,
+        ilp_window_half=110.0,
+        dependence_density=0.5,
+        load_use_fraction=0.45,
+        branch=BranchModel(misp_rate=0.065, taken_rate=0.57, bias=0.86),
+        memory=MemoryModel(
+            components=_ws((0.89, 16 * KB), (0.075, 256 * KB), (0.035, 2 * MB)),
+            spatial_locality=0.50,
+            conflict_pressure=0.30,
+            compulsory=0.0008,
+            mlp=4.0,
+            mlp_window_half=200.0,
+        ),
+    )
+
+
+def gzip_profile() -> WorkloadProfile:
+    """gzip: LZ77 compressor — raw characteristics close to bzip (same
+    domain, similar mix and branches) but a small working set and sparser
+    dependence chains, so its customized core diverges from bzip's."""
+    return WorkloadProfile(
+        name="gzip",
+        mix=InstructionMix(load=0.26, store=0.10, branch=0.12, int_alu=0.50, mul=0.02),
+        ilp_limit=5.0,
+        ilp_window_half=56.0,
+        dependence_density=0.44,
+        load_use_fraction=0.45,
+        branch=BranchModel(misp_rate=0.050, taken_rate=0.58, bias=0.89),
+        memory=MemoryModel(
+            components=_ws((0.95, 8 * KB), (0.045, 64 * KB), (0.005, 1 * MB)),
+            spatial_locality=0.70,
+            conflict_pressure=0.25,
+            compulsory=0.0004,
+            mlp=4.0,
+            mlp_window_half=120.0,
+        ),
+    )
+
+
+def mcf_profile() -> WorkloadProfile:
+    """mcf: network-simplex optimizer — the memory-bound outlier: huge
+    working set, pointer chasing, frequent dependent loads."""
+    return WorkloadProfile(
+        name="mcf",
+        mix=InstructionMix(load=0.31, store=0.09, branch=0.19, int_alu=0.40, mul=0.01),
+        ilp_limit=2.8,
+        ilp_window_half=400.0,
+        dependence_density=0.55,
+        load_use_fraction=0.65,
+        branch=BranchModel(misp_rate=0.090, taken_rate=0.50, bias=0.78),
+        memory=MemoryModel(
+            components=_ws((0.60, 16 * KB), (0.15, 1 * MB), (0.25, 48 * MB)),
+            spatial_locality=0.15,
+            conflict_pressure=0.20,
+            compulsory=0.0010,
+            mlp=6.0,
+            mlp_window_half=1200.0,
+        ),
+    )
+
+
+def parser_profile() -> WorkloadProfile:
+    """parser: NL link-grammar parser — dictionary walks over a sizeable
+    footprint with mediocre branch behaviour."""
+    return WorkloadProfile(
+        name="parser",
+        mix=InstructionMix(load=0.26, store=0.10, branch=0.15, int_alu=0.47, mul=0.02),
+        ilp_limit=3.6,
+        ilp_window_half=140.0,
+        dependence_density=0.40,
+        load_use_fraction=0.42,
+        branch=BranchModel(misp_rate=0.070, taken_rate=0.55, bias=0.84),
+        memory=MemoryModel(
+            components=_ws((0.89, 12 * KB), (0.085, 144 * KB), (0.025, 4 * MB)),
+            spatial_locality=0.40,
+            conflict_pressure=0.30,
+            compulsory=0.0008,
+            mlp=3.0,
+            mlp_window_half=300.0,
+        ),
+    )
+
+
+def perl_profile() -> WorkloadProfile:
+    """perlbmk: interpreter — like crafty: hot loops over a small working
+    set with predictable control flow; chases clock frequency."""
+    return WorkloadProfile(
+        name="perl",
+        mix=InstructionMix(load=0.28, store=0.12, branch=0.14, int_alu=0.44, mul=0.02),
+        ilp_limit=5.5,
+        ilp_window_half=64.0,
+        dependence_density=0.36,
+        load_use_fraction=0.42,
+        branch=BranchModel(misp_rate=0.045, taken_rate=0.56, bias=0.91),
+        memory=MemoryModel(
+            components=_ws((0.95, 8 * KB), (0.045, 96 * KB), (0.005, 384 * KB)),
+            spatial_locality=0.50,
+            conflict_pressure=0.35,
+            compulsory=0.0004,
+            mlp=3.0,
+            mlp_window_half=100.0,
+        ),
+    )
+
+
+def twolf_profile() -> WorkloadProfile:
+    """twolf: standard-cell placement — latency-sensitive pointer code over
+    a medium working set; forms a genuine configuration pair with vpr."""
+    return WorkloadProfile(
+        name="twolf",
+        mix=InstructionMix(load=0.28, store=0.07, branch=0.14, int_alu=0.49, mul=0.02),
+        ilp_limit=3.2,
+        ilp_window_half=190.0,
+        dependence_density=0.56,
+        load_use_fraction=0.58,
+        branch=BranchModel(misp_rate=0.080, taken_rate=0.53, bias=0.80),
+        memory=MemoryModel(
+            components=_ws((0.84, 16 * KB), (0.105, 384 * KB), (0.055, 2560 * KB)),
+            spatial_locality=0.30,
+            conflict_pressure=0.35,
+            compulsory=0.0006,
+            mlp=3.0,
+            mlp_window_half=350.0,
+        ),
+    )
+
+
+def vortex_profile() -> WorkloadProfile:
+    """vortex: object database — ILP-rich, very predictable branches, large
+    but well-structured working set; customized to a wide core."""
+    return WorkloadProfile(
+        name="vortex",
+        mix=InstructionMix(load=0.29, store=0.15, branch=0.14, int_alu=0.41, mul=0.01),
+        ilp_limit=6.0,
+        ilp_window_half=100.0,
+        dependence_density=0.34,
+        load_use_fraction=0.4,
+        branch=BranchModel(misp_rate=0.035, taken_rate=0.57, bias=0.93),
+        memory=MemoryModel(
+            components=_ws((0.88, 24 * KB), (0.09, 768 * KB), (0.03, 4 * MB)),
+            spatial_locality=0.60,
+            conflict_pressure=0.25,
+            compulsory=0.0006,
+            mlp=5.0,
+            mlp_window_half=200.0,
+        ),
+    )
+
+
+def vpr_profile() -> WorkloadProfile:
+    """vpr: FPGA place-and-route — twolf's sibling: similar mix, similar
+    latency sensitivity, similar working set."""
+    return WorkloadProfile(
+        name="vpr",
+        mix=InstructionMix(load=0.28, store=0.09, branch=0.13, int_alu=0.48, mul=0.02),
+        ilp_limit=3.4,
+        ilp_window_half=170.0,
+        dependence_density=0.55,
+        load_use_fraction=0.56,
+        branch=BranchModel(misp_rate=0.075, taken_rate=0.54, bias=0.81),
+        memory=MemoryModel(
+            components=_ws((0.85, 16 * KB), (0.10, 320 * KB), (0.05, 2 * MB)),
+            spatial_locality=0.30,
+            conflict_pressure=0.35,
+            compulsory=0.0006,
+            mlp=3.0,
+            mlp_window_half=350.0,
+        ),
+    )
+
+
+_FACTORIES = {
+    "bzip": bzip_profile,
+    "crafty": crafty_profile,
+    "gap": gap_profile,
+    "gcc": gcc_profile,
+    "gzip": gzip_profile,
+    "mcf": mcf_profile,
+    "parser": parser_profile,
+    "perl": perl_profile,
+    "twolf": twolf_profile,
+    "vortex": vortex_profile,
+    "vpr": vpr_profile,
+}
+
+
+def spec2000_profile(name: str) -> WorkloadProfile:
+    """Return the calibrated profile of one SPEC2000 C integer benchmark."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown SPEC2000 benchmark {name!r}; "
+            f"known: {', '.join(SPEC2000_INT_NAMES)}"
+        ) from None
+    return factory()
+
+
+def spec2000_profiles() -> list[WorkloadProfile]:
+    """All 11 profiles in the paper's (alphabetical) order."""
+    return [spec2000_profile(name) for name in SPEC2000_INT_NAMES]

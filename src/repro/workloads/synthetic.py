@@ -1,0 +1,221 @@
+"""Parameterized synthetic workload families.
+
+Beyond the fixed SPEC2000 calibrations, library users exploring their
+own design questions need workloads whose behaviour they can dial.  Each
+family constructor exposes the one or two axes that define it and fills
+the rest with sensible defaults:
+
+* :func:`streaming` — sequential, bandwidth-hungry kernels (STREAM-like);
+* :func:`pointer_chasing` — dependent-load chains over a large heap
+  (mcf/olden-like);
+* :func:`branchy` — control-dominated interpreters with tunable
+  predictability;
+* :func:`compute_kernel` — high-ILP arithmetic with a small footprint;
+* :func:`blended` — interpolate between any two profiles.
+
+All constructors return ordinary
+:class:`~repro.workloads.profile.WorkloadProfile` objects, so every tool
+in the library (trace generation, both simulators, xp-scalar, communal
+customization) works on them unchanged.
+"""
+
+from __future__ import annotations
+
+from ..errors import WorkloadError
+from ..units import KB, MB
+from .profile import (
+    BranchModel,
+    InstructionMix,
+    MemoryModel,
+    WorkingSetComponent,
+    WorkloadProfile,
+)
+
+
+def streaming(
+    name: str = "streaming",
+    footprint_bytes: int = 64 * MB,
+    intensity: float = 0.5,
+) -> WorkloadProfile:
+    """A sequential streaming kernel.
+
+    ``intensity`` in [0, 1] scales the memory-operation density from
+    compute-with-streams (0) to pure copy loops (1).
+    """
+    if not 0.0 <= intensity <= 1.0:
+        raise WorkloadError(f"intensity must be in [0, 1], got {intensity}")
+    load = 0.20 + 0.25 * intensity
+    store = 0.10 + 0.15 * intensity
+    return WorkloadProfile(
+        name=name,
+        mix=InstructionMix(
+            load=load, store=store, branch=0.06,
+            int_alu=1.0 - load - store - 0.06 - 0.04, mul=0.04,
+        ),
+        ilp_limit=5.5,
+        ilp_window_half=80.0,
+        dependence_density=0.22,
+        load_use_fraction=0.25,
+        branch=BranchModel(misp_rate=0.01, taken_rate=0.85, bias=0.98),
+        memory=MemoryModel(
+            components=(
+                WorkingSetComponent(0.25, 16 * KB),
+                WorkingSetComponent(0.73, footprint_bytes),
+            ),
+            spatial_locality=0.95,
+            spatial_run_bytes=512,
+            mlp=8.0,
+            mlp_window_half=80.0,
+        ),
+    )
+
+
+def pointer_chasing(
+    name: str = "pointer-chasing",
+    heap_bytes: int = 32 * MB,
+    chain_fraction: float = 0.6,
+) -> WorkloadProfile:
+    """Linked-structure traversal: dependent loads over a large heap."""
+    if not 0.0 <= chain_fraction <= 1.0:
+        raise WorkloadError(f"chain_fraction must be in [0, 1], got {chain_fraction}")
+    return WorkloadProfile(
+        name=name,
+        mix=InstructionMix(load=0.34, store=0.06, branch=0.16, int_alu=0.43, mul=0.01),
+        ilp_limit=2.5,
+        ilp_window_half=350.0,
+        dependence_density=0.35 + 0.25 * chain_fraction,
+        load_use_fraction=0.45 + 0.3 * chain_fraction,
+        branch=BranchModel(misp_rate=0.08, taken_rate=0.52, bias=0.80),
+        memory=MemoryModel(
+            components=(
+                WorkingSetComponent(0.50, 24 * KB),
+                WorkingSetComponent(0.25, 2 * MB),
+                WorkingSetComponent(0.24, heap_bytes),
+            ),
+            spatial_locality=0.12,
+            mlp=3.0 + 2.0 * (1.0 - chain_fraction),
+            mlp_window_half=600.0 + 600.0 * chain_fraction,
+        ),
+    )
+
+
+def branchy(
+    name: str = "branchy",
+    predictability: float = 0.90,
+) -> WorkloadProfile:
+    """Control-dominated code (interpreter dispatch loops).
+
+    ``predictability`` in [0.5, 1] is the achievable prediction accuracy.
+    """
+    if not 0.5 <= predictability <= 1.0:
+        raise WorkloadError(
+            f"predictability must be in [0.5, 1], got {predictability}"
+        )
+    return WorkloadProfile(
+        name=name,
+        mix=InstructionMix(load=0.26, store=0.10, branch=0.22, int_alu=0.41, mul=0.01),
+        ilp_limit=3.5,
+        ilp_window_half=70.0,
+        dependence_density=0.38,
+        load_use_fraction=0.35,
+        branch=BranchModel(
+            misp_rate=min(0.5, 1.0 - predictability),
+            taken_rate=0.55,
+            bias=max(0.5, predictability - 0.03),
+        ),
+        memory=MemoryModel(
+            components=(
+                WorkingSetComponent(0.92, 20 * KB),
+                WorkingSetComponent(0.07, 256 * KB),
+            ),
+            spatial_locality=0.45,
+            mlp=2.5,
+        ),
+    )
+
+
+def compute_kernel(
+    name: str = "compute",
+    ilp: float = 7.0,
+) -> WorkloadProfile:
+    """High-ILP arithmetic over a cache-resident footprint."""
+    if ilp <= 0:
+        raise WorkloadError(f"ilp must be positive, got {ilp}")
+    return WorkloadProfile(
+        name=name,
+        mix=InstructionMix(load=0.18, store=0.06, branch=0.05, int_alu=0.61, mul=0.10),
+        ilp_limit=ilp,
+        ilp_window_half=50.0,
+        dependence_density=0.18,
+        load_use_fraction=0.20,
+        branch=BranchModel(misp_rate=0.008, taken_rate=0.80, bias=0.99),
+        memory=MemoryModel(
+            components=(WorkingSetComponent(0.97, 24 * KB),),
+            spatial_locality=0.85,
+            mlp=4.0,
+        ),
+    )
+
+
+def blended(
+    a: WorkloadProfile,
+    b: WorkloadProfile,
+    alpha: float,
+    name: str | None = None,
+) -> WorkloadProfile:
+    """Interpolate two profiles: ``alpha`` = 0 gives ``a``, 1 gives ``b``.
+
+    Scalar statistics interpolate linearly; the memory model keeps both
+    components sets, scaled by the blend weights.
+    """
+    if not 0.0 <= alpha <= 1.0:
+        raise WorkloadError(f"alpha must be in [0, 1], got {alpha}")
+
+    def lerp(x: float, y: float) -> float:
+        return (1 - alpha) * x + alpha * y
+
+    mix = InstructionMix(
+        load=lerp(a.mix.load, b.mix.load),
+        store=lerp(a.mix.store, b.mix.store),
+        branch=lerp(a.mix.branch, b.mix.branch),
+        int_alu=lerp(a.mix.int_alu, b.mix.int_alu),
+        mul=lerp(a.mix.mul, b.mix.mul),
+    )
+    components = tuple(
+        WorkingSetComponent(c.fraction * (1 - alpha), c.size_bytes)
+        for c in a.memory.components
+        if c.fraction * (1 - alpha) > 1e-6
+    ) + tuple(
+        WorkingSetComponent(c.fraction * alpha, c.size_bytes)
+        for c in b.memory.components
+        if c.fraction * alpha > 1e-6
+    )
+    if not components:
+        raise WorkloadError("blend produced an empty working set")
+    return WorkloadProfile(
+        name=name or f"{a.name}x{b.name}@{alpha:.2f}",
+        mix=mix,
+        ilp_limit=lerp(a.ilp_limit, b.ilp_limit),
+        ilp_window_half=lerp(a.ilp_window_half, b.ilp_window_half),
+        dependence_density=lerp(a.dependence_density, b.dependence_density),
+        load_use_fraction=lerp(a.load_use_fraction, b.load_use_fraction),
+        branch=BranchModel(
+            misp_rate=lerp(a.branch.misp_rate, b.branch.misp_rate),
+            taken_rate=lerp(a.branch.taken_rate, b.branch.taken_rate),
+            bias=lerp(a.branch.bias, b.branch.bias),
+        ),
+        memory=MemoryModel(
+            components=components,
+            spatial_locality=lerp(a.memory.spatial_locality, b.memory.spatial_locality),
+            conflict_pressure=lerp(
+                a.memory.conflict_pressure, b.memory.conflict_pressure
+            ),
+            compulsory=lerp(a.memory.compulsory, b.memory.compulsory),
+            mlp=lerp(a.memory.mlp, b.memory.mlp),
+            mlp_window_half=lerp(a.memory.mlp_window_half, b.memory.mlp_window_half),
+            spatial_run_bytes=int(
+                lerp(a.memory.spatial_run_bytes, b.memory.spatial_run_bytes)
+            ),
+        ),
+        weight=lerp(a.weight, b.weight),
+    )

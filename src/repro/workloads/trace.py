@@ -1,0 +1,167 @@
+"""Instruction-trace containers.
+
+The cycle-level simulator (:mod:`repro.sim.cycle`) is trace driven, the
+way the paper's SimPoint methodology feeds 100M-instruction slices to
+sim-mase.  A :class:`Trace` is a struct-of-arrays over numpy for compact
+storage and fast iteration; :class:`Instruction` is the per-row view used
+where readability matters more than speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+
+class Op(IntEnum):
+    """Instruction classes distinguished by the timing models."""
+
+    ALU = 0
+    MUL = 1
+    LOAD = 2
+    STORE = 3
+    BRANCH = 4
+
+
+#: Execution latency in cycles of each op class (L1 hit latency is added
+#: separately for loads by the simulator).
+OP_LATENCY = {Op.ALU: 1, Op.MUL: 3, Op.LOAD: 0, Op.STORE: 1, Op.BRANCH: 1}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction (row view over a :class:`Trace`)."""
+
+    index: int
+    op: Op
+    src1_dist: int
+    src2_dist: int
+    addr: int
+    taken: bool
+    pc: int
+
+    @property
+    def is_memory(self) -> bool:
+        return self.op in (Op.LOAD, Op.STORE)
+
+
+class Trace:
+    """A dynamic instruction stream in struct-of-arrays form.
+
+    Attributes
+    ----------
+    ops:
+        ``uint8`` array of :class:`Op` values.
+    src1_dist / src2_dist:
+        Distance (in dynamic instructions) back to the producer of each
+        source operand; 0 means the operand is ready at dispatch.
+    addrs:
+        Byte addresses for memory operations (0 elsewhere).
+    taken:
+        Branch outcomes (False for non-branches).
+    pcs:
+        Static instruction addresses; branches with the same PC share
+        predictor state.
+    """
+
+    def __init__(
+        self,
+        ops: np.ndarray,
+        src1_dist: np.ndarray,
+        src2_dist: np.ndarray,
+        addrs: np.ndarray,
+        taken: np.ndarray,
+        pcs: np.ndarray,
+        name: str = "trace",
+    ) -> None:
+        n = len(ops)
+        for label, arr in (
+            ("src1_dist", src1_dist),
+            ("src2_dist", src2_dist),
+            ("addrs", addrs),
+            ("taken", taken),
+            ("pcs", pcs),
+        ):
+            if len(arr) != n:
+                raise WorkloadError(
+                    f"trace column {label} has length {len(arr)}, expected {n}"
+                )
+        if n == 0:
+            raise WorkloadError("trace must contain at least one instruction")
+        if (src1_dist < 0).any() or (src2_dist < 0).any():
+            raise WorkloadError("dependence distances cannot be negative")
+        self.ops = np.asarray(ops, dtype=np.uint8)
+        self.src1_dist = np.asarray(src1_dist, dtype=np.int32)
+        self.src2_dist = np.asarray(src2_dist, dtype=np.int32)
+        self.addrs = np.asarray(addrs, dtype=np.uint64)
+        self.taken = np.asarray(taken, dtype=bool)
+        self.pcs = np.asarray(pcs, dtype=np.uint64)
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __getitem__(self, index: int) -> Instruction:
+        if not 0 <= index < len(self):
+            raise IndexError(f"trace index {index} out of range [0, {len(self)})")
+        return Instruction(
+            index=index,
+            op=Op(int(self.ops[index])),
+            src1_dist=int(self.src1_dist[index]),
+            src2_dist=int(self.src2_dist[index]),
+            addr=int(self.addrs[index]),
+            taken=bool(self.taken[index]),
+            pc=int(self.pcs[index]),
+        )
+
+    def __iter__(self):
+        for i in range(len(self)):
+            yield self[i]
+
+    def op_fraction(self, op: Op) -> float:
+        """Fraction of instructions of the given class."""
+        return float(np.count_nonzero(self.ops == int(op)) / len(self))
+
+    def slice(self, start: int, stop: int) -> "Trace":
+        """A sub-trace over ``[start, stop)`` (dependences are clipped)."""
+        if not 0 <= start < stop <= len(self):
+            raise WorkloadError(f"invalid slice [{start}, {stop}) of {len(self)}")
+        sl = np.s_[start:stop]
+        # Clip dependence distances that reach before the slice boundary.
+        idx = np.arange(stop - start)
+        s1 = np.where(self.src1_dist[sl] > idx, 0, self.src1_dist[sl])
+        s2 = np.where(self.src2_dist[sl] > idx, 0, self.src2_dist[sl])
+        return Trace(
+            ops=self.ops[sl].copy(),
+            src1_dist=s1.astype(np.int32),
+            src2_dist=s2.astype(np.int32),
+            addrs=self.addrs[sl].copy(),
+            taken=self.taken[sl].copy(),
+            pcs=self.pcs[sl].copy(),
+            name=f"{self.name}[{start}:{stop}]",
+        )
+
+
+def concat_traces(traces: list["Trace"], name: str = "phased") -> "Trace":
+    """Concatenate traces into one phased stream.
+
+    Dependences are kept as-is (distances at a phase boundary reach into
+    the previous phase, which is physically meaningful for a continuing
+    program).  Used to build multi-phase workloads for the SimPoint
+    machinery.
+    """
+    if not traces:
+        raise WorkloadError("need at least one trace to concatenate")
+    return Trace(
+        ops=np.concatenate([t.ops for t in traces]),
+        src1_dist=np.concatenate([t.src1_dist for t in traces]),
+        src2_dist=np.concatenate([t.src2_dist for t in traces]),
+        addrs=np.concatenate([t.addrs for t in traces]),
+        taken=np.concatenate([t.taken for t in traces]),
+        pcs=np.concatenate([t.pcs for t in traces]),
+        name=name,
+    )

@@ -1,0 +1,116 @@
+"""Simulated-annealing engine: convergence, rollback rule, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExplorationError, TimingError
+from repro.explore import AnnealingResult, AnnealingSchedule, SimulatedAnnealing
+
+
+def quadratic_problem():
+    """Maximize 10 - (x-3)^2 over floats via +/-step proposals."""
+
+    def propose(x, rng):
+        return x + rng.normal(0, 0.5)
+
+    def evaluate(x):
+        return max(0.01, 10.0 - (x - 3.0) ** 2)
+
+    return propose, evaluate
+
+
+class TestSchedule:
+    def test_geometric_cooling(self):
+        s = AnnealingSchedule(iterations=100, t_initial=0.1, t_final=0.001)
+        assert s.temperature(0) == pytest.approx(0.1)
+        assert s.temperature(99) == pytest.approx(0.001)
+        assert s.temperature(50) < s.temperature(10)
+
+    def test_single_iteration(self):
+        s = AnnealingSchedule(iterations=1)
+        assert s.temperature(0) == s.t_initial
+
+    def test_validation(self):
+        with pytest.raises(ExplorationError):
+            AnnealingSchedule(iterations=0)
+        with pytest.raises(ExplorationError):
+            AnnealingSchedule(t_initial=0.01, t_final=0.1)
+        with pytest.raises(ExplorationError):
+            AnnealingSchedule(rollback_fraction=1.5)
+
+
+class TestConvergence:
+    def test_finds_optimum(self):
+        propose, evaluate = quadratic_problem()
+        sa = SimulatedAnnealing(propose, evaluate, AnnealingSchedule(iterations=2000))
+        result = sa.run(-5.0, seed=0)
+        assert result.best_score > 9.9
+        assert result.best_state == pytest.approx(3.0, abs=0.2)
+
+    def test_deterministic(self):
+        propose, evaluate = quadratic_problem()
+        sa = SimulatedAnnealing(propose, evaluate, AnnealingSchedule(iterations=500))
+        a = sa.run(0.0, seed=7)
+        b = sa.run(0.0, seed=7)
+        assert a.best_state == b.best_state
+        assert a.history == b.history
+
+    def test_different_seeds_explore_differently(self):
+        propose, evaluate = quadratic_problem()
+        sa = SimulatedAnnealing(propose, evaluate, AnnealingSchedule(iterations=50))
+        assert sa.run(0.0, seed=1).best_state != sa.run(0.0, seed=2).best_state
+
+    def test_history_is_monotone_best(self):
+        propose, evaluate = quadratic_problem()
+        sa = SimulatedAnnealing(propose, evaluate, AnnealingSchedule(iterations=300))
+        history = sa.run(0.0, seed=3).history
+        assert history == sorted(history)
+
+    def test_rejects_non_positive_initial_score(self):
+        sa = SimulatedAnnealing(lambda x, rng: x, lambda x: 0.0)
+        with pytest.raises(ExplorationError):
+            sa.run(1.0)
+
+
+class TestRollback:
+    def test_paper_rollback_rule_triggers(self):
+        """A proposal stream that dives below half the best score must
+        trigger rollbacks to the best state."""
+
+        def propose(x, rng):
+            # Mostly catastrophic proposals.
+            return x * 0.1 if rng.random() < 0.8 else x * 1.5
+
+        def evaluate(x):
+            return max(1e-6, x)
+
+        sa = SimulatedAnnealing(
+            propose,
+            evaluate,
+            AnnealingSchedule(iterations=300, t_initial=5.0, t_final=1.0),
+        )
+        result = sa.run(1.0, seed=0)
+        assert result.rollbacks > 0
+        assert result.best_score >= 1.0
+
+    def test_failed_proposals_are_skipped(self):
+        calls = {"n": 0}
+
+        def propose(x, rng):
+            calls["n"] += 1
+            if calls["n"] % 2 == 0:
+                raise TimingError("untenable move")
+            return x + rng.normal(0, 0.1)
+
+        propose_ok, evaluate = quadratic_problem()
+        sa = SimulatedAnnealing(propose, evaluate, AnnealingSchedule(iterations=100))
+        result = sa.run(2.0, seed=1)
+        # Half the proposals failed; the run still completes and returns.
+        assert isinstance(result, AnnealingResult)
+        assert result.evaluations < 100
+
+    def test_accepted_counter(self):
+        propose, evaluate = quadratic_problem()
+        sa = SimulatedAnnealing(propose, evaluate, AnnealingSchedule(iterations=200))
+        result = sa.run(0.0, seed=5)
+        assert 0 < result.accepted <= 200

@@ -1,0 +1,61 @@
+"""Figure 3's two communal-customization flows."""
+
+import pytest
+
+from repro.communal import compare_approaches, subset_first_design
+from repro.errors import CommunalError
+from repro.explore import AnnealingSchedule, XpScalar
+from repro.workloads import spec2000_profile
+
+
+@pytest.fixture(scope="module")
+def xp():
+    return XpScalar(schedule=AnnealingSchedule(iterations=400))
+
+
+@pytest.fixture(scope="module")
+def small_population():
+    return [spec2000_profile(n) for n in ("gzip", "crafty", "mcf", "twolf")]
+
+
+class TestSubsetFirst:
+    def test_core_count_respected(self, xp, small_population):
+        design = subset_first_design(xp, small_population, n_cores=2, seed=0)
+        assert len(design.representatives) == 2
+        assert len(design.configs) == 2
+
+    def test_representatives_come_from_clusters(self, xp, small_population):
+        design = subset_first_design(xp, small_population, n_cores=2, seed=0)
+        for rep, members in zip(design.representatives, design.clusters):
+            assert rep in members
+
+    def test_merits_positive(self, xp, small_population):
+        design = subset_first_design(xp, small_population, n_cores=2, seed=0)
+        assert 0 < design.harmonic <= design.average
+
+    def test_out_of_range(self, xp, small_population):
+        with pytest.raises(CommunalError):
+            subset_first_design(xp, small_population, n_cores=0)
+        with pytest.raises(CommunalError):
+            subset_first_design(xp, small_population, n_cores=9)
+
+
+class TestComparison:
+    def test_configurational_wins_or_ties(self, xp, small_population):
+        """The paper's thesis at the flow level: designing from the full
+        configurational characterization can only beat designing from a
+        raw-characteristic subset (both flows end in a search, but the
+        subset-first flow discarded candidates it never measured)."""
+        results = xp.customize_all(small_population, seed=0, cross_seed_rounds=1)
+        from repro.characterize import cross_performance
+
+        cross = cross_performance(
+            xp, small_population, {n: r.config for n, r in results.items()}
+        )
+        comparison = compare_approaches(xp, small_population, cross, n_cores=2, seed=0)
+        assert comparison.configurational_harmonic >= (
+            comparison.subset_first_harmonic * 0.98
+        )
+        assert comparison.n_cores == 2
+        assert len(comparison.subset_first_cores) == 2
+        assert len(comparison.configurational_cores) == 2

@@ -1,0 +1,71 @@
+"""Die-area model and the area-aware objective."""
+
+import pytest
+
+from repro.tech import area_aware_objective, core_area_mm2, unit_areas_mm2
+from repro.uarch import initial_configuration
+
+
+class TestUnitAreas:
+    def test_all_units_positive(self, tech, initial_config):
+        areas = unit_areas_mm2(tech, initial_config)
+        assert set(areas) == {
+            "l1", "l2", "regfile", "issue_queue", "lsq", "datapath", "frontend",
+        }
+        assert all(a > 0 for a in areas.values())
+
+    def test_l2_dominates_sram(self, tech, initial_config):
+        areas = unit_areas_mm2(tech, initial_config)
+        assert areas["l2"] > areas["l1"] > areas["issue_queue"]
+
+    def test_total_in_plausible_regime(self, tech, initial_config):
+        # A mid-range 90nm-ish core: a few to a few tens of mm^2.
+        assert 2.0 < core_area_mm2(tech, initial_config) < 60.0
+
+    def test_monotone_in_cache_capacity(self, tech, initial_config):
+        from repro.uarch import CacheGeometry
+
+        bigger = initial_config.replace(
+            l2=CacheGeometry(nsets=8192, assoc=4, block_bytes=128, latency_cycles=30)
+        )
+        assert core_area_mm2(tech, bigger) > core_area_mm2(tech, initial_config)
+
+    def test_width_quadratic_in_datapath(self, tech, initial_config):
+        wide = initial_config.replace(width=6)
+        narrow = initial_config.replace(width=2)
+        a_wide = unit_areas_mm2(tech, wide)["datapath"]
+        a_narrow = unit_areas_mm2(tech, narrow)["datapath"]
+        assert a_wide == pytest.approx(a_narrow * 9)
+
+    def test_ports_grow_regfile(self, tech, initial_config):
+        wide = initial_config.replace(width=8)
+        assert (
+            unit_areas_mm2(tech, wide)["regfile"]
+            > unit_areas_mm2(tech, initial_config)["regfile"]
+        )
+
+
+class TestAreaObjective:
+    def test_under_budget_is_plain_ipt(self, tech, initial_config):
+        from repro.sim import IntervalSimulator
+        from repro.workloads import spec2000_profile
+
+        p = spec2000_profile("gcc")
+        result = IntervalSimulator().evaluate(p, initial_config)
+        budget = core_area_mm2(tech, initial_config) + 10
+        score = area_aware_objective(tech, budget)(p, initial_config, result)
+        assert score == pytest.approx(result.ipt)
+
+    def test_over_budget_discounts(self, tech, initial_config):
+        from repro.sim import IntervalSimulator
+        from repro.workloads import spec2000_profile
+
+        p = spec2000_profile("gcc")
+        result = IntervalSimulator().evaluate(p, initial_config)
+        tight = core_area_mm2(tech, initial_config) / 2
+        score = area_aware_objective(tech, tight)(p, initial_config, result)
+        assert score < result.ipt
+
+    def test_budget_validated(self, tech):
+        with pytest.raises(ValueError):
+            area_aware_objective(tech, 0.0)

@@ -1,0 +1,84 @@
+"""Trace-driven branch predictors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.uarch import (
+    BimodalPredictor,
+    GsharePredictor,
+    TournamentPredictor,
+    measure_misprediction_rate,
+)
+
+
+def biased_stream(n, bias, n_branches=8, seed=0):
+    rng = np.random.default_rng(seed)
+    pcs = rng.integers(0, n_branches, size=n) * 4
+    majority = rng.random(n_branches) < 0.5
+    p_taken = np.where(majority, bias, 1 - bias)
+    outcomes = rng.random(n) < p_taken[pcs // 4]
+    return pcs, outcomes
+
+
+def alternating_stream(n, pc=0x40):
+    pcs = np.full(n, pc)
+    outcomes = np.arange(n) % 2 == 0
+    return pcs, outcomes
+
+
+class TestBimodal:
+    def test_learns_biased_branches(self):
+        pcs, outcomes = biased_stream(20000, bias=0.95)
+        rate = measure_misprediction_rate(BimodalPredictor(1024), pcs, outcomes)
+        assert rate < 0.10
+
+    def test_struggles_on_alternation(self):
+        pcs, outcomes = alternating_stream(5000)
+        rate = measure_misprediction_rate(BimodalPredictor(1024), pcs, outcomes)
+        assert rate > 0.4
+
+    def test_rejects_non_pow2(self):
+        with pytest.raises(ConfigurationError):
+            BimodalPredictor(1000)
+
+    def test_update_saturates(self):
+        p = BimodalPredictor(16)
+        for _ in range(10):
+            p.update(0, True)
+        assert p.predict(0) is True
+        p.update(0, False)
+        assert p.predict(0) is True  # one wrong outcome does not flip
+
+
+class TestGshare:
+    def test_learns_alternation_via_history(self):
+        pcs, outcomes = alternating_stream(5000)
+        rate = measure_misprediction_rate(GsharePredictor(4096, 12), pcs, outcomes)
+        assert rate < 0.05
+
+    def test_rejects_bad_history(self):
+        with pytest.raises(ConfigurationError):
+            GsharePredictor(4096, 0)
+
+
+class TestTournament:
+    def test_at_least_as_good_as_parts_on_patterns(self):
+        pcs, outcomes = alternating_stream(8000)
+        bimodal = measure_misprediction_rate(BimodalPredictor(4096), pcs, outcomes)
+        tournament = measure_misprediction_rate(TournamentPredictor(4096), pcs, outcomes)
+        assert tournament < bimodal
+
+    def test_biased_branches(self):
+        pcs, outcomes = biased_stream(20000, bias=0.92, seed=1)
+        rate = measure_misprediction_rate(TournamentPredictor(4096), pcs, outcomes)
+        assert rate < 0.15
+
+
+class TestMeasure:
+    def test_empty_stream(self):
+        assert measure_misprediction_rate(BimodalPredictor(64), [], []) == 0.0
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            measure_misprediction_rate(BimodalPredictor(64), [0, 4], [True])

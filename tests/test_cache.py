@@ -1,0 +1,123 @@
+"""Cache simulation: LRU behaviour and the two-level hierarchy."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.uarch import CacheGeometry, CacheSim, MemoryHierarchy
+from repro.units import KB
+
+
+def geometry(nsets=4, assoc=2, block=64, cycles=2):
+    return CacheGeometry(nsets=nsets, assoc=assoc, block_bytes=block, latency_cycles=cycles)
+
+
+class TestCacheSim:
+    def test_cold_miss_then_hit(self):
+        c = CacheSim(geometry())
+        assert c.access(0x1000) is False
+        assert c.access(0x1000) is True
+
+    def test_same_block_hits(self):
+        c = CacheSim(geometry(block=64))
+        c.access(0x1000)
+        assert c.access(0x103F) is True  # same 64-byte block
+        assert c.access(0x1040) is False  # next block
+
+    def test_lru_eviction_order(self):
+        # 2-way set: third distinct tag in one set evicts the LRU one.
+        c = CacheSim(geometry(nsets=1, assoc=2))
+        a, b, d = 0x0, 0x1000, 0x2000
+        c.access(a)
+        c.access(b)
+        c.access(a)  # a is now MRU
+        c.access(d)  # evicts b
+        assert c.access(a) is True
+        assert c.access(b) is False
+
+    def test_capacity_working_set_fits(self):
+        c = CacheSim(geometry(nsets=64, assoc=2, block=64))  # 8 KB
+        addrs = [i * 64 for i in range(64)]  # 4 KB — fits
+        for a in addrs:
+            c.access(a)
+        c.reset_stats()
+        for a in addrs:
+            assert c.access(a) is True
+        assert c.miss_rate == 0.0
+
+    def test_thrash_when_oversubscribed(self):
+        c = CacheSim(geometry(nsets=1, assoc=2, block=64))
+        addrs = [0x0, 0x1000, 0x2000]  # 3 tags, 2 ways, cyclic -> all miss
+        for _ in range(5):
+            for a in addrs:
+                c.access(a)
+        assert c.miss_rate == 1.0
+
+    def test_miss_rate_counts(self):
+        c = CacheSim(geometry())
+        c.access(0x0)
+        c.access(0x0)
+        assert c.accesses == 2
+        assert c.misses == 1
+        assert c.miss_rate == pytest.approx(0.5)
+
+    def test_reset_stats_keeps_contents(self):
+        c = CacheSim(geometry())
+        c.access(0x0)
+        c.reset_stats()
+        assert c.accesses == 0
+        assert c.access(0x0) is True
+
+
+class TestHierarchy:
+    def make(self):
+        l1 = geometry(nsets=4, assoc=1, block=64, cycles=2)
+        l2 = geometry(nsets=64, assoc=2, block=64, cycles=10)
+        return MemoryHierarchy(l1, l2, memory_cycles=100)
+
+    def test_l1_hit_latency(self):
+        h = self.make()
+        h.access(0x0)
+        r = h.access(0x0)
+        assert r.l1_hit
+        assert r.latency_cycles == 2
+
+    def test_l2_hit_latency_adds_l1_lookup(self):
+        h = self.make()
+        h.access(0x0)
+        # Evict 0x0 from the tiny L1 (set 0 conflicts) but keep it in L2.
+        h.access(0x100)
+        r = h.access(0x0)
+        assert not r.l1_hit and r.l2_hit
+        assert r.latency_cycles == 2 + 10
+
+    def test_memory_latency(self):
+        h = self.make()
+        r = h.access(0x123400)
+        assert not r.l1_hit and not r.l2_hit
+        assert r.latency_cycles == 100
+
+    def test_rejects_bad_memory_cycles(self):
+        with pytest.raises(ConfigurationError):
+            MemoryHierarchy(geometry(), geometry(nsets=64), memory_cycles=0)
+
+
+class TestAgainstAnalyticalModel:
+    """The trace-level cache behaviour should track the analytic miss
+    curve's *ordering* (the two feed different simulators)."""
+
+    def test_miss_rate_decreases_with_capacity(self):
+        from repro.workloads import generate_trace, spec2000_profile, Op
+
+        trace = generate_trace(spec2000_profile("gcc"), 20000, seed=3)
+        rates = []
+        for nsets in (32, 128, 512):
+            sim = CacheSim(geometry(nsets=nsets, assoc=2, block=64, cycles=2))
+            mem = [
+                int(a)
+                for a, op in zip(trace.addrs, trace.ops)
+                if op in (int(Op.LOAD), int(Op.STORE))
+            ]
+            for a in mem:
+                sim.access(a)
+            rates.append(sim.miss_rate)
+        assert rates[0] > rates[1] > rates[2]

@@ -1,0 +1,147 @@
+"""CACTI-analog timing model: arrays, CAMs, and the facade."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TimingError
+from repro.tech import (
+    ArrayGeometry,
+    CactiModel,
+    CamGeometry,
+    array_timing,
+    cam_search_ns,
+    default_technology,
+    select_tree_ns,
+)
+from repro.tech.cacti import MIN_BLOCK_BYTES
+from repro.units import KB, MB
+
+
+class TestArrayGeometry:
+    def test_total_bits(self):
+        g = ArrayGeometry(nsets=256, assoc=2, line_bits=512)
+        assert g.total_bits == 256 * 2 * 512
+
+    def test_rejects_non_pow2_sets(self):
+        with pytest.raises(ValueError):
+            ArrayGeometry(nsets=100, assoc=1, line_bits=64)
+
+    def test_rejects_tiny_lines(self):
+        with pytest.raises(ValueError):
+            ArrayGeometry(nsets=64, assoc=1, line_bits=4)
+
+    def test_rejects_portless(self):
+        with pytest.raises(ValueError):
+            ArrayGeometry(nsets=64, assoc=1, line_bits=64, read_ports=0, write_ports=0)
+
+
+class TestArrayTiming:
+    def test_components_positive(self, tech):
+        t = array_timing(ArrayGeometry(nsets=256, assoc=2, line_bits=512), tech)
+        assert t.decode_ns > 0
+        assert t.wire_ns > 0
+        assert t.sense_ns > 0
+        assert t.output_ns > 0
+        assert t.access_ns == pytest.approx(
+            t.decode_ns + t.wire_ns + t.sense_ns + t.compare_ns + t.output_ns
+        )
+
+    def test_datapath_excludes_output(self, tech):
+        t = array_timing(ArrayGeometry(nsets=256, assoc=2, line_bits=512), tech)
+        assert t.datapath_ns == pytest.approx(t.access_ns - t.output_ns)
+
+    def test_monotone_in_capacity(self, tech):
+        times = [
+            array_timing(ArrayGeometry(nsets=n, assoc=2, line_bits=512), tech).access_ns
+            for n in (64, 256, 1024, 4096, 16384)
+        ]
+        assert times == sorted(times)
+
+    def test_ports_slow_access(self, tech):
+        few = array_timing(
+            ArrayGeometry(nsets=256, assoc=1, line_bits=128, read_ports=2, write_ports=1),
+            tech,
+        )
+        many = array_timing(
+            ArrayGeometry(nsets=256, assoc=1, line_bits=128, read_ports=16, write_ports=8),
+            tech,
+        )
+        assert many.access_ns > few.access_ns
+
+    def test_associativity_adds_compare(self, tech):
+        direct = array_timing(ArrayGeometry(nsets=256, assoc=1, line_bits=512), tech)
+        assoc = array_timing(ArrayGeometry(nsets=256, assoc=8, line_bits=512), tech)
+        assert assoc.compare_ns > direct.compare_ns
+
+    @given(
+        nsets=st.sampled_from([64, 256, 1024, 4096]),
+        assoc=st.sampled_from([1, 2, 4, 8]),
+        line_bits=st.sampled_from([64, 256, 512, 1024]),
+    )
+    def test_all_geometries_finite_positive(self, nsets, assoc, line_bits):
+        tech = default_technology()
+        t = array_timing(ArrayGeometry(nsets=nsets, assoc=assoc, line_bits=line_bits), tech)
+        assert 0 < t.access_ns < 100
+
+
+class TestCam:
+    def test_search_grows_with_entries(self, tech):
+        times = [
+            cam_search_ns(CamGeometry(entries=n, tag_bits=64), tech)
+            for n in (16, 64, 256)
+        ]
+        assert times == sorted(times)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            CamGeometry(entries=0, tag_bits=64)
+
+    def test_rejects_no_search_port(self):
+        with pytest.raises(ValueError):
+            CamGeometry(entries=8, tag_bits=64, read_ports=0)
+
+    def test_select_tree_grows_with_entries_and_grants(self, tech):
+        assert select_tree_ns(64, 4, tech) > select_tree_ns(16, 4, tech)
+        assert select_tree_ns(64, 8, tech) > select_tree_ns(64, 2, tech)
+
+    def test_select_tree_validates(self, tech):
+        with pytest.raises(ValueError):
+            select_tree_ns(0, 4, tech)
+        with pytest.raises(ValueError):
+            select_tree_ns(64, 0, tech)
+
+
+class TestCactiModel:
+    def test_ram_result_fields(self, model):
+        r = model.ram(nsets=256, assoc=2, block_bytes=64, read_ports=2, write_ports=2)
+        assert r.access_time_ns > r.datapath_ns > 0
+        assert r.tag_comparison_ns > 0
+
+    def test_min_block_enforced_ram(self, model):
+        with pytest.raises(TimingError):
+            model.ram(nsets=256, assoc=2, block_bytes=4, read_ports=2, write_ports=2)
+
+    def test_min_block_enforced_cam(self, model):
+        with pytest.raises(TimingError):
+            model.cam(entries=64, block_bytes=MIN_BLOCK_BYTES - 1, read_ports=2)
+
+    def test_cam_tag_comparison_is_search(self, model):
+        r = model.cam(entries=64, block_bytes=8, read_ports=4)
+        assert r.tag_comparison_ns > 0
+        assert r.access_time_ns >= r.tag_comparison_ns
+
+    def test_paper_regime_l1(self, model):
+        """A 32-64 KB L1 lands near 1 ns, as calibrated (DESIGN.md)."""
+        t = model.ram(256, 2, 64, 2, 2).access_time_ns  # 32 KB
+        assert 0.4 < t < 1.3
+
+    def test_paper_regime_l2(self, model):
+        """A 4 MB L2 lands in the 10-20 ns regime."""
+        t = model.ram(8192, 4, 128, 2, 2).access_time_ns
+        assert 8.0 < t < 25.0
+
+    def test_capacity_dominates_eventually(self, model):
+        small = model.ram(64, 2, 64, 2, 2).access_time_ns  # 8 KB
+        large = model.ram(8192, 4, 128, 2, 2).access_time_ns  # 4 MB
+        assert large > 5 * small

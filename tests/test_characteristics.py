@@ -1,0 +1,142 @@
+"""Raw characterization: profile-derived vs trace-measured, Kiviat data."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.workloads import (
+    Characteristics,
+    euclidean_distance_matrix,
+    figure1_profiles,
+    generate_trace,
+    kiviat_distance_matrix,
+    kiviat_graphs,
+    normalize_matrix,
+    profile_characteristics,
+    spec2000_profile,
+    trace_characteristics,
+)
+
+from .test_profile import make_profile
+
+
+class TestProfileCharacteristics:
+    def test_vector_fields_aligned(self):
+        c = profile_characteristics(make_profile())
+        vec = c.as_vector()
+        assert len(vec) == len(Characteristics.field_names())
+
+    def test_predictability_complements_misp(self):
+        c = profile_characteristics(spec2000_profile("vortex"))
+        assert c.branch_predictability == pytest.approx(1 - 0.035)
+
+    def test_working_set_is_log_scaled(self):
+        big = profile_characteristics(spec2000_profile("mcf"))
+        small = profile_characteristics(spec2000_profile("gzip"))
+        assert big.working_set_log2_bytes > small.working_set_log2_bytes
+        assert big.working_set_log2_bytes < 40  # log scale, not raw bytes
+
+
+class TestTraceCharacteristics:
+    def test_measured_tracks_model(self):
+        """Trace-measured characteristics agree with the analytic ones."""
+        p = make_profile()
+        tr = generate_trace(p, 20000, seed=0)
+        measured = trace_characteristics(tr)
+        analytic = profile_characteristics(p)
+        assert measured.load_frequency == pytest.approx(
+            analytic.load_frequency, abs=0.02
+        )
+        assert measured.branch_frequency == pytest.approx(
+            analytic.branch_frequency, abs=0.02
+        )
+        assert measured.dependence_density == pytest.approx(
+            analytic.dependence_density, abs=0.05
+        )
+
+    def test_predictability_ordering_preserved(self):
+        good = spec2000_profile("vortex")
+        bad = spec2000_profile("mcf")
+        m_good = trace_characteristics(generate_trace(good, 15000, seed=1))
+        m_bad = trace_characteristics(generate_trace(bad, 15000, seed=1))
+        assert m_good.branch_predictability > m_bad.branch_predictability
+
+    def test_ilp_estimate_orders_profiles(self):
+        high = make_profile(dependence_density=0.1, ilp_limit=6.0)
+        low = make_profile(dependence_density=0.7, ilp_limit=6.0)
+        c_high = trace_characteristics(generate_trace(high, 10000, seed=2))
+        c_low = trace_characteristics(generate_trace(low, 10000, seed=2))
+        assert c_high.ilp_limit > c_low.ilp_limit
+
+
+class TestNormalization:
+    def test_range_is_zero_ten(self):
+        m = np.array([[1.0, 100.0], [3.0, 200.0], [2.0, 150.0]])
+        out = normalize_matrix(m)
+        assert out.min() == pytest.approx(0.0)
+        assert out.max() == pytest.approx(10.0)
+
+    def test_constant_column_maps_to_five(self):
+        m = np.array([[1.0, 7.0], [2.0, 7.0]])
+        out = normalize_matrix(m)
+        assert (out[:, 1] == 5.0).all()
+
+    def test_rejects_1d(self):
+        with pytest.raises(Exception):
+            normalize_matrix(np.array([1.0, 2.0]))
+
+    @given(
+        arrays(
+            dtype=float,
+            shape=st.tuples(
+                st.integers(min_value=2, max_value=6),
+                st.integers(min_value=1, max_value=5),
+            ),
+            elements=st.floats(min_value=-1e6, max_value=1e6),
+        )
+    )
+    def test_always_bounded(self, m):
+        out = normalize_matrix(m)
+        assert (out >= -1e-9).all()
+        assert (out <= 10 + 1e-9).all()
+
+
+class TestDistances:
+    def test_symmetric_zero_diagonal(self):
+        vectors = np.random.default_rng(0).random((5, 4))
+        d = euclidean_distance_matrix(vectors)
+        assert np.allclose(d, d.T)
+        assert np.allclose(np.diag(d), 0.0)
+
+    def test_triangle_inequality(self):
+        vectors = np.random.default_rng(1).random((6, 3))
+        d = euclidean_distance_matrix(vectors)
+        n = len(vectors)
+        for i in range(n):
+            for j in range(n):
+                for k in range(n):
+                    assert d[i, j] <= d[i, k] + d[k, j] + 1e-9
+
+
+class TestFigure1:
+    """The paper's illustrative α/β/γ example."""
+
+    def test_alpha_beta_closer_than_gamma(self):
+        graphs = kiviat_graphs(figure1_profiles())
+        dist = kiviat_distance_matrix(graphs)
+        names = [g.name for g in graphs]
+        a, b, g = names.index("alpha"), names.index("beta"), names.index("gamma")
+        # "from the standpoint of raw workload characteristics, α and β
+        # are relatively more similar"
+        assert dist[a, b] < dist[a, g]
+        assert dist[a, b] < dist[b, g]
+
+    def test_values_on_zero_ten_scale(self):
+        for graph in kiviat_graphs(figure1_profiles()):
+            assert all(0.0 <= v <= 10.0 for v in graph.values)
+
+    def test_five_axes(self):
+        for graph in kiviat_graphs(figure1_profiles()):
+            assert len(graph.axes) == 5

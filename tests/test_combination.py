@@ -1,0 +1,102 @@
+"""Exhaustive core-combination search (Table 6 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.communal import (
+    best_combination,
+    best_combinations_table,
+    evaluate_combination,
+    harmonic_ipt,
+    per_workload_ipt,
+)
+from repro.errors import CommunalError
+
+from .test_cross import make_cross
+
+
+class TestBestCombination:
+    def test_k1_is_best_single(self):
+        cross = make_cross()
+        best = best_combination(cross, 1, "har")
+        # Verify against brute force over singles.
+        scores = {n: harmonic_ipt(cross, [n]) for n in cross.names}
+        assert best.configs == (max(scores, key=scores.get),)
+        assert best.merit == pytest.approx(max(scores.values()))
+
+    def test_k2_beats_k1(self):
+        cross = make_cross()
+        k1 = best_combination(cross, 1, "har")
+        k2 = best_combination(cross, 2, "har")
+        assert k2.merit >= k1.merit
+
+    def test_full_set_is_ideal(self):
+        cross = make_cross()
+        k3 = best_combination(cross, 3, "har")
+        assert k3.merit == pytest.approx(harmonic_ipt(cross, list(cross.names)))
+
+    def test_out_of_range_k(self):
+        cross = make_cross()
+        with pytest.raises(CommunalError):
+            best_combination(cross, 0)
+        with pytest.raises(CommunalError):
+            best_combination(cross, 4)
+
+    def test_candidates_restriction(self):
+        cross = make_cross()
+        best = best_combination(cross, 1, "har", candidates=["b", "c"])
+        assert best.configs[0] in ("b", "c")
+
+    def test_unknown_merit(self):
+        with pytest.raises(CommunalError):
+            best_combination(make_cross(), 1, "geometric")
+
+    def test_custom_merit_callable(self):
+        cross = make_cross()
+
+        def min_ipt(cross_, avail):
+            from repro.communal import assigned_ipts
+
+            return float(assigned_ipts(cross_, avail).min())
+
+        best = best_combination(cross, 2, min_ipt)
+        assert best.merit_name == "min_ipt"
+
+    def test_different_merits_can_pick_different_sets(self):
+        """The paper's Table 6: avg and har favour different pairs when
+        one workload is a harmonic-dominating outlier."""
+        ipt = np.array(
+            [
+                [3.0, 2.9, 1.0],  # fast workload
+                [2.9, 3.0, 1.0],  # fast workload
+                [0.2, 0.2, 0.6],  # outlier: only c's config helps
+            ]
+        )
+        cross = make_cross(ipt=ipt)
+        avg = best_combination(cross, 1, "avg")
+        har = best_combination(cross, 1, "har")
+        assert avg.configs != har.configs
+        assert har.configs == ("c",)
+
+
+class TestEvaluateCombination:
+    def test_reports_all_merits(self):
+        cross = make_cross()
+        combo = evaluate_combination(cross, ["a", "b"], "avg")
+        assert combo.average >= combo.harmonic
+        assert combo.contention_weighted <= combo.harmonic
+        assert dict(combo.assignment)["c"] == "a"
+
+    def test_table6_rows_consistent(self):
+        cross = make_cross()
+        rows = best_combinations_table(cross, ks=(1, 2), merits=("avg", "har"))
+        assert len(rows) == 4
+        for row in rows:
+            assert row.merit > 0
+
+
+class TestPerWorkloadIpt:
+    def test_figure4_series(self):
+        cross = make_cross()
+        ipts = per_workload_ipt(cross, ["a", "b"])
+        assert ipts == {"a": 3.0, "b": 2.0, "c": 0.5}

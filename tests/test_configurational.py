@@ -1,0 +1,71 @@
+"""Configurational characteristics: vectors and distances."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.characterize import (
+    CONFIG_VECTOR_FIELDS,
+    ConfigurationalCharacteristics,
+    config_distance_matrix,
+)
+from repro.errors import CommunalError
+from repro.tech import default_technology
+from repro.uarch import initial_configuration
+
+
+def make_char(name="w", **overrides):
+    config = initial_configuration(default_technology()).replace(**overrides)
+    return ConfigurationalCharacteristics(workload=name, config=config, ipt=1.0)
+
+
+class TestVector:
+    def test_field_count(self):
+        vec = make_char().as_vector()
+        assert len(vec) == len(CONFIG_VECTOR_FIELDS)
+
+    def test_log_scaling_of_sizes(self):
+        small = make_char(rob_size=64, iq_size=64)
+        large = make_char(rob_size=1024, scheduler_depth=3)
+        idx = CONFIG_VECTOR_FIELDS.index("log2_rob")
+        assert large.as_vector()[idx] - small.as_vector()[idx] == pytest.approx(4.0)
+
+    def test_clock_passes_through(self):
+        vec = make_char().as_vector()
+        idx = CONFIG_VECTOR_FIELDS.index("clock_period_ns")
+        assert vec[idx] == pytest.approx(0.33)
+
+    def test_l1_capacity_encoded(self):
+        vec = make_char().as_vector()
+        idx = CONFIG_VECTOR_FIELDS.index("log2_l1_capacity")
+        assert vec[idx] == pytest.approx(math.log2(32 * 1024))
+
+
+class TestDistanceMatrix:
+    def test_identical_configs_distance_zero(self):
+        chars = {"a": make_char("a"), "b": make_char("b")}
+        dist = config_distance_matrix(chars, ["a", "b"])
+        assert dist[0, 1] == pytest.approx(0.0)
+
+    def test_different_configs_distance_positive(self):
+        chars = {
+            "a": make_char("a"),
+            "b": make_char("b", rob_size=1024, scheduler_depth=3, width=6),
+        }
+        dist = config_distance_matrix(chars, ["a", "b"])
+        assert dist[0, 1] > 0.5
+
+    def test_symmetric(self):
+        chars = {
+            "a": make_char("a"),
+            "b": make_char("b", width=6),
+            "c": make_char("c", rob_size=512, scheduler_depth=3),
+        }
+        dist = config_distance_matrix(chars, ["a", "b", "c"])
+        assert np.allclose(dist, dist.T)
+        assert np.allclose(np.diag(dist), 0.0)
+
+    def test_empty_names_rejected(self):
+        with pytest.raises(CommunalError):
+            config_distance_matrix({}, [])

@@ -1,0 +1,101 @@
+"""Cross-configuration performance containers (Table 5 / Appendix A)."""
+
+import numpy as np
+import pytest
+
+from repro.characterize import CrossPerformance
+from repro.errors import CommunalError
+from repro.uarch import initial_configuration
+from repro.tech import default_technology
+
+
+def make_cross(ipt=None, names=("a", "b", "c"), weights=None):
+    n = len(names)
+    if ipt is None:
+        ipt = np.array(
+            [
+                [3.0, 2.0, 1.0],
+                [1.0, 2.0, 1.5],
+                [0.5, 0.4, 0.9],
+            ]
+        )[:n, :n]
+    config = initial_configuration(default_technology())
+    return CrossPerformance(
+        names=tuple(names),
+        ipt=np.asarray(ipt, dtype=float),
+        configs=tuple([config] * n),
+        weights=tuple(weights or [1.0] * n),
+    )
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(CommunalError):
+            make_cross(ipt=np.ones((2, 3)))
+
+    def test_non_positive_ipt(self):
+        with pytest.raises(CommunalError):
+            make_cross(ipt=np.zeros((3, 3)))
+
+    def test_bad_weights(self):
+        with pytest.raises(CommunalError):
+            make_cross(weights=[1.0, 0.0, 1.0])
+
+
+class TestAccessors:
+    def test_index_and_unknown(self):
+        cross = make_cross()
+        assert cross.index("b") == 1
+        with pytest.raises(CommunalError):
+            cross.index("zzz")
+
+    def test_own_ipt_is_diagonal(self):
+        cross = make_cross()
+        assert cross.own_ipt("a") == 3.0
+        assert cross.own_ipt("c") == 0.9
+
+    def test_ipt_on(self):
+        cross = make_cross()
+        assert cross.ipt_on("a", "b") == 2.0
+        assert cross.ipt_on("b", "a") == 1.0
+
+    def test_best_config_for(self):
+        cross = make_cross()
+        assert cross.best_config_for("a", ["b", "c"]) == "b"
+        assert cross.best_config_for("c", ["a", "b", "c"]) == "c"
+
+    def test_best_config_requires_candidates(self):
+        with pytest.raises(CommunalError):
+            make_cross().best_config_for("a", [])
+
+
+class TestSlowdownMatrix:
+    def test_zero_diagonal(self):
+        s = make_cross().slowdown_matrix()
+        assert np.allclose(np.diag(s), 0.0)
+
+    def test_values(self):
+        s = make_cross().slowdown_matrix()
+        assert s[0, 1] == pytest.approx(1 - 2.0 / 3.0)
+        assert s[2, 1] == pytest.approx(1 - 0.4 / 0.9)
+
+    def test_appendix_a_example(self):
+        """bzip on gzip's configuration: 2.11 vs own 3.15 -> 33%."""
+        cross = make_cross(
+            ipt=np.array([[3.15, 2.11], [1.78, 3.13]]), names=("bzip", "gzip")
+        )
+        s = cross.slowdown_matrix()
+        assert s[0, 1] == pytest.approx(0.33, abs=0.01)
+        assert s[1, 0] == pytest.approx(0.43, abs=0.01)
+
+
+class TestSubset:
+    def test_subset_preserves_entries(self):
+        cross = make_cross()
+        sub = cross.subset(["a", "c"])
+        assert sub.names == ("a", "c")
+        assert sub.ipt_on("c", "a") == cross.ipt_on("c", "a")
+
+    def test_subset_unknown_name(self):
+        with pytest.raises(CommunalError):
+            make_cross().subset(["a", "zzz"])

@@ -1,0 +1,164 @@
+"""Cycle-level simulator: structural constraints and event accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim import CycleSimulator
+from repro.uarch import CacheGeometry
+from repro.workloads import Op, Trace, generate_trace, spec2000_profile
+
+from .test_profile import make_profile
+
+
+def alu_chain_trace(n, dist=1):
+    """n ALU instructions, each depending on the one `dist` back."""
+    ops = np.full(n, int(Op.ALU), dtype=np.uint8)
+    src1 = np.minimum(np.full(n, dist, dtype=np.int64), np.arange(n)).astype(np.int32)
+    return Trace(
+        ops=ops,
+        src1_dist=src1,
+        src2_dist=np.zeros(n, dtype=np.int32),
+        addrs=np.zeros(n, dtype=np.uint64),
+        taken=np.zeros(n, dtype=bool),
+        pcs=np.arange(n, dtype=np.uint64) * 4,
+        name="chain",
+    )
+
+
+def independent_trace(n):
+    return alu_chain_trace(n, dist=0)
+
+
+class TestStructuralLimits:
+    def test_ipc_never_exceeds_width(self, initial_config):
+        trace = independent_trace(3000)
+        r = CycleSimulator(initial_config).run(trace)
+        assert r.ipc <= initial_config.width + 1e-9
+
+    def test_independent_code_approaches_width(self, initial_config):
+        trace = independent_trace(5000)
+        r = CycleSimulator(initial_config).run(trace)
+        assert r.ipc > initial_config.width * 0.8
+
+    def test_serial_chain_runs_at_wakeup_rate(self, initial_config):
+        config = initial_config.replace(wakeup_latency=2)
+        r = CycleSimulator(config).run(alu_chain_trace(2000, dist=1))
+        # Dependents issue every 1 + wakeup_latency cycles.
+        assert r.ipc == pytest.approx(1 / 3, rel=0.1)
+
+    def test_zero_wakeup_back_to_back(self, initial_config):
+        config = initial_config.replace(wakeup_latency=0)
+        r = CycleSimulator(config).run(alu_chain_trace(2000, dist=1))
+        assert r.ipc == pytest.approx(1.0, rel=0.1)
+
+    def test_wider_machine_not_slower(self, initial_config):
+        trace = generate_trace(make_profile(), 4000, seed=0)
+        narrow = CycleSimulator(initial_config.replace(width=1)).run(trace)
+        wide = CycleSimulator(initial_config.replace(width=6)).run(trace)
+        assert wide.ipc >= narrow.ipc - 1e-9
+
+    def test_single_instruction_trace(self, initial_config):
+        # Empty traces cannot even be constructed (see test_trace); a
+        # one-instruction trace must simulate cleanly.
+        r = CycleSimulator(initial_config).run(independent_trace(1))
+        assert r.instructions == 1
+        assert r.cycles >= 1
+
+
+class TestEventAccounting:
+    def test_branch_counts(self, initial_config):
+        trace = generate_trace(make_profile(), 4000, seed=1)
+        r = CycleSimulator(initial_config).run(trace)
+        expected = int(np.count_nonzero(trace.ops == int(Op.BRANCH)))
+        assert r.detail["branches"] == expected
+        assert 0 <= r.detail["mispredictions"] <= expected
+
+    def test_cache_stats_populated(self, initial_config):
+        trace = generate_trace(make_profile(), 4000, seed=2)
+        r = CycleSimulator(initial_config).run(trace)
+        assert r.detail["l1_accesses"] > 0
+        assert 0.0 <= r.detail["l1_miss_rate"] <= 1.0
+
+    def test_determinism(self, initial_config):
+        trace = generate_trace(make_profile(), 3000, seed=3)
+        a = CycleSimulator(initial_config).run(trace)
+        b = CycleSimulator(initial_config).run(trace)
+        assert a.cycles == b.cycles
+        assert a.detail == b.detail
+
+
+class TestDesignSensitivities:
+    def test_misprediction_penalty_scales_with_frontend(self, initial_config):
+        from repro.workloads import BranchModel
+
+        p = make_profile(branch=BranchModel(misp_rate=0.10, bias=0.60))
+        trace = generate_trace(p, 6000, seed=4)
+        shallow = CycleSimulator(initial_config).run(trace)
+        deep = CycleSimulator(
+            initial_config.replace(frontend_stages=initial_config.frontend_stages + 10)
+        ).run(trace)
+        assert deep.cycles > shallow.cycles
+
+    def test_bigger_l1_reduces_misses(self, initial_config):
+        trace = generate_trace(spec2000_profile("gcc"), 8000, seed=5)
+        small = CycleSimulator(
+            initial_config.replace(
+                l1=CacheGeometry(nsets=64, assoc=2, block_bytes=64, latency_cycles=4)
+            )
+        ).run(trace)
+        large = CycleSimulator(
+            initial_config.replace(
+                l1=CacheGeometry(nsets=2048, assoc=2, block_bytes=64, latency_cycles=4)
+            )
+        ).run(trace)
+        assert large.detail["l1_miss_rate"] < small.detail["l1_miss_rate"]
+
+    def test_memory_latency_hurts(self, initial_config):
+        trace = generate_trace(spec2000_profile("mcf"), 5000, seed=6)
+        near = CycleSimulator(initial_config.replace(memory_cycles=180)).run(trace)
+        far = CycleSimulator(initial_config.replace(memory_cycles=400)).run(trace)
+        assert far.cycles > near.cycles
+
+    def test_small_rob_throttles(self, initial_config):
+        trace = generate_trace(spec2000_profile("mcf"), 5000, seed=7)
+        small = CycleSimulator(initial_config.replace(rob_size=32, iq_size=16)).run(trace)
+        large = CycleSimulator(initial_config.replace(rob_size=512)).run(trace)
+        assert large.ipc >= small.ipc
+
+
+class TestStoreForwarding:
+    def test_forwarding_bypasses_cache_latency(self, initial_config):
+        """A load hitting an in-flight store's word gets LSQ-forwarded
+        data instead of paying the cache latency."""
+        n = 400
+        ops = np.tile(
+            np.array([int(Op.STORE), int(Op.LOAD)], dtype=np.uint8), n // 2
+        )
+        addrs = np.repeat(
+            np.arange(n // 2, dtype=np.uint64) * 8 + 0x1000, 2
+        )
+        trace = Trace(
+            ops=ops,
+            src1_dist=np.zeros(n, dtype=np.int32),
+            src2_dist=np.zeros(n, dtype=np.int32),
+            addrs=addrs,
+            taken=np.zeros(n, dtype=bool),
+            pcs=np.arange(n, dtype=np.uint64) * 4,
+            name="store-load",
+        )
+        r = CycleSimulator(initial_config).run(trace)
+        assert r.detail["store_forwards"] > n // 4
+
+    def test_no_forwarding_without_stores(self, initial_config):
+        from repro.workloads import InstructionMix
+
+        trace = generate_trace(
+            make_profile(
+                mix=InstructionMix(load=0.4, store=0.0, branch=0.1, int_alu=0.5)
+            ),
+            3000,
+            seed=8,
+        )
+        r = CycleSimulator(initial_config).run(trace)
+        assert r.detail["store_forwards"] == 0

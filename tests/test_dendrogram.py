@@ -1,0 +1,135 @@
+"""Dendrograms and the §5.4 surrogate-disagreement analysis."""
+
+import numpy as np
+import pytest
+
+from repro.communal import (
+    Dendrogram,
+    build_dendrogram,
+    surrogate_disagreement,
+)
+from repro.errors import CommunalError
+
+from .test_cross import make_cross
+
+
+def two_cluster_distance():
+    names = ["a", "b", "c", "d"]
+    d = np.array(
+        [
+            [0.0, 0.1, 1.0, 1.1],
+            [0.1, 0.0, 1.2, 1.0],
+            [1.0, 1.2, 0.0, 0.2],
+            [1.1, 1.0, 0.2, 0.0],
+        ]
+    )
+    return names, d
+
+
+class TestBuild:
+    def test_n_minus_one_merges(self):
+        names, d = two_cluster_distance()
+        tree = build_dendrogram(names, d)
+        assert len(tree.merges) == 3
+
+    def test_heights_monotone_for_average_linkage(self):
+        names, d = two_cluster_distance()
+        tree = build_dendrogram(names, d, linkage="average")
+        heights = [m.height for m in tree.merges]
+        assert heights == sorted(heights)
+
+    def test_pairs_merge_first(self):
+        names, d = two_cluster_distance()
+        tree = build_dendrogram(names, d)
+        first_two = {frozenset({m.left, m.right}) for m in tree.merges[:2]}
+        assert frozenset({0, 1}) in first_two  # a,b
+        assert frozenset({2, 3}) in first_two  # c,d
+
+    @pytest.mark.parametrize("linkage", ["average", "single", "complete"])
+    def test_all_linkages_build(self, linkage):
+        names, d = two_cluster_distance()
+        tree = build_dendrogram(names, d, linkage=linkage)
+        assert tree.linkage == linkage
+
+    def test_invalid_linkage(self):
+        names, d = two_cluster_distance()
+        with pytest.raises(CommunalError):
+            build_dendrogram(names, d, linkage="ward")
+
+    def test_shape_mismatch(self):
+        with pytest.raises(CommunalError):
+            build_dendrogram(["a", "b"], np.zeros((3, 3)))
+
+
+class TestCut:
+    def test_cut_two(self):
+        names, d = two_cluster_distance()
+        tree = build_dendrogram(names, d)
+        clusters = sorted(tree.cut(2))
+        assert clusters == [("a", "b"), ("c", "d")]
+
+    def test_cut_n_gives_singletons(self):
+        names, d = two_cluster_distance()
+        tree = build_dendrogram(names, d)
+        assert all(len(c) == 1 for c in tree.cut(4))
+
+    def test_cut_one_gives_everything(self):
+        names, d = two_cluster_distance()
+        tree = build_dendrogram(names, d)
+        (cluster,) = tree.cut(1)
+        assert sorted(cluster) == names
+
+    def test_cut_validates(self):
+        names, d = two_cluster_distance()
+        tree = build_dendrogram(names, d)
+        with pytest.raises(CommunalError):
+            tree.cut(0)
+        with pytest.raises(CommunalError):
+            tree.cut(5)
+
+
+class TestRender:
+    def test_render_mentions_all_leaves(self):
+        names, d = two_cluster_distance()
+        text = build_dendrogram(names, d).render()
+        for name in names:
+            assert name in text
+        assert "h=" in text
+
+
+class TestSurrogateDisagreement:
+    def test_detects_cross_cluster_surrogates(self):
+        """A workload whose best surrogate sits in the other dendrogram
+        cluster is exactly the §5.4 failure mode."""
+        # x,y cluster by raw distance; but x's best surrogate is z.
+        ipt = np.array(
+            [
+                [2.00, 1.40, 1.96],  # x: best foreign config is z
+                [1.40, 2.00, 1.30],  # y: best foreign config is x
+                [1.00, 1.10, 2.00],  # z
+            ]
+        )
+        cross = make_cross(ipt=ipt, names=("x", "y", "z"))
+        tree = build_dendrogram(
+            ["x", "y", "z"],
+            np.array([[0.0, 0.1, 1.0], [0.1, 0.0, 1.0], [1.0, 1.0, 0.0]]),
+        )
+        report = surrogate_disagreement(cross, tree, n_clusters=2)
+        assert ("x", "z", "y") in report.disagreements
+        assert report.count >= 1
+
+    def test_no_disagreement_when_clusters_match(self):
+        ipt = np.array(
+            [
+                [2.00, 1.96, 1.00],
+                [1.96, 2.00, 1.00],
+                [1.00, 1.00, 2.00],
+            ]
+        )
+        cross = make_cross(ipt=ipt, names=("x", "y", "z"))
+        tree = build_dendrogram(
+            ["x", "y", "z"],
+            np.array([[0.0, 0.1, 1.0], [0.1, 0.0, 1.0], [1.0, 1.0, 0.0]]),
+        )
+        report = surrogate_disagreement(cross, tree, n_clusters=2)
+        assert report.count == 0

@@ -1,0 +1,83 @@
+"""Error hierarchy and public API surface."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    CommunalError,
+    ConfigurationError,
+    ExplorationError,
+    ReproError,
+    TimingError,
+    WorkloadError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [ConfigurationError, TimingError, WorkloadError, ExplorationError, CommunalError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_repro_error_is_exception(self):
+        assert issubclass(ReproError, Exception)
+
+    def test_one_except_catches_library_failures(self):
+        """The documented pattern: one except clause for library errors."""
+        from repro.uarch import CacheGeometry
+
+        try:
+            CacheGeometry(nsets=3, assoc=1, block_bytes=64, latency_cycles=1)
+        except ReproError as exc:
+            assert "power of two" in str(exc)
+        else:
+            pytest.fail("expected a ReproError")
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_subpackages_exported(self):
+        for name in (
+            "tech",
+            "workloads",
+            "uarch",
+            "sim",
+            "explore",
+            "characterize",
+            "communal",
+            "experiments",
+        ):
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro.tech",
+            "repro.workloads",
+            "repro.uarch",
+            "repro.sim",
+            "repro.explore",
+            "repro.characterize",
+            "repro.communal",
+            "repro.experiments",
+        ],
+    )
+    def test_all_lists_resolve(self, module_name):
+        """Every name in a package's __all__ actually exists."""
+        import importlib
+
+        module = importlib.import_module(module_name)
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module_name}.{name}"
+
+    def test_quickstart_snippet_names_exist(self):
+        """The README quickstart imports must stay valid."""
+        from repro.experiments import default_pipeline, table7_summary  # noqa: F401
+        from repro.explore import XpScalar  # noqa: F401
+        from repro.workloads import spec2000_profile  # noqa: F401

@@ -1,0 +1,165 @@
+"""Experiment drivers: tables, figures, reporting, pipeline plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    figure1,
+    figure2_scenarios,
+    render_kv,
+    render_matrix,
+    render_surrogate_graph,
+    render_table,
+    run_pipeline,
+    table1_unit_delays,
+    table2_fixed_parameters,
+    table3_initial_configuration,
+    table4_rows,
+)
+from repro.workloads import spec2000_profile
+
+
+class TestStaticTables:
+    def test_table2_matches_paper(self, tech):
+        params = table2_fixed_parameters(tech)
+        assert params["memory access latency (ns)"] == 50.0
+        assert params["front-end latency (ns)"] == 2.0
+        assert params["bit-width of IQ entries"] == 64
+        assert params["latch latency (ns)"] == 0.03
+
+    def test_table3_matches_paper_fields(self, tech):
+        config = table3_initial_configuration(tech)
+        assert config.width == 3
+        assert config.rob_size == 128
+        assert config.iq_size == 64
+        assert config.clock_period_ns == pytest.approx(0.33)
+        assert config.wakeup_latency == 1
+        assert config.l1.latency_cycles == 4
+        assert config.l2.latency_cycles == 12
+
+    def test_table1_delays_positive(self, tech, initial_config):
+        delays = table1_unit_delays(initial_config, tech)
+        assert set(delays) >= {
+            "L1 data cache",
+            "L2 data cache",
+            "wakeup",
+            "select",
+            "reg file (ROB)",
+            "LSQ",
+        }
+        assert all(v > 0 for v in delays.values())
+
+    def test_table1_wakeup_select_sum(self, tech, initial_config):
+        delays = table1_unit_delays(initial_config, tech)
+        assert delays["issue queue (wakeup+select)"] == pytest.approx(
+            delays["wakeup"] + delays["select"]
+        )
+
+
+class TestFigure1:
+    def test_alpha_beta_close_gamma_far(self):
+        graphs, dist = figure1()
+        names = [g.name for g in graphs]
+        a, b, g = names.index("alpha"), names.index("beta"), names.index("gamma")
+        assert dist[a, b] < dist[a, g]
+
+
+class TestFigure2:
+    def test_four_scenarios(self, tech):
+        scenarios = figure2_scenarios(tech)
+        assert [s.name for s in scenarios] == ["a", "b", "c", "d"]
+
+    def test_scenario_a_has_l1_slack(self, tech):
+        a = figure2_scenarios(tech)[0]
+        assert a.clock_ns == pytest.approx(1.0)
+        assert a.l1_slack_ns > 0.3  # "considerable slack"
+
+    def test_scenario_b_reduces_slack_with_faster_clock(self, tech):
+        a, b, *_ = figure2_scenarios(tech)
+        assert b.clock_ns < a.clock_ns
+        assert b.total_slack_ns < a.total_slack_ns
+
+    def test_scenario_c_smaller_iq_less_iq_slack(self, tech):
+        _, b, c, _ = figure2_scenarios(tech)
+        assert c.iq_size < b.iq_size
+        assert c.iq_slack_ns <= b.iq_slack_ns + 1e-9
+
+    def test_scenario_d_fills_cycles_with_capacity(self, tech):
+        a, _, _, d = figure2_scenarios(tech)
+        assert d.clock_ns == a.clock_ns
+        assert d.l1_capacity_bytes > a.l1_capacity_bytes
+        assert d.l1_cycles >= 2
+        assert d.l1_slack_ns < a.l1_slack_ns
+
+
+class TestRendering:
+    def test_render_table(self):
+        text = render_table(["name", "value"], [["x", 1.5], ["yy", 2]])
+        lines = text.splitlines()
+        assert "name" in lines[0]
+        assert "-" in lines[1]
+        assert "1.50" in text
+
+    def test_render_matrix(self):
+        m = np.array([[1.0, 0.5], [0.25, 1.0]])
+        text = render_matrix(["a", "b"], m, title="t")
+        assert text.startswith("t")
+        assert "0.50" in text
+
+    def test_render_matrix_percent(self):
+        m = np.array([[0.0, 0.33], [0.43, 0.0]])
+        text = render_matrix(["a", "b"], m, percent=True, fmt="{:5.0f}")
+        assert "33%" in text
+
+    def test_render_kv(self):
+        text = render_kv({"alpha": 1, "b": 2.5}, title="params")
+        assert text.splitlines()[0] == "params"
+        assert "2.50" in text
+
+    def test_render_surrogate_graph(self, cross):
+        from repro.communal import Propagation, greedy_surrogates
+
+        graph = greedy_surrogates(cross, Propagation.FORWARD, target_roots=2)
+        text = render_surrogate_graph(graph)
+        assert "policy: forward" in text
+        assert "surviving architectures" in text
+
+
+class TestPipeline:
+    def test_small_pipeline_runs(self):
+        profiles = [spec2000_profile(n) for n in ("gzip", "mcf")]
+        result = run_pipeline(profiles=profiles, iterations=200, seed=1)
+        assert set(result.characteristics) == {"gzip", "mcf"}
+        assert result.cross.size == 2
+
+    def test_profile_lookup(self, pipeline):
+        assert pipeline.profile("mcf").name == "mcf"
+        with pytest.raises(KeyError):
+            pipeline.profile("nope")
+
+    def test_table4_rows_cover_all_benchmarks(self, pipeline):
+        headers, rows = table4_rows(pipeline.characteristics)
+        assert len(headers) == 12  # parameter column + 11 benchmarks
+        assert len(rows) == 19
+        assert rows[0][0] == "No. of cycles for memory access"
+
+
+class TestPipelineCaching:
+    def test_default_pipeline_is_cached(self):
+        from repro.experiments import default_pipeline
+
+        a = default_pipeline(iterations=120, seed=77)
+        b = default_pipeline(iterations=120, seed=77)
+        assert a is b  # lru-cached per (iterations, seed)
+
+    def test_pipeline_deterministic_across_processes(self):
+        """Same seed + iterations give identical customized configs."""
+        from repro.experiments import run_pipeline
+
+        a = run_pipeline(iterations=150, seed=5, cross_seed_rounds=1)
+        b = run_pipeline(iterations=150, seed=5, cross_seed_rounds=1)
+        for name in a.characteristics:
+            assert a.characteristics[name].config == b.characteristics[name].config
+        import numpy as np
+
+        assert np.array_equal(a.cross.ipt, b.cross.ipt)

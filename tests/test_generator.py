@@ -1,0 +1,128 @@
+"""Synthetic trace generation: determinism and statistical fidelity."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import Op, generate_trace, spec2000_profile
+
+from .test_profile import make_profile
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        p = make_profile()
+        a = generate_trace(p, 2000, seed=42)
+        b = generate_trace(p, 2000, seed=42)
+        assert np.array_equal(a.ops, b.ops)
+        assert np.array_equal(a.addrs, b.addrs)
+        assert np.array_equal(a.taken, b.taken)
+
+    def test_different_seed_different_trace(self):
+        p = make_profile()
+        a = generate_trace(p, 2000, seed=1)
+        b = generate_trace(p, 2000, seed=2)
+        assert not np.array_equal(a.ops, b.ops)
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(WorkloadError):
+            generate_trace(make_profile(), 0)
+
+
+class TestInstructionMix:
+    def test_fractions_match_profile(self):
+        p = make_profile()
+        tr = generate_trace(p, 20000, seed=0)
+        assert tr.op_fraction(Op.LOAD) == pytest.approx(p.mix.load, abs=0.02)
+        assert tr.op_fraction(Op.STORE) == pytest.approx(p.mix.store, abs=0.02)
+        assert tr.op_fraction(Op.BRANCH) == pytest.approx(p.mix.branch, abs=0.02)
+
+
+class TestDependences:
+    def test_back_to_back_density(self):
+        p = make_profile(dependence_density=0.5)
+        tr = generate_trace(p, 20000, seed=0)
+        measured = float(np.count_nonzero(tr.src1_dist == 1) / len(tr))
+        assert measured == pytest.approx(p.dependence_density, abs=0.05)
+
+    def test_density_orders_workloads(self):
+        dense = generate_trace(make_profile(dependence_density=0.6), 10000, seed=0)
+        sparse = generate_trace(make_profile(dependence_density=0.2), 10000, seed=0)
+        d = float(np.count_nonzero(dense.src1_dist == 1) / len(dense))
+        s = float(np.count_nonzero(sparse.src1_dist == 1) / len(sparse))
+        assert d > s + 0.2
+
+    def test_distances_never_reach_before_start(self):
+        tr = generate_trace(make_profile(), 5000, seed=3)
+        idx = np.arange(len(tr))
+        assert (tr.src1_dist <= idx).all()
+        assert (tr.src2_dist <= idx).all()
+
+
+class TestAddresses:
+    def test_only_memory_ops_have_addresses(self):
+        tr = generate_trace(make_profile(), 5000, seed=1)
+        mem = (tr.ops == int(Op.LOAD)) | (tr.ops == int(Op.STORE))
+        assert (tr.addrs[~mem] == 0).all()
+        assert (tr.addrs[mem] != 0).all()
+
+    def test_footprint_bounded_by_working_set(self):
+        p = make_profile()
+        tr = generate_trace(p, 30000, seed=2)
+        mem = (tr.ops == int(Op.LOAD)) | (tr.ops == int(Op.STORE))
+        touched = len(np.unique(tr.addrs[mem] >> np.uint64(6))) * 64
+        total_ws = sum(c.size_bytes for c in p.memory.components)
+        assert touched <= total_ws * 1.05
+
+    def test_spatial_locality_visible(self):
+        seq = make_profile(memory=make_profile().memory)
+        from repro.workloads import MemoryModel, WorkingSetComponent
+        from repro.units import KB
+
+        sequential = make_profile(
+            memory=MemoryModel(
+                components=(WorkingSetComponent(0.99, 64 * KB),),
+                spatial_locality=0.95,
+            )
+        )
+        random = make_profile(
+            memory=MemoryModel(
+                components=(WorkingSetComponent(0.99, 64 * KB),),
+                spatial_locality=0.05,
+            )
+        )
+        from repro.workloads import trace_characteristics
+
+        c_seq = trace_characteristics(generate_trace(sequential, 8000, seed=5))
+        c_rand = trace_characteristics(generate_trace(random, 8000, seed=5))
+        assert c_seq.spatial_locality > c_rand.spatial_locality + 0.3
+
+
+class TestBranches:
+    def test_taken_rate_tracks_profile(self):
+        p = make_profile()
+        tr = generate_trace(p, 30000, seed=0)
+        branch = tr.ops == int(Op.BRANCH)
+        measured = float(tr.taken[branch].mean())
+        assert measured == pytest.approx(p.branch.taken_rate, abs=0.08)
+
+    def test_biased_branches_are_predictable(self):
+        from repro.uarch import BimodalPredictor, measure_misprediction_rate
+        from repro.workloads import BranchModel
+
+        predictable = make_profile(branch=BranchModel(misp_rate=0.02, bias=0.98))
+        noisy = make_profile(branch=BranchModel(misp_rate=0.15, bias=0.62))
+        rates = {}
+        for label, profile in (("predictable", predictable), ("noisy", noisy)):
+            tr = generate_trace(profile, 30000, seed=7)
+            branch = tr.ops == int(Op.BRANCH)
+            rates[label] = measure_misprediction_rate(
+                BimodalPredictor(4096), tr.pcs[branch], tr.taken[branch]
+            )
+        assert rates["predictable"] < 0.08
+        assert rates["noisy"] > rates["predictable"] + 0.1
+
+    def test_real_benchmark_profiles_generate(self):
+        for name in ("mcf", "crafty"):
+            tr = generate_trace(spec2000_profile(name), 3000, seed=1)
+            assert len(tr) == 3000

@@ -1,0 +1,160 @@
+"""Interval model: CPI decomposition and design-space sensitivities."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import IntervalSimulator
+from repro.uarch import CacheGeometry, initial_configuration
+from repro.workloads import BranchModel, spec2000_profile
+
+from .test_profile import make_profile
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return IntervalSimulator()
+
+
+class TestBasics:
+    def test_result_consistent(self, sim, initial_config):
+        r = sim.evaluate(make_profile(), initial_config)
+        assert r.ipc > 0
+        assert r.ipt == pytest.approx(r.ipc / initial_config.clock_period_ns)
+        assert r.cpi == pytest.approx(r.cpi_stack.total)
+
+    def test_stack_components_nonnegative(self, sim, initial_config):
+        s = sim.evaluate(make_profile(), initial_config).cpi_stack
+        assert s.base > 0
+        assert s.branch >= 0
+        assert s.l2_access >= 0
+        assert s.memory >= 0
+
+    def test_ipt_shorthand(self, sim, initial_config):
+        p = make_profile()
+        assert sim.ipt(p, initial_config) == pytest.approx(
+            sim.evaluate(p, initial_config).ipt
+        )
+
+    def test_ipc_bounded_by_width(self, sim, initial_config):
+        r = sim.evaluate(make_profile(ilp_limit=50.0, ilp_window_half=1.0), initial_config)
+        assert r.ipc <= initial_config.width
+
+
+class TestSensitivities:
+    """First-order design sensitivities the exploration relies on."""
+
+    def test_worse_branches_hurt(self, sim, initial_config):
+        good = make_profile(branch=BranchModel(misp_rate=0.01))
+        bad = make_profile(branch=BranchModel(misp_rate=0.12))
+        assert sim.ipt(good, initial_config) > sim.ipt(bad, initial_config)
+
+    def test_deeper_frontend_hurts(self, sim, initial_config):
+        p = make_profile()
+        deep = initial_config.replace(frontend_stages=initial_config.frontend_stages + 8)
+        assert sim.ipt(p, deep) < sim.ipt(p, initial_config)
+
+    def test_wakeup_latency_hurts_dense_chains_more(self, sim, initial_config):
+        dense = make_profile(dependence_density=0.7)
+        sparse = make_profile(dependence_density=0.1)
+        slow_wakeup = initial_config.replace(wakeup_latency=3)
+        loss_dense = 1 - sim.ipt(dense, slow_wakeup) / sim.ipt(dense, initial_config)
+        loss_sparse = 1 - sim.ipt(sparse, slow_wakeup) / sim.ipt(sparse, initial_config)
+        assert loss_dense > loss_sparse
+
+    def test_l1_latency_hurts_load_use_chains_more(self, sim, initial_config):
+        chasing = make_profile(load_use_fraction=0.8)
+        streaming = make_profile(load_use_fraction=0.1)
+        slow_l1 = initial_config.replace(
+            l1=CacheGeometry(
+                nsets=initial_config.l1.nsets,
+                assoc=initial_config.l1.assoc,
+                block_bytes=initial_config.l1.block_bytes,
+                latency_cycles=initial_config.l1.latency_cycles + 3,
+            )
+        )
+        loss_chasing = 1 - sim.ipt(chasing, slow_l1) / sim.ipt(chasing, initial_config)
+        loss_streaming = 1 - sim.ipt(streaming, slow_l1) / sim.ipt(streaming, initial_config)
+        assert loss_chasing > loss_streaming
+
+    def test_bigger_l1_same_latency_never_hurts(self, sim, initial_config):
+        p = spec2000_profile("gcc")
+        bigger = initial_config.replace(
+            l1=CacheGeometry(nsets=1024, assoc=2, block_bytes=64, latency_cycles=4)
+        )
+        assert sim.ipt(p, bigger) >= sim.ipt(p, initial_config) - 1e-9
+
+    def test_bigger_rob_helps_memory_bound(self, sim, initial_config):
+        mcf = spec2000_profile("mcf")
+        big = initial_config.replace(rob_size=1024, scheduler_depth=3, lsq_size=256)
+        small = initial_config.replace(rob_size=128)
+        assert sim.evaluate(mcf, big).cpi_stack.memory < sim.evaluate(
+            mcf, small
+        ).cpi_stack.memory
+
+    def test_narrow_width_caps_throughput(self, sim, initial_config):
+        p = make_profile(ilp_limit=6.0, dependence_density=0.1)
+        narrow = initial_config.replace(width=1)
+        assert sim.ipt(p, narrow) < sim.ipt(p, initial_config)
+
+    def test_window_drain_penalizes_big_windows_with_bad_branches(
+        self, sim, initial_config
+    ):
+        p = make_profile(branch=BranchModel(misp_rate=0.12))
+        big = initial_config.replace(rob_size=1024, scheduler_depth=3)
+        assert (
+            sim.evaluate(p, big).cpi_stack.branch
+            > sim.evaluate(p, initial_config).cpi_stack.branch
+        )
+
+
+class TestWindowModel:
+    def test_effective_window_bounded_by_rob(self, sim, initial_config):
+        p = make_profile()
+        assert sim.effective_window(p, initial_config) <= initial_config.rob_size
+
+    def test_lsq_binds_memory_heavy_workloads(self, sim, initial_config):
+        from repro.workloads import InstructionMix
+
+        memory_heavy = make_profile(
+            mix=InstructionMix(load=0.45, store=0.25, branch=0.10, int_alu=0.20)
+        )
+        w = sim.effective_window(memory_heavy, initial_config)
+        assert w <= initial_config.lsq_size / 0.70 + 1e-9
+
+    def test_fetch_rate_increases_with_width(self, sim, initial_config):
+        p = make_profile()
+        rates = [
+            sim.fetch_rate(p, initial_config.replace(width=w)) for w in (1, 2, 4, 8)
+        ]
+        assert rates == sorted(rates)
+        assert rates[-1] <= 1.0 / (p.mix.branch * p.branch.taken_rate)
+
+
+class TestPaperScale:
+    def test_spec_ipc_in_plausible_range(self, sim, initial_config, profiles):
+        """All 11 benchmarks produce sane IPC on the Table 3 config."""
+        for p in profiles:
+            r = sim.evaluate(p, initial_config)
+            assert 0.02 < r.ipc < 3.0, p.name
+
+    def test_mcf_is_slowest(self, sim, initial_config, profiles):
+        ipts = {p.name: sim.ipt(p, initial_config) for p in profiles}
+        assert min(ipts, key=ipts.get) == "mcf"
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        rob=st.sampled_from([64, 128, 256, 512, 1024]),
+        iq=st.sampled_from([16, 32, 64]),
+        width=st.integers(min_value=1, max_value=8),
+        wakeup=st.integers(min_value=0, max_value=3),
+    )
+    def test_never_crashes_on_legal_shapes(self, rob, iq, width, wakeup):
+        sim = IntervalSimulator()
+        from repro.tech import default_technology
+
+        config = initial_configuration(default_technology()).replace(
+            rob_size=rob, iq_size=min(iq, rob), width=width, wakeup_latency=wakeup
+        )
+        r = sim.evaluate(spec2000_profile("gcc"), config)
+        assert r.ipc > 0

@@ -1,0 +1,127 @@
+"""K-means configuration clustering and BPMST balanced partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.characterize import ConfigurationalCharacteristics
+from repro.communal import bpmst_partition, kmeans_configurations
+from repro.errors import CommunalError
+from repro.tech import default_technology
+from repro.uarch import CacheGeometry, initial_configuration
+
+from .test_cross import make_cross
+
+
+def make_characteristics():
+    """Two obvious configuration clusters: fast/small vs slow/large."""
+    tech = default_technology()
+    base = initial_configuration(tech)
+    fast = base.replace(clock_period_ns=0.20, rob_size=64, iq_size=32, width=4)
+    slow = base.replace(
+        clock_period_ns=0.45,
+        rob_size=1024,
+        iq_size=64,
+        width=2,
+        scheduler_depth=3,
+        memory_cycles=200,
+    )
+    configs = {
+        "f1": fast,
+        "f2": fast.replace(rob_size=128),
+        "s1": slow,
+        "s2": slow.replace(rob_size=512),
+    }
+    return {
+        name: ConfigurationalCharacteristics(workload=name, config=c, ipt=1.0)
+        for name, c in configs.items()
+    }
+
+
+class TestKMeans:
+    def test_recovers_clusters(self):
+        result = kmeans_configurations(make_characteristics(), k=2, seed=0)
+        groups = sorted(tuple(sorted(c)) for c in result.clusters)
+        assert groups == [("f1", "f2"), ("s1", "s2")]
+
+    def test_representatives_are_members(self):
+        result = kmeans_configurations(make_characteristics(), k=2, seed=0)
+        for cluster, rep in zip(result.clusters, result.representatives):
+            assert rep in cluster
+
+    def test_assignment_covers_all(self):
+        chars = make_characteristics()
+        result = kmeans_configurations(chars, k=2, seed=0)
+        assert set(result.assignment) == set(chars)
+
+    def test_k_equals_n(self):
+        chars = make_characteristics()
+        result = kmeans_configurations(chars, k=4, seed=0)
+        assert result.inertia == pytest.approx(0.0, abs=1e-9)
+
+    def test_out_of_range(self):
+        with pytest.raises(CommunalError):
+            kmeans_configurations(make_characteristics(), k=0)
+        with pytest.raises(CommunalError):
+            kmeans_configurations(make_characteristics(), k=9)
+
+    def test_deterministic_per_seed(self):
+        chars = make_characteristics()
+        a = kmeans_configurations(chars, k=2, seed=3)
+        b = kmeans_configurations(chars, k=2, seed=3)
+        assert a.clusters == b.clusters
+
+
+class TestBpmst:
+    def cross(self):
+        # Two natural pairs: (a,b) cheap mutually, (c,d) cheap mutually.
+        ipt = np.array(
+            [
+                [2.00, 1.95, 1.20, 1.10],
+                [1.94, 2.00, 1.10, 1.20],
+                [1.10, 1.20, 2.00, 1.96],
+                [1.20, 1.10, 1.93, 2.00],
+            ]
+        )
+        return make_cross(ipt=ipt, names=("a", "b", "c", "d"))
+
+    def test_two_way_partition_finds_pairs(self):
+        partition = bpmst_partition(self.cross(), k=2)
+        groups = sorted(tuple(sorted(g)) for g in partition.groups)
+        assert groups == [("a", "b"), ("c", "d")]
+
+    def test_partition_balanced(self):
+        partition = bpmst_partition(self.cross(), k=2)
+        assert partition.imbalance == pytest.approx(0.0, abs=1e-9)
+        assert partition.group_weights == (2.0, 2.0)
+
+    def test_cores_are_group_members(self):
+        partition = bpmst_partition(self.cross(), k=2)
+        for group, core in zip(partition.groups, partition.cores):
+            assert core in group
+
+    def test_k1_single_group(self):
+        partition = bpmst_partition(self.cross(), k=1)
+        assert len(partition.groups) == 1
+        assert len(partition.groups[0]) == 4
+
+    def test_kn_every_workload_own_core(self):
+        partition = bpmst_partition(self.cross(), k=4)
+        assert all(len(g) == 1 for g in partition.groups)
+        assert partition.average_slowdown == pytest.approx(0.0, abs=1e-9)
+
+    def test_weights_balance(self):
+        """With one heavy leaf workload, BPMST isolates it rather than
+        pairing it (weight balance dominates the cut choice)."""
+        heavy = make_cross(
+            ipt=self.cross().ipt,
+            names=("a", "b", "c", "d"),
+            weights=[1.0, 1.0, 1.0, 3.0],
+        )
+        partition = bpmst_partition(heavy, k=2)
+        weights = sorted(partition.group_weights)
+        assert weights == [3.0, 3.0]
+        assert ("d",) in partition.groups
+
+    def test_out_of_range(self):
+        with pytest.raises(CommunalError):
+            bpmst_partition(self.cross(), k=0)

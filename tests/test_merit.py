@@ -1,0 +1,113 @@
+"""Figures of merit over hand-built cross matrices."""
+
+import numpy as np
+import pytest
+
+from repro.communal import (
+    assigned_ipts,
+    assignment,
+    average_ipt,
+    average_slowdown,
+    contention_weighted_harmonic_ipt,
+    harmonic_ipt,
+    ideal_average_ipt,
+    ideal_harmonic_ipt,
+)
+from repro.errors import CommunalError
+
+from .test_cross import make_cross
+
+
+class TestAssignment:
+    def test_everyone_picks_their_best(self):
+        cross = make_cross()
+        chosen = assignment(cross, ["a", "b"])
+        assert chosen == {"a": "a", "b": "b", "c": "a"}
+
+    def test_single_core(self):
+        cross = make_cross()
+        chosen = assignment(cross, ["b"])
+        assert set(chosen.values()) == {"b"}
+
+    def test_requires_config(self):
+        with pytest.raises(CommunalError):
+            assignment(make_cross(), [])
+
+
+class TestMeans:
+    def test_average(self):
+        cross = make_cross()
+        # With {a}: ipts are 3.0, 1.0, 0.5.
+        assert average_ipt(cross, ["a"]) == pytest.approx((3.0 + 1.0 + 0.5) / 3)
+
+    def test_harmonic(self):
+        cross = make_cross()
+        expected = 3 / (1 / 3.0 + 1 / 1.0 + 1 / 0.5)
+        assert harmonic_ipt(cross, ["a"]) == pytest.approx(expected)
+
+    def test_harmonic_leq_average(self):
+        cross = make_cross()
+        for avail in (["a"], ["a", "b"], ["a", "b", "c"]):
+            assert harmonic_ipt(cross, avail) <= average_ipt(cross, avail) + 1e-9
+
+    def test_weighted_average(self):
+        cross = make_cross(weights=[2.0, 1.0, 1.0])
+        assert average_ipt(cross, ["a"]) == pytest.approx(
+            (2 * 3.0 + 1.0 + 0.5) / 4
+        )
+
+    def test_ideal_uses_own_configs(self):
+        cross = make_cross()
+        assert ideal_average_ipt(cross) == pytest.approx((3.0 + 2.0 + 0.9) / 3)
+        assert ideal_harmonic_ipt(cross) == pytest.approx(
+            3 / (1 / 3.0 + 1 / 2.0 + 1 / 0.9)
+        )
+
+    def test_more_configs_never_hurt(self):
+        cross = make_cross()
+        assert average_ipt(cross, ["a", "b"]) >= average_ipt(cross, ["a"]) - 1e-12
+        assert harmonic_ipt(cross, ["a", "b", "c"]) >= harmonic_ipt(cross, ["a"]) - 1e-12
+
+
+class TestContentionWeighted:
+    def test_sharing_divides(self):
+        cross = make_cross()
+        # With only {a}: all three share one core -> each IPT / 3.
+        expected = 3 / (3 / 3.0 + 3 / 1.0 + 3 / 0.5)
+        assert contention_weighted_harmonic_ipt(cross, ["a"]) == pytest.approx(expected)
+
+    def test_spreading_helps(self):
+        cross = make_cross()
+        assert contention_weighted_harmonic_ipt(
+            cross, ["a", "b", "c"]
+        ) > contention_weighted_harmonic_ipt(cross, ["a"])
+
+    def test_discourages_funneling(self):
+        """cw-har prefers a balanced pair over a single super-core even
+        when raw harmonic is close."""
+        ipt = np.array(
+            [
+                [2.0, 1.9, 0.5],
+                [1.9, 2.0, 0.5],
+                [1.8, 1.8, 1.9],
+            ]
+        )
+        cross = make_cross(ipt=ipt)
+        balanced = contention_weighted_harmonic_ipt(cross, ["a", "c"])
+        funneled = contention_weighted_harmonic_ipt(cross, ["a"])
+        assert balanced > funneled
+
+
+class TestAverageSlowdown:
+    def test_zero_when_everyone_home(self):
+        cross = make_cross()
+        assert average_slowdown(cross, ["a", "b", "c"]) == pytest.approx(0.0)
+
+    def test_positive_when_restricted(self):
+        cross = make_cross()
+        assert average_slowdown(cross, ["a"]) > 0
+
+    def test_assigned_ipts_vector(self):
+        cross = make_cross()
+        ipts = assigned_ipts(cross, ["a"])
+        assert list(ipts) == [3.0, 1.0, 0.5]

@@ -1,0 +1,70 @@
+"""Simulation metrics: SimResult, CPI stacks, slowdown."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.sim import CpiStack, SimResult, slowdown
+
+
+class TestCpiStack:
+    def test_total(self):
+        s = CpiStack(base=0.5, branch=0.1, l2_access=0.2, memory=0.3)
+        assert s.total == pytest.approx(1.1)
+
+    def test_rejects_negative_component(self):
+        with pytest.raises(ReproError):
+            CpiStack(base=0.5, branch=-0.1, l2_access=0.0, memory=0.0)
+
+    def test_rejects_zero_base(self):
+        with pytest.raises(ReproError):
+            CpiStack(base=0.0, branch=0.1, l2_access=0.0, memory=0.0)
+
+
+class TestSimResult:
+    def make(self, instructions=1000, cycles=2000.0, clock=0.5):
+        return SimResult(
+            workload="toy",
+            instructions=instructions,
+            cycles=cycles,
+            clock_period_ns=clock,
+        )
+
+    def test_ipc(self):
+        assert self.make().ipc == pytest.approx(0.5)
+
+    def test_cpi_inverse_of_ipc(self):
+        r = self.make()
+        assert r.cpi == pytest.approx(1 / r.ipc)
+
+    def test_ipt_is_ipc_over_clock(self):
+        r = self.make()
+        assert r.ipt == pytest.approx(r.ipc / 0.5)
+
+    def test_runtime(self):
+        assert self.make().runtime_ns == pytest.approx(1000.0)
+
+    def test_rejects_zero_instructions(self):
+        with pytest.raises(ReproError):
+            self.make(instructions=0)
+
+    def test_rejects_zero_cycles(self):
+        with pytest.raises(ReproError):
+            self.make(cycles=0.0)
+
+
+class TestSlowdown:
+    def test_own_config_zero(self):
+        assert slowdown(2.0, 2.0) == pytest.approx(0.0)
+
+    def test_paper_example(self):
+        # bzip: own 3.15, on gzip's config 2.11 -> 33% slowdown.
+        assert slowdown(3.15, 2.11) == pytest.approx(0.33, abs=0.01)
+
+    def test_speedup_is_negative(self):
+        assert slowdown(1.0, 1.5) < 0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ReproError):
+            slowdown(0.0, 1.0)
+        with pytest.raises(ReproError):
+            slowdown(1.0, -0.1)

@@ -1,0 +1,103 @@
+"""Exploration moves: every proposal yields a valid configuration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TimingError
+from repro.explore import MoveGenerator
+from repro.uarch import initial_configuration, validate_config
+
+
+@pytest.fixture(scope="module")
+def moves(tech, model, space):
+    return MoveGenerator(tech, model, space)
+
+
+def run_moves(moves, tech, model, config, method, n=60, seed=0):
+    """Apply a move repeatedly; every successful proposal must validate."""
+    rng = np.random.default_rng(seed)
+    produced = []
+    for _ in range(n):
+        try:
+            candidate = method(config, rng)
+        except TimingError:
+            continue
+        except Exception as exc:  # ConfigurationError is acceptable too
+            from repro.errors import ConfigurationError
+
+            if isinstance(exc, ConfigurationError):
+                continue
+            raise
+        validate_config(candidate, tech, model)
+        produced.append(candidate)
+        config = candidate
+    return produced
+
+
+class TestIndividualMoves:
+    def test_clock_move_changes_clock(self, moves, tech, model, initial_config):
+        produced = run_moves(moves, tech, model, initial_config, moves.clock_move)
+        assert produced
+        clocks = {round(c.clock_period_ns, 4) for c in produced}
+        assert len(clocks) > 10
+
+    def test_clock_stays_in_range(self, moves, tech, model, initial_config):
+        for c in run_moves(moves, tech, model, initial_config, moves.clock_move, n=100):
+            assert tech.min_clock_ns <= c.clock_period_ns <= tech.max_clock_ns
+
+    def test_depth_move_valid(self, moves, tech, model, initial_config):
+        produced = run_moves(moves, tech, model, initial_config, moves.depth_move)
+        assert produced
+
+    def test_width_move_steps_by_one(self, moves, tech, model, initial_config):
+        rng = np.random.default_rng(1)
+        config = initial_config
+        for _ in range(20):
+            try:
+                candidate = moves.width_move(config, rng)
+            except TimingError:
+                continue
+            assert abs(candidate.width - config.width) == 1
+            config = candidate
+
+    def test_size_move_respects_budget(self, moves, tech, model, initial_config):
+        produced = run_moves(moves, tech, model, initial_config, moves.size_move)
+        assert produced
+
+    def test_geometry_move_keeps_cycles(self, moves, tech, model, initial_config):
+        rng = np.random.default_rng(2)
+        for _ in range(30):
+            try:
+                candidate = moves.geometry_move(initial_config, rng)
+            except TimingError:
+                continue
+            except Exception:
+                continue
+            # Geometry moves re-pick shape at the same latency budget.
+            assert candidate.l1.latency_cycles == initial_config.l1.latency_cycles or (
+                candidate.l2.latency_cycles == initial_config.l2.latency_cycles
+            )
+
+
+class TestPropose:
+    def test_long_walk_stays_valid(self, moves, tech, model, initial_config):
+        produced = run_moves(
+            moves, tech, model, initial_config, moves.propose, n=300, seed=3
+        )
+        assert len(produced) > 150  # most proposals succeed
+
+    def test_walk_explores_diverse_configs(self, moves, tech, model, initial_config):
+        produced = run_moves(
+            moves, tech, model, initial_config, moves.propose, n=300, seed=4
+        )
+        widths = {c.width for c in produced}
+        robs = {c.rob_size for c in produced}
+        l1_caps = {c.l1.capacity_bytes for c in produced}
+        assert len(widths) >= 3
+        assert len(robs) >= 3
+        assert len(l1_caps) >= 4
+
+    def test_invariants_hold_along_walk(self, moves, tech, model, initial_config):
+        for c in run_moves(moves, tech, model, initial_config, moves.propose, n=200):
+            assert c.iq_size <= c.rob_size
+            assert c.l2.capacity_bytes >= c.l1.capacity_bytes

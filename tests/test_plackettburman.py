@@ -1,0 +1,111 @@
+"""Plackett-Burman bottleneck analysis (the Yi et al. baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.communal import (
+    bottleneck_effects,
+    bottleneck_rank_distance,
+    default_factors,
+    plackett_burman_design,
+)
+from repro.errors import CommunalError
+from repro.explore import XpScalar
+from repro.uarch import initial_configuration
+from repro.workloads import spec2000_profile
+
+
+class TestDesignMatrix:
+    def test_twelve_runs(self):
+        design = plackett_burman_design(8)
+        assert design.shape == (12, 8)
+
+    def test_entries_are_levels(self):
+        design = plackett_burman_design(11)
+        assert set(np.unique(design)) == {-1, 1}
+
+    def test_columns_balanced(self):
+        """Each factor appears at each level in half the runs (the PB
+        property that makes main effects unconfounded)."""
+        design = plackett_burman_design(11)
+        assert (design.sum(axis=0) == -2).all() or (np.abs(design.sum(axis=0)) <= 2).all()
+        for col in design.T:
+            assert np.count_nonzero(col > 0) in (5, 6)
+
+    def test_columns_orthogonal(self):
+        design = plackett_burman_design(11)
+        gram = design.T @ design
+        off = gram - np.diag(np.diag(gram))
+        # Classic PB-12: off-diagonal inner products have magnitude <= 4.
+        assert np.abs(off).max() <= 4
+
+    def test_factor_count_validated(self):
+        with pytest.raises(CommunalError):
+            plackett_burman_design(0)
+        with pytest.raises(CommunalError):
+            plackett_burman_design(12)
+
+
+class TestFactors:
+    def test_default_factor_names(self):
+        names = [f.name for f in default_factors()]
+        assert names == ["width", "rob", "iq", "lsq", "l1", "l2", "wakeup", "memory"]
+
+    def test_factors_change_config(self, tech):
+        base = initial_configuration(tech)
+        for factor in default_factors():
+            high = factor.apply(base, True)
+            low = factor.apply(base, False)
+            assert high != low
+
+
+class TestBottleneckEffects:
+    @pytest.fixture(scope="class")
+    def xp(self):
+        return XpScalar()
+
+    def test_memory_bound_workload_ranks_memory_first(self, xp, tech):
+        base = initial_configuration(tech)
+        profile = bottleneck_effects(xp, spec2000_profile("mcf"), base)
+        top = profile.factors[int(np.argmin(profile.ranks()))]
+        assert top in ("memory", "l2", "rob")
+
+    def test_effect_signs_sensible(self, xp, tech):
+        base = initial_configuration(tech)
+        profile = bottleneck_effects(xp, spec2000_profile("gcc"), base)
+        effects = dict(zip(profile.factors, profile.effects))
+        # High memory level = *shorter* latency, so the effect on IPT is
+        # positive; a bigger LSQ never hurts.
+        assert effects["memory"] > 0
+        assert effects["lsq"] >= 0
+
+    def test_ranks_are_a_permutation(self, xp, tech):
+        base = initial_configuration(tech)
+        profile = bottleneck_effects(xp, spec2000_profile("gzip"), base)
+        assert sorted(profile.ranks()) == list(range(1, len(profile.factors) + 1))
+
+    def test_rank_distance_matrix(self, xp, tech):
+        base = initial_configuration(tech)
+        profiles = [
+            bottleneck_effects(xp, spec2000_profile(n), base)
+            for n in ("gzip", "perl", "mcf")
+        ]
+        dist = bottleneck_rank_distance(profiles)
+        assert dist.shape == (3, 3)
+        assert np.allclose(np.diag(dist), 0.0)
+        # The two compute-bound workloads rank bottlenecks more alike
+        # than either does with mcf.
+        assert dist[0, 1] < dist[0, 2]
+        assert dist[0, 1] < dist[1, 2]
+
+    def test_distance_requires_same_factors(self, xp, tech):
+        from repro.communal import BottleneckProfile
+
+        a = BottleneckProfile("a", ("x", "y"), (1.0, 2.0))
+        b = BottleneckProfile("b", ("x", "z"), (1.0, 2.0))
+        with pytest.raises(CommunalError):
+            bottleneck_rank_distance([a, b])
+
+    def test_empty_rejected(self):
+        with pytest.raises(CommunalError):
+            bottleneck_rank_distance([])

@@ -1,0 +1,93 @@
+"""Power/energy model and the EDP/EPI objectives."""
+
+import pytest
+
+from repro.sim import IntervalSimulator
+from repro.tech import (
+    edp_objective,
+    energy_per_instruction_nj,
+    epi_objective,
+    estimate_power,
+)
+from repro.uarch import CacheGeometry, initial_configuration
+from repro.workloads import spec2000_profile
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return IntervalSimulator()
+
+
+def power_for(tech, sim, config, name="gcc"):
+    p = spec2000_profile(name)
+    result = sim.evaluate(p, config)
+    return estimate_power(tech, p, config, result), p, result
+
+
+class TestEstimate:
+    def test_components_positive(self, tech, initial_config, sim):
+        power, _, _ = power_for(tech, sim, initial_config)
+        assert power.dynamic_w > 0
+        assert power.leakage_w > 0
+        assert power.clock_w > 0
+        assert power.total_w == pytest.approx(
+            power.dynamic_w + power.leakage_w + power.clock_w
+        )
+
+    def test_plausible_regime(self, tech, initial_config, sim):
+        power, _, _ = power_for(tech, sim, initial_config)
+        assert 1.0 < power.total_w < 80.0
+
+    def test_faster_clock_more_power(self, tech, initial_config, sim):
+        slow, _, _ = power_for(tech, sim, initial_config)
+        fast_config = initial_config.replace(clock_period_ns=0.20)
+        fast, _, _ = power_for(tech, sim, fast_config)
+        assert fast.clock_w > slow.clock_w
+
+    def test_bigger_caches_leak_more(self, tech, initial_config, sim):
+        big = initial_config.replace(
+            l2=CacheGeometry(nsets=8192, assoc=4, block_bytes=128, latency_cycles=30)
+        )
+        small_power, _, _ = power_for(tech, sim, initial_config)
+        big_power, _, _ = power_for(tech, sim, big)
+        assert big_power.leakage_w > small_power.leakage_w
+
+    def test_epi_positive(self, tech, initial_config, sim):
+        _, p, result = power_for(tech, sim, initial_config)
+        epi = energy_per_instruction_nj(tech, p, initial_config, result)
+        assert epi > 0
+
+
+class TestObjectives:
+    def test_edp_prefers_efficient_designs(self, tech, initial_config, sim):
+        p = spec2000_profile("gcc")
+        score = edp_objective(tech)
+        r = sim.evaluate(p, initial_config)
+        assert score(p, initial_config, r) > 0
+
+    def test_epi_budget_discounts_hot_designs(self, tech, initial_config, sim):
+        p = spec2000_profile("gcc")
+        r = sim.evaluate(p, initial_config)
+        epi = energy_per_instruction_nj(tech, p, initial_config, r)
+        generous = epi_objective(tech, epi * 2)(p, initial_config, r)
+        tight = epi_objective(tech, epi / 2)(p, initial_config, r)
+        assert generous == pytest.approx(r.ipt)
+        assert tight < r.ipt
+
+    def test_epi_budget_validated(self, tech):
+        with pytest.raises(ValueError):
+            epi_objective(tech, 0.0)
+
+    def test_edp_exploration_runs(self, tech):
+        """The EDP objective plugs into the explorer's score hook."""
+        from repro.explore import AnnealingSchedule, XpScalar
+
+        score_fn = edp_objective(tech)
+
+        class EdpXpScalar(XpScalar):
+            def score(self, profile, config):
+                return score_fn(profile, config, self.evaluate(profile, config))
+
+        xp = EdpXpScalar(schedule=AnnealingSchedule(iterations=200))
+        result = xp.customize(spec2000_profile("gzip"), seed=1)
+        assert result.score > 0

@@ -1,0 +1,186 @@
+"""Workload profile models: validation and miss-curve properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.units import KB, MB
+from repro.workloads import (
+    BranchModel,
+    InstructionMix,
+    MemoryModel,
+    WorkingSetComponent,
+    WorkloadProfile,
+)
+
+
+def make_memory(**overrides):
+    defaults = dict(
+        components=(
+            WorkingSetComponent(0.9, 16 * KB),
+            WorkingSetComponent(0.08, 512 * KB),
+        ),
+        spatial_locality=0.5,
+        mlp=3.0,
+    )
+    defaults.update(overrides)
+    return MemoryModel(**defaults)
+
+
+def make_profile(**overrides):
+    defaults = dict(
+        name="toy",
+        mix=InstructionMix(load=0.25, store=0.10, branch=0.15, int_alu=0.48, mul=0.02),
+        ilp_limit=4.0,
+        ilp_window_half=100.0,
+        dependence_density=0.4,
+        load_use_fraction=0.4,
+        branch=BranchModel(misp_rate=0.05),
+        memory=make_memory(),
+    )
+    defaults.update(overrides)
+    return WorkloadProfile(**defaults)
+
+
+class TestInstructionMix:
+    def test_must_sum_to_one(self):
+        with pytest.raises(WorkloadError):
+            InstructionMix(load=0.5, store=0.5, branch=0.5, int_alu=0.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(WorkloadError):
+            InstructionMix(load=-0.1, store=0.2, branch=0.2, int_alu=0.7)
+
+    def test_memory_fraction(self):
+        mix = InstructionMix(load=0.25, store=0.10, branch=0.15, int_alu=0.50)
+        assert mix.memory == pytest.approx(0.35)
+
+
+class TestBranchModel:
+    def test_rejects_absurd_misp(self):
+        with pytest.raises(WorkloadError):
+            BranchModel(misp_rate=0.6)
+
+    def test_rejects_bias_below_half(self):
+        with pytest.raises(WorkloadError):
+            BranchModel(misp_rate=0.05, bias=0.3)
+
+    def test_defaults_legal(self):
+        BranchModel(misp_rate=0.05)
+
+
+class TestWorkingSetComponent:
+    def test_rejects_negative_fraction(self):
+        with pytest.raises(WorkloadError):
+            WorkingSetComponent(-0.1, 1024)
+
+    def test_rejects_tiny_region(self):
+        with pytest.raises(WorkloadError):
+            WorkingSetComponent(0.5, 32)
+
+
+class TestMemoryModel:
+    def test_needs_components(self):
+        with pytest.raises(WorkloadError):
+            MemoryModel(components=())
+
+    def test_fractions_cannot_exceed_one(self):
+        with pytest.raises(WorkloadError):
+            MemoryModel(
+                components=(
+                    WorkingSetComponent(0.7, 16 * KB),
+                    WorkingSetComponent(0.7, 512 * KB),
+                )
+            )
+
+    def test_footprint_is_largest_component(self):
+        m = make_memory()
+        assert m.footprint_bytes == 512 * KB
+
+    def test_miss_rate_monotone_in_capacity(self):
+        m = make_memory()
+        rates = [m.miss_rate(c) for c in (4 * KB, 16 * KB, 64 * KB, 512 * KB, 4 * MB)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_miss_rate_bounded(self):
+        m = make_memory()
+        for c in (KB, 32 * KB, MB, 64 * MB):
+            assert 0.0 <= m.miss_rate(c) <= 1.0
+
+    def test_bigger_blocks_help_spatial_workloads(self):
+        sequential = make_memory(spatial_locality=0.9)
+        assert sequential.miss_rate(32 * KB, block_bytes=128) < sequential.miss_rate(
+            32 * KB, block_bytes=32
+        )
+
+    def test_blocks_useless_for_random_access(self):
+        random = make_memory(spatial_locality=0.0)
+        assert random.miss_rate(32 * KB, block_bytes=128) == pytest.approx(
+            random.miss_rate(32 * KB, block_bytes=64)
+        )
+
+    def test_block_benefit_saturates_at_run_length(self):
+        m = make_memory(spatial_locality=0.8, spatial_run_bytes=128)
+        at_run = m.miss_rate(32 * KB, block_bytes=128)
+        beyond = m.miss_rate(32 * KB, block_bytes=512)
+        assert beyond == pytest.approx(at_run)
+
+    def test_associativity_reduces_conflicts(self):
+        m = make_memory(conflict_pressure=0.5)
+        assert m.miss_rate(32 * KB, assoc=8) < m.miss_rate(32 * KB, assoc=1)
+
+    def test_compulsory_floor(self):
+        m = make_memory(compulsory=0.01)
+        assert m.miss_rate(1024 * MB) >= 0.01
+
+    def test_rejects_tiny_cache(self):
+        with pytest.raises(WorkloadError):
+            make_memory().miss_rate(32)
+
+    def test_achievable_mlp_grows_with_window(self):
+        m = make_memory(mlp=6.0, mlp_window_half=500.0)
+        mlps = [m.achievable_mlp(w) for w in (32, 128, 512, 2048)]
+        assert mlps == sorted(mlps)
+        assert mlps[-1] <= 6.0
+
+    def test_achievable_mlp_at_least_one(self):
+        m = make_memory(mlp=6.0, mlp_window_half=500.0)
+        assert m.achievable_mlp(1) >= 1.0
+        assert m.achievable_mlp(0) == 1.0
+
+    @given(
+        capacity=st.sampled_from([4 * KB, 16 * KB, 128 * KB, MB, 16 * MB]),
+        block=st.sampled_from([16, 32, 64, 128, 256]),
+        assoc=st.sampled_from([1, 2, 4, 8, 16]),
+    )
+    def test_miss_rate_always_valid(self, capacity, block, assoc):
+        m = make_memory()
+        assert 0.0 <= m.miss_rate(capacity, block, assoc) <= 1.0
+
+
+class TestWorkloadProfile:
+    def test_ilp_curve_saturates(self):
+        p = make_profile()
+        assert p.ilp(100) == pytest.approx(2.0)  # half-window point
+        assert p.ilp(1_000_000) == pytest.approx(4.0, rel=0.01)
+
+    def test_ilp_zero_window(self):
+        assert make_profile().ilp(0) == 0.0
+
+    def test_ilp_monotone(self):
+        p = make_profile()
+        values = [p.ilp(w) for w in (8, 32, 128, 512, 2048)]
+        assert values == sorted(values)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(WorkloadError):
+            make_profile(name="")
+
+    def test_rejects_bad_dependence_density(self):
+        with pytest.raises(WorkloadError):
+            make_profile(dependence_density=1.5)
+
+    def test_rejects_non_positive_weight(self):
+        with pytest.raises(WorkloadError):
+            make_profile(weight=0.0)

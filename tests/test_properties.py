@@ -1,0 +1,136 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These hammer the core invariants the exploration relies on across
+randomly drawn workloads and configurations, beyond the targeted cases
+in the per-module suites.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, TimingError
+from repro.explore import MoveGenerator
+from repro.sim import IntervalSimulator
+from repro.tech import CactiModel, core_area_mm2, default_technology
+from repro.uarch import DesignSpace, initial_configuration, validate_config
+from repro.units import KB, MB
+from repro.workloads import (
+    BranchModel,
+    InstructionMix,
+    MemoryModel,
+    WorkingSetComponent,
+    WorkloadProfile,
+)
+
+_TECH = default_technology()
+_MODEL = CactiModel(_TECH)
+_SPACE = DesignSpace()
+_SIM = IntervalSimulator()
+
+
+@st.composite
+def profiles(draw):
+    """Random but legal workload profiles."""
+    load = draw(st.floats(min_value=0.1, max_value=0.4))
+    store = draw(st.floats(min_value=0.02, max_value=0.2))
+    branch = draw(st.floats(min_value=0.03, max_value=0.25))
+    rest = 1.0 - load - store - branch
+    return WorkloadProfile(
+        name="hyp",
+        mix=InstructionMix(
+            load=load, store=store, branch=branch, int_alu=rest, mul=0.0
+        ),
+        ilp_limit=draw(st.floats(min_value=1.2, max_value=8.0)),
+        ilp_window_half=draw(st.floats(min_value=10.0, max_value=500.0)),
+        dependence_density=draw(st.floats(min_value=0.0, max_value=0.8)),
+        load_use_fraction=draw(st.floats(min_value=0.0, max_value=0.8)),
+        branch=BranchModel(
+            misp_rate=draw(st.floats(min_value=0.0, max_value=0.2)),
+            bias=draw(st.floats(min_value=0.6, max_value=1.0)),
+        ),
+        memory=MemoryModel(
+            components=(
+                WorkingSetComponent(
+                    draw(st.floats(min_value=0.5, max_value=0.95)),
+                    draw(st.sampled_from([8 * KB, 32 * KB, 128 * KB])),
+                ),
+                WorkingSetComponent(
+                    0.04, draw(st.sampled_from([512 * KB, 2 * MB, 16 * MB]))
+                ),
+            ),
+            spatial_locality=draw(st.floats(min_value=0.0, max_value=1.0)),
+            mlp=draw(st.floats(min_value=1.0, max_value=8.0)),
+        ),
+    )
+
+
+class TestIntervalInvariants:
+    @settings(deadline=None, max_examples=40)
+    @given(profile=profiles())
+    def test_result_always_sane(self, profile):
+        config = initial_configuration(_TECH)
+        result = _SIM.evaluate(profile, config)
+        assert 0 < result.ipc <= config.width
+        assert result.ipt == pytest.approx(result.ipc / config.clock_period_ns)
+        stack = result.cpi_stack
+        assert stack.total == pytest.approx(result.cpi)
+        for component in (stack.base, stack.branch, stack.l2_access, stack.memory):
+            assert component >= 0
+            assert np.isfinite(component)
+
+    @settings(deadline=None, max_examples=30)
+    @given(profile=profiles())
+    def test_perfect_branches_never_slower(self, profile):
+        from dataclasses import replace
+
+        config = initial_configuration(_TECH)
+        perfect = replace(profile, branch=BranchModel(misp_rate=0.0))
+        assert _SIM.ipt(perfect, config) >= _SIM.ipt(profile, config) - 1e-9
+
+    @settings(deadline=None, max_examples=30)
+    @given(profile=profiles())
+    def test_zero_wakeup_never_slower(self, profile):
+        config = initial_configuration(_TECH)
+        fast_wakeup = config.replace(wakeup_latency=0)
+        assert _SIM.ipt(profile, fast_wakeup) >= _SIM.ipt(profile, config) - 1e-9
+
+
+class TestMoveWalkInvariants:
+    @settings(deadline=None, max_examples=10)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_random_walks_preserve_validity(self, seed):
+        moves = MoveGenerator(_TECH, _MODEL, _SPACE)
+        rng = np.random.default_rng(seed)
+        config = initial_configuration(_TECH)
+        for _ in range(40):
+            try:
+                config = moves.propose(config, rng)
+            except (TimingError, ConfigurationError):
+                continue
+            validate_config(config, _TECH, _MODEL)
+            assert config.iq_size <= config.rob_size
+            assert config.l2.capacity_bytes >= config.l1.capacity_bytes
+            # Area stays finite and positive along any walk.
+            assert 0 < core_area_mm2(_TECH, config) < 500
+
+
+class TestMissRateInvariants:
+    @settings(deadline=None, max_examples=40)
+    @given(
+        profile=profiles(),
+        small=st.sampled_from([8 * KB, 32 * KB, 128 * KB]),
+        factor=st.sampled_from([2, 4, 8]),
+    )
+    def test_capacity_monotonicity(self, profile, small, factor):
+        m = profile.memory
+        assert m.miss_rate(small * factor) <= m.miss_rate(small) + 1e-12
+
+    @settings(deadline=None, max_examples=40)
+    @given(profile=profiles(), assoc=st.sampled_from([1, 2, 4, 8, 16]))
+    def test_associativity_never_hurts(self, profile, assoc):
+        m = profile.memory
+        assert m.miss_rate(64 * KB, assoc=assoc * 2) <= m.miss_rate(
+            64 * KB, assoc=assoc
+        ) + 1e-12

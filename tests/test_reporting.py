@@ -1,0 +1,66 @@
+"""Text rendering: tables, matrices, heatmaps, key-value listings."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    render_heatmap,
+    render_kv,
+    render_matrix,
+    render_table,
+)
+
+
+class TestRenderTable:
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text and "-" in text
+
+    def test_column_alignment(self):
+        text = render_table(["name", "v"], [["x", 1], ["longer", 22]])
+        lines = text.splitlines()
+        # All rows align: the value column starts at the same offset.
+        assert lines[2].index("1") == lines[3].index("2")
+
+    def test_floats_formatted(self):
+        assert "3.14" in render_table(["v"], [[3.14159]])
+
+
+class TestRenderMatrix:
+    def test_labels_present(self):
+        text = render_matrix(["alpha", "beta"], np.eye(2))
+        assert "alpha" in text and "beta" in text
+
+    def test_percent_mode(self):
+        text = render_matrix(["a"], np.array([[0.25]]), percent=True, fmt="{:5.0f}")
+        assert "25%" in text
+
+
+class TestRenderHeatmap:
+    def test_extremes_get_extreme_glyphs(self):
+        m = np.array([[0.0, 1.0], [0.5, 0.0]])
+        text = render_heatmap(["a", "b"], m)
+        assert "@" in text  # the max
+        assert "scale:" in text
+
+    def test_invert_flips_shading(self):
+        m = np.array([[0.0, 1.0], [0.5, 0.0]])
+        normal = render_heatmap(["a", "b"], m)
+        inverted = render_heatmap(["a", "b"], m, invert=True)
+        assert normal != inverted
+        assert "(inverted)" in inverted
+
+    def test_constant_matrix(self):
+        text = render_heatmap(["a", "b"], np.zeros((2, 2)))
+        assert "scale:" in text
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            render_heatmap(["a"], np.zeros((2, 2)))
+
+
+class TestRenderKv:
+    def test_alignment(self):
+        text = render_kv({"a": 1, "longer_key": 2})
+        lines = text.splitlines()
+        assert lines[0].index("1") == lines[1].index("2")

@@ -1,0 +1,78 @@
+"""Agreement between the interval model and the cycle-level simulator.
+
+The interval model drives exploration; the cycle simulator is the ground
+truth.  They will not match absolutely (one is first-order analytic, the
+other executes a finite synthetic trace), but they must agree on the
+*orderings* the exploration exploits.
+"""
+
+import pytest
+
+from repro.sim import CycleSimulator, IntervalSimulator
+from repro.uarch import CacheGeometry
+from repro.workloads import generate_trace, spec2000_profile
+
+TRACE_LEN = 12000
+
+
+@pytest.fixture(scope="module")
+def interval():
+    return IntervalSimulator()
+
+
+def cycle_ipt(config, profile, seed=11):
+    trace = generate_trace(profile, TRACE_LEN, seed=seed)
+    return CycleSimulator(config).run(trace).ipt
+
+
+class TestCrossWorkloadOrdering:
+    def test_mcf_slowest_both_ways(self, interval, initial_config):
+        names = ("mcf", "gzip", "crafty")
+        interval_ipts = {
+            n: interval.ipt(spec2000_profile(n), initial_config) for n in names
+        }
+        cycle_ipts = {n: cycle_ipt(initial_config, spec2000_profile(n)) for n in names}
+        assert min(interval_ipts, key=interval_ipts.get) == "mcf"
+        assert min(cycle_ipts, key=cycle_ipts.get) == "mcf"
+
+    def test_high_ilp_workloads_faster_both_ways(self, interval, initial_config):
+        fast = spec2000_profile("gzip")
+        slow = spec2000_profile("twolf")
+        assert interval.ipt(fast, initial_config) > interval.ipt(slow, initial_config)
+        assert cycle_ipt(initial_config, fast) > cycle_ipt(initial_config, slow)
+
+
+class TestConfigOrdering:
+    def test_both_prefer_shallow_frontend_for_bad_branches(
+        self, interval, initial_config
+    ):
+        p = spec2000_profile("mcf")
+        deep = initial_config.replace(frontend_stages=initial_config.frontend_stages + 10)
+        assert interval.ipt(p, deep) < interval.ipt(p, initial_config)
+        assert cycle_ipt(deep, p) < cycle_ipt(initial_config, p)
+
+    def test_both_prefer_short_wakeup_for_dense_chains(self, interval, initial_config):
+        p = spec2000_profile("bzip")
+        slow_wakeup = initial_config.replace(wakeup_latency=3)
+        assert interval.ipt(p, slow_wakeup) < interval.ipt(p, initial_config)
+        assert cycle_ipt(slow_wakeup, p) < cycle_ipt(initial_config, p)
+
+    def test_both_reward_l1_capacity_for_large_working_sets(
+        self, interval, initial_config
+    ):
+        p = spec2000_profile("vortex")
+        tiny = initial_config.replace(
+            l1=CacheGeometry(nsets=64, assoc=1, block_bytes=64, latency_cycles=4)
+        )
+        assert interval.ipt(p, tiny) < interval.ipt(p, initial_config)
+        assert cycle_ipt(tiny, p) < cycle_ipt(initial_config, p)
+
+    def test_absolute_scale_same_regime(self, interval, initial_config):
+        """IPC from both simulators lands within a small factor."""
+        for name in ("gcc", "gzip"):
+            p = spec2000_profile(name)
+            a = interval.evaluate(p, initial_config).ipc
+            trace = generate_trace(p, TRACE_LEN, seed=5)
+            b = CycleSimulator(initial_config).run(trace).ipc
+            ratio = a / b
+            assert 0.25 < ratio < 4.0, (name, a, b)

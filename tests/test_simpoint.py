@@ -1,0 +1,124 @@
+"""SimPoint-style phase sampling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.uarch import initial_configuration
+from repro.workloads import (
+    SimPoint,
+    Op,
+    Trace,
+    evaluate_simpoints,
+    generate_trace,
+    interval_signatures,
+    pick_simpoints,
+    spec2000_profile,
+)
+
+from .test_profile import make_profile
+
+
+def phased_trace(n_per_phase=2000):
+    """Two starkly different phases: pure ALU then memory-heavy."""
+    alu = generate_trace(
+        make_profile(
+            mix=_mix(load=0.02, store=0.02, branch=0.06, alu=0.90),
+        ),
+        n_per_phase,
+        seed=1,
+    )
+    mem = generate_trace(
+        make_profile(
+            mix=_mix(load=0.45, store=0.25, branch=0.10, alu=0.20),
+        ),
+        n_per_phase,
+        seed=2,
+    )
+    return Trace(
+        ops=np.concatenate([alu.ops, mem.ops]),
+        src1_dist=np.concatenate([alu.src1_dist, mem.src1_dist]),
+        src2_dist=np.concatenate([alu.src2_dist, mem.src2_dist]),
+        addrs=np.concatenate([alu.addrs, mem.addrs]),
+        taken=np.concatenate([alu.taken, mem.taken]),
+        pcs=np.concatenate([alu.pcs, mem.pcs]),
+        name="phased",
+    )
+
+
+def _mix(load, store, branch, alu):
+    from repro.workloads import InstructionMix
+
+    return InstructionMix(load=load, store=store, branch=branch, int_alu=alu, mul=0.0)
+
+
+class TestSignatures:
+    def test_one_row_per_interval(self):
+        trace = generate_trace(make_profile(), 4000, seed=0)
+        sig = interval_signatures(trace, 500)
+        assert sig.shape == (8, 7)
+
+    def test_signatures_separate_phases(self):
+        trace = phased_trace()
+        sig = interval_signatures(trace, 500)
+        load_col = sig[:, 2]  # LOAD fraction
+        first_half = load_col[: len(load_col) // 2].mean()
+        second_half = load_col[len(load_col) // 2 :].mean()
+        assert second_half > first_half + 0.3
+
+    def test_short_trace_rejected(self):
+        trace = generate_trace(make_profile(), 100, seed=0)
+        with pytest.raises(WorkloadError):
+            interval_signatures(trace, 500)
+
+    def test_tiny_interval_rejected(self):
+        trace = generate_trace(make_profile(), 1000, seed=0)
+        with pytest.raises(WorkloadError):
+            interval_signatures(trace, 8)
+
+
+class TestPick:
+    def test_weights_sum_to_one(self):
+        trace = generate_trace(spec2000_profile("gcc"), 6000, seed=3)
+        points = pick_simpoints(trace, 500, max_points=4)
+        assert sum(p.weight for p in points) == pytest.approx(1.0)
+
+    def test_covers_both_phases(self):
+        trace = phased_trace()
+        points = pick_simpoints(trace, 500, max_points=2, seed=0)
+        halves = {p.interval < 4 for p in points}
+        assert halves == {True, False}  # one representative per phase
+
+    def test_at_most_max_points(self):
+        trace = generate_trace(make_profile(), 6000, seed=4)
+        points = pick_simpoints(trace, 500, max_points=3)
+        assert 1 <= len(points) <= 3
+
+    def test_deterministic(self):
+        trace = generate_trace(make_profile(), 6000, seed=5)
+        a = pick_simpoints(trace, 500, max_points=3, seed=7)
+        b = pick_simpoints(trace, 500, max_points=3, seed=7)
+        assert a == b
+
+
+class TestEvaluate:
+    def test_weighted_estimate_close_to_full_run(self, tech):
+        from repro.sim import CycleSimulator
+
+        config = initial_configuration(tech)
+        trace = generate_trace(spec2000_profile("gzip"), 16000, seed=6)
+        points = pick_simpoints(trace, 1000, max_points=5, seed=0)
+        sampled = evaluate_simpoints(config, trace, points)
+        full = CycleSimulator(config).run(trace)
+        assert sampled.ipc == pytest.approx(full.ipc, rel=0.30)
+
+    def test_requires_points(self, tech):
+        trace = generate_trace(make_profile(), 2000, seed=0)
+        with pytest.raises(WorkloadError):
+            evaluate_simpoints(initial_configuration(tech), trace, [])
+
+    def test_rejects_bad_weights(self, tech):
+        trace = generate_trace(make_profile(), 2000, seed=0)
+        bogus = [SimPoint(interval=0, start=0, stop=500, weight=0.4)]
+        with pytest.raises(WorkloadError):
+            evaluate_simpoints(initial_configuration(tech), trace, bogus)

@@ -1,0 +1,110 @@
+"""The 11 calibrated SPEC2000 profiles and their intended structure."""
+
+import pytest
+
+from repro.units import KB, MB
+from repro.workloads import (
+    SPEC2000_INT_NAMES,
+    profile_characteristics,
+    spec2000_profile,
+    spec2000_profiles,
+)
+
+
+class TestSuite:
+    def test_eleven_benchmarks(self, profiles):
+        assert len(profiles) == 11
+
+    def test_paper_ordering(self, profiles):
+        assert tuple(p.name for p in profiles) == SPEC2000_INT_NAMES
+        assert SPEC2000_INT_NAMES == (
+            "bzip", "crafty", "gap", "gcc", "gzip", "mcf",
+            "parser", "perl", "twolf", "vortex", "vpr",
+        )
+
+    def test_lookup_by_name(self):
+        assert spec2000_profile("mcf").name == "mcf"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            spec2000_profile("swim")  # FP benchmark, not in the C-int suite
+
+    def test_profiles_are_fresh(self):
+        a, b = spec2000_profile("gcc"), spec2000_profile("gcc")
+        assert a == b
+        assert a is not b
+
+    def test_all_names_distinct(self, profiles):
+        names = [p.name for p in profiles]
+        assert len(set(names)) == len(names)
+
+    def test_default_weights_equal(self, profiles):
+        assert all(p.weight == 1.0 for p in profiles)
+
+
+class TestCalibrationStructure:
+    """The workload-population structure DESIGN.md commits to."""
+
+    def test_mcf_is_the_memory_outlier(self, profiles):
+        by_name = {p.name: p for p in profiles}
+        mcf = by_name["mcf"]
+        others = [p for p in profiles if p.name != "mcf"]
+        # Largest footprint by far.
+        assert mcf.memory.footprint_bytes >= 4 * max(
+            p.memory.footprint_bytes for p in others
+        )
+        # Worst 4 MB-cache miss rate by far.
+        assert mcf.memory.miss_rate(4 * MB) >= 5 * max(
+            p.memory.miss_rate(4 * MB) for p in others
+        )
+
+    def test_mcf_needs_the_biggest_window_for_mlp(self, profiles):
+        by_name = {p.name: p for p in profiles}
+        assert by_name["mcf"].memory.mlp_window_half == max(
+            p.memory.mlp_window_half for p in profiles
+        )
+
+    def test_crafty_and_perl_are_cache_resident(self, profiles):
+        for name in ("crafty", "perl"):
+            p = next(x for x in profiles if x.name == name)
+            assert p.memory.miss_rate(1 * MB) < 0.002
+
+    def test_bzip_gzip_raw_characteristics_close(self, profiles):
+        """The §5.3 premise: by raw characteristics the compressors are
+        among the closest pairs in the suite."""
+        from repro.communal import raw_distance_matrix
+
+        names = [p.name for p in profiles]
+        dist = raw_distance_matrix(profiles)
+        i, j = names.index("bzip"), names.index("gzip")
+        pair_distance = dist[i, j]
+        # bzip-gzip is closer than the median pair.
+        off_diag = [
+            dist[a, b]
+            for a in range(len(names))
+            for b in range(a + 1, len(names))
+        ]
+        off_diag.sort()
+        assert pair_distance <= off_diag[len(off_diag) // 2]
+
+    def test_bzip_gzip_diverge_in_window_demand(self, profiles):
+        by_name = {p.name: p for p in profiles}
+        assert by_name["bzip"].ilp_window_half > 2 * by_name["gzip"].ilp_window_half
+
+    def test_twolf_vpr_are_near_twins(self, profiles):
+        by_name = {p.name: p for p in profiles}
+        twolf, vpr = by_name["twolf"], by_name["vpr"]
+        assert abs(twolf.dependence_density - vpr.dependence_density) < 0.05
+        assert abs(twolf.load_use_fraction - vpr.load_use_fraction) < 0.05
+        assert abs(twolf.ilp_limit - vpr.ilp_limit) < 0.5
+
+    def test_branch_predictability_spread(self, profiles):
+        rates = {p.name: p.branch.misp_rate for p in profiles}
+        assert rates["mcf"] == max(rates.values())
+        assert rates["vortex"] == min(rates.values())
+
+    def test_characteristics_extractable_for_all(self, profiles):
+        for p in profiles:
+            vec = profile_characteristics(p).as_vector()
+            assert len(vec) == 8
+            assert all(v == v for v in vec)  # no NaNs

@@ -1,0 +1,31 @@
+"""Seed-stability analysis of the pipeline's headline conclusions."""
+
+import pytest
+
+from repro.experiments import stability_analysis
+from repro.workloads import spec2000_profile
+
+
+class TestStability:
+    @pytest.fixture(scope="class")
+    def report(self):
+        # A reduced population keeps this affordable in the unit suite;
+        # the full-suite analysis runs in the benchmark harness.
+        profiles = [
+            spec2000_profile(n) for n in ("gzip", "crafty", "mcf", "twolf", "gcc")
+        ]
+        return stability_analysis(
+            seeds=(1, 2, 3), iterations=400, profiles=profiles
+        )
+
+    def test_one_outcome_per_seed(self, report):
+        assert [o.seed for o in report.outcomes] == [1, 2, 3]
+
+    def test_outlier_protected_in_most_seeds(self, report):
+        assert report.outlier_in_pair_rate >= 0.5
+
+    def test_table7_ordering_stable(self, report):
+        assert report.table7_ordering_rate >= 0.5
+
+    def test_merit_wobble_bounded(self, report):
+        assert report.ideal_harmonic_cv < 0.2

@@ -1,0 +1,127 @@
+"""Subsetting baseline: clustering, closest pairs, the §5.3 experiment."""
+
+import numpy as np
+import pytest
+
+from repro.communal import (
+    closest_pairs,
+    cluster_workloads,
+    raw_distance_matrix,
+    subsetting_experiment,
+)
+from repro.errors import CommunalError
+from repro.units import KB, MB
+from repro.workloads import (
+    BranchModel,
+    InstructionMix,
+    MemoryModel,
+    WorkingSetComponent,
+    WorkloadProfile,
+)
+
+from .test_cross import make_cross
+
+
+def synthetic_population():
+    """Two obvious clusters: compute-bound twins and memory-bound twins."""
+
+    def make(name, load, ws, misp, dd):
+        return WorkloadProfile(
+            name=name,
+            mix=InstructionMix(
+                load=load, store=0.1, branch=0.15, int_alu=0.75 - load, mul=0.0
+            ),
+            ilp_limit=4.0,
+            ilp_window_half=100.0,
+            dependence_density=dd,
+            load_use_fraction=0.4,
+            branch=BranchModel(misp_rate=misp),
+            memory=MemoryModel(
+                components=(WorkingSetComponent(0.95, ws),), spatial_locality=0.5
+            ),
+        )
+
+    return [
+        make("cpu1", 0.20, 16 * KB, 0.03, 0.20),
+        make("cpu2", 0.21, 20 * KB, 0.035, 0.22),
+        make("mem1", 0.40, 32 * MB, 0.10, 0.60),
+        make("mem2", 0.41, 24 * MB, 0.095, 0.58),
+    ]
+
+
+class TestClustering:
+    def test_two_clusters_found(self):
+        clusters = cluster_workloads(synthetic_population(), 2)
+        sets = sorted(tuple(sorted(c.members)) for c in clusters)
+        assert sets == [("cpu1", "cpu2"), ("mem1", "mem2")]
+
+    def test_representative_is_member(self):
+        for cluster in cluster_workloads(synthetic_population(), 2):
+            assert cluster.representative in cluster.members
+
+    def test_n_clusters_equals_population(self):
+        pop = synthetic_population()
+        clusters = cluster_workloads(pop, len(pop))
+        assert all(len(c.members) == 1 for c in clusters)
+
+    def test_single_cluster(self):
+        clusters = cluster_workloads(synthetic_population(), 1)
+        assert len(clusters) == 1
+        assert len(clusters[0].members) == 4
+
+    def test_out_of_range(self):
+        with pytest.raises(CommunalError):
+            cluster_workloads(synthetic_population(), 0)
+        with pytest.raises(CommunalError):
+            cluster_workloads(synthetic_population(), 5)
+
+
+class TestDistances:
+    def test_matrix_shape_and_symmetry(self):
+        d = raw_distance_matrix(synthetic_population())
+        assert d.shape == (4, 4)
+        assert np.allclose(d, d.T)
+
+    def test_twins_closer_than_cross_cluster(self):
+        d = raw_distance_matrix(synthetic_population())
+        assert d[0, 1] < d[0, 2]
+        assert d[2, 3] < d[1, 2]
+
+    def test_closest_pairs_ordering(self):
+        pairs = closest_pairs(synthetic_population(), top=2)
+        names = {frozenset(p[:2]) for p in pairs}
+        assert frozenset({"cpu1", "cpu2"}) in names
+        assert frozenset({"mem1", "mem2"}) in names
+        assert pairs[0][2] <= pairs[1][2]
+
+
+class TestSubsettingExperiment:
+    def cross_with_deceptive_pair(self):
+        """x and y look like a pair but x's config is load-bearing for
+        the best dual-core design (the bzip/gzip scenario)."""
+        ipt = np.array(
+            [
+                # x     y     z     w
+                [2.00, 1.40, 1.00, 1.00],  # x needs its own config
+                [1.30, 2.00, 1.60, 1.00],  # y
+                [1.80, 1.20, 2.00, 1.00],  # z does well on x's config
+                [0.40, 0.40, 0.40, 2.00],  # w: outlier needing its own
+            ]
+        )
+        return make_cross(ipt=ipt, names=("x", "y", "z", "w"))
+
+    def test_dropping_a_config_loses_merit(self):
+        cross = self.cross_with_deceptive_pair()
+        exp = subsetting_experiment(cross, dropped="x", representative="y", k=2)
+        assert "x" in exp.full_search.configs
+        assert "x" not in exp.reduced_search.configs
+        assert exp.merit_loss > 0
+
+    def test_identity_representative_rejected(self):
+        with pytest.raises(CommunalError):
+            subsetting_experiment(self.cross_with_deceptive_pair(), "x", "x")
+
+    def test_dropping_irrelevant_config_costs_nothing(self):
+        cross = self.cross_with_deceptive_pair()
+        exp = subsetting_experiment(cross, dropped="y", representative="x", k=2)
+        assert exp.merit_loss == pytest.approx(0.0, abs=1e-9)

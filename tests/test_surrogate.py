@@ -1,0 +1,148 @@
+"""Greedy surrogate assignment: policies, propagation, feedback."""
+
+import numpy as np
+import pytest
+
+from repro.communal import (
+    Propagation,
+    greedy_surrogates,
+    surrogate_merits,
+)
+from repro.errors import CommunalError
+
+from .test_cross import make_cross
+
+
+def chain_cross():
+    """Four workloads where a→b→c→d surrogating chains are attractive.
+
+    Row i gives workload i's IPT on each config; the off-diagonal
+    structure makes b's config cheap for a, c's cheap for b, etc.
+    """
+    ipt = np.array(
+        [
+            # a     b     c     d
+            [2.00, 1.96, 1.60, 1.20],  # a: cheapest surrogate is b
+            [1.40, 2.00, 1.94, 1.50],  # b: cheapest surrogate is c
+            [1.20, 1.40, 2.00, 1.90],  # c: cheapest surrogate is d
+            [0.90, 1.00, 1.30, 2.00],  # d: every surrogate is costly
+        ]
+    )
+    return make_cross(ipt=ipt, names=("a", "b", "c", "d"))
+
+
+class TestPolicies:
+    def test_full_propagation_reaches_target(self):
+        graph = greedy_surrogates(chain_cross(), Propagation.FULL, target_roots=1)
+        assert len(graph.roots) == 1
+        assert len(graph.edges) == 3
+
+    def test_forward_reaches_small_counts(self):
+        graph = greedy_surrogates(chain_cross(), Propagation.FORWARD, target_roots=2)
+        assert len(graph.roots) <= 2
+
+    def test_non_propagation_can_stall(self):
+        """With no propagation, providers can never be consumers, so the
+        chain structure stalls before one root (the paper's §5.4.1)."""
+        graph = greedy_surrogates(chain_cross(), Propagation.NONE, target_roots=1)
+        assert len(graph.roots) >= 2
+        assert graph.stalled
+
+    def test_target_roots_validated(self):
+        with pytest.raises(CommunalError):
+            greedy_surrogates(chain_cross(), Propagation.FULL, target_roots=0)
+
+
+class TestGraphStructure:
+    def test_edges_ordered(self):
+        graph = greedy_surrogates(chain_cross(), Propagation.FULL, target_roots=1)
+        assert [e.order for e in graph.edges] == list(range(1, len(graph.edges) + 1))
+
+    def test_greedy_picks_cheapest_first(self):
+        graph = greedy_surrogates(chain_cross(), Propagation.FULL, target_roots=1)
+        first = graph.edges[0]
+        # The globally cheapest surrogate edge is a->b (2% slowdown).
+        assert (first.consumer, first.effective_root) == ("a", "b")
+
+    def test_groups_partition_workloads(self):
+        cross = chain_cross()
+        graph = greedy_surrogates(cross, Propagation.FORWARD, target_roots=2)
+        members = [m for ms in graph.groups.values() for m in ms]
+        assert sorted(members) == sorted(cross.names)
+
+    def test_assignment_maps_to_roots(self):
+        graph = greedy_surrogates(chain_cross(), Propagation.FULL, target_roots=2)
+        for workload, root in graph.assignment.items():
+            assert root in graph.roots
+
+    def test_consumers_use_effective_root(self):
+        """Under backward propagation, a consumer's recorded effective
+        root must be a live root, even when the nominal provider was
+        itself surrogated."""
+        graph = greedy_surrogates(chain_cross(), Propagation.FULL, target_roots=1)
+        root = graph.roots[0]
+        for edge in graph.edges:
+            assert edge.effective_root != edge.consumer
+
+
+class TestFeedback:
+    def test_feedback_blocks_cycles(self):
+        """Two workloads that love each other's configs must not form a
+        cycle; one surrogates the other and the survivor stays a root."""
+        ipt = np.array(
+            [
+                [2.00, 1.99, 0.5],
+                [1.99, 2.00, 0.5],
+                [0.50, 0.50, 2.0],
+            ]
+        )
+        cross = make_cross(ipt=ipt, names=("x", "y", "z"))
+        graph = greedy_surrogates(cross, Propagation.FULL, target_roots=1)
+        # x<->y would be a cycle; the run must terminate with >= 1 root
+        # and no workload assigned to itself through a chain.
+        assignment = graph.assignment
+        for w, root in assignment.items():
+            chain_root = assignment[root]
+            assert chain_root == root  # roots are fixed points
+
+    def test_feedback_recorded_when_everything_else_exhausted(self):
+        ipt = np.array(
+            [
+                [2.00, 1.99],
+                [1.99, 2.00],
+            ]
+        )
+        cross = make_cross(ipt=ipt, names=("x", "y"))
+        graph = greedy_surrogates(cross, Propagation.FULL, target_roots=1)
+        # One of the two surrogates the other; reaching 1 root then stops.
+        assert len(graph.roots) == 1
+
+
+class TestMerits:
+    def test_surrogate_merits_fields(self):
+        cross = chain_cross()
+        graph = greedy_surrogates(cross, Propagation.FORWARD, target_roots=2)
+        merits = surrogate_merits(cross, graph)
+        assert 0 < merits["harmonic_ipt"] <= merits["average_ipt"]
+        assert 0 <= merits["average_slowdown"] < 1
+
+    def test_greedy_never_beats_exhaustive(self):
+        """The paper's Table 7 ordering: the greedy surrogate system is at
+        most as good as the complete search at equal core count."""
+        from repro.communal import best_combination
+
+        cross = chain_cross()
+        graph = greedy_surrogates(cross, Propagation.FULL, target_roots=2)
+        greedy_har = surrogate_merits(cross, graph)["harmonic_ipt"]
+        exhaustive = best_combination(cross, 2, "har").harmonic
+        assert greedy_har <= exhaustive + 1e-9
+
+    def test_weights_steer_greedy(self):
+        """A heavily weighted workload resists being surrogated early."""
+        base = chain_cross()
+        weighted = make_cross(
+            ipt=base.ipt, names=base.names, weights=[100.0, 1.0, 1.0, 1.0]
+        )
+        graph = greedy_surrogates(weighted, Propagation.FULL, target_roots=3)
+        first_consumer = graph.edges[0].consumer
+        assert first_consumer != "a"

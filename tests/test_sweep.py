@@ -1,0 +1,53 @@
+"""Pinned-clock sweeps."""
+
+import pytest
+
+from repro.explore import ClockSweep, XpScalar
+from repro.workloads import spec2000_profile
+
+
+@pytest.fixture(scope="module")
+def xp():
+    return XpScalar()
+
+
+class TestClockSweep:
+    def test_points_pinned_to_grid(self, xp):
+        sweep = ClockSweep(xp, iterations=150)
+        clocks = [0.20, 0.35, 0.50]
+        points = sweep.run(spec2000_profile("gzip"), clocks, seed=0)
+        assert [p.clock_period_ns for p in points] == clocks
+        for p in points:
+            assert p.config.clock_period_ns == pytest.approx(p.clock_period_ns)
+
+    def test_configs_valid(self, xp):
+        from repro.uarch import validate_config
+
+        sweep = ClockSweep(xp, iterations=150)
+        for p in sweep.run(spec2000_profile("gcc"), [0.25, 0.45], seed=1):
+            validate_config(p.config, xp.tech, xp.model)
+
+    def test_default_grid_spans_clock_range(self, xp):
+        sweep = ClockSweep(xp, iterations=60)
+        points = sweep.run(spec2000_profile("perl"), seed=2)
+        clocks = [p.clock_period_ns for p in points]
+        assert min(clocks) == pytest.approx(xp.tech.min_clock_ns, abs=1e-6)
+        assert max(clocks) == pytest.approx(xp.tech.max_clock_ns, abs=1e-6)
+
+    def test_scores_positive_and_clock_sensitive(self, xp):
+        sweep = ClockSweep(xp, iterations=250)
+        points = sweep.run(spec2000_profile("gzip"), [0.18, 0.60], seed=3)
+        assert all(p.score > 0 for p in points)
+        # The calibrated model is not clock-flat for gzip.
+        a, b = points[0].score, points[1].score
+        assert abs(a - b) / max(a, b) > 0.02
+
+    def test_capacity_grows_with_clock(self, xp):
+        """Slower clocks admit bigger caches at the same cycle counts —
+        the coupling the sweep exists to expose."""
+        sweep = ClockSweep(xp, iterations=300)
+        points = sweep.run(spec2000_profile("mcf"), [0.18, 0.48], seed=4)
+        fast, slow = points
+        assert (
+            slow.config.l2.capacity_bytes >= fast.config.l2.capacity_bytes
+        )

@@ -1,0 +1,103 @@
+"""Synthetic workload families."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim import IntervalSimulator
+from repro.uarch import initial_configuration
+from repro.units import MB
+from repro.workloads import (
+    blended,
+    branchy,
+    compute_kernel,
+    generate_trace,
+    pointer_chasing,
+    streaming,
+)
+
+
+class TestFamilies:
+    def test_all_families_are_valid_profiles(self):
+        for profile in (streaming(), pointer_chasing(), branchy(), compute_kernel()):
+            assert profile.ilp(100) > 0
+            generate_trace(profile, 500, seed=0)  # generator accepts them
+
+    def test_streaming_intensity_scales_memory_traffic(self):
+        light = streaming(intensity=0.0)
+        heavy = streaming(intensity=1.0)
+        assert heavy.mix.memory > light.mix.memory + 0.2
+
+    def test_streaming_intensity_validated(self):
+        with pytest.raises(WorkloadError):
+            streaming(intensity=1.5)
+
+    def test_pointer_chasing_chains_scale(self):
+        loose = pointer_chasing(chain_fraction=0.0)
+        tight = pointer_chasing(chain_fraction=1.0)
+        assert tight.dependence_density > loose.dependence_density
+        assert tight.memory.mlp < loose.memory.mlp
+
+    def test_branchy_predictability_maps_to_misp(self):
+        good = branchy(predictability=0.98)
+        bad = branchy(predictability=0.80)
+        assert good.branch.misp_rate < bad.branch.misp_rate
+
+    def test_branchy_validated(self):
+        with pytest.raises(WorkloadError):
+            branchy(predictability=0.4)
+
+    def test_compute_kernel_ilp_knob(self):
+        assert compute_kernel(ilp=9.0).ilp_limit == 9.0
+        with pytest.raises(WorkloadError):
+            compute_kernel(ilp=0.0)
+
+    def test_families_perform_as_expected(self, tech):
+        """On a mid-range core, the compute kernel is fastest and the
+        pointer chaser slowest."""
+        sim = IntervalSimulator()
+        config = initial_configuration(tech)
+        ipts = {
+            p.name: sim.ipt(p, config)
+            for p in (streaming(), pointer_chasing(), branchy(), compute_kernel())
+        }
+        assert max(ipts, key=ipts.get) == "compute"
+        assert min(ipts, key=ipts.get) == "pointer-chasing"
+
+
+class TestBlended:
+    def test_endpoints_match_parents(self):
+        a, b = compute_kernel(), pointer_chasing()
+        left = blended(a, b, 0.0)
+        right = blended(a, b, 1.0)
+        assert left.ilp_limit == pytest.approx(a.ilp_limit)
+        assert right.ilp_limit == pytest.approx(b.ilp_limit)
+
+    def test_midpoint_interpolates(self):
+        a, b = compute_kernel(), pointer_chasing()
+        mid = blended(a, b, 0.5)
+        assert mid.dependence_density == pytest.approx(
+            (a.dependence_density + b.dependence_density) / 2
+        )
+        assert a.ilp_limit > mid.ilp_limit > b.ilp_limit
+
+    def test_blend_performance_between_parents(self, tech):
+        sim = IntervalSimulator()
+        config = initial_configuration(tech)
+        a, b = compute_kernel(), pointer_chasing()
+        ipt_a, ipt_b = sim.ipt(a, config), sim.ipt(b, config)
+        ipt_mid = sim.ipt(blended(a, b, 0.5), config)
+        assert min(ipt_a, ipt_b) <= ipt_mid <= max(ipt_a, ipt_b)
+
+    def test_working_sets_union(self):
+        a, b = compute_kernel(), streaming(footprint_bytes=64 * MB)
+        mid = blended(a, b, 0.5)
+        sizes = {c.size_bytes for c in mid.memory.components}
+        assert 64 * MB in sizes
+
+    def test_alpha_validated(self):
+        with pytest.raises(WorkloadError):
+            blended(compute_kernel(), streaming(), 1.2)
+
+    def test_default_name(self):
+        mid = blended(compute_kernel(), streaming(), 0.25)
+        assert "compute" in mid.name and "streaming" in mid.name

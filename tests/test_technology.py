@@ -1,0 +1,85 @@
+"""Technology node: constants, budgets, port scaling."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tech import TechnologyNode, default_technology
+
+
+class TestDefaults:
+    def test_table2_constants(self, tech):
+        # The fixed parameters of the paper's Table 2.
+        assert tech.memory_latency_ns == pytest.approx(50.0)
+        assert tech.frontend_latency_ns == pytest.approx(2.0)
+        assert tech.latch_latency_ns == pytest.approx(0.03)
+        assert tech.iq_entry_bits == 64
+
+    def test_clock_range_sane(self, tech):
+        assert 0 < tech.min_clock_ns < tech.max_clock_ns
+
+    def test_default_is_fresh_instance(self):
+        assert default_technology() == default_technology()
+        assert default_technology() is not default_technology()
+
+
+class TestValidation:
+    def test_negative_latch_rejected(self):
+        with pytest.raises(ValueError):
+            TechnologyNode(latch_latency_ns=-0.01)
+
+    def test_zero_memory_latency_rejected(self):
+        with pytest.raises(ValueError):
+            TechnologyNode(memory_latency_ns=0.0)
+
+    def test_zero_frontend_rejected(self):
+        with pytest.raises(ValueError):
+            TechnologyNode(frontend_latency_ns=0.0)
+
+    def test_inverted_clock_range_rejected(self):
+        with pytest.raises(ValueError):
+            TechnologyNode(min_clock_ns=0.5, max_clock_ns=0.2)
+
+
+class TestPortFactor:
+    def test_two_ports_baseline(self, tech):
+        assert tech.port_factor(1, 1) == pytest.approx(1.0)
+        assert tech.port_factor(2, 0) == pytest.approx(1.0)
+
+    def test_single_port_not_cheaper(self, tech):
+        assert tech.port_factor(1, 0) == pytest.approx(1.0)
+
+    def test_monotone_in_ports(self, tech):
+        factors = [tech.port_factor(r, 2) for r in range(1, 17)]
+        assert factors == sorted(factors)
+
+    def test_zero_ports_rejected(self, tech):
+        with pytest.raises(ValueError):
+            tech.port_factor(0, 0)
+
+
+class TestBudget:
+    def test_single_stage(self, tech):
+        assert tech.budget(0.5, 1) == pytest.approx(0.5 - tech.latch_latency_ns)
+
+    def test_paper_fitting_rule(self, tech):
+        # "the product of the clock period and their pipeline depth,
+        # minus the aggregate latch latency"
+        assert tech.budget(0.33, 3) == pytest.approx(
+            3 * 0.33 - 3 * tech.latch_latency_ns
+        )
+
+    def test_zero_stages_rejected(self, tech):
+        with pytest.raises(ValueError):
+            tech.budget(0.33, 0)
+
+    @given(
+        clock=st.floats(min_value=0.1, max_value=1.0),
+        stages=st.integers(min_value=1, max_value=20),
+    )
+    def test_budget_monotone_in_stages(self, clock, stages):
+        tech = default_technology()
+        assert tech.budget(clock, stages + 1) > tech.budget(clock, stages)
+
+    def test_usable_stage_time(self, tech):
+        assert tech.usable_stage_time(0.33) == pytest.approx(0.30)

@@ -1,0 +1,138 @@
+"""Trace containers: construction, views, slicing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import Op, Trace
+
+
+def make_trace(n=10):
+    ops = np.array([int(Op.ALU)] * n, dtype=np.uint8)
+    ops[2] = int(Op.LOAD)
+    ops[5] = int(Op.BRANCH)
+    src1 = np.zeros(n, dtype=np.int32)
+    src1[3] = 1  # depends on the load at index 2
+    src2 = np.zeros(n, dtype=np.int32)
+    addrs = np.zeros(n, dtype=np.uint64)
+    addrs[2] = 0x1000
+    taken = np.zeros(n, dtype=bool)
+    taken[5] = True
+    pcs = np.arange(n, dtype=np.uint64) * 4
+    return Trace(ops, src1, src2, addrs, taken, pcs, name="toy")
+
+
+class TestConstruction:
+    def test_length(self):
+        assert len(make_trace(10)) == 10
+
+    def test_rejects_empty(self):
+        with pytest.raises(WorkloadError):
+            Trace(
+                ops=np.zeros(0, dtype=np.uint8),
+                src1_dist=np.zeros(0, dtype=np.int32),
+                src2_dist=np.zeros(0, dtype=np.int32),
+                addrs=np.zeros(0, dtype=np.uint64),
+                taken=np.zeros(0, dtype=bool),
+                pcs=np.zeros(0, dtype=np.uint64),
+            )
+
+    def test_rejects_mismatched_columns(self):
+        with pytest.raises(WorkloadError):
+            Trace(
+                ops=np.zeros(5, dtype=np.uint8),
+                src1_dist=np.zeros(4, dtype=np.int32),
+                src2_dist=np.zeros(5, dtype=np.int32),
+                addrs=np.zeros(5, dtype=np.uint64),
+                taken=np.zeros(5, dtype=bool),
+                pcs=np.zeros(5, dtype=np.uint64),
+            )
+
+    def test_rejects_negative_distances(self):
+        with pytest.raises(WorkloadError):
+            Trace(
+                ops=np.zeros(3, dtype=np.uint8),
+                src1_dist=np.array([0, -1, 0], dtype=np.int32),
+                src2_dist=np.zeros(3, dtype=np.int32),
+                addrs=np.zeros(3, dtype=np.uint64),
+                taken=np.zeros(3, dtype=bool),
+                pcs=np.zeros(3, dtype=np.uint64),
+            )
+
+
+class TestRowView:
+    def test_instruction_fields(self):
+        tr = make_trace()
+        inst = tr[2]
+        assert inst.op is Op.LOAD
+        assert inst.addr == 0x1000
+        assert inst.is_memory
+
+    def test_branch_row(self):
+        tr = make_trace()
+        inst = tr[5]
+        assert inst.op is Op.BRANCH
+        assert inst.taken
+        assert not inst.is_memory
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            make_trace(5)[5]
+
+    def test_iteration_covers_all(self):
+        tr = make_trace(7)
+        assert [i.index for i in tr] == list(range(7))
+
+
+class TestStats:
+    def test_op_fraction(self):
+        tr = make_trace(10)
+        assert tr.op_fraction(Op.LOAD) == pytest.approx(0.1)
+        assert tr.op_fraction(Op.ALU) == pytest.approx(0.8)
+
+
+class TestSlice:
+    def test_basic_slice(self):
+        sub = make_trace(10).slice(2, 8)
+        assert len(sub) == 6
+        assert sub[0].op is Op.LOAD
+
+    def test_dependences_clipped_at_boundary(self):
+        tr = make_trace(10)
+        sub = tr.slice(3, 8)
+        # Index 3 depended on index 2, which is now outside the slice.
+        assert sub[0].src1_dist == 0
+
+    def test_in_slice_dependences_kept(self):
+        tr = make_trace(10)
+        sub = tr.slice(2, 8)
+        assert sub[1].src1_dist == 1  # 3 depends on 2, both inside
+
+    def test_invalid_bounds(self):
+        with pytest.raises(WorkloadError):
+            make_trace(10).slice(5, 3)
+        with pytest.raises(WorkloadError):
+            make_trace(10).slice(0, 11)
+
+
+class TestConcat:
+    def test_concatenates_lengths(self):
+        from repro.workloads import concat_traces
+
+        combined = concat_traces([make_trace(10), make_trace(6)], name="two")
+        assert len(combined) == 16
+        assert combined.name == "two"
+
+    def test_order_preserved(self):
+        from repro.workloads import concat_traces
+
+        a, b = make_trace(10), make_trace(6)
+        combined = concat_traces([a, b])
+        assert combined[2].op is Op.LOAD  # from a
+        assert combined[12].op is Op.LOAD  # from b (offset 10 + 2)
+
+    def test_rejects_empty_list(self):
+        from repro.workloads import concat_traces
+
+        with pytest.raises(WorkloadError):
+            concat_traces([])

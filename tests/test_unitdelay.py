@@ -1,0 +1,76 @@
+"""Per-unit delay functions: the executable Table 1."""
+
+import pytest
+
+from repro.tech import (
+    issue_queue_ns,
+    l1_cache_ns,
+    l2_cache_ns,
+    lsq_ns,
+    regfile_ns,
+    select_ns,
+    wakeup_ns,
+)
+
+
+class TestIssueQueue:
+    def test_wakeup_plus_select(self, model):
+        total = issue_queue_ns(model, 64, 4)
+        assert total == pytest.approx(wakeup_ns(model, 64, 4) + select_ns(model, 64, 4))
+
+    def test_monotone_in_size(self, model):
+        sizes = [16, 32, 64, 128]
+        delays = [issue_queue_ns(model, s, 4) for s in sizes]
+        assert delays == sorted(delays)
+
+    def test_monotone_in_width(self, model):
+        widths = [1, 2, 4, 8]
+        delays = [issue_queue_ns(model, 64, w) for w in widths]
+        assert delays == sorted(delays)
+
+    def test_wakeup_searches_two_tags_per_entry(self, model):
+        # Table 1: the wake-up CAM has 2x IQ-size entries; doubling the
+        # IQ must therefore grow the broadcast delay.
+        assert wakeup_ns(model, 128, 4) > wakeup_ns(model, 64, 4)
+
+
+class TestRegfile:
+    def test_monotone_in_rob(self, model):
+        delays = [regfile_ns(model, s, 4) for s in (64, 128, 256, 512, 1024)]
+        assert delays == sorted(delays)
+
+    def test_width_costs_ports(self, model):
+        # 2*width read + width write ports: wide machines pay heavily.
+        assert regfile_ns(model, 512, 8) > 1.5 * regfile_ns(model, 512, 2)
+
+    def test_big_rob_needs_slow_clock_or_depth(self, model, tech):
+        """The calibrated coupling behind Table 4: a 1024-entry ROB cannot
+        fit a single fast-clock stage, while a 128-entry one can fit a
+        couple of moderate stages."""
+        assert regfile_ns(model, 1024, 3) > tech.budget(0.28, 2)
+        assert regfile_ns(model, 128, 3) < tech.budget(0.25, 2)
+
+
+class TestCaches:
+    def test_l1_l2_same_model(self, model):
+        assert l1_cache_ns(model, 256, 2, 64) == pytest.approx(
+            l2_cache_ns(model, 256, 2, 64)
+        )
+
+    def test_monotone_in_sets(self, model):
+        delays = [l1_cache_ns(model, n, 2, 64) for n in (64, 256, 1024, 4096)]
+        assert delays == sorted(delays)
+
+    def test_block_size_grows_delay(self, model):
+        assert l1_cache_ns(model, 256, 2, 128) > l1_cache_ns(model, 256, 2, 16)
+
+
+class TestLsq:
+    def test_monotone(self, model):
+        delays = [lsq_ns(model, s) for s in (32, 64, 128, 256)]
+        assert delays == sorted(delays)
+
+    def test_cam_pricier_than_ram_per_entry(self, model):
+        # The LSQ's associative search should cost more than a same-size
+        # direct-mapped select path.
+        assert lsq_ns(model, 256) > 0

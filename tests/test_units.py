@@ -1,0 +1,94 @@
+"""Unit helpers: time/size conversions and power-of-two utilities."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.units import KB, MB, clog2, cycles_for, format_size, ghz, is_power_of_two
+
+
+class TestGhz:
+    def test_one_ns_is_one_ghz(self):
+        assert ghz(1.0) == pytest.approx(1.0)
+
+    def test_paper_clocks(self):
+        # Table 4's extremes: 0.19 ns ~ 5.2 GHz, 0.49 ns ~ 2.04 GHz.
+        assert ghz(0.19) == pytest.approx(5.26, abs=0.01)
+        assert ghz(0.49) == pytest.approx(2.04, abs=0.01)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ValueError):
+            ghz(bad)
+
+
+class TestCyclesFor:
+    def test_exact_fit(self):
+        assert cycles_for(1.0, 0.5) == 2
+
+    def test_rounds_up(self):
+        assert cycles_for(1.01, 0.5) == 3
+
+    def test_zero_latency_still_one_cycle(self):
+        assert cycles_for(0.0, 0.5) == 1
+
+    def test_negative_latency_one_cycle(self):
+        assert cycles_for(-3.0, 0.5) == 1
+
+    def test_rejects_bad_clock(self):
+        with pytest.raises(ValueError):
+            cycles_for(1.0, 0.0)
+
+    @given(
+        latency=st.floats(min_value=0.001, max_value=100.0),
+        clock=st.floats(min_value=0.01, max_value=2.0),
+    )
+    def test_covers_latency(self, latency, clock):
+        cycles = cycles_for(latency, clock)
+        assert cycles * clock >= latency - 1e-6
+        assert cycles >= 1
+
+    @given(
+        latency=st.floats(min_value=0.001, max_value=100.0),
+        clock=st.floats(min_value=0.01, max_value=2.0),
+    )
+    def test_minimal(self, latency, clock):
+        cycles = cycles_for(latency, clock)
+        if cycles > 1:
+            assert (cycles - 1) * clock < latency + 1e-6
+
+
+class TestPowerOfTwo:
+    @pytest.mark.parametrize("n", [1, 2, 4, 1024, 1 << 30])
+    def test_powers(self, n):
+        assert is_power_of_two(n)
+
+    @pytest.mark.parametrize("n", [0, -2, 3, 6, 1023])
+    def test_non_powers(self, n):
+        assert not is_power_of_two(n)
+
+    @given(st.integers(min_value=0, max_value=30))
+    def test_clog2_inverts_shift(self, k):
+        assert clog2(1 << k) == k
+
+    def test_clog2_rounds_up(self):
+        assert clog2(5) == 3
+
+    def test_clog2_rejects_zero(self):
+        with pytest.raises(ValueError):
+            clog2(0)
+
+
+class TestFormatSize:
+    def test_paper_style(self):
+        assert format_size(8 * KB) == "8K"
+        assert format_size(256 * KB) == "256K"
+        assert format_size(4 * MB) == "4M"
+
+    def test_small_values_in_bytes(self):
+        assert format_size(512) == "512B"
+
+    def test_non_aligned_stays_bytes(self):
+        assert format_size(KB + 1) == f"{KB + 1}B"

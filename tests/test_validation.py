@@ -1,0 +1,58 @@
+"""Interval-vs-cycle validation harness."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.sim import validate_interval_model
+from repro.sim.validation import _spearman
+from repro.uarch import initial_configuration
+from repro.workloads import spec2000_profile
+
+import numpy as np
+
+
+class TestSpearman:
+    def test_perfect_agreement(self):
+        assert _spearman(np.array([1, 2, 3]), np.array([10, 20, 30])) == pytest.approx(1.0)
+
+    def test_perfect_disagreement(self):
+        assert _spearman(np.array([1, 2, 3]), np.array([3, 2, 1])) == pytest.approx(-1.0)
+
+    def test_constant_series(self):
+        assert _spearman(np.array([1.0, 1.0]), np.array([2.0, 3.0])) == 1.0
+
+
+class TestValidation:
+    def test_needs_two_pairs(self, tech):
+        config = initial_configuration(tech)
+        with pytest.raises(ReproError):
+            validate_interval_model([(spec2000_profile("gcc"), config)])
+
+    def test_report_on_workload_spread(self, tech):
+        """Across workloads on one configuration, the simulators must
+        rank-agree strongly and stay within a small scale factor."""
+        config = initial_configuration(tech)
+        pairs = [
+            (spec2000_profile(n), config)
+            for n in ("gzip", "gcc", "mcf", "crafty", "twolf")
+        ]
+        report = validate_interval_model(pairs, trace_length=8000, seed=2)
+        assert report.pairs == 5
+        assert report.rank_correlation > 0.6
+        assert 0.3 < report.mean_ratio < 3.0
+
+    def test_report_on_config_spread(self, tech):
+        """For one workload across configurations, orderings agree."""
+        base = initial_configuration(tech)
+        configs = [
+            base,
+            base.replace(width=1),
+            base.replace(wakeup_latency=3),
+            base.replace(frontend_stages=base.frontend_stages + 8),
+        ]
+        p = spec2000_profile("gzip")
+        report = validate_interval_model(
+            [(p, c) for c in configs], trace_length=8000, seed=3
+        )
+        assert report.rank_correlation > 0.3
+        assert len(report.interval_ipt) == len(report.cycle_ipt) == 4

@@ -1,0 +1,121 @@
+"""Importance weights and the multi-programmed job-stream simulation."""
+
+import numpy as np
+import pytest
+
+from repro.communal import (
+    ContentionPolicy,
+    frequency_weights,
+    reweighted,
+    runtime_weights,
+    simulate_job_stream,
+    weighted_profiles,
+)
+from repro.errors import CommunalError
+from repro.workloads import spec2000_profile
+
+from .test_cross import make_cross
+
+
+class TestWeights:
+    def test_frequency_weights_normalized(self):
+        w = frequency_weights({"a": 2.0, "b": 4.0})
+        assert np.mean(list(w.values())) == pytest.approx(1.0)
+        assert w["b"] == 2 * w["a"]
+
+    def test_frequency_rejects_non_positive(self):
+        with pytest.raises(CommunalError):
+            frequency_weights({"a": 0.0})
+
+    def test_runtime_weights_favour_slow_workloads(self):
+        cross = make_cross()  # own IPTs: a=3.0, b=2.0, c=0.9
+        w = runtime_weights(cross)
+        assert w["c"] > w["b"] > w["a"]
+
+    def test_reweighted_keeps_ipt(self):
+        cross = make_cross()
+        w = {"a": 2.0, "b": 1.0, "c": 1.0}
+        new = reweighted(cross, w)
+        assert np.array_equal(new.ipt, cross.ipt)
+        assert new.weights == (2.0, 1.0, 1.0)
+
+    def test_reweighted_requires_all(self):
+        with pytest.raises(CommunalError):
+            reweighted(make_cross(), {"a": 1.0})
+
+    def test_weighted_profiles(self):
+        profiles = [spec2000_profile("gcc"), spec2000_profile("mcf")]
+        out = weighted_profiles(profiles, {"gcc": 1.0, "mcf": 3.0})
+        assert out[1].weight == 3.0
+
+    def test_weighted_profiles_missing(self):
+        with pytest.raises(CommunalError):
+            weighted_profiles([spec2000_profile("gcc")], {})
+
+
+class TestJobStream:
+    def setup_method(self):
+        self.cross = make_cross()
+        self.assignment = {"a": "a", "b": "a", "c": "c"}
+
+    def run(self, **kwargs):
+        defaults = dict(
+            cross=self.cross,
+            cores=["a", "c"],
+            assignment=self.assignment,
+            arrival_rate=0.01,
+            n_jobs=400,
+            seed=0,
+        )
+        defaults.update(kwargs)
+        return simulate_job_stream(**defaults)
+
+    def test_completes_all_jobs(self):
+        result = self.run()
+        assert result.jobs_completed == 400
+        assert result.mean_turnaround >= result.mean_service
+
+    def test_light_load_negligible_waiting(self):
+        result = self.run(arrival_rate=0.0001)
+        assert result.mean_wait < 0.02 * result.mean_service
+
+    def test_heavier_load_waits_longer(self):
+        light = self.run(arrival_rate=0.001)
+        heavy = self.run(arrival_rate=0.02)
+        assert heavy.mean_wait > light.mean_wait
+
+    def test_redirect_cuts_waiting(self):
+        # Redirection trades service quality for queueing delay: waits
+        # must shrink even if service time grows.
+        stall = self.run(arrival_rate=0.018, policy=ContentionPolicy.STALL)
+        redirect = self.run(arrival_rate=0.018, policy=ContentionPolicy.REDIRECT)
+        assert redirect.mean_wait <= stall.mean_wait + 1e-9
+
+    def test_burstiness_increases_turnaround(self):
+        smooth = self.run(arrival_rate=0.02, burstiness=1.0)
+        bursty = self.run(arrival_rate=0.02, burstiness=8.0)
+        assert bursty.mean_turnaround > smooth.mean_turnaround
+
+    def test_utilization_reported_per_core(self):
+        result = self.run()
+        assert set(result.core_utilization) == {"a#0", "c#1"}
+        assert all(0 <= u <= 1 for u in result.core_utilization.values())
+
+    def test_deterministic(self):
+        assert self.run().mean_turnaround == self.run().mean_turnaround
+
+    def test_validation(self):
+        with pytest.raises(CommunalError):
+            self.run(cores=[])
+        with pytest.raises(CommunalError):
+            self.run(arrival_rate=0.0)
+        with pytest.raises(CommunalError):
+            self.run(assignment={"a": "a"})
+        with pytest.raises(CommunalError):
+            self.run(burstiness=0.5)
+        with pytest.raises(CommunalError):
+            self.run(burstiness=12.0)
+
+    def test_assignment_to_unknown_core(self):
+        with pytest.raises(CommunalError):
+            self.run(assignment={"a": "b", "b": "a", "c": "c"})
