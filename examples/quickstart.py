@@ -5,40 +5,84 @@ model (gcc), prints the customized configuration (the workload's
 *configurational characteristics*) and the interval model's CPI
 breakdown on it.
 
-Run:  python examples/quickstart.py [benchmark]
+Run:  python examples/quickstart.py [benchmark ...] [--jobs N]
+
+Name several benchmarks and they are customized through one evaluation
+engine; with ``--jobs N`` the per-workload explorations run on N worker
+processes — the same machinery behind ``python -m repro customize ...
+--jobs N``.  A single annealing run is inherently sequential, so
+``--jobs`` pays off when customizing several cores at once.  Results
+are identical either way; only the wall time changes.
+
+    python examples/quickstart.py gzip mcf twolf --jobs 3
 """
 
 import sys
 
+from repro.engine import EvaluationEngine
 from repro.explore import AnnealingSchedule, XpScalar
 from repro.uarch import initial_configuration
 from repro.workloads import SPEC2000_INT_NAMES, spec2000_profile
 
 
 def main() -> None:
-    name = sys.argv[1] if len(sys.argv) > 1 else "gcc"
-    if name not in SPEC2000_INT_NAMES:
-        raise SystemExit(f"unknown benchmark {name!r}; pick from {SPEC2000_INT_NAMES}")
-    profile = spec2000_profile(name)
+    argv = list(sys.argv[1:])
+    jobs = 1
+    if "--jobs" in argv:
+        at = argv.index("--jobs")
+        jobs = int(argv[at + 1])
+        del argv[at : at + 2]
+    names = argv or ["gcc"]
+    for name in names:
+        if name not in SPEC2000_INT_NAMES:
+            raise SystemExit(
+                f"unknown benchmark {name!r}; pick from {SPEC2000_INT_NAMES}"
+            )
 
-    xp = XpScalar(schedule=AnnealingSchedule(iterations=2500))
+    engine = EvaluationEngine(jobs=jobs)
+    xp = XpScalar(schedule=AnnealingSchedule(iterations=2500), engine=engine)
     start = initial_configuration(xp.tech)
-    print(f"=== {name}: exploring the design space ===")
-    print(f"initial configuration scores {xp.score(profile, start):.2f} IPT\n")
 
-    result = xp.customize(profile, seed=0)
-    print(f"customized configuration ({result.score:.2f} IPT, "
-          f"{result.annealing.evaluations} simulations, "
-          f"{result.annealing.rollbacks} rollbacks):\n")
-    print(result.config.describe())
+    if len(names) == 1:
+        name = names[0]
+        profile = spec2000_profile(name)
+        print(f"=== {name}: exploring the design space ===")
+        print(f"initial configuration scores {xp.score(profile, start):.2f} IPT\n")
 
-    stack = result.result.cpi_stack
-    print(f"\nCPI breakdown on the customized core "
-          f"(IPC {result.result.ipc:.2f}):")
-    print(f"  base (issue)       {stack.base:.3f}")
-    print(f"  branch recovery    {stack.branch:.3f}")
-    print(f"  L2 accesses        {stack.l2_access:.3f}")
-    print(f"  memory             {stack.memory:.3f}")
+        result = xp.customize(profile, seed=0)
+        print(f"customized configuration ({result.score:.2f} IPT, "
+              f"{result.annealing.evaluations} simulations, "
+              f"{result.annealing.rollbacks} rollbacks):\n")
+        print(result.config.describe())
+
+        stack = result.result.cpi_stack
+        print(f"\nCPI breakdown on the customized core "
+              f"(IPC {result.result.ipc:.2f}):")
+        print(f"  base (issue)       {stack.base:.3f}")
+        print(f"  branch recovery    {stack.branch:.3f}")
+        print(f"  L2 accesses        {stack.l2_access:.3f}")
+        print(f"  memory             {stack.memory:.3f}")
+    else:
+        suite = ", ".join(names)
+        print(f"=== customizing {suite} (jobs={jobs}) ===\n")
+        results = xp.customize_all(
+            [spec2000_profile(n) for n in names], seed=0, cross_seed_rounds=1
+        )
+        for name in names:
+            result = results[name]
+            initial_score = xp.score(spec2000_profile(name), start)
+            seeded = (
+                f", seeded from {result.cross_seeded_from}"
+                if result.cross_seeded_from
+                else ""
+            )
+            print(f"{name:>8}: {initial_score:.2f} -> {result.score:.2f} IPT"
+                  f" at {result.config.frequency_ghz:.2f} GHz{seeded}")
+
+    if jobs > 1:
+        print(f"\n--- engine stats (jobs={jobs}) ---")
+        print(engine.metrics.summary())
+    engine.close()
 
 
 if __name__ == "__main__":

@@ -34,6 +34,7 @@ Quickstart::
 from . import (
     characterize,
     communal,
+    engine,
     experiments,
     explore,
     sim,
@@ -44,6 +45,7 @@ from . import (
 from .errors import (
     CommunalError,
     ConfigurationError,
+    EngineError,
     ExplorationError,
     ReproError,
     TimingError,
@@ -55,6 +57,7 @@ __version__ = "1.0.0"
 __all__ = [
     "characterize",
     "communal",
+    "engine",
     "experiments",
     "explore",
     "sim",
@@ -63,6 +66,7 @@ __all__ = [
     "workloads",
     "CommunalError",
     "ConfigurationError",
+    "EngineError",
     "ExplorationError",
     "ReproError",
     "TimingError",

@@ -95,7 +95,17 @@ class CrossPerformance:
         return best
 
     def subset(self, names: Sequence[str]) -> "CrossPerformance":
-        """Restrict the matrix to a subset of workloads (both axes)."""
+        """Restrict the matrix to a subset of workloads (both axes).
+
+        Every requested name must be distinct — a repeated name would
+        silently build a matrix with duplicated rows/columns, corrupting
+        every averaged figure of merit downstream.
+        """
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if list(names).count(n) > 1})
+            raise CommunalError(
+                f"subset names must be distinct; duplicated: {', '.join(duplicates)}"
+            )
         idx = [self.index(n) for n in names]
         return CrossPerformance(
             names=tuple(self.names[i] for i in idx),
@@ -110,16 +120,28 @@ def cross_performance(
     profiles: Sequence[WorkloadProfile],
     configs: Mapping[str, CoreConfig],
 ) -> CrossPerformance:
-    """Evaluate every workload on every customized configuration (Table 5)."""
+    """Evaluate every workload on every customized configuration (Table 5).
+
+    The N×N fill goes through the explorer's evaluation engine as one
+    deduplicated batch: pairs already simulated during cross-seeding (or
+    a previous fill) come from the cache, and any remaining misses run
+    across the engine's worker pool.
+    """
     names = tuple(p.name for p in profiles)
     missing = [n for n in names if n not in configs]
     if missing:
         raise CommunalError(f"missing configurations for: {', '.join(missing)}")
     n = len(names)
-    ipt = np.zeros((n, n), dtype=float)
-    for i, profile in enumerate(profiles):
-        for j, config_name in enumerate(names):
-            ipt[i, j] = explorer.score(profile, configs[config_name])
+    pairs = [
+        (profile, configs[config_name]) for profile in profiles for config_name in names
+    ]
+    engine = getattr(explorer, "engine", None)
+    if engine is not None:
+        sims = engine.evaluate_many(pairs)
+        values = [explorer.objective(sim) for sim in sims]
+    else:  # duck-typed explorer without an engine: evaluate pairwise
+        values = [explorer.score(profile, config) for profile, config in pairs]
+    ipt = np.asarray(values, dtype=float).reshape(n, n)
     return CrossPerformance(
         names=names,
         ipt=ipt,

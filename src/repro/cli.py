@@ -3,10 +3,19 @@
 Examples::
 
     python -m repro customize mcf
-    python -m repro table 5 --iterations 1200
+    python -m repro customize gzip mcf --jobs 2        # parallel suite run
+    python -m repro table 5 --iterations 1200 --jobs 4
+    python -m repro table 5 --cache-dir .repro-cache   # warm-cache reruns
     python -m repro figure 7
     python -m repro sweep gzip --clocks 0.18 0.30 0.42
     python -m repro validate
+
+Every exploration-running command accepts the engine flags: ``--jobs N``
+(worker processes), ``--cache-dir DIR`` (persistent result cache +
+checkpoint), ``--no-cache`` (simulate everything), ``--resume`` (continue
+an interrupted exploration from the checkpoint in ``--cache-dir``) and
+``--stats`` (print evaluation counts, cache hit rate and per-phase wall
+time when done).
 """
 
 from __future__ import annotations
@@ -16,7 +25,9 @@ import sys
 from typing import Sequence
 
 from .communal import surrogate_merits
+from .engine import CheckpointManager, EvaluationEngine
 from .experiments import (
+    build_engine,
     figure1,
     figure2_scenarios,
     figure4,
@@ -35,10 +46,39 @@ from .experiments import (
     table6_rows,
     table7_summary,
 )
+from .errors import ReproError
 from .explore import AnnealingSchedule, ClockSweep, XpScalar
 from .sim import validate_interval_model
 from .uarch import initial_configuration
 from .workloads import SPEC2000_INT_NAMES, spec2000_profile, spec2000_profiles
+
+
+def _engine_options() -> argparse.ArgumentParser:
+    """Shared evaluation-engine flags (a parent parser)."""
+    p = argparse.ArgumentParser(add_help=False)
+    group = p.add_argument_group("evaluation engine")
+    group.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for parallel evaluation, clamped to "
+             "available cores (default: 1, serial)",
+    )
+    group.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="directory for the persistent result cache and checkpoint",
+    )
+    group.add_argument(
+        "--no-cache", action="store_true",
+        help="disable result caching (every evaluation simulates)",
+    )
+    group.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted exploration from --cache-dir's checkpoint",
+    )
+    group.add_argument(
+        "--stats", action="store_true",
+        help="print evaluation/cache/phase statistics when done",
+    )
+    return p
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -48,23 +88,31 @@ def build_parser() -> argparse.ArgumentParser:
         "(ISPASS 2008)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    engine_opts = _engine_options()
 
-    p = sub.add_parser("customize", help="customize a core for one benchmark")
-    p.add_argument("benchmark", choices=SPEC2000_INT_NAMES)
+    p = sub.add_parser(
+        "customize",
+        parents=[engine_opts],
+        help="customize a core per benchmark (cross-seeded when several)",
+    )
+    p.add_argument("benchmark", nargs="+", choices=SPEC2000_INT_NAMES)
     p.add_argument("--iterations", type=int, default=2500)
     p.add_argument("--seed", type=int, default=0)
 
-    p = sub.add_parser("table", help="regenerate a table of the paper")
+    p = sub.add_parser("table", parents=[engine_opts],
+                       help="regenerate a table of the paper")
     p.add_argument("which", choices=["1", "2", "3", "4", "5", "6", "7", "a"])
     p.add_argument("--iterations", type=int, default=2500)
     p.add_argument("--seed", type=int, default=2008)
 
-    p = sub.add_parser("figure", help="regenerate a figure of the paper")
+    p = sub.add_parser("figure", parents=[engine_opts],
+                       help="regenerate a figure of the paper")
     p.add_argument("which", choices=["1", "2", "4", "6", "7", "8"])
     p.add_argument("--iterations", type=int, default=2500)
     p.add_argument("--seed", type=int, default=2008)
 
-    p = sub.add_parser("sweep", help="pinned-clock sweep for one benchmark")
+    p = sub.add_parser("sweep", parents=[engine_opts],
+                       help="pinned-clock sweep for one benchmark")
     p.add_argument("benchmark", choices=SPEC2000_INT_NAMES)
     p.add_argument("--clocks", type=float, nargs="+", default=None)
     p.add_argument("--iterations", type=int, default=600)
@@ -76,7 +124,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-length", type=int, default=12000)
 
     p = sub.add_parser(
-        "report", help="regenerate every table/figure artifact into a directory"
+        "report", parents=[engine_opts],
+        help="regenerate every table/figure artifact into a directory",
     )
     p.add_argument("--out", default="results")
     p.add_argument("--iterations", type=int, default=2500)
@@ -85,17 +134,56 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _build_engine(args) -> EvaluationEngine:
+    return build_engine(
+        jobs=args.jobs, cache_dir=args.cache_dir, use_cache=not args.no_cache
+    )
+
+
+def _finish(args, engine: EvaluationEngine | None) -> int:
+    """Common epilogue: flush the engine and honour ``--stats``."""
+    if engine is not None:
+        if getattr(args, "stats", False):
+            print(f"--- engine stats ---\n{engine.metrics.summary()}")
+        engine.close()
+    return 0
+
+
 def _pipeline(args):
-    return run_pipeline(iterations=args.iterations, seed=args.seed)
+    return run_pipeline(
+        iterations=args.iterations,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        resume=args.resume,
+    )
 
 
 def cmd_customize(args) -> int:
-    xp = XpScalar(schedule=AnnealingSchedule(iterations=args.iterations))
-    result = xp.customize(spec2000_profile(args.benchmark), seed=args.seed)
-    print(f"{args.benchmark}: IPT {result.score:.2f} "
-          f"({result.annealing.evaluations} evaluations)")
-    print(result.config.describe())
-    return 0
+    engine = _build_engine(args)
+    xp = XpScalar(schedule=AnnealingSchedule(iterations=args.iterations), engine=engine)
+    profiles = [spec2000_profile(name) for name in args.benchmark]
+    if len(profiles) == 1:
+        results = {profiles[0].name: xp.customize(profiles[0], seed=args.seed)}
+    else:
+        checkpoint = None
+        if args.cache_dir is not None:
+            import pathlib
+
+            checkpoint = CheckpointManager(
+                pathlib.Path(args.cache_dir) / "checkpoint.json"
+            )
+        results = xp.customize_all(
+            profiles, seed=args.seed, checkpoint=checkpoint, resume=args.resume
+        )
+    for name in args.benchmark:
+        result = results[name]
+        evaluations = result.annealing.evaluations if result.annealing else 0
+        seeded = f" (adopted from {result.cross_seeded_from})" if result.cross_seeded_from else ""
+        print(f"{name}: IPT {result.score:.2f} ({evaluations} evaluations){seeded}")
+        print(result.config.describe())
+    return _finish(args, engine)
 
 
 def cmd_table(args) -> int:
@@ -148,7 +236,7 @@ def cmd_table(args) -> int:
         print(render_matrix(list(cross.names), cross.slowdown_matrix(),
                             percent=True, fmt="{:5.1f}",
                             title="Appendix A: slowdowns"))
-    return 0
+    return _finish(args, pipe.engine)
 
 
 def cmd_figure(args) -> int:
@@ -183,11 +271,12 @@ def cmd_figure(args) -> int:
         merits = surrogate_merits(cross, graph)
         print(f"harmonic IPT {merits['harmonic_ipt']:.2f}, "
               f"average slowdown {merits['average_slowdown'] * 100:.1f}%")
-    return 0
+    return _finish(args, pipe.engine)
 
 
 def cmd_sweep(args) -> int:
-    xp = XpScalar()
+    engine = _build_engine(args)
+    xp = XpScalar(engine=engine)
     sweep = ClockSweep(xp, iterations=args.iterations)
     points = sweep.run(spec2000_profile(args.benchmark), args.clocks, seed=args.seed)
     rows = [
@@ -199,7 +288,7 @@ def cmd_sweep(args) -> int:
     ]
     print(render_table(["clock", "IPT", "W", "ROB", "IQ", "L1", "L2"], rows,
                        title=f"clock sweep: {args.benchmark}"))
-    return 0
+    return _finish(args, engine)
 
 
 def cmd_validate(args) -> int:
@@ -261,7 +350,7 @@ def cmd_report(args) -> int:
     for name, text in artifacts.items():
         (out / f"{name}.txt").write_text(text + "\n")
         print(f"wrote {out / (name + '.txt')}")
-    return 0
+    return _finish(args, pipe.engine)
 
 
 _COMMANDS = {
@@ -276,7 +365,11 @@ _COMMANDS = {
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

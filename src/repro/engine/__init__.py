@@ -1,0 +1,46 @@
+"""Evaluation engine: the shared runtime under every exploration.
+
+This package is the scaling substrate the ROADMAP's north star calls
+for: all code that needs simulation results routes through one
+:class:`~repro.engine.pool.EvaluationEngine`, which provides
+
+* content-addressed result caching (:mod:`repro.engine.keys`,
+  :mod:`repro.engine.cache`) — in memory, optionally persisted to SQLite;
+* deduplicated, optionally process-parallel batch evaluation
+  (:mod:`repro.engine.pool`);
+* checkpoint/resume of long explorations
+  (:mod:`repro.engine.checkpoint`);
+* progress/metrics hooks (:mod:`repro.engine.events`).
+
+See ``docs/engine.md`` for the key scheme, checkpoint format and
+parallelism model.
+"""
+
+from .cache import CacheStats, ResultCache
+from .checkpoint import CheckpointManager
+from .events import EngineMetrics, EventBus
+from .keys import canonical, digest, evaluation_key, simulator_id
+from .pool import EvaluationEngine
+from .serialize import (
+    config_from_jsonable,
+    config_to_jsonable,
+    simresult_from_jsonable,
+    simresult_to_jsonable,
+)
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "CheckpointManager",
+    "EngineMetrics",
+    "EventBus",
+    "canonical",
+    "digest",
+    "evaluation_key",
+    "simulator_id",
+    "EvaluationEngine",
+    "config_from_jsonable",
+    "config_to_jsonable",
+    "simresult_from_jsonable",
+    "simresult_to_jsonable",
+]

@@ -1,0 +1,210 @@
+"""Content-addressed cache of simulation results.
+
+The exploration workloads are pathologically repetitive: cross-seeding
+re-evaluates every (workload, donor-configuration) pair that the final
+Table-5 matrix fill then evaluates *again*, and every re-run of a
+deterministic pipeline re-simulates the identical evaluation stream.
+:class:`ResultCache` eliminates that waste by keying each
+:class:`~repro.sim.metrics.SimResult` under its request's content hash
+(:func:`repro.engine.keys.evaluation_key`).
+
+Two tiers:
+
+* an in-memory LRU front (bounded — annealing streams are mostly-unique,
+  so an unbounded dict would grow without benefit);
+* an optional SQLite file behind it, so a cache survives processes and
+  can be shared across runs (``--cache-dir``).  SQLite is stdlib-only,
+  atomic, and tolerant of concurrent readers; writes are batched and
+  flushed on :meth:`close` / interpreter exit.
+
+The cache is strictly *content*-addressed: a hit is bit-identical to the
+simulation it replaces (see :mod:`repro.engine.serialize`), so cached and
+uncached runs produce the same numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import EngineError
+from ..sim.metrics import SimResult
+from .serialize import simresult_from_jsonable, simresult_to_jsonable
+
+#: Default bound on the in-memory tier.
+DEFAULT_MEMORY_ENTRIES = 65_536
+
+#: Disk writes are committed every this many puts (and on close).
+_FLUSH_EVERY = 512
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    disk_hits: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never used)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class ResultCache:
+    """Two-tier (memory + optional SQLite) store of :class:`SimResult`.
+
+    Parameters
+    ----------
+    path:
+        SQLite file for the persistent tier; ``None`` keeps the cache
+        memory-only.  Parent directories are created on demand.
+    max_memory_entries:
+        LRU bound of the memory tier (``0`` disables the bound).
+    """
+
+    path: str | Path | None = None
+    max_memory_entries: int = DEFAULT_MEMORY_ENTRIES
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.max_memory_entries < 0:
+            raise EngineError(
+                f"max_memory_entries cannot be negative: {self.max_memory_entries}"
+            )
+        self._memory: OrderedDict[str, SimResult] = OrderedDict()
+        self._conn: sqlite3.Connection | None = None
+        self._pending = 0
+        if self.path is not None:
+            self.path = Path(self.path)
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._conn = sqlite3.connect(self.path)
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS results ("
+                "key TEXT PRIMARY KEY, value TEXT NOT NULL)"
+            )
+            self._conn.commit()
+
+    # ------------------------------------------------------------------
+    # lookup / store
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> SimResult | None:
+        """The cached result for ``key``, or ``None`` (counts a miss)."""
+        hit = self._memory.get(key)
+        if hit is not None:
+            self._memory.move_to_end(key)
+            self.stats.hits += 1
+            return hit
+        if self._conn is not None:
+            row = self._conn.execute(
+                "SELECT value FROM results WHERE key = ?", (key,)
+            ).fetchone()
+            if row is not None:
+                try:
+                    result = simresult_from_jsonable(json.loads(row[0]))
+                except (json.JSONDecodeError, EngineError) as exc:
+                    raise EngineError(
+                        f"corrupt cache entry {key!r} in {self.path}: {exc}"
+                    ) from exc
+                self._remember(key, result, store=False)
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                return result
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, result: SimResult) -> None:
+        """Store one result under its content key (write-through to disk)."""
+        self._remember(key, result, store=True)
+        self.stats.stores += 1
+
+    def _remember(self, key: str, result: SimResult, store: bool) -> None:
+        self._memory[key] = result
+        self._memory.move_to_end(key)
+        if self.max_memory_entries and len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+        if store and self._conn is not None:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO results (key, value) VALUES (?, ?)",
+                (key, json.dumps(simresult_to_jsonable(result), separators=(",", ":"))),
+            )
+            self._pending += 1
+            if self._pending >= _FLUSH_EVERY:
+                self.flush()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Commit pending disk writes."""
+        if self._conn is not None and self._pending:
+            self._conn.commit()
+            self._pending = 0
+
+    def close(self) -> None:
+        """Flush and release the disk connection (memory tier survives)."""
+        if self._conn is not None:
+            self.flush()
+            self._conn.close()
+            self._conn = None
+
+    def clear(self) -> None:
+        """Drop every entry from both tiers."""
+        self._memory.clear()
+        if self._conn is not None:
+            self._conn.execute("DELETE FROM results")
+            self._conn.commit()
+            self._pending = 0
+
+    def __len__(self) -> int:
+        """Number of distinct keys (disk tier included when present)."""
+        if self._conn is None:
+            return len(self._memory)
+        self.flush()
+        (count,) = self._conn.execute("SELECT COUNT(*) FROM results").fetchone()
+        return int(count)
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._memory:
+            return True
+        if self._conn is None:
+            return False
+        row = self._conn.execute(
+            "SELECT 1 FROM results WHERE key = ?", (key,)
+        ).fetchone()
+        return row is not None
+
+    def __del__(self) -> None:  # best-effort flush on GC
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # Caches never travel across process boundaries with their disk
+    # handle: a pickled copy (sent to a worker) starts memory-only and
+    # empty, so workers cannot corrupt the parent's SQLite file.
+    def __getstate__(self) -> dict:
+        return {"max_memory_entries": self.max_memory_entries}
+
+    def __setstate__(self, state: dict) -> None:
+        self.path = None
+        self.max_memory_entries = state["max_memory_entries"]
+        self.stats = CacheStats()
+        self._memory = OrderedDict()
+        self._conn = None
+        self._pending = 0

@@ -1,0 +1,102 @@
+"""Checkpoint/resume for long-running explorations.
+
+The paper's exploration ran for ~three weeks; at that scale, losing the
+run to a reboot is not an option.  :class:`CheckpointManager` persists an
+exploration's progress as a single JSON document and restores it on the
+next run, so ``customize_all`` (and any future long-running driver) can
+resume mid-flight instead of starting over.
+
+Format (one JSON object per file)::
+
+    {
+      "format": 1,              # file-format version
+      "signature": "<sha256>",  # content hash of the run's inputs
+      "state": { ... }          # caller-defined progress payload
+    }
+
+``signature`` is the crucial field: the caller derives it from everything
+that determines the run's results (workload names, seed, schedule,
+technology, simulator identity, ...).  :meth:`load` returns the stored
+state only when the signature matches — a checkpoint from a different
+run, an edited config, or an upgraded model is silently ignored rather
+than resumed into inconsistency.
+
+Writes are atomic (temp file + ``os.replace``), so a crash mid-save
+leaves the previous checkpoint intact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from ..errors import EngineError
+
+#: Bump when the checkpoint file layout changes incompatibly.
+FORMAT_VERSION = 1
+
+
+class CheckpointManager:
+    """Atomic save/load of one run's progress state.
+
+    Parameters
+    ----------
+    path:
+        The checkpoint file.  Parent directories are created on save.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    @property
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def save(self, signature: str, state: dict[str, Any]) -> None:
+        """Atomically persist ``state`` under the run ``signature``."""
+        try:
+            payload = json.dumps(
+                {"format": FORMAT_VERSION, "signature": signature, "state": state},
+                separators=(",", ":"),
+            )
+        except (TypeError, ValueError) as exc:
+            raise EngineError(f"checkpoint state is not JSON-serializable: {exc}") from exc
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(payload)
+        os.replace(tmp, self.path)
+
+    def load(self, signature: str) -> dict[str, Any] | None:
+        """The stored state for this exact run, else ``None``.
+
+        Missing files, corrupt JSON, format mismatches and signature
+        mismatches all return ``None``: a bad checkpoint means "start
+        fresh", never "crash the run it was meant to save".
+        """
+        try:
+            raw = self.path.read_text()
+        except FileNotFoundError:
+            return None
+        except OSError:
+            return None
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError:
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("format") != FORMAT_VERSION:
+            return None
+        if payload.get("signature") != signature:
+            return None
+        state = payload.get("state")
+        return state if isinstance(state, dict) else None
+
+    def clear(self) -> None:
+        """Delete the checkpoint file (no-op if absent)."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass

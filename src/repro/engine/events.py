@@ -1,0 +1,148 @@
+"""Progress and metrics hooks for the evaluation engine.
+
+The engine announces what it is doing through a tiny synchronous
+:class:`EventBus`; anything — the CLI's ``--stats`` printer, a test
+asserting "zero simulator invocations", a future dashboard — subscribes a
+callback.  The bus deliberately has no queue or thread: callbacks run
+inline on the emitting thread, so subscribers see events in exact
+program order.
+
+Event vocabulary (payload keys in parentheses):
+
+``evaluation`` (``count``)
+    ``count`` fresh simulator invocations were performed.
+``cache_hit`` / ``cache_miss`` (``count``)
+    Result-cache lookups resolved.
+``batch`` (``size``, ``unique``, ``hits``)
+    One ``evaluate_many`` call: total pairs requested, distinct missing
+    keys simulated, pairs served from cache.
+``phase_start`` / ``phase_end`` (``name``; ``seconds`` on end)
+    Wall-time bracket around a named stage of a larger computation.
+``fallback`` (``reason``)
+    The engine degraded to serial execution (unpicklable work, pool
+    creation failure, ...).
+``checkpoint`` (``path``)
+    Exploration state was persisted.
+
+:class:`EngineMetrics` is the standard subscriber: it aggregates the
+counters every caller wants (evaluations, hit rate, per-phase wall time)
+and renders a one-line summary for the CLI.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+Callback = Callable[[str, dict], Any]
+
+
+class EventBus:
+    """Synchronous publish/subscribe hub for engine progress events."""
+
+    def __init__(self) -> None:
+        self._subscribers: list[Callback] = []
+
+    def subscribe(self, callback: Callback) -> Callback:
+        """Register ``callback(event, payload)``; returns it for symmetry."""
+        self._subscribers.append(callback)
+        return callback
+
+    def unsubscribe(self, callback: Callback) -> None:
+        """Remove a previously subscribed callback (no-op if absent)."""
+        try:
+            self._subscribers.remove(callback)
+        except ValueError:
+            pass
+
+    def emit(self, event: str, **payload: Any) -> None:
+        """Deliver one event to every subscriber, in subscription order."""
+        for callback in list(self._subscribers):
+            callback(event, payload)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Bracket a code region with ``phase_start``/``phase_end`` events."""
+        self.emit("phase_start", name=name)
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.emit("phase_end", name=name, seconds=time.perf_counter() - started)
+
+
+class EngineMetrics:
+    """Aggregated counters over one bus: the engine's odometer.
+
+    ``evaluations`` counts *actual simulator invocations* (cache hits do
+    not simulate, so they are excluded — this is the counter the
+    redundancy tests assert on).  ``phase_seconds`` accumulates wall time
+    per named phase.
+    """
+
+    def __init__(self, bus: EventBus | None = None) -> None:
+        self.evaluations = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.batches = 0
+        self.fallbacks = 0
+        self.checkpoints = 0
+        self.phase_seconds: dict[str, float] = {}
+        if bus is not None:
+            bus.subscribe(self._on_event)
+
+    def _on_event(self, event: str, payload: dict) -> None:
+        if event == "evaluation":
+            self.evaluations += payload.get("count", 1)
+        elif event == "cache_hit":
+            self.cache_hits += payload.get("count", 1)
+        elif event == "cache_miss":
+            self.cache_misses += payload.get("count", 1)
+        elif event == "batch":
+            self.batches += 1
+        elif event == "fallback":
+            self.fallbacks += 1
+        elif event == "checkpoint":
+            self.checkpoints += 1
+        elif event == "phase_end":
+            name = payload.get("name", "?")
+            self.phase_seconds[name] = (
+                self.phase_seconds.get(name, 0.0) + payload.get("seconds", 0.0)
+            )
+
+    @property
+    def lookups(self) -> int:
+        """Total cache lookups observed."""
+        return self.cache_hits + self.cache_misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of cache lookups served from cache (0 when none)."""
+        total = self.lookups
+        return self.cache_hits / total if total else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        """Point-in-time copy of every counter (for before/after deltas)."""
+        return {
+            "evaluations": self.evaluations,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "batches": self.batches,
+            "fallbacks": self.fallbacks,
+            "checkpoints": self.checkpoints,
+            "phase_seconds": dict(self.phase_seconds),
+        }
+
+    def summary(self) -> str:
+        """Human-readable one-stop summary for the CLI's ``--stats``."""
+        lines = [
+            f"evaluations: {self.evaluations} simulated, "
+            f"{self.cache_hits} cache hits "
+            f"({self.hit_rate * 100:.1f}% hit rate over {self.lookups} lookups)",
+        ]
+        for name, seconds in self.phase_seconds.items():
+            lines.append(f"phase {name}: {seconds:.2f}s")
+        if self.fallbacks:
+            lines.append(f"serial fallbacks: {self.fallbacks}")
+        return "\n".join(lines)

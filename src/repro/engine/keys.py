@@ -1,0 +1,114 @@
+"""Deterministic content hashing for evaluation requests.
+
+The result cache and the checkpoint/resume machinery both need a stable
+identity for "this exact simulation": the same ``(WorkloadProfile,
+CoreConfig, technology, simulator)`` tuple must map to the same key in
+every process, on every run, on every machine.  Python's built-in
+``hash`` is salted per process and ``repr`` is not guaranteed stable, so
+keys are derived instead from a *canonical encoding*:
+
+* dataclasses become ``{"__type__": qualified-name, **fields}`` with the
+  fields recursively encoded;
+* floats are encoded through ``repr`` (the shortest round-tripping
+  form — bit-exact and stable across platforms for IEEE doubles);
+* numpy scalars are converted to their Python equivalents;
+* mappings are sorted by key.
+
+The canonical encoding is serialized as compact JSON and digested with
+SHA-256.  A key therefore changes whenever *any* model input changes —
+including a bump of the simulator's ``cache_version`` attribute, which is
+how a simulator invalidates previously cached results after a model fix.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from functools import lru_cache
+from typing import Any
+
+from ..errors import EngineError
+
+#: Bump when the canonical encoding itself changes (invalidates all keys).
+ENCODING_VERSION = 1
+
+
+def _type_name(obj: Any) -> str:
+    cls = type(obj)
+    return f"{cls.__module__}.{cls.__qualname__}"
+
+
+def canonical(obj: Any) -> Any:
+    """Recursively encode ``obj`` into a JSON-serializable canonical form."""
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        # float(obj) strips float subclasses (np.float64) down to the
+        # plain IEEE double so their reprs don't leak the subtype name.
+        return {"__float__": repr(float(obj))}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        encoded: dict[str, Any] = {"__type__": _type_name(obj)}
+        for field in dataclasses.fields(obj):
+            encoded[field.name] = canonical(getattr(obj, field.name))
+        return encoded
+    if isinstance(obj, (list, tuple)):
+        return [canonical(item) for item in obj]
+    if isinstance(obj, dict):
+        return {str(k): canonical(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    # numpy scalars (and anything else exposing .item()) normalize to
+    # their Python equivalents without importing numpy here.
+    item = getattr(obj, "item", None)
+    if callable(item):
+        try:
+            return canonical(item())
+        except (TypeError, ValueError):
+            pass
+    raise EngineError(f"cannot canonically encode {_type_name(obj)}: {obj!r}")
+
+
+def digest(*parts: Any) -> str:
+    """SHA-256 hex digest of the canonical encoding of ``parts``."""
+    payload = json.dumps(
+        [ENCODING_VERSION, *(canonical(p) for p in parts)],
+        separators=(",", ":"),
+        sort_keys=False,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def simulator_id(simulator: Any) -> str:
+    """Stable identity of a simulator: qualified class name + cache version.
+
+    Simulators may declare a ``cache_version`` class attribute; bumping it
+    invalidates every cached result produced by earlier versions.
+    """
+    return f"{_type_name(simulator)}@{getattr(simulator, 'cache_version', 0)}"
+
+
+@lru_cache(maxsize=512)
+def _profile_digest(profile: Any) -> str:
+    """Digest of one workload profile (memoized — profiles are few and
+    frozen, and re-encoding one on every annealing step would dominate
+    the key cost)."""
+    return digest(profile)
+
+
+def evaluation_key(
+    profile: Any,
+    config: Any,
+    simulator: str = "",
+    context: str = "",
+) -> str:
+    """Content key of one ``(workload, configuration)`` evaluation.
+
+    ``simulator`` is a :func:`simulator_id` string; ``context`` carries
+    any additional identity the caller wants folded in (the technology
+    node's digest, typically).  Both are plain strings so callers can
+    pre-compute them once per engine rather than per evaluation.
+    """
+    try:
+        profile_part = _profile_digest(profile)
+    except TypeError:  # unhashable profile subtype: skip memoization
+        profile_part = digest(profile)
+    return digest(profile_part, config, simulator, context)

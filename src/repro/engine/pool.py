@@ -1,0 +1,353 @@
+"""The evaluation engine: cache-aware, optionally parallel batch evaluation.
+
+:class:`EvaluationEngine` is the single funnel through which exploration
+and characterization code runs simulations.  It layers, in order:
+
+1. **content-addressed caching** — every request is keyed by
+   :func:`repro.engine.keys.evaluation_key`; hits skip the simulator
+   entirely and are bit-identical to a fresh evaluation;
+2. **batch deduplication** — :meth:`evaluate_many` simulates each
+   distinct (workload, configuration) pair at most once per batch, no
+   matter how often the batch repeats it (the Table-5 matrix fill
+   overlaps heavily with cross-seeding);
+3. **process-pool parallelism** — misses are simulated across
+   ``jobs`` worker processes (each worker re-instantiates the simulator
+   once, during pool initialization), falling back to serial execution
+   whenever the work is not picklable or a pool cannot be created.
+
+Results are deterministic by construction: caching returns the exact
+stored result, batches preserve request order, and the per-item work is
+itself deterministic — so ``jobs=1`` and ``jobs=N`` produce bit-identical
+outputs.
+
+The engine also offers a generic :meth:`map` for coarse-grained task
+parallelism (one annealing run per workload, one pinned-clock anneal per
+sweep point) with the same serial-fallback guarantee.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+from ..errors import EngineError
+from ..sim.interval import IntervalSimulator
+from ..sim.metrics import SimResult
+from ..workloads.profile import WorkloadProfile
+from .cache import ResultCache
+from .events import EngineMetrics, EventBus
+from .keys import digest, evaluation_key, simulator_id
+
+T = TypeVar("T")
+U = TypeVar("U")
+
+Pair = tuple[WorkloadProfile, Any]
+
+#: Sentinel distinguishing "default cache" from "explicitly no cache".
+_DEFAULT_CACHE = object()
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually run on (affinity/cgroup aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # non-Linux
+        return os.cpu_count() or 1
+
+# ----------------------------------------------------------------------
+# worker-process plumbing (module level: must be picklable by name)
+# ----------------------------------------------------------------------
+
+_WORKER_SIMULATOR: Any = None
+
+
+def _init_worker(simulator: Any) -> None:
+    """Pool initializer: install this process's own simulator instance."""
+    global _WORKER_SIMULATOR
+    _WORKER_SIMULATOR = simulator
+
+
+def _evaluate_chunk(pairs: Sequence[Pair]) -> list[SimResult]:
+    """Simulate a chunk of (profile, config) pairs in a worker process."""
+    sim = _WORKER_SIMULATOR
+    if sim is None:  # serial in-process use
+        sim = IntervalSimulator()
+    return [sim.evaluate(profile, config) for profile, config in pairs]
+
+
+def _chunked(items: Sequence[T], size: int) -> list[Sequence[T]]:
+    return [items[i : i + size] for i in range(0, len(items), size)]
+
+
+class EvaluationEngine:
+    """Shared runtime for all (workload, configuration) evaluations.
+
+    Parameters
+    ----------
+    simulator:
+        Evaluator with ``evaluate(profile, config) -> SimResult``;
+        defaults to the interval model.  It is shipped (pickled) to each
+        worker process once at pool start-up, so each worker runs its own
+        instance.
+    jobs:
+        Worker processes for batch/task parallelism; ``1`` (the default)
+        stays fully serial and in-process.
+    clamp_jobs:
+        Bound the effective worker count by :func:`available_cpus`
+        (default True): oversubscribing a 1-core container with
+        ``jobs=4`` would only add dispatch overhead, never speed.  The
+        requested ``jobs`` is kept as intent; ``workers`` is what runs.
+        Pass False to force the pool regardless (tests do).
+    cache:
+        A :class:`ResultCache`, or ``None`` to disable caching entirely;
+        by default an in-memory cache is created.
+    events:
+        An :class:`EventBus` to emit progress on; a fresh bus (with an
+        attached :class:`EngineMetrics`) is created by default.
+    context:
+        Extra identity folded into every cache key — pass the technology
+        node so caches shared across technologies cannot collide.
+    """
+
+    def __init__(
+        self,
+        simulator: Any = None,
+        jobs: int = 1,
+        cache: ResultCache | None | object = _DEFAULT_CACHE,
+        events: EventBus | None = None,
+        context: Any = None,
+        clamp_jobs: bool = True,
+    ) -> None:
+        if jobs < 1:
+            raise EngineError(f"jobs must be >= 1, got {jobs}")
+        self.simulator = simulator if simulator is not None else IntervalSimulator()
+        self.jobs = jobs
+        self.workers = min(jobs, available_cpus()) if clamp_jobs else jobs
+        self.cache: ResultCache | None
+        if cache is _DEFAULT_CACHE:
+            self.cache = ResultCache(path=None)
+        else:
+            self.cache = cache  # type: ignore[assignment]
+        self.events = events or EventBus()
+        self.metrics = EngineMetrics(self.events)
+        self._simulator_id = simulator_id(self.simulator)
+        self._context_digest = "" if context is None else digest(context)
+        self._context_bound = context is not None
+        self._executor: ProcessPoolExecutor | None = None
+        self._pool_broken = False
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+
+    def bind_context(self, context: Any) -> None:
+        """Fold ``context`` (e.g. the technology node) into cache keys.
+
+        Only the first binding takes effect; later calls with different
+        content raise, because silently re-keying a warm cache would make
+        earlier entries unreachable.
+        """
+        new = digest(context)
+        if self._context_bound and new != self._context_digest:
+            raise EngineError("engine context is already bound to different content")
+        self._context_digest = new
+        self._context_bound = True
+
+    @property
+    def context_bound(self) -> bool:
+        return self._context_bound
+
+    def key_for(self, profile: WorkloadProfile, config: Any) -> str:
+        """The cache key this engine uses for one evaluation."""
+        return evaluation_key(
+            profile, config, simulator=self._simulator_id, context=self._context_digest
+        )
+
+    def phase(self, name: str):
+        """Context manager timing a named phase (see :mod:`.events`)."""
+        return self.events.phase(name)
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(self, profile: WorkloadProfile, config: Any) -> SimResult:
+        """One cache-aware evaluation (always in-process)."""
+        if self.cache is None:
+            result = self.simulator.evaluate(profile, config)
+            self.events.emit("evaluation", count=1)
+            return result
+        key = self.key_for(profile, config)
+        hit = self.cache.get(key)
+        if hit is not None:
+            self.events.emit("cache_hit", count=1)
+            return hit
+        self.events.emit("cache_miss", count=1)
+        result = self.simulator.evaluate(profile, config)
+        self.events.emit("evaluation", count=1)
+        self.cache.put(key, result)
+        return result
+
+    def evaluate_many(self, pairs: Sequence[Pair]) -> list[SimResult]:
+        """Evaluate a batch, dedup'd against the cache and within itself.
+
+        Returns one result per input pair, in input order.  Each distinct
+        (workload, configuration) content is simulated at most once; with
+        ``jobs > 1`` the distinct misses are simulated across the worker
+        pool in deterministic order.
+        """
+        pairs = list(pairs)
+        if not pairs:
+            return []
+        if self.cache is None:
+            results = self._simulate(pairs)
+            self.events.emit("evaluation", count=len(pairs))
+            self.events.emit("batch", size=len(pairs), unique=len(pairs), hits=0)
+            return results
+
+        keys = [self.key_for(profile, config) for profile, config in pairs]
+        resolved: dict[str, SimResult] = {}
+        missing: dict[str, Pair] = {}
+        hits = 0
+        for key, pair in zip(keys, pairs):
+            if key in resolved or key in missing:
+                continue
+            cached = self.cache.get(key)
+            if cached is not None:
+                resolved[key] = cached
+                hits += 1
+            else:
+                missing[key] = pair
+        if hits:
+            self.events.emit("cache_hit", count=hits)
+        if missing:
+            self.events.emit("cache_miss", count=len(missing))
+            fresh = self._simulate(list(missing.values()))
+            self.events.emit("evaluation", count=len(fresh))
+            for key, result in zip(missing, fresh):
+                self.cache.put(key, result)
+                resolved[key] = result
+        self.events.emit(
+            "batch", size=len(pairs), unique=len(missing), hits=len(pairs) - len(missing)
+        )
+        return [resolved[key] for key in keys]
+
+    def map(self, fn: Callable[[T], U], items: Iterable[T]) -> list[U]:
+        """Apply ``fn`` to every item, in order, across the worker pool.
+
+        ``fn`` must be a module-level (picklable) callable for parallel
+        execution; anything unpicklable degrades to an in-process loop
+        (announced via a ``fallback`` event), never to an error.
+        """
+        items = list(items)
+        if self.workers == 1 or len(items) < 2 or not self._picklable(fn, items):
+            return [fn(item) for item in items]
+        executor = self._ensure_executor()
+        if executor is None:
+            return [fn(item) for item in items]
+        try:
+            return list(executor.map(fn, items))
+        except (pickle.PicklingError, AttributeError, TypeError) as exc:
+            self._fall_back(f"parallel map failed ({exc}); retrying serially")
+            return [fn(item) for item in items]
+        except Exception as exc:  # BrokenProcessPool and friends
+            if type(exc).__name__ != "BrokenProcessPool":
+                raise
+            self._fall_back(f"worker pool broke ({exc}); retrying serially")
+            return [fn(item) for item in items]
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _simulate(self, pairs: Sequence[Pair]) -> list[SimResult]:
+        """Simulate pairs (order-preserving), parallel when worthwhile."""
+        if self.workers == 1 or len(pairs) < 2 or not self._picklable(_evaluate_chunk, pairs):
+            return [self.simulator.evaluate(p, c) for p, c in pairs]
+        executor = self._ensure_executor()
+        if executor is None:
+            return [self.simulator.evaluate(p, c) for p, c in pairs]
+        # ~4 chunks per worker balances scheduling slack against IPC cost.
+        chunk = max(1, -(-len(pairs) // (self.workers * 4)))
+        try:
+            chunks = list(executor.map(_evaluate_chunk, _chunked(pairs, chunk)))
+        except Exception as exc:
+            if type(exc).__name__ != "BrokenProcessPool":
+                raise
+            self._fall_back(f"worker pool broke ({exc}); retrying serially")
+            return [self.simulator.evaluate(p, c) for p, c in pairs]
+        return [result for batch in chunks for result in batch]
+
+    def _ensure_executor(self) -> ProcessPoolExecutor | None:
+        if self._pool_broken:
+            return None
+        if self._executor is None:
+            try:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_init_worker,
+                    initargs=(self.simulator,),
+                )
+            except (OSError, ValueError, pickle.PicklingError) as exc:
+                self._fall_back(f"cannot start worker pool ({exc})")
+                return None
+        return self._executor
+
+    def _picklable(self, fn: Any, items: Any) -> bool:
+        try:
+            pickle.dumps((fn, items))
+            return True
+        except Exception as exc:
+            self._fall_back(f"work is not picklable ({exc})")
+            return False
+
+    def _fall_back(self, reason: str) -> None:
+        self._pool_broken = True
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+        self.events.emit("fallback", reason=reason)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the worker pool and flush the cache to disk."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        if self.cache is not None:
+            self.cache.flush()
+
+    def __enter__(self) -> "EvaluationEngine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # A pickled engine (shipped inside a task to a worker process) wakes
+    # up serial, with a fresh private memory cache and bus: workers must
+    # not spawn nested pools, share SQLite handles, or carry the parent's
+    # subscribers.
+    def __getstate__(self) -> dict:
+        return {
+            "simulator": self.simulator,
+            "context_digest": self._context_digest,
+            "context_bound": self._context_bound,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.simulator = state["simulator"]
+        self.jobs = 1
+        self.workers = 1
+        self.cache = ResultCache(path=None)
+        self.events = EventBus()
+        self.metrics = EngineMetrics(self.events)
+        self._simulator_id = simulator_id(self.simulator)
+        self._context_digest = state["context_digest"]
+        self._context_bound = state["context_bound"]
+        self._executor = None
+        self._pool_broken = False

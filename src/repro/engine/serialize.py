@@ -1,0 +1,128 @@
+"""JSON-able encoding of simulation inputs and outputs.
+
+The on-disk result cache and the checkpoint files both store plain JSON,
+so the core value types — :class:`~repro.sim.metrics.SimResult` (with its
+:class:`~repro.sim.metrics.CpiStack`) and
+:class:`~repro.uarch.config.CoreConfig` (with its
+:class:`~repro.uarch.config.CacheGeometry`) — need faithful round-trip
+encoders.  Floats survive exactly (JSON carries full ``repr`` precision),
+so a decoded :class:`SimResult` reports bit-identical IPT.
+
+Every payload carries a ``"__kind__"`` tag and the encoding version;
+:func:`simresult_from_jsonable` / :func:`config_from_jsonable` refuse
+payloads they do not recognize rather than guessing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from ..errors import EngineError
+from ..sim.metrics import CpiStack, SimResult
+from ..uarch.config import CacheGeometry, CoreConfig
+
+#: Bump when the serialized shape changes incompatibly.
+FORMAT_VERSION = 1
+
+
+def _require(payload: Mapping[str, Any], kind: str) -> Mapping[str, Any]:
+    if not isinstance(payload, Mapping):
+        raise EngineError(f"expected a mapping for {kind}, got {type(payload).__name__}")
+    if payload.get("__kind__") != kind:
+        raise EngineError(f"payload is not a serialized {kind}: {payload.get('__kind__')!r}")
+    if payload.get("__version__") != FORMAT_VERSION:
+        raise EngineError(
+            f"unsupported {kind} format version {payload.get('__version__')!r}"
+        )
+    return payload
+
+
+# ----------------------------------------------------------------------
+# CoreConfig
+# ----------------------------------------------------------------------
+
+
+def _geometry_to_jsonable(geometry: CacheGeometry) -> dict[str, Any]:
+    return {
+        "nsets": geometry.nsets,
+        "assoc": geometry.assoc,
+        "block_bytes": geometry.block_bytes,
+        "latency_cycles": geometry.latency_cycles,
+    }
+
+
+def config_to_jsonable(config: CoreConfig) -> dict[str, Any]:
+    """Encode a :class:`CoreConfig` as plain JSON types."""
+    return {
+        "__kind__": "CoreConfig",
+        "__version__": FORMAT_VERSION,
+        "clock_period_ns": config.clock_period_ns,
+        "width": config.width,
+        "rob_size": config.rob_size,
+        "iq_size": config.iq_size,
+        "lsq_size": config.lsq_size,
+        "wakeup_latency": config.wakeup_latency,
+        "scheduler_depth": config.scheduler_depth,
+        "lsq_depth": config.lsq_depth,
+        "frontend_stages": config.frontend_stages,
+        "memory_cycles": config.memory_cycles,
+        "l1": _geometry_to_jsonable(config.l1),
+        "l2": _geometry_to_jsonable(config.l2),
+    }
+
+
+def config_from_jsonable(payload: Mapping[str, Any]) -> CoreConfig:
+    """Decode a :func:`config_to_jsonable` payload (validation re-runs)."""
+    data = dict(_require(payload, "CoreConfig"))
+    data.pop("__kind__")
+    data.pop("__version__")
+    try:
+        data["l1"] = CacheGeometry(**data["l1"])
+        data["l2"] = CacheGeometry(**data["l2"])
+        return CoreConfig(**data)
+    except (KeyError, TypeError) as exc:
+        raise EngineError(f"malformed CoreConfig payload: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# SimResult
+# ----------------------------------------------------------------------
+
+
+def simresult_to_jsonable(result: SimResult) -> dict[str, Any]:
+    """Encode a :class:`SimResult` (including its CPI stack and detail)."""
+    stack = result.cpi_stack
+    return {
+        "__kind__": "SimResult",
+        "__version__": FORMAT_VERSION,
+        "workload": result.workload,
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "clock_period_ns": result.clock_period_ns,
+        "cpi_stack": None
+        if stack is None
+        else {
+            "base": stack.base,
+            "branch": stack.branch,
+            "l2_access": stack.l2_access,
+            "memory": stack.memory,
+        },
+        "detail": dict(result.detail),
+    }
+
+
+def simresult_from_jsonable(payload: Mapping[str, Any]) -> SimResult:
+    """Decode a :func:`simresult_to_jsonable` payload bit-exactly."""
+    data = _require(payload, "SimResult")
+    stack_data = data.get("cpi_stack")
+    try:
+        return SimResult(
+            workload=data["workload"],
+            instructions=data["instructions"],
+            cycles=data["cycles"],
+            clock_period_ns=data["clock_period_ns"],
+            cpi_stack=None if stack_data is None else CpiStack(**stack_data),
+            detail=dict(data.get("detail", {})),
+        )
+    except (KeyError, TypeError) as exc:
+        raise EngineError(f"malformed SimResult payload: {exc}") from exc

@@ -31,3 +31,7 @@ class ExplorationError(ReproError):
 
 class CommunalError(ReproError):
     """A communal-customization computation received inconsistent inputs."""
+
+
+class EngineError(ReproError):
+    """The evaluation engine (cache, pool or checkpoint) was misused or failed."""

@@ -15,6 +15,7 @@ from .pipeline import (
     DEFAULT_ITERATIONS,
     DEFAULT_SEED,
     PipelineResult,
+    build_engine,
     default_pipeline,
     run_pipeline,
 )
@@ -51,6 +52,7 @@ __all__ = [
     "DEFAULT_ITERATIONS",
     "DEFAULT_SEED",
     "PipelineResult",
+    "build_engine",
     "default_pipeline",
     "run_pipeline",
     "SeedOutcome",

@@ -11,12 +11,19 @@ The pipeline is deterministic for a given (seed, iterations) pair and
 cached per process so the many benchmark targets share one exploration
 run, the way the paper's three-week exploration output feeds every
 result section.
+
+All simulation goes through one :class:`~repro.engine.EvaluationEngine`:
+``jobs`` parallelizes the per-workload explorations and the matrix fill,
+``cache_dir`` persists the result cache (SQLite) and the exploration
+checkpoint across processes, and ``resume`` continues an interrupted
+exploration from its checkpoint.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
+from pathlib import Path
 from typing import Sequence
 
 from ..characterize.configurational import (
@@ -24,6 +31,7 @@ from ..characterize.configurational import (
     from_results,
 )
 from ..characterize.cross import CrossPerformance, cross_performance
+from ..engine import CheckpointManager, EvaluationEngine, ResultCache
 from ..explore.annealing import AnnealingSchedule
 from ..explore.xpscalar import XpScalar
 from ..workloads.profile import WorkloadProfile
@@ -35,6 +43,10 @@ from ..workloads.spec2000 import spec2000_profiles
 DEFAULT_ITERATIONS = 2500
 DEFAULT_SEED = 2008  # the paper's year
 
+#: File names used inside a ``cache_dir``.
+CACHE_FILE = "results.sqlite"
+CHECKPOINT_FILE = "checkpoint.json"
+
 
 @dataclass
 class PipelineResult:
@@ -45,6 +57,11 @@ class PipelineResult:
     characteristics: dict[str, ConfigurationalCharacteristics]
     cross: CrossPerformance
 
+    @property
+    def engine(self) -> EvaluationEngine:
+        """The evaluation engine the run went through (metrics live here)."""
+        return self.explorer.engine
+
     def profile(self, name: str) -> WorkloadProfile:
         """Look up one profile by benchmark name."""
         for p in self.profiles:
@@ -53,23 +70,70 @@ class PipelineResult:
         raise KeyError(f"unknown workload {name!r}")
 
 
+def build_engine(
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+    use_cache: bool = True,
+) -> EvaluationEngine:
+    """Standard engine wiring for pipelines and the CLI.
+
+    ``cache_dir`` adds a persistent SQLite result cache under it;
+    without one the cache is in-memory.  ``use_cache=False`` disables
+    caching entirely (every evaluation simulates).
+    """
+    cache: ResultCache | None
+    if not use_cache:
+        cache = None
+    elif cache_dir is not None:
+        cache = ResultCache(Path(cache_dir) / CACHE_FILE)
+    else:
+        cache = ResultCache()
+    return EvaluationEngine(jobs=jobs, cache=cache)
+
+
 def run_pipeline(
     profiles: Sequence[WorkloadProfile] | None = None,
     iterations: int = DEFAULT_ITERATIONS,
     seed: int = DEFAULT_SEED,
     explorer: XpScalar | None = None,
     cross_seed_rounds: int = 2,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+    use_cache: bool = True,
+    resume: bool = False,
 ) -> PipelineResult:
-    """Run exploration + characterization + cross-evaluation."""
+    """Run exploration + characterization + cross-evaluation.
+
+    Results are identical for a given (seed, iterations) at every
+    ``jobs`` setting; parallelism and caching only change how fast they
+    arrive.  When an ``explorer`` is supplied it brings its own engine
+    and the ``jobs``/``cache_dir``/``use_cache`` knobs are ignored.
+    """
     profiles = list(profiles) if profiles is not None else spec2000_profiles()
-    xp = explorer or XpScalar(schedule=AnnealingSchedule(iterations=iterations))
-    results = xp.customize_all(profiles, seed=seed, cross_seed_rounds=cross_seed_rounds)
-    characteristics = from_results(results)
-    cross = cross_performance(
-        xp, profiles, {n: c.config for n, c in characteristics.items()}
+    if explorer is None:
+        explorer = XpScalar(
+            schedule=AnnealingSchedule(iterations=iterations),
+            engine=build_engine(jobs=jobs, cache_dir=cache_dir, use_cache=use_cache),
+        )
+    checkpoint = (
+        CheckpointManager(Path(cache_dir) / CHECKPOINT_FILE)
+        if cache_dir is not None
+        else None
     )
+    results = explorer.customize_all(
+        profiles,
+        seed=seed,
+        cross_seed_rounds=cross_seed_rounds,
+        checkpoint=checkpoint,
+        resume=resume,
+    )
+    characteristics = from_results(results)
+    with explorer.engine.phase("cross-matrix"):
+        cross = cross_performance(
+            explorer, profiles, {n: c.config for n, c in characteristics.items()}
+        )
     return PipelineResult(
-        explorer=xp,
+        explorer=explorer,
         profiles=profiles,
         characteristics=characteristics,
         cross=cross,

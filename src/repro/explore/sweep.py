@@ -29,6 +29,14 @@ class SweepPoint:
     config: CoreConfig
 
 
+def _sweep_task(
+    payload: tuple["ClockSweep", WorkloadProfile, float, int],
+) -> SweepPoint:
+    """One pinned-clock anneal, shaped for ``engine.map`` (picklable)."""
+    sweep, profile, clock, seed = payload
+    return sweep._run_at(profile, clock, seed)
+
+
 class ClockSweep:
     """Sweep the clock period, annealing all other parameters at each point."""
 
@@ -42,14 +50,20 @@ class ClockSweep:
         clocks: list[float] | None = None,
         seed: int = 0,
     ) -> list[SweepPoint]:
-        """Anneal at each clock on the grid; returns one point per clock."""
+        """Anneal at each clock on the grid; returns one point per clock.
+
+        The per-clock anneals are independent, so they run across the
+        explorer's engine pool when it has ``jobs > 1``; seeds are pinned
+        per grid position, keeping results identical at any job count.
+        """
         tech = self._xp.tech
         if clocks is None:
             clocks = [round(c, 3) for c in np.linspace(tech.min_clock_ns, tech.max_clock_ns, 9)]
-        points = []
-        for i, clock in enumerate(clocks):
-            points.append(self._run_at(profile, float(clock), seed + i))
-        return points
+        tasks = [
+            (self, profile, float(clock), seed + i) for i, clock in enumerate(clocks)
+        ]
+        with self._xp.engine.phase("sweep"):
+            return self._xp.engine.map(_sweep_task, tasks)
 
     def _run_at(self, profile: WorkloadProfile, clock: float, seed: int) -> SweepPoint:
         moves = self._xp._moves  # shares the explorer's move generator

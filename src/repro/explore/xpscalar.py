@@ -6,6 +6,12 @@ the clock period and per-unit pipeline depths as first-class knobs and
 every unit sized to fit its stage budget through the CACTI-analog timing
 model.  Fitness is IPT (instructions per time unit).
 
+All simulation requests route through a
+:class:`~repro.engine.pool.EvaluationEngine`, which provides result
+caching, batch deduplication and (with ``jobs > 1``) process-pool
+parallelism — the per-workload annealing runs of
+:meth:`XpScalar.customize_all` are independent and execute concurrently.
+
 The main entry points:
 
 * :meth:`XpScalar.customize` — explore one workload's configuration;
@@ -13,7 +19,8 @@ The main entry points:
   paper's cross-seeding refinement ("If a workload was found to perform
   better on some other workload's optimal configuration, that
   configuration would replace its own configuration in order to expedite
-  the exploration process") iterated to a fixed point;
+  the exploration process") iterated to a fixed point, with optional
+  checkpoint/resume for long runs;
 * :func:`configurational_characteristics` lives in
   :mod:`repro.characterize` and consumes these results.
 """
@@ -23,6 +30,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from ..engine import CheckpointManager, EvaluationEngine
+from ..engine.keys import digest, simulator_id
+from ..engine.serialize import (
+    config_from_jsonable,
+    config_to_jsonable,
+    simresult_from_jsonable,
+    simresult_to_jsonable,
+)
 from ..errors import ExplorationError
 from ..sim.interval import IntervalSimulator
 from ..sim.metrics import SimResult
@@ -55,6 +70,64 @@ class ExplorationResult:
     cross_seeded_from: str | None = None
 
 
+def _customize_task(
+    payload: tuple["XpScalar", WorkloadProfile, int, CoreConfig | None],
+) -> ExplorationResult:
+    """One workload's annealing run, shaped for ``engine.map``.
+
+    Module-level so it pickles by name into worker processes; the
+    :class:`XpScalar` in the payload wakes up there with a serial engine
+    and a private memory cache (see ``EvaluationEngine.__getstate__``).
+    """
+    explorer, profile, seed, initial = payload
+    return explorer.customize(profile, seed=seed, initial=initial)
+
+
+def _result_to_state(result: ExplorationResult) -> dict:
+    """Checkpoint encoding of one :class:`ExplorationResult`."""
+    annealing = result.annealing
+    return {
+        "workload": result.workload,
+        "config": config_to_jsonable(result.config),
+        "score": result.score,
+        "result": simresult_to_jsonable(result.result),
+        "cross_seeded_from": result.cross_seeded_from,
+        "annealing": None
+        if annealing is None
+        else {
+            "best_state": config_to_jsonable(annealing.best_state),
+            "best_score": annealing.best_score,
+            "evaluations": annealing.evaluations,
+            "accepted": annealing.accepted,
+            "rollbacks": annealing.rollbacks,
+            "history": list(annealing.history),
+        },
+    }
+
+
+def _result_from_state(state: dict) -> ExplorationResult:
+    """Inverse of :func:`_result_to_state` (bit-exact for all floats)."""
+    annealing_state = state.get("annealing")
+    annealing = None
+    if annealing_state is not None:
+        annealing = AnnealingResult(
+            best_state=config_from_jsonable(annealing_state["best_state"]),
+            best_score=annealing_state["best_score"],
+            evaluations=annealing_state["evaluations"],
+            accepted=annealing_state["accepted"],
+            rollbacks=annealing_state["rollbacks"],
+            history=list(annealing_state["history"]),
+        )
+    return ExplorationResult(
+        workload=state["workload"],
+        config=config_from_jsonable(state["config"]),
+        score=state["score"],
+        result=simresult_from_jsonable(state["result"]),
+        annealing=annealing,
+        cross_seeded_from=state.get("cross_seeded_from"),
+    )
+
+
 class XpScalar:
     """Design-space explorer: one facade over moves, annealing and timing.
 
@@ -68,11 +141,18 @@ class XpScalar:
         Evaluator with an ``evaluate(profile, config) -> SimResult``
         method; defaults to the interval model.  The cycle-level
         simulator can be adapted here for (much slower) trace-driven
-        exploration.
+        exploration.  Mutually exclusive with ``engine`` (an engine
+        carries its own simulator).
     schedule:
         Annealing schedule.
     objective:
         Fitness extractor (defaults to IPT).
+    engine:
+        Evaluation engine to route all simulations through; defaults to
+        a serial engine with an in-memory result cache.  Pass an engine
+        with ``jobs > 1`` to parallelize :meth:`customize_all` and the
+        batched matrix fills, or one with a disk-backed cache to share
+        results across processes/runs.
     """
 
     def __init__(
@@ -82,11 +162,24 @@ class XpScalar:
         simulator: IntervalSimulator | None = None,
         schedule: AnnealingSchedule | None = None,
         objective: Objective = ipt_objective,
+        engine: EvaluationEngine | None = None,
     ) -> None:
         self.tech = tech or default_technology()
         self.space = space or DesignSpace()
         self.model = CactiModel(self.tech)
-        self.simulator = simulator or IntervalSimulator()
+        if engine is not None:
+            if simulator is not None and simulator is not engine.simulator:
+                raise ExplorationError(
+                    "pass the simulator through the engine, not alongside it"
+                )
+            self.engine = engine
+            if not engine.context_bound:
+                engine.bind_context(self.tech)
+        else:
+            self.engine = EvaluationEngine(
+                simulator=simulator or IntervalSimulator(), context=self.tech
+            )
+        self.simulator = self.engine.simulator
         self.schedule = schedule or AnnealingSchedule()
         self.objective = objective
         self._moves = MoveGenerator(self.tech, self.model, self.space)
@@ -96,12 +189,33 @@ class XpScalar:
     # ------------------------------------------------------------------
 
     def evaluate(self, profile: WorkloadProfile, config: CoreConfig) -> SimResult:
-        """Simulate one (workload, configuration) pair."""
-        return self.simulator.evaluate(profile, config)
+        """Simulate one (workload, configuration) pair (cache-aware)."""
+        return self.engine.evaluate(profile, config)
 
     def score(self, profile: WorkloadProfile, config: CoreConfig) -> float:
         """Objective value of one pair."""
         return self.objective(self.evaluate(profile, config))
+
+    def run_signature(
+        self, names: Sequence[str], seed: int, cross_seed_rounds: int
+    ) -> str:
+        """Content hash of everything that determines a suite exploration.
+
+        Checkpoints are only resumed when this matches, so a changed
+        schedule, seed, technology, design space, simulator or workload
+        list starts fresh instead of resuming into inconsistency.
+        """
+        objective_id = getattr(self.objective, "__qualname__", repr(self.objective))
+        return digest(
+            list(names),
+            seed,
+            cross_seed_rounds,
+            self.schedule,
+            self.tech,
+            self.space,
+            simulator_id(self.simulator),
+            objective_id,
+        )
 
     # ------------------------------------------------------------------
     # exploration
@@ -126,9 +240,24 @@ class XpScalar:
         if restarts < 1:
             raise ExplorationError(f"restarts must be >= 1, got {restarts}")
         start = initial or initial_configuration(self.tech)
+
+        # Track the SimResult behind the annealer's best state so the
+        # winning configuration is not re-simulated after the search.
+        # The update rule mirrors the annealer's (strictly-greater, in
+        # evaluation order), so the tracked config matches best_state.
+        tracked: tuple[float, CoreConfig, SimResult] | None = None
+
+        def evaluate_cfg(config: CoreConfig) -> float:
+            nonlocal tracked
+            result = self.engine.evaluate(profile, config)
+            score = self.objective(result)
+            if tracked is None or score > tracked[0]:
+                tracked = (score, config, result)
+            return score
+
         annealer = SimulatedAnnealing(
             propose=self._moves.propose,
-            evaluate=lambda cfg: self.score(profile, cfg),
+            evaluate=evaluate_cfg,
             schedule=self.schedule,
         )
         outcome = annealer.run(start, seed=seed)
@@ -138,11 +267,15 @@ class XpScalar:
                 outcome = rerun
         best = outcome.best_state
         validate_config(best, self.tech, self.model)
+        if tracked is not None and tracked[1] == best:
+            final = tracked[2]
+        else:  # defensive: cache makes this free when warm
+            final = self.engine.evaluate(profile, best)
         return ExplorationResult(
             workload=profile.name,
             config=best,
             score=outcome.best_score,
-            result=self.evaluate(profile, best),
+            result=final,
             annealing=outcome,
         )
 
@@ -151,12 +284,15 @@ class XpScalar:
         profiles: Sequence[WorkloadProfile],
         seed: int = 0,
         cross_seed_rounds: int = 2,
+        checkpoint: CheckpointManager | None = None,
+        resume: bool = False,
     ) -> dict[str, ExplorationResult]:
         """Customize a whole suite, with the paper's cross-seeding passes.
 
-        After the independent explorations, every workload is evaluated
-        on every other workload's customized configuration; whenever some
-        other configuration beats a workload's own, it is adopted — "If a
+        After the independent explorations (run concurrently when the
+        engine has ``jobs > 1``), every workload is evaluated on every
+        other workload's customized configuration; whenever some other
+        configuration beats a workload's own, it is adopted — "If a
         workload was found to perform better on some other workload's
         optimal configuration, that configuration would replace its own
         configuration in order to expedite the exploration process."
@@ -164,38 +300,90 @@ class XpScalar:
         continues each workload's exploration from its (possibly adopted)
         best configuration, so adopted configurations diverge again
         toward each workload's own optimum.
+
+        With a ``checkpoint``, progress is persisted after every batch of
+        explorations and every refinement round; passing ``resume=True``
+        restores a matching checkpoint (same workloads, seed, schedule,
+        technology, simulator — see :meth:`run_signature`) and continues
+        where the interrupted run stopped.
         """
+        profiles = list(profiles)
         if not profiles:
             raise ExplorationError("customize_all needs at least one workload")
         names = [p.name for p in profiles]
         if len(set(names)) != len(names):
             raise ExplorationError(f"duplicate workload names: {names}")
 
-        results = {
-            p.name: self.customize(p, seed=seed + i)
-            for i, p in enumerate(profiles)
-        }
+        signature = self.run_signature(names, seed, cross_seed_rounds)
+        results: dict[str, ExplorationResult] = {}
+        stage, next_round = "explore", 0
+        if checkpoint is not None and resume:
+            state = checkpoint.load(signature)
+            if state is not None:
+                results = {
+                    name: _result_from_state(s)
+                    for name, s in state.get("results", {}).items()
+                    if name in set(names)
+                }
+                stage = state.get("stage", "explore")
+                next_round = int(state.get("next_round", 0))
+        if stage == "done" and set(results) == set(names):
+            return results
 
-        for round_no in range(cross_seed_rounds):
-            changed = self._cross_seed_once(profiles, results)
-            # Refine: continue annealing from the current best (adopted or
-            # not); keep whichever configuration scores higher.
-            for i, profile in enumerate(profiles):
-                current = results[profile.name]
-                refined = self.customize(
-                    profile,
-                    seed=seed + 1000 * (round_no + 1) + i,
-                    initial=current.config,
-                )
-                if refined.score > current.score:
-                    refined.cross_seeded_from = current.cross_seeded_from
-                    results[profile.name] = refined
-                    changed = True
+        def save(save_stage: str, save_round: int = 0) -> None:
+            if checkpoint is None:
+                return
+            checkpoint.save(
+                signature,
+                {
+                    "stage": save_stage,
+                    "next_round": save_round,
+                    "results": {n: _result_to_state(r) for n, r in results.items()},
+                },
+            )
+            self.engine.events.emit("checkpoint", path=str(checkpoint.path))
+
+        if stage == "explore":
+            pending = [(i, p) for i, p in enumerate(profiles) if p.name not in results]
+            # Chunked so a checkpoint lands every few completions without
+            # starving the pool; serial engines checkpoint per workload.
+            chunk = 1 if self.engine.workers == 1 else self.engine.workers * 2
+            with self.engine.phase("explore"):
+                for lo in range(0, len(pending), chunk):
+                    tasks = [
+                        (self, p, seed + i, None) for i, p in pending[lo : lo + chunk]
+                    ]
+                    for outcome in self.engine.map(_customize_task, tasks):
+                        results[outcome.workload] = outcome
+                    if checkpoint is not None and len(results) < len(names):
+                        save("explore")
+            next_round = 0
+            save("refine", next_round)
+
+        for round_no in range(next_round, cross_seed_rounds):
+            with self.engine.phase(f"cross-seed-{round_no + 1}"):
+                changed = self._cross_seed_once(profiles, results)
+                # Refine: continue annealing from the current best (adopted
+                # or not); keep whichever configuration scores higher.
+                tasks = [
+                    (self, p, seed + 1000 * (round_no + 1) + i, results[p.name].config)
+                    for i, p in enumerate(profiles)
+                ]
+                refined_all = self.engine.map(_customize_task, tasks)
+                for profile, refined in zip(profiles, refined_all):
+                    current = results[profile.name]
+                    if refined.score > current.score:
+                        refined.cross_seeded_from = current.cross_seeded_from
+                        results[profile.name] = refined
+                        changed = True
+            save("refine", round_no + 1)
             if not changed:
                 break
         # Final consistency pass: after the last refinement, no workload
         # should prefer another workload's configuration to its own.
-        self._cross_seed_once(profiles, results)
+        with self.engine.phase("consistency"):
+            self._cross_seed_once(profiles, results)
+        save("done", cross_seed_rounds)
         return results
 
     def _cross_seed_once(
@@ -203,29 +391,57 @@ class XpScalar:
         profiles: Sequence[WorkloadProfile],
         results: dict[str, ExplorationResult],
     ) -> bool:
-        """One adoption pass; returns True if any workload switched."""
+        """Adoption passes, batched and iterated to a fixed point.
+
+        Every (workload, donor-configuration) pair is evaluated in one
+        deduplicated batch; adoptions can unlock further adoptions (a
+        workload may prefer a configuration another workload just
+        adopted), so passes repeat until none fires.  Follow-up passes
+        re-request only configurations already evaluated in the first
+        batch, so they are served entirely from the cache.  Returns True
+        if any workload switched.
+        """
         changed = False
-        for profile in profiles:
-            own = results[profile.name]
-            best_other: tuple[str, float] | None = None
-            for other in profiles:
-                if other.name == profile.name:
-                    continue
-                score = self.score(profile, results[other.name].config)
-                if score > own.score * (1 + 1e-9) and (
-                    best_other is None or score > best_other[1]
-                ):
-                    best_other = (other.name, score)
-            if best_other is not None:
-                donor, score = best_other
-                config = results[donor].config
-                results[profile.name] = ExplorationResult(
-                    workload=profile.name,
-                    config=config,
-                    score=score,
-                    result=self.evaluate(profile, config),
-                    annealing=own.annealing,
-                    cross_seeded_from=donor,
-                )
-                changed = True
-        return changed
+        while True:
+            # Snapshot the configurations being scored: adoptions within
+            # this pass must not leak into each other, or a workload
+            # could pair a donor's *new* config with the score of its
+            # *old* one.  Cascades are picked up by the next pass.
+            donor_config = {name: res.config for name, res in results.items()}
+            pairs = []
+            labels = []
+            for profile in profiles:
+                for other in profiles:
+                    if other.name == profile.name:
+                        continue
+                    pairs.append((profile, donor_config[other.name]))
+                    labels.append((profile.name, other.name))
+            sims = self.engine.evaluate_many(pairs)
+            sim_by_label = dict(zip(labels, sims))
+            scores = {label: self.objective(sim) for label, sim in sim_by_label.items()}
+            fired = False
+            for profile in profiles:
+                own = results[profile.name]
+                best_other: tuple[str, float] | None = None
+                for other in profiles:
+                    if other.name == profile.name:
+                        continue
+                    score = scores[(profile.name, other.name)]
+                    if score > own.score * (1 + 1e-9) and (
+                        best_other is None or score > best_other[1]
+                    ):
+                        best_other = (other.name, score)
+                if best_other is not None:
+                    donor, score = best_other
+                    results[profile.name] = ExplorationResult(
+                        workload=profile.name,
+                        config=donor_config[donor],
+                        score=score,
+                        result=sim_by_label[(profile.name, donor)],
+                        annealing=own.annealing,
+                        cross_seeded_from=donor,
+                    )
+                    fired = True
+            if not fired:
+                return changed
+            changed = True

@@ -78,6 +78,11 @@ class IntervalSimulator:
     suite.
     """
 
+    #: Folded into evaluation-cache keys (see :mod:`repro.engine.keys`);
+    #: bump on any change that alters modelled numbers, so stale cached
+    #: results from earlier model versions can never be returned.
+    cache_version = 1
+
     def evaluate(self, profile: WorkloadProfile, config: CoreConfig) -> SimResult:
         """Return the modelled performance of ``profile`` on ``config``."""
         window = self.effective_window(profile, config)

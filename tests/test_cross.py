@@ -99,3 +99,13 @@ class TestSubset:
     def test_subset_unknown_name(self):
         with pytest.raises(CommunalError):
             make_cross().subset(["a", "zzz"])
+
+    def test_subset_rejects_duplicates(self):
+        """A repeated name would silently duplicate rows/columns and skew
+        every averaged merit downstream."""
+        with pytest.raises(CommunalError, match="duplicated: b"):
+            make_cross().subset(["a", "b", "b"])
+
+    def test_subset_rejects_duplicates_even_if_unknown_too(self):
+        with pytest.raises(CommunalError):
+            make_cross().subset(["a", "a", "zzz"])

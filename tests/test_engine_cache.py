@@ -1,0 +1,103 @@
+"""Result cache: memory tier, SQLite tier, stats, round-trip fidelity."""
+
+import pytest
+
+from repro.engine import ResultCache, simresult_from_jsonable, simresult_to_jsonable
+from repro.errors import EngineError
+from repro.sim import IntervalSimulator
+from repro.uarch import initial_configuration
+from repro.workloads import spec2000_profile
+
+
+@pytest.fixture()
+def result(initial_config):
+    return IntervalSimulator().evaluate(spec2000_profile("gcc"), initial_config)
+
+
+class TestSerialization:
+    def test_round_trip_is_bit_exact(self, result):
+        decoded = simresult_from_jsonable(simresult_to_jsonable(result))
+        assert decoded.ipt == result.ipt
+        assert decoded.cycles == result.cycles
+        assert decoded.cpi_stack.total == result.cpi_stack.total
+        assert decoded.detail == result.detail
+
+    def test_rejects_foreign_payload(self):
+        with pytest.raises(EngineError):
+            simresult_from_jsonable({"__kind__": "Banana", "__version__": 1})
+
+
+class TestMemoryTier:
+    def test_miss_then_hit(self, result):
+        cache = ResultCache()
+        assert cache.get("k") is None
+        cache.put("k", result)
+        assert cache.get("k") is result
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_lru_eviction(self, result):
+        cache = ResultCache(max_memory_entries=2)
+        cache.put("a", result)
+        cache.put("b", result)
+        cache.get("a")  # refresh a; b becomes the LRU victim
+        cache.put("c", result)
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert cache.stats.evictions == 1
+
+    def test_len_and_clear(self, result):
+        cache = ResultCache()
+        cache.put("a", result)
+        cache.put("b", result)
+        assert len(cache) == 2
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_rejects_negative_bound(self):
+        with pytest.raises(EngineError):
+            ResultCache(max_memory_entries=-1)
+
+
+class TestDiskTier:
+    def test_persists_across_instances(self, tmp_path, result):
+        path = tmp_path / "cache" / "results.sqlite"
+        first = ResultCache(path)
+        first.put("k", result)
+        first.close()
+
+        second = ResultCache(path)
+        hit = second.get("k")
+        assert hit is not None
+        assert hit.ipt == result.ipt
+        assert second.stats.disk_hits == 1
+        second.close()
+
+    def test_disk_hit_promotes_to_memory(self, tmp_path, result):
+        path = tmp_path / "results.sqlite"
+        writer = ResultCache(path)
+        writer.put("k", result)
+        writer.close()
+
+        reader = ResultCache(path)
+        reader.get("k")
+        reader.close()  # disk handle gone; memory tier must now serve
+        assert reader.get("k").ipt == result.ipt
+
+    def test_len_counts_disk(self, tmp_path, result):
+        cache = ResultCache(tmp_path / "r.sqlite", max_memory_entries=1)
+        cache.put("a", result)
+        cache.put("b", result)  # evicts a from memory, both on disk
+        assert len(cache) == 2
+        cache.close()
+
+    def test_pickled_copy_is_memory_only(self, tmp_path, result):
+        import pickle
+
+        cache = ResultCache(tmp_path / "r.sqlite")
+        cache.put("k", result)
+        clone = pickle.loads(pickle.dumps(cache))
+        assert clone.path is None
+        assert clone.get("k") is None  # fresh and private
+        cache.close()

@@ -1,0 +1,120 @@
+"""Checkpoint/resume: atomic saves, signature guards, customize_all restarts."""
+
+import json
+
+import pytest
+
+from repro.engine import CheckpointManager, EvaluationEngine
+from repro.errors import EngineError
+from repro.explore import AnnealingSchedule, XpScalar
+from repro.workloads import spec2000_profile
+
+
+@pytest.fixture()
+def manager(tmp_path):
+    return CheckpointManager(tmp_path / "runs" / "checkpoint.json")
+
+
+class TestManager:
+    def test_save_then_load(self, manager):
+        manager.save("sig", {"stage": "explore", "done": ["gzip"]})
+        assert manager.exists
+        state = manager.load("sig")
+        assert state == {"stage": "explore", "done": ["gzip"]}
+
+    def test_missing_file_loads_none(self, manager):
+        assert manager.load("sig") is None
+
+    def test_signature_mismatch_loads_none(self, manager):
+        manager.save("sig-a", {"stage": "done"})
+        assert manager.load("sig-b") is None
+
+    def test_corrupt_file_loads_none(self, manager):
+        manager.save("sig", {"stage": "done"})
+        manager.path.write_text("{truncated", encoding="utf-8")
+        assert manager.load("sig") is None
+
+    def test_foreign_json_loads_none(self, manager):
+        manager.path.parent.mkdir(parents=True, exist_ok=True)
+        manager.path.write_text(json.dumps({"random": "blob"}), encoding="utf-8")
+        assert manager.load("sig") is None
+
+    def test_save_overwrites_atomically(self, manager):
+        manager.save("sig", {"stage": "explore"})
+        manager.save("sig", {"stage": "done"})
+        assert manager.load("sig") == {"stage": "done"}
+        leftovers = [p for p in manager.path.parent.iterdir() if p != manager.path]
+        assert leftovers == []  # no tmp files abandoned
+
+    def test_unserializable_state_raises(self, manager):
+        with pytest.raises(EngineError):
+            manager.save("sig", {"bad": object()})
+
+    def test_clear(self, manager):
+        manager.save("sig", {"stage": "done"})
+        manager.clear()
+        assert not manager.exists
+        manager.clear()  # idempotent
+
+
+class TestCustomizeAllResume:
+    @staticmethod
+    def _explorer():
+        return XpScalar(schedule=AnnealingSchedule(iterations=150))
+
+    def test_resume_of_finished_run_simulates_nothing(self, tmp_path):
+        profiles = [spec2000_profile(n) for n in ("gzip", "mcf")]
+        manager = CheckpointManager(tmp_path / "checkpoint.json")
+
+        first = self._explorer()
+        baseline = first.customize_all(
+            profiles, seed=7, cross_seed_rounds=1, checkpoint=manager
+        )
+
+        # A brand-new explorer (cold cache, fresh engine) resuming from
+        # the "done" checkpoint must replay the stored results verbatim.
+        second = self._explorer()
+        resumed = second.customize_all(
+            profiles, seed=7, cross_seed_rounds=1, checkpoint=manager, resume=True
+        )
+        assert second.engine.metrics.evaluations == 0
+        assert set(resumed) == set(baseline)
+        for name in baseline:
+            assert resumed[name].config == baseline[name].config
+            assert resumed[name].score == baseline[name].score
+            assert resumed[name].result.ipt == baseline[name].result.ipt
+
+    def test_resume_ignored_when_signature_differs(self, tmp_path):
+        profiles = [spec2000_profile(n) for n in ("gzip", "mcf")]
+        manager = CheckpointManager(tmp_path / "checkpoint.json")
+
+        first = self._explorer()
+        first.customize_all(profiles, seed=7, cross_seed_rounds=1, checkpoint=manager)
+
+        # Different seed -> different run signature -> full fresh run.
+        second = self._explorer()
+        second.customize_all(
+            profiles, seed=8, cross_seed_rounds=1, checkpoint=manager, resume=True
+        )
+        assert second.engine.metrics.evaluations > 0
+
+    def test_without_resume_flag_checkpoint_is_overwritten(self, tmp_path):
+        profiles = [spec2000_profile("gzip")]
+        manager = CheckpointManager(tmp_path / "checkpoint.json")
+        explorer = self._explorer()
+        explorer.customize_all(
+            profiles, seed=3, cross_seed_rounds=0, checkpoint=manager
+        )
+        state = manager.load(explorer.run_signature(["gzip"], 3, 0))
+        assert state is not None
+        assert state["stage"] == "done"
+
+
+class TestEnginePickleIsolation:
+    def test_engine_round_trip_keeps_simulator_identity(self):
+        import pickle
+
+        engine = EvaluationEngine(jobs=2)
+        clone = pickle.loads(pickle.dumps(engine))
+        assert type(clone.simulator) is type(engine.simulator)
+        engine.close()

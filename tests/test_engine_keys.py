@@ -1,0 +1,95 @@
+"""Content hashing of evaluation requests (repro.engine.keys)."""
+
+import numpy as np
+import pytest
+
+from repro.engine import canonical, digest, evaluation_key, simulator_id
+from repro.errors import EngineError
+from repro.sim import IntervalSimulator
+from repro.tech import TechnologyNode
+from repro.uarch import initial_configuration
+from repro.workloads import spec2000_profile
+
+
+class TestCanonical:
+    def test_primitives_pass_through(self):
+        assert canonical(3) == 3
+        assert canonical("x") == "x"
+        assert canonical(None) is None
+        assert canonical(True) is True
+
+    def test_floats_encode_via_repr(self):
+        assert canonical(0.1) == {"__float__": "0.1"}
+        assert canonical(1.0) != canonical(1)  # float 1.0 is not int 1
+
+    def test_numpy_scalars_normalize(self):
+        assert canonical(np.int64(5)) == 5
+        assert canonical(np.float64(0.25)) == canonical(0.25)
+
+    def test_dataclasses_carry_type_and_fields(self):
+        encoded = canonical(TechnologyNode())
+        assert encoded["__type__"].endswith("TechnologyNode")
+        assert "latch_latency_ns" in encoded
+
+    def test_unencodable_raises(self):
+        with pytest.raises(EngineError):
+            canonical(object())
+
+
+class TestDigest:
+    def test_deterministic(self):
+        config = initial_configuration(TechnologyNode())
+        assert digest(config) == digest(config)
+
+    def test_sensitive_to_any_field(self, initial_config):
+        changed = initial_config.replace(width=initial_config.width + 1)
+        assert digest(initial_config) != digest(changed)
+
+    def test_sensitive_to_nested_fields(self, initial_config):
+        changed = initial_config.replace(
+            l1=initial_config.l1.__class__(
+                nsets=initial_config.l1.nsets,
+                assoc=initial_config.l1.assoc,
+                block_bytes=initial_config.l1.block_bytes,
+                latency_cycles=initial_config.l1.latency_cycles + 1,
+            )
+        )
+        assert digest(initial_config) != digest(changed)
+
+    def test_argument_order_matters(self):
+        assert digest("a", "b") != digest("b", "a")
+
+
+class TestEvaluationKey:
+    def test_same_inputs_same_key(self, initial_config):
+        p = spec2000_profile("gzip")
+        assert evaluation_key(p, initial_config) == evaluation_key(p, initial_config)
+
+    def test_distinct_profiles_distinct_keys(self, initial_config):
+        a = evaluation_key(spec2000_profile("gzip"), initial_config)
+        b = evaluation_key(spec2000_profile("mcf"), initial_config)
+        assert a != b
+
+    def test_distinct_configs_distinct_keys(self, initial_config):
+        p = spec2000_profile("gzip")
+        other = initial_config.replace(rob_size=initial_config.rob_size * 2)
+        assert evaluation_key(p, initial_config) != evaluation_key(p, other)
+
+    def test_simulator_and_context_fold_in(self, initial_config):
+        p = spec2000_profile("gzip")
+        base = evaluation_key(p, initial_config)
+        assert evaluation_key(p, initial_config, simulator="other@1") != base
+        assert evaluation_key(p, initial_config, context="tech-x") != base
+
+
+class TestSimulatorId:
+    def test_includes_class_and_version(self):
+        sid = simulator_id(IntervalSimulator())
+        assert "IntervalSimulator" in sid
+        assert sid.endswith(f"@{IntervalSimulator.cache_version}")
+
+    def test_version_bump_changes_id(self):
+        class Patched(IntervalSimulator):
+            cache_version = IntervalSimulator.cache_version + 1
+
+        assert simulator_id(Patched()) != simulator_id(IntervalSimulator())

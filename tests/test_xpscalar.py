@@ -55,6 +55,19 @@ class TestCustomize:
         )
         assert result.config.clock_period_ns >= ipt_result.config.clock_period_ns
 
+    def test_no_duplicate_final_evaluation(self):
+        """The winning configuration's SimResult is carried out of the
+        annealing loop, not re-simulated afterwards."""
+        xp = XpScalar(schedule=AnnealingSchedule(iterations=300))
+        result = xp.customize(spec2000_profile("vpr"), seed=4)
+        sims = xp.engine.metrics.evaluations
+        hits = xp.engine.metrics.cache_hits
+        assert result.annealing is not None
+        # Every annealing evaluation is accounted for; no extra
+        # simulation happened for the returned result.
+        assert sims + hits == result.annealing.evaluations
+        assert xp.objective(result.result) == result.score
+
     def test_ipt_objective_function(self, xp):
         p = spec2000_profile("gcc")
         r = xp.evaluate(p, initial_configuration(xp.tech))
