@@ -13,19 +13,24 @@ Examples::
 Every exploration-running command accepts the engine flags: ``--jobs N``
 (worker processes), ``--cache-dir DIR`` (persistent result cache +
 checkpoint), ``--no-cache`` (simulate everything), ``--resume`` (continue
-an interrupted exploration from the checkpoint in ``--cache-dir``) and
-``--stats`` (print evaluation counts, cache hit rate and per-phase wall
-time when done).
+an interrupted exploration from the checkpoint in ``--cache-dir``),
+``--stats`` (print evaluation counts, cache hit rate, per-phase wall
+time and resilience counters when done), plus the resilience knobs:
+``--retries N`` and ``--task-timeout S`` (see ``docs/resilience.md``)
+and the chaos-testing hook ``--inject-faults SPEC`` (also honoured from
+the ``REPRO_INJECT_FAULTS`` environment variable), e.g.
+``--inject-faults 'seed=7,crash=0.05,hang=0.02'``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
 from .communal import surrogate_merits
-from .engine import CheckpointManager, EvaluationEngine
+from .engine import CheckpointManager, EvaluationEngine, FaultPlan, RetryPolicy
 from .experiments import (
     build_engine,
     figure1,
@@ -78,7 +83,38 @@ def _engine_options() -> argparse.ArgumentParser:
         "--stats", action="store_true",
         help="print evaluation/cache/phase statistics when done",
     )
+    group.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="retries per failing evaluation before giving up "
+             "(default: 3)",
+    )
+    group.add_argument(
+        "--task-timeout", type=float, default=None, metavar="S",
+        help="per-task deadline in seconds under --jobs > 1; a task "
+             "overrunning it is retried on a fresh pool (default: none)",
+    )
+    group.add_argument(
+        "--inject-faults", default=os.environ.get("REPRO_INJECT_FAULTS"),
+        metavar="SPEC",
+        help="arm deterministic fault injection for chaos testing, e.g. "
+             "'seed=7,crash=0.05,hang=0.02,wrong=0.01' "
+             "(default: $REPRO_INJECT_FAULTS)",
+    )
     return p
+
+
+def _resilience(args) -> tuple[RetryPolicy | None, FaultPlan | None]:
+    """The retry policy and fault plan implied by engine flags."""
+    policy = None
+    if args.retries is not None or args.task_timeout is not None:
+        defaults = RetryPolicy()
+        policy = RetryPolicy(
+            max_retries=args.retries if args.retries is not None
+            else defaults.max_retries,
+            timeout_s=args.task_timeout,
+        )
+    faults = FaultPlan.parse(args.inject_faults) if args.inject_faults else None
+    return policy, faults
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -135,8 +171,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _build_engine(args) -> EvaluationEngine:
+    policy, faults = _resilience(args)
     return build_engine(
-        jobs=args.jobs, cache_dir=args.cache_dir, use_cache=not args.no_cache
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        policy=policy,
+        faults=faults,
     )
 
 
@@ -150,6 +191,7 @@ def _finish(args, engine: EvaluationEngine | None) -> int:
 
 
 def _pipeline(args):
+    policy, faults = _resilience(args)
     return run_pipeline(
         iterations=args.iterations,
         seed=args.seed,
@@ -157,6 +199,8 @@ def _pipeline(args):
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
         resume=args.resume,
+        policy=policy,
+        faults=faults,
     )
 
 

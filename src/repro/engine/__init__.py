@@ -10,17 +10,30 @@ for: all code that needs simulation results routes through one
   (:mod:`repro.engine.pool`);
 * checkpoint/resume of long explorations
   (:mod:`repro.engine.checkpoint`);
-* progress/metrics hooks (:mod:`repro.engine.events`).
+* progress/metrics hooks (:mod:`repro.engine.events`);
+* retry/timeout/backoff resilience and integrity checking
+  (:mod:`repro.engine.resilience`) with a deterministic fault-injection
+  harness for testing it (:mod:`repro.engine.faults`).
 
 See ``docs/engine.md`` for the key scheme, checkpoint format and
-parallelism model.
+parallelism model, and ``docs/resilience.md`` for the failure model.
 """
 
 from .cache import CacheStats, ResultCache
 from .checkpoint import CheckpointManager
 from .events import EngineMetrics, EventBus
+from .faults import (
+    CRASH,
+    HANG,
+    WRONG_RESULT,
+    FaultPlan,
+    InjectedCrash,
+    InjectedFault,
+    InjectedHang,
+)
 from .keys import canonical, digest, evaluation_key, simulator_id
 from .pool import EvaluationEngine
+from .resilience import ResultIntegrityError, RetryPolicy, validate_result
 from .serialize import (
     config_from_jsonable,
     config_to_jsonable,
@@ -34,6 +47,16 @@ __all__ = [
     "CheckpointManager",
     "EngineMetrics",
     "EventBus",
+    "CRASH",
+    "HANG",
+    "WRONG_RESULT",
+    "FaultPlan",
+    "InjectedCrash",
+    "InjectedFault",
+    "InjectedHang",
+    "ResultIntegrityError",
+    "RetryPolicy",
+    "validate_result",
     "canonical",
     "digest",
     "evaluation_key",

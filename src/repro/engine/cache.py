@@ -20,18 +20,29 @@ Two tiers:
 The cache is strictly *content*-addressed: a hit is bit-identical to the
 simulation it replaces (see :mod:`repro.engine.serialize`), so cached and
 uncached runs produce the same numbers.
+
+The disk tier defends itself: every row carries a SHA-256 checksum of
+its payload, verified on load.  A row that fails its checksum (or no
+longer parses) is *quarantined* — deleted, counted, reported through the
+owner's ``on_quarantine`` hook — and treated as a miss, so the entry is
+simply re-simulated.  A database file corrupt beyond SQLite's tolerance
+is moved aside (``<file>.corrupt``) and the cache continues memory-only.
+A bad cache can cost time; it can never crash a run or alter a result.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import sqlite3
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Callable
 
 from ..errors import EngineError
 from ..sim.metrics import SimResult
+from .resilience import quarantine_file
 from .serialize import simresult_from_jsonable, simresult_to_jsonable
 
 #: Default bound on the in-memory tier.
@@ -39,6 +50,11 @@ DEFAULT_MEMORY_ENTRIES = 65_536
 
 #: Disk writes are committed every this many puts (and on close).
 _FLUSH_EVERY = 512
+
+
+def _checksum(value: str) -> str:
+    """Row checksum: SHA-256 of the serialized payload (hex, truncated)."""
+    return hashlib.sha256(value.encode("utf-8")).hexdigest()[:16]
 
 
 @dataclass
@@ -50,6 +66,7 @@ class CacheStats:
     stores: int = 0
     disk_hits: int = 0
     evictions: int = 0
+    quarantined: int = 0
 
     @property
     def lookups(self) -> int:
@@ -86,43 +103,71 @@ class ResultCache:
         self._memory: OrderedDict[str, SimResult] = OrderedDict()
         self._conn: sqlite3.Connection | None = None
         self._pending = 0
+        #: Called as ``on_quarantine(key_or_path, reason)`` whenever
+        #: corrupt disk state is isolated (the engine wires this to its
+        #: event bus).  ``"*"`` means the whole database file.
+        self.on_quarantine: Callable[[str, str], None] | None = None
         if self.path is not None:
             self.path = Path(self.path)
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._conn = sqlite3.connect(self.path)
-            self._conn.execute("PRAGMA journal_mode=WAL")
-            self._conn.execute(
-                "CREATE TABLE IF NOT EXISTS results ("
-                "key TEXT PRIMARY KEY, value TEXT NOT NULL)"
-            )
-            self._conn.commit()
+            try:
+                self._connect()
+            except sqlite3.DatabaseError as exc:
+                self._quarantine_database(f"unreadable database ({exc})")
+
+    def _connect(self) -> None:
+        assert isinstance(self.path, Path)
+        self._conn = sqlite3.connect(self.path)
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS results ("
+            "key TEXT PRIMARY KEY, value TEXT NOT NULL, checksum TEXT)"
+        )
+        # Databases written before checksumming existed lack the column;
+        # add it in place (their rows verify as legacy, see get()).
+        columns = {row[1] for row in self._conn.execute("PRAGMA table_info(results)")}
+        if "checksum" not in columns:
+            self._conn.execute("ALTER TABLE results ADD COLUMN checksum TEXT")
+        self._conn.commit()
 
     # ------------------------------------------------------------------
     # lookup / store
     # ------------------------------------------------------------------
 
     def get(self, key: str) -> SimResult | None:
-        """The cached result for ``key``, or ``None`` (counts a miss)."""
+        """The cached result for ``key``, or ``None`` (counts a miss).
+
+        Disk rows are integrity-checked on load: a checksum mismatch or
+        unparseable payload quarantines the row (it is deleted and
+        reported, never returned) and the lookup counts as a miss.
+        """
         hit = self._memory.get(key)
         if hit is not None:
             self._memory.move_to_end(key)
             self.stats.hits += 1
             return hit
         if self._conn is not None:
-            row = self._conn.execute(
-                "SELECT value FROM results WHERE key = ?", (key,)
-            ).fetchone()
+            try:
+                row = self._conn.execute(
+                    "SELECT value, checksum FROM results WHERE key = ?", (key,)
+                ).fetchone()
+            except sqlite3.DatabaseError as exc:
+                self._quarantine_database(f"database error on read ({exc})")
+                row = None
             if row is not None:
-                try:
-                    result = simresult_from_jsonable(json.loads(row[0]))
-                except (json.JSONDecodeError, EngineError) as exc:
-                    raise EngineError(
-                        f"corrupt cache entry {key!r} in {self.path}: {exc}"
-                    ) from exc
-                self._remember(key, result, store=False)
-                self.stats.hits += 1
-                self.stats.disk_hits += 1
-                return result
+                value, checksum = row
+                if checksum is not None and checksum != _checksum(value):
+                    self._quarantine_row(key, "checksum mismatch")
+                else:
+                    try:
+                        result = simresult_from_jsonable(json.loads(value))
+                    except (json.JSONDecodeError, EngineError) as exc:
+                        self._quarantine_row(key, f"unparseable payload ({exc})")
+                    else:
+                        self._remember(key, result, store=False)
+                        self.stats.hits += 1
+                        self.stats.disk_hits += 1
+                        return result
         self.stats.misses += 1
         return None
 
@@ -138,13 +183,52 @@ class ResultCache:
             self._memory.popitem(last=False)
             self.stats.evictions += 1
         if store and self._conn is not None:
-            self._conn.execute(
-                "INSERT OR REPLACE INTO results (key, value) VALUES (?, ?)",
-                (key, json.dumps(simresult_to_jsonable(result), separators=(",", ":"))),
-            )
+            value = json.dumps(simresult_to_jsonable(result), separators=(",", ":"))
+            try:
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO results (key, value, checksum) "
+                    "VALUES (?, ?, ?)",
+                    (key, value, _checksum(value)),
+                )
+            except sqlite3.DatabaseError as exc:
+                self._quarantine_database(f"database error on write ({exc})")
+                return
             self._pending += 1
             if self._pending >= _FLUSH_EVERY:
                 self.flush()
+
+    # ------------------------------------------------------------------
+    # integrity
+    # ------------------------------------------------------------------
+
+    def _report_quarantine(self, what: str, reason: str) -> None:
+        self.stats.quarantined += 1
+        if self.on_quarantine is not None:
+            self.on_quarantine(what, reason)
+
+    def _quarantine_row(self, key: str, reason: str) -> None:
+        """Delete one corrupt row and carry on (the caller re-simulates)."""
+        assert self._conn is not None
+        try:
+            self._conn.execute("DELETE FROM results WHERE key = ?", (key,))
+            self._conn.commit()
+        except sqlite3.DatabaseError as exc:
+            self._quarantine_database(f"database error during quarantine ({exc})")
+            return
+        self._report_quarantine(key, reason)
+
+    def _quarantine_database(self, reason: str) -> None:
+        """Move a corrupt database aside and continue memory-only."""
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+            self._conn = None
+        self._pending = 0
+        if self.path is not None:
+            quarantine_file(self.path)
+        self._report_quarantine("*", reason)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -153,7 +237,11 @@ class ResultCache:
     def flush(self) -> None:
         """Commit pending disk writes."""
         if self._conn is not None and self._pending:
-            self._conn.commit()
+            try:
+                self._conn.commit()
+            except sqlite3.DatabaseError as exc:
+                self._quarantine_database(f"database error on commit ({exc})")
+                return
             self._pending = 0
 
     def close(self) -> None:
@@ -208,3 +296,4 @@ class ResultCache:
         self._memory = OrderedDict()
         self._conn = None
         self._pending = 0
+        self.on_quarantine = None

@@ -11,6 +11,7 @@ Format (one JSON object per file)::
     {
       "format": 1,              # file-format version
       "signature": "<sha256>",  # content hash of the run's inputs
+      "checksum": "<sha256>",   # integrity hash of the state payload
       "state": { ... }          # caller-defined progress payload
     }
 
@@ -21,21 +22,36 @@ state only when the signature matches — a checkpoint from a different
 run, an edited config, or an upgraded model is silently ignored rather
 than resumed into inconsistency.
 
+``checksum`` guards against *damage* rather than mismatch: it is the
+SHA-256 of the state payload, recomputed on load.  A truncated, edited
+or bit-rotted checkpoint — one that no longer parses, or parses but
+fails its checksum — is **quarantined**: the file is moved aside as
+``<name>.corrupt``, a ``quarantine`` event is emitted on the attached
+bus, and the run starts fresh.  (Checkpoints written before checksums
+existed lack the field and are accepted as legacy.)
+
 Writes are atomic (temp file + ``os.replace``), so a crash mid-save
 leaves the previous checkpoint intact.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from pathlib import Path
 from typing import Any
 
 from ..errors import EngineError
+from .events import EventBus
+from .resilience import quarantine_file
 
 #: Bump when the checkpoint file layout changes incompatibly.
 FORMAT_VERSION = 1
+
+
+def _state_checksum(state_json: str) -> str:
+    return hashlib.sha256(state_json.encode("utf-8")).hexdigest()
 
 
 class CheckpointManager:
@@ -45,10 +61,15 @@ class CheckpointManager:
     ----------
     path:
         The checkpoint file.  Parent directories are created on save.
+    events:
+        Optional :class:`~repro.engine.events.EventBus` that quarantine
+        notifications are emitted on; drivers usually attach their
+        engine's bus so ``--stats`` counts checkpoint corruption.
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path, events: EventBus | None = None) -> None:
         self.path = Path(path)
+        self.events = events
 
     @property
     def exists(self) -> bool:
@@ -57,12 +78,18 @@ class CheckpointManager:
     def save(self, signature: str, state: dict[str, Any]) -> None:
         """Atomically persist ``state`` under the run ``signature``."""
         try:
-            payload = json.dumps(
-                {"format": FORMAT_VERSION, "signature": signature, "state": state},
-                separators=(",", ":"),
-            )
+            state_json = json.dumps(state, separators=(",", ":"))
         except (TypeError, ValueError) as exc:
             raise EngineError(f"checkpoint state is not JSON-serializable: {exc}") from exc
+        payload = json.dumps(
+            {
+                "format": FORMAT_VERSION,
+                "signature": signature,
+                "checksum": _state_checksum(state_json),
+                "state": state,
+            },
+            separators=(",", ":"),
+        )
         self.path.parent.mkdir(parents=True, exist_ok=True)
         tmp = self.path.with_suffix(self.path.suffix + ".tmp")
         tmp.write_text(payload)
@@ -71,8 +98,10 @@ class CheckpointManager:
     def load(self, signature: str) -> dict[str, Any] | None:
         """The stored state for this exact run, else ``None``.
 
-        Missing files, corrupt JSON, format mismatches and signature
-        mismatches all return ``None``: a bad checkpoint means "start
+        Missing files, format mismatches and signature mismatches return
+        ``None`` (start fresh).  *Corrupt* files — unparseable JSON, a
+        failing state checksum — additionally quarantine the file so the
+        damage cannot be re-read forever: a bad checkpoint means "start
         fresh", never "crash the run it was meant to save".
         """
         try:
@@ -83,16 +112,35 @@ class CheckpointManager:
             return None
         try:
             payload = json.loads(raw)
-        except json.JSONDecodeError:
+        except json.JSONDecodeError as exc:
+            self._quarantine(f"unparseable checkpoint ({exc})")
             return None
         if not isinstance(payload, dict):
+            self._quarantine(f"checkpoint is not an object ({type(payload).__name__})")
             return None
         if payload.get("format") != FORMAT_VERSION:
             return None
+        state = payload.get("state")
+        if not isinstance(state, dict):
+            self._quarantine("checkpoint state is missing or malformed")
+            return None
+        checksum = payload.get("checksum")
+        if checksum is not None:  # absent on legacy (pre-checksum) files
+            state_json = json.dumps(state, separators=(",", ":"))
+            if checksum != _state_checksum(state_json):
+                self._quarantine("checkpoint state failed its checksum")
+                return None
         if payload.get("signature") != signature:
             return None
-        state = payload.get("state")
-        return state if isinstance(state, dict) else None
+        return state
+
+    def _quarantine(self, reason: str) -> None:
+        """Move the damaged file aside and report it."""
+        quarantined = quarantine_file(self.path)
+        if self.events is not None:
+            self.events.emit(
+                "quarantine", tier="checkpoint", path=str(quarantined), reason=reason
+            )
 
     def clear(self) -> None:
         """Delete the checkpoint file (no-op if absent)."""

@@ -20,9 +20,19 @@ Event vocabulary (payload keys in parentheses):
     Wall-time bracket around a named stage of a larger computation.
 ``fallback`` (``reason``)
     The engine degraded to serial execution (unpicklable work, pool
-    creation failure, ...).
+    creation failure, repeated worker deaths, ...).
 ``checkpoint`` (``path``)
     Exploration state was persisted.
+``retry`` (``key``, ``attempt``, ``reason``, ``delay_s``)
+    One evaluation failed (crash, hang/timeout, integrity violation,
+    broken pool) and will be re-run after ``delay_s`` of backoff.
+``task_timeout`` (``key``, ``timeout_s``)
+    A task overran the retry policy's per-task deadline.
+``pool_restart`` (``deaths``, ``reason``)
+    The worker pool died and was rebuilt (``deaths`` is cumulative).
+``quarantine`` (``tier``, ``reason``; ``key`` or ``path``)
+    Corrupt persistent state (a cache row, the cache database, a
+    checkpoint file) was isolated and the run continued without it.
 
 :class:`EngineMetrics` is the standard subscriber: it aggregates the
 counters every caller wants (evaluations, hit rate, per-phase wall time)
@@ -88,6 +98,10 @@ class EngineMetrics:
         self.batches = 0
         self.fallbacks = 0
         self.checkpoints = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.pool_restarts = 0
+        self.quarantines = 0
         self.phase_seconds: dict[str, float] = {}
         if bus is not None:
             bus.subscribe(self._on_event)
@@ -105,6 +119,14 @@ class EngineMetrics:
             self.fallbacks += 1
         elif event == "checkpoint":
             self.checkpoints += 1
+        elif event == "retry":
+            self.retries += 1
+        elif event == "task_timeout":
+            self.timeouts += 1
+        elif event == "pool_restart":
+            self.pool_restarts += 1
+        elif event == "quarantine":
+            self.quarantines += 1
         elif event == "phase_end":
             name = payload.get("name", "?")
             self.phase_seconds[name] = (
@@ -131,6 +153,10 @@ class EngineMetrics:
             "batches": self.batches,
             "fallbacks": self.fallbacks,
             "checkpoints": self.checkpoints,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "pool_restarts": self.pool_restarts,
+            "quarantines": self.quarantines,
             "phase_seconds": dict(self.phase_seconds),
         }
 
@@ -145,4 +171,10 @@ class EngineMetrics:
             lines.append(f"phase {name}: {seconds:.2f}s")
         if self.fallbacks:
             lines.append(f"serial fallbacks: {self.fallbacks}")
+        if self.retries or self.timeouts or self.pool_restarts or self.quarantines:
+            lines.append(
+                f"resilience: {self.retries} retries, {self.timeouts} timeouts, "
+                f"{self.pool_restarts} pool restarts, "
+                f"{self.quarantines} quarantined"
+            )
         return "\n".join(lines)

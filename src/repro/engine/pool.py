@@ -13,23 +13,36 @@ and characterization code runs simulations.  It layers, in order:
 3. **process-pool parallelism** — misses are simulated across
    ``jobs`` worker processes (each worker re-instantiates the simulator
    once, during pool initialization), falling back to serial execution
-   whenever the work is not picklable or a pool cannot be created.
+   whenever the work is not picklable or a pool cannot be created;
+4. **resilience** — every accepted result passes integrity validation,
+   failed or timed-out tasks are retried under the engine's
+   :class:`~repro.engine.resilience.RetryPolicy` (bounded exponential
+   backoff, deterministic jitter), a dead pool is rebuilt up to the
+   policy's restart budget, and beyond that the engine degrades
+   gracefully to serial execution instead of aborting the run.
 
 Results are deterministic by construction: caching returns the exact
 stored result, batches preserve request order, and the per-item work is
 itself deterministic — so ``jobs=1`` and ``jobs=N`` produce bit-identical
-outputs.
+outputs, *including* under retries, pool restarts and injected faults
+(a retried evaluation re-runs the same deterministic simulator).
 
 The engine also offers a generic :meth:`map` for coarse-grained task
 parallelism (one annealing run per workload, one pinned-clock anneal per
-sweep point) with the same serial-fallback guarantee.
+sweep point) with the same retry/fallback guarantees.
+
+Fault injection (:class:`~repro.engine.faults.FaultPlan`, the
+``faults=`` parameter) exists to *test* all of the above: see
+``docs/resilience.md``.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 from ..errors import EngineError
@@ -38,7 +51,9 @@ from ..sim.metrics import SimResult
 from ..workloads.profile import WorkloadProfile
 from .cache import ResultCache
 from .events import EngineMetrics, EventBus
+from .faults import WRONG_RESULT, FaultPlan, InjectedCrash, InjectedFault, corrupt_result, enact
 from .keys import digest, evaluation_key, simulator_id
+from .resilience import ResultIntegrityError, RetryPolicy, validate_result
 
 T = TypeVar("T")
 U = TypeVar("U")
@@ -55,6 +70,11 @@ def available_cpus() -> int:
         return len(os.sched_getaffinity(0)) or 1
     except (AttributeError, OSError):  # non-Linux
         return os.cpu_count() or 1
+
+
+def _is_broken_pool(exc: BaseException) -> bool:
+    return type(exc).__name__ == "BrokenProcessPool"
+
 
 # ----------------------------------------------------------------------
 # worker-process plumbing (module level: must be picklable by name)
@@ -77,8 +97,41 @@ def _evaluate_chunk(pairs: Sequence[Pair]) -> list[SimResult]:
     return [sim.evaluate(profile, config) for profile, config in pairs]
 
 
+def _evaluate_task(
+    task: tuple[WorkloadProfile, Any, str, int, FaultPlan | None],
+) -> SimResult:
+    """Simulate one pair in a worker, enacting any fault planned for it.
+
+    One task per future (rather than a chunk) so the parent can time
+    out, retry and re-attribute failures per evaluation.
+    """
+    profile, config, key, attempt, plan = task
+    in_worker = _WORKER_SIMULATOR is not None
+    sim = _WORKER_SIMULATOR if in_worker else IntervalSimulator()
+    kind = None
+    if plan is not None:
+        kind = enact(plan, key, attempt, allow_exit=in_worker)
+    result = sim.evaluate(profile, config)
+    if kind == WRONG_RESULT:
+        result = corrupt_result(result)
+    return result
+
+
 def _chunked(items: Sequence[T], size: int) -> list[Sequence[T]]:
     return [items[i : i + size] for i in range(0, len(items), size)]
+
+
+def _failure_reason(exc: BaseException) -> str:
+    """Short event-payload label for one retryable failure."""
+    if isinstance(exc, InjectedCrash):
+        return "crash"
+    if isinstance(exc, InjectedFault):
+        return "hang"
+    if isinstance(exc, ResultIntegrityError):
+        return "integrity"
+    if isinstance(exc, FuturesTimeout):
+        return "timeout"
+    return "pool"
 
 
 class EvaluationEngine:
@@ -109,6 +162,14 @@ class EvaluationEngine:
     context:
         Extra identity folded into every cache key — pass the technology
         node so caches shared across technologies cannot collide.
+    policy:
+        The :class:`~repro.engine.resilience.RetryPolicy` governing
+        retries, per-task timeouts, backoff and pool restarts; defaults
+        to ``RetryPolicy()`` (retries on, no timeout).
+    faults:
+        Optional :class:`~repro.engine.faults.FaultPlan` injecting
+        deterministic failures into evaluations (testing/chaos runs
+        only; results remain bit-identical to a fault-free run).
     """
 
     def __init__(
@@ -119,12 +180,16 @@ class EvaluationEngine:
         events: EventBus | None = None,
         context: Any = None,
         clamp_jobs: bool = True,
+        policy: RetryPolicy | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         if jobs < 1:
             raise EngineError(f"jobs must be >= 1, got {jobs}")
         self.simulator = simulator if simulator is not None else IntervalSimulator()
         self.jobs = jobs
         self.workers = min(jobs, available_cpus()) if clamp_jobs else jobs
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.faults = faults if faults is not None and faults.active else None
         self.cache: ResultCache | None
         if cache is _DEFAULT_CACHE:
             self.cache = ResultCache(path=None)
@@ -132,11 +197,14 @@ class EvaluationEngine:
             self.cache = cache  # type: ignore[assignment]
         self.events = events or EventBus()
         self.metrics = EngineMetrics(self.events)
+        if self.cache is not None:
+            self.cache.on_quarantine = self._on_cache_quarantine
         self._simulator_id = simulator_id(self.simulator)
         self._context_digest = "" if context is None else digest(context)
         self._context_bound = context is not None
         self._executor: ProcessPoolExecutor | None = None
         self._pool_broken = False
+        self._pool_deaths = 0
 
     # ------------------------------------------------------------------
     # identity
@@ -159,6 +227,11 @@ class EvaluationEngine:
     def context_bound(self) -> bool:
         return self._context_bound
 
+    @property
+    def mode(self) -> str:
+        """``"pool"`` while worker parallelism is live, else ``"serial"``."""
+        return "pool" if self.workers > 1 and not self._pool_broken else "serial"
+
     def key_for(self, profile: WorkloadProfile, config: Any) -> str:
         """The cache key this engine uses for one evaluation."""
         return evaluation_key(
@@ -176,7 +249,8 @@ class EvaluationEngine:
     def evaluate(self, profile: WorkloadProfile, config: Any) -> SimResult:
         """One cache-aware evaluation (always in-process)."""
         if self.cache is None:
-            result = self.simulator.evaluate(profile, config)
+            key = self.key_for(profile, config) if self.faults is not None else ""
+            result = self._evaluate_serial(profile, config, key)
             self.events.emit("evaluation", count=1)
             return result
         key = self.key_for(profile, config)
@@ -185,7 +259,7 @@ class EvaluationEngine:
             self.events.emit("cache_hit", count=1)
             return hit
         self.events.emit("cache_miss", count=1)
-        result = self.simulator.evaluate(profile, config)
+        result = self._evaluate_serial(profile, config, key)
         self.events.emit("evaluation", count=1)
         self.cache.put(key, result)
         return result
@@ -224,7 +298,7 @@ class EvaluationEngine:
             self.events.emit("cache_hit", count=hits)
         if missing:
             self.events.emit("cache_miss", count=len(missing))
-            fresh = self._simulate(list(missing.values()))
+            fresh = self._simulate(list(missing.values()), keys=list(missing))
             self.events.emit("evaluation", count=len(fresh))
             for key, result in zip(missing, fresh):
                 self.cache.put(key, result)
@@ -239,46 +313,315 @@ class EvaluationEngine:
 
         ``fn`` must be a module-level (picklable) callable for parallel
         execution; anything unpicklable degrades to an in-process loop
-        (announced via a ``fallback`` event), never to an error.
+        (announced via a ``fallback`` event), never to an error.  Under
+        the pool, a broken worker or a task overrunning the policy's
+        ``timeout_s`` triggers retries and pool restarts exactly like
+        :meth:`evaluate_many`; exceptions raised by ``fn`` itself
+        propagate to the caller.
         """
         items = list(items)
         if self.workers == 1 or len(items) < 2 or not self._picklable(fn, items):
             return [fn(item) for item in items]
-        executor = self._ensure_executor()
-        if executor is None:
-            return [fn(item) for item in items]
-        try:
-            return list(executor.map(fn, items))
-        except (pickle.PicklingError, AttributeError, TypeError) as exc:
-            self._fall_back(f"parallel map failed ({exc}); retrying serially")
-            return [fn(item) for item in items]
-        except Exception as exc:  # BrokenProcessPool and friends
-            if type(exc).__name__ != "BrokenProcessPool":
-                raise
-            self._fall_back(f"worker pool broke ({exc}); retrying serially")
-            return [fn(item) for item in items]
+
+        n = len(items)
+        results: dict[int, U] = {}
+        attempts = [0] * n
+        pending = list(range(n))
+        while pending:
+            executor = self._ensure_executor()
+            if executor is None:
+                for i in pending:
+                    results[i] = fn(items[i])
+                break
+            futures = self._submit_all(executor, [(i, fn, (items[i],)) for i in pending])
+            if futures is None:
+                continue
+            failed, pool_death = self._collect(
+                futures,
+                lambda i, value: results.__setitem__(i, value),
+                key_of=lambda i: f"map:{i}",
+            )
+            if failed is None:  # unpicklable mid-flight: finish serially
+                for i in pending:
+                    if i not in results:
+                        results[i] = fn(items[i])
+                break
+            pending = self._account_failures(failed, attempts, lambda i: f"map:{i}")
+            if pool_death is not None:
+                self._note_pool_death(pool_death)
+        return [results[i] for i in range(n)]
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
 
-    def _simulate(self, pairs: Sequence[Pair]) -> list[SimResult]:
+    def _evaluate_serial(
+        self,
+        profile: WorkloadProfile,
+        config: Any,
+        key: str,
+        start_attempt: int = 0,
+    ) -> SimResult:
+        """One in-process evaluation under the retry policy.
+
+        Injected faults (when a plan is armed) and integrity violations
+        are retried with backoff up to ``policy.max_retries``; anything
+        else — a genuine simulator error — propagates immediately, since
+        a deterministic simulator will not heal on retry.
+        """
+        attempt = start_attempt
+        while True:
+            try:
+                kind = None
+                if self.faults is not None:
+                    kind = enact(self.faults, key, attempt, allow_exit=False)
+                result = self.simulator.evaluate(profile, config)
+                if kind == WRONG_RESULT:
+                    result = corrupt_result(result)
+                return validate_result(profile, result)
+            except (InjectedFault, ResultIntegrityError) as exc:
+                attempt = self._before_retry(key, attempt, exc)
+
+    def _before_retry(self, key: str, attempt: int, exc: BaseException) -> int:
+        """Account one failed attempt: back off, or give up loudly."""
+        next_attempt = attempt + 1
+        if next_attempt > self.policy.max_retries:
+            raise EngineError(
+                f"evaluation {key[:12] or '<unkeyed>'} still failing after "
+                f"{next_attempt} attempts: {exc}"
+            ) from exc
+        delay = self.policy.delay_s(key, next_attempt)
+        self.events.emit(
+            "retry",
+            key=key,
+            attempt=next_attempt,
+            reason=_failure_reason(exc),
+            delay_s=delay,
+        )
+        if delay > 0:
+            time.sleep(delay)
+        return next_attempt
+
+    def _keys_if_needed(self, pairs: Sequence[Pair], keys: Sequence[str] | None) -> list[str]:
+        """Evaluation keys for backoff/fault addressing (cheap when unused)."""
+        if keys is not None:
+            return list(keys)
+        if self.faults is not None:
+            return [self.key_for(p, c) for p, c in pairs]
+        return [""] * len(pairs)
+
+    def _simulate(
+        self, pairs: Sequence[Pair], keys: Sequence[str] | None = None
+    ) -> list[SimResult]:
         """Simulate pairs (order-preserving), parallel when worthwhile."""
         if self.workers == 1 or len(pairs) < 2 or not self._picklable(_evaluate_chunk, pairs):
-            return [self.simulator.evaluate(p, c) for p, c in pairs]
-        executor = self._ensure_executor()
-        if executor is None:
-            return [self.simulator.evaluate(p, c) for p, c in pairs]
-        # ~4 chunks per worker balances scheduling slack against IPC cost.
+            all_keys = self._keys_if_needed(pairs, keys)
+            return [
+                self._evaluate_serial(p, c, k)
+                for (p, c), k in zip(pairs, all_keys)
+            ]
+        if self.faults is not None or self.policy.timeout_s is not None:
+            return self._simulate_resilient(pairs, self._keys_if_needed(pairs, keys))
+        return self._simulate_chunked(pairs, keys)
+
+    def _simulate_chunked(
+        self, pairs: Sequence[Pair], keys: Sequence[str] | None
+    ) -> list[SimResult]:
+        """The fast path: chunked pool dispatch, pool restarts on death.
+
+        Without per-task timeouts or fault injection there is nothing to
+        retry per evaluation, so work ships in chunks (~4 per worker —
+        scheduling slack vs IPC cost).  A broken pool is rebuilt up to
+        ``policy.pool_restarts`` times and the whole batch re-dispatched
+        (the simulator is deterministic, so recomputation is safe);
+        beyond the budget the engine degrades to serial.
+        """
         chunk = max(1, -(-len(pairs) // (self.workers * 4)))
+        while True:
+            executor = self._ensure_executor()
+            if executor is None:
+                break
+            try:
+                chunks = list(executor.map(_evaluate_chunk, _chunked(pairs, chunk)))
+            except (pickle.PicklingError, AttributeError, TypeError) as exc:
+                self._fall_back(f"parallel execution failed ({exc}); retrying serially")
+                break
+            except Exception as exc:
+                if not _is_broken_pool(exc):
+                    self._shutdown_executor(cancel=True)
+                    raise
+                self._note_pool_death(f"worker pool broke ({exc})")
+                continue
+            flat = [result for batch in chunks for result in batch]
+            for (profile, _), result in zip(pairs, flat):
+                validate_result(profile, result)
+            return flat
+        all_keys = self._keys_if_needed(pairs, keys)
+        return [
+            self._evaluate_serial(p, c, k) for (p, c), k in zip(pairs, all_keys)
+        ]
+
+    def _simulate_resilient(
+        self, pairs: Sequence[Pair], keys: Sequence[str]
+    ) -> list[SimResult]:
+        """Per-task pool dispatch with timeouts, retries and restarts.
+
+        Each pending evaluation is its own future, harvested in
+        submission order with the policy's per-task deadline.  Failed
+        tasks are retried with backoff (fresh attempt numbers, so an
+        armed fault plan draws fresh faults); a timeout or broken pool
+        condemns the pool, which is rebuilt — or, once the restart
+        budget is spent, abandoned for serial execution.  Output order
+        and values are identical to the serial path.
+        """
+        n = len(pairs)
+        results: dict[int, SimResult] = {}
+        attempts = [0] * n
+        pending = list(range(n))
+        while pending:
+            executor = self._ensure_executor()
+            if executor is None:
+                for i in pending:
+                    profile, config = pairs[i]
+                    results[i] = self._evaluate_serial(
+                        profile, config, keys[i], start_attempt=attempts[i]
+                    )
+                break
+            futures = self._submit_all(
+                executor,
+                [
+                    (
+                        i,
+                        _evaluate_task,
+                        ((pairs[i][0], pairs[i][1], keys[i], attempts[i], self.faults),),
+                    )
+                    for i in pending
+                ],
+            )
+            if futures is None:
+                continue
+
+            def accept(i: int, result: SimResult) -> None:
+                results[i] = validate_result(pairs[i][0], result)
+
+            failed, pool_death = self._collect(
+                futures, accept, key_of=lambda i: keys[i]
+            )
+            if failed is None:  # unpicklable mid-flight: finish serially
+                for i in pending:
+                    if i not in results:
+                        profile, config = pairs[i]
+                        results[i] = self._evaluate_serial(
+                            profile, config, keys[i], start_attempt=attempts[i]
+                        )
+                break
+            pending = self._account_failures(failed, attempts, lambda i: keys[i])
+            if pool_death is not None:
+                self._note_pool_death(pool_death)
+        return [results[i] for i in range(n)]
+
+    def _submit_all(
+        self, executor: ProcessPoolExecutor, work: Sequence[tuple[int, Any, tuple]]
+    ) -> list[tuple[int, Any]] | None:
+        """Submit every ``(index, fn, args)``; ``None`` if the pool died.
+
+        A pool can break *between* rounds (a worker segfaults while
+        idle), in which case ``submit`` itself raises — that counts as
+        one pool death and the caller simply re-enters its round loop.
+        """
+        futures: list[tuple[int, Any]] = []
         try:
-            chunks = list(executor.map(_evaluate_chunk, _chunked(pairs, chunk)))
+            for i, fn, args in work:
+                futures.append((i, executor.submit(fn, *args)))
         except Exception as exc:
-            if type(exc).__name__ != "BrokenProcessPool":
+            if not _is_broken_pool(exc):
+                self._shutdown_executor(cancel=True)
                 raise
-            self._fall_back(f"worker pool broke ({exc}); retrying serially")
-            return [self.simulator.evaluate(p, c) for p, c in pairs]
-        return [result for batch in chunks for result in batch]
+            self._note_pool_death(f"worker pool broke on submit ({exc})")
+            return None
+        return futures
+
+    def _collect(
+        self,
+        futures: Sequence[tuple[int, Any]],
+        accept: Callable[[int, Any], None],
+        key_of: Callable[[int], str],
+    ) -> tuple[list[tuple[int, BaseException]] | None, str | None]:
+        """Harvest futures in order; sort outcomes into accepted/failed.
+
+        Returns ``(failed, pool_death_reason)``.  ``failed`` is ``None``
+        when the work itself proved unpicklable (permanent serial
+        fallback was triggered; the caller finishes in-process).  After
+        the pool is condemned (first timeout or break), remaining
+        futures are only harvested if already done — nothing waits on a
+        suspect pool.
+        """
+        failed: list[tuple[int, BaseException]] = []
+        pool_death: str | None = None
+        for i, fut in futures:
+            if pool_death is not None and not fut.done():
+                fut.cancel()
+                failed.append((i, RuntimeError("abandoned after pool death")))
+                continue
+            try:
+                accept(i, fut.result(timeout=self.policy.timeout_s))
+            except (InjectedFault, ResultIntegrityError) as exc:
+                failed.append((i, exc))
+            except FuturesTimeout as exc:
+                self.events.emit(
+                    "task_timeout", key=key_of(i), timeout_s=self.policy.timeout_s
+                )
+                failed.append((i, exc))
+                pool_death = (
+                    f"task exceeded {self.policy.timeout_s}s deadline (hung worker)"
+                )
+            except (pickle.PicklingError, AttributeError, TypeError) as exc:
+                self._fall_back(f"parallel work failed to pickle ({exc}); "
+                                "retrying serially")
+                return None, None
+            except Exception as exc:
+                if not _is_broken_pool(exc):
+                    self._shutdown_executor(cancel=True)
+                    raise
+                failed.append((i, exc))
+                pool_death = f"worker pool broke ({exc})"
+        return failed, pool_death
+
+    def _account_failures(
+        self,
+        failed: Sequence[tuple[int, BaseException]],
+        attempts: list[int],
+        key_of: Callable[[int], str],
+    ) -> list[int]:
+        """Bump attempt counts, emit retry events, sleep one backoff.
+
+        Backoff is applied once per retry round (the longest delay among
+        the round's failures) rather than serially per task, so a wide
+        batch does not stack sleeps.
+        """
+        still_pending: list[int] = []
+        worst_delay = 0.0
+        for i, exc in failed:
+            attempts[i] += 1
+            if attempts[i] > self.policy.max_retries:
+                self._shutdown_executor(cancel=True)
+                raise EngineError(
+                    f"task {key_of(i)[:12] or i} still failing after "
+                    f"{attempts[i]} attempts: {exc}"
+                ) from exc
+            delay = self.policy.delay_s(key_of(i), attempts[i])
+            worst_delay = max(worst_delay, delay)
+            self.events.emit(
+                "retry",
+                key=key_of(i),
+                attempt=attempts[i],
+                reason=_failure_reason(exc),
+                delay_s=delay,
+            )
+            still_pending.append(i)
+        if worst_delay > 0:
+            time.sleep(worst_delay)
+        return still_pending
 
     def _ensure_executor(self) -> ProcessPoolExecutor | None:
         if self._pool_broken:
@@ -303,11 +646,36 @@ class EvaluationEngine:
             self._fall_back(f"work is not picklable ({exc})")
             return False
 
+    def _shutdown_executor(self, cancel: bool = False) -> None:
+        """Tear down the current pool (keeping the engine usable)."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            try:
+                executor.shutdown(wait=not cancel, cancel_futures=cancel)
+            except Exception:
+                pass
+
+    def _note_pool_death(self, reason: str) -> None:
+        """One pool death: rebuild within budget, degrade to serial past it."""
+        self._shutdown_executor(cancel=True)
+        self._pool_deaths += 1
+        if self._pool_deaths > self.policy.pool_restarts:
+            self._fall_back(
+                f"{reason}; restart budget ({self.policy.pool_restarts}) spent"
+            )
+            return
+        self.events.emit("pool_restart", deaths=self._pool_deaths, reason=reason)
+
     def _fall_back(self, reason: str) -> None:
+        """Degrade permanently to serial execution (never an error).
+
+        The engine stops *claiming* pool mode too: ``workers`` drops to
+        1 so later batches take the serial path directly instead of
+        re-discovering the broken pool.
+        """
         self._pool_broken = True
-        if self._executor is not None:
-            self._executor.shutdown(wait=False, cancel_futures=True)
-            self._executor = None
+        self.workers = 1
+        self._shutdown_executor(cancel=True)
         self.events.emit("fallback", reason=reason)
 
     # ------------------------------------------------------------------
@@ -315,10 +683,14 @@ class EvaluationEngine:
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        """Shut down the worker pool and flush the cache to disk."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+        """Shut down the worker pool and flush the cache to disk.
+
+        Safe to call in any state — including after an exception escaped
+        mid-``evaluate_many`` or the pool broke: outstanding futures are
+        cancelled rather than waited on, so close never hangs on a sick
+        pool.
+        """
+        self._shutdown_executor(cancel=self._pool_broken or self._pool_deaths > 0)
         if self.cache is not None:
             self.cache.flush()
 
@@ -331,23 +703,33 @@ class EvaluationEngine:
     # A pickled engine (shipped inside a task to a worker process) wakes
     # up serial, with a fresh private memory cache and bus: workers must
     # not spawn nested pools, share SQLite handles, or carry the parent's
-    # subscribers.
+    # subscribers.  The retry policy and fault plan travel with it, so
+    # nested evaluations keep the same resilience (and injectability).
     def __getstate__(self) -> dict:
         return {
             "simulator": self.simulator,
             "context_digest": self._context_digest,
             "context_bound": self._context_bound,
+            "policy": self.policy,
+            "faults": self.faults,
         }
 
     def __setstate__(self, state: dict) -> None:
         self.simulator = state["simulator"]
         self.jobs = 1
         self.workers = 1
+        self.policy = state.get("policy") or RetryPolicy()
+        self.faults = state.get("faults")
         self.cache = ResultCache(path=None)
         self.events = EventBus()
         self.metrics = EngineMetrics(self.events)
+        self.cache.on_quarantine = self._on_cache_quarantine
         self._simulator_id = simulator_id(self.simulator)
         self._context_digest = state["context_digest"]
         self._context_bound = state["context_bound"]
         self._executor = None
         self._pool_broken = False
+        self._pool_deaths = 0
+
+    def _on_cache_quarantine(self, key: str, reason: str) -> None:
+        self.events.emit("quarantine", tier="cache", key=key, reason=reason)

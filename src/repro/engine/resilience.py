@@ -1,0 +1,158 @@
+"""Retry, timeout and integrity policy for the evaluation engine.
+
+The process pool in :mod:`repro.engine.pool` gives the exploration
+speed; this module gives it *survival*.  A production-scale run — the
+ROADMAP's "three weeks of annealing, millions of evaluations" regime —
+will see workers die, tasks wedge, and on-disk state rot.  None of
+those should abort the run, and none of them may change its results.
+
+Three pieces:
+
+* :class:`RetryPolicy` — per-task timeout, bounded exponential backoff
+  with *deterministic* seeded jitter (a replayed run waits the same
+  milliseconds), a retry budget, and a pool-restart budget after which
+  the engine degrades gracefully to serial execution;
+* :func:`validate_result` — integrity checking of every simulator
+  result before it is accepted into the cache (a worker returning a
+  wrong-shaped or mislabelled result is treated as a failure, not a
+  value);
+* :func:`quarantine_file` — the shared "move it aside and carry on"
+  primitive the cache and checkpoint tiers use for corrupt files.
+
+Because the simulator itself is deterministic, a retried evaluation
+returns exactly the value the failed attempt would have: retries,
+timeouts, pool restarts and serial degradation are all invisible in the
+output — ``jobs=4`` under heavy fault injection is bit-identical to a
+clean ``jobs=1`` run (the fault-matrix suite asserts this).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import EngineError
+from ..sim.metrics import SimResult
+
+
+class ResultIntegrityError(EngineError):
+    """A simulator returned a result that fails integrity validation."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the engine treats failing evaluations.
+
+    Parameters
+    ----------
+    max_retries:
+        Retries per task beyond the first attempt; exhausting them
+        raises :class:`~repro.errors.EngineError`.
+    timeout_s:
+        Per-task deadline when running under the worker pool; ``None``
+        (the default) waits forever.  A timed-out task marks the pool
+        suspect (a wedged worker cannot be preempted), so the pool is
+        restarted and the task retried.
+    backoff_base_s, backoff_factor, backoff_max_s:
+        Bounded exponential backoff: retry ``n`` waits
+        ``min(base * factor**(n-1), max)`` seconds before re-running.
+    jitter:
+        Fractional jitter band around the backoff delay (0.25 means
+        +/-25%), drawn deterministically from ``(seed, key, attempt)``
+        so replayed runs sleep identically.
+    seed:
+        Seed of the jitter draws.
+    pool_restarts:
+        Worker-pool rebuilds tolerated (after crashes or timeouts)
+        before the engine degrades to serial execution for the rest of
+        its life.
+    """
+
+    max_retries: int = 3
+    timeout_s: float | None = None
+    backoff_base_s: float = 0.02
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 1.0
+    jitter: float = 0.25
+    seed: int = 0
+    pool_restarts: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise EngineError(f"max_retries cannot be negative: {self.max_retries}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise EngineError(f"timeout_s must be positive: {self.timeout_s}")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise EngineError("backoff delays cannot be negative")
+        if self.backoff_factor < 1.0:
+            raise EngineError(f"backoff_factor must be >= 1: {self.backoff_factor}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise EngineError(f"jitter must be in [0, 1]: {self.jitter}")
+        if self.pool_restarts < 0:
+            raise EngineError(f"pool_restarts cannot be negative: {self.pool_restarts}")
+
+    def delay_s(self, key: str, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based) of evaluation ``key``.
+
+        Deterministic: the exponential ramp is clamped to
+        ``backoff_max_s`` and scaled by a jitter factor in
+        ``[1 - jitter, 1 + jitter]`` drawn from SHA-256 of
+        ``(seed, key, attempt)`` — no global RNG state is consumed.
+        """
+        if attempt < 1:
+            return 0.0
+        raw = min(
+            self.backoff_base_s * self.backoff_factor ** (attempt - 1),
+            self.backoff_max_s,
+        )
+        if raw <= 0.0:
+            return 0.0
+        payload = f"backoff|{self.seed}|{key}|{attempt}".encode("utf-8")
+        unit = int.from_bytes(hashlib.sha256(payload).digest()[:8], "big") / 2**64
+        return raw * (1.0 - self.jitter + 2.0 * self.jitter * unit)
+
+
+def validate_result(profile, result: SimResult) -> SimResult:
+    """Accept ``result`` as the evaluation of ``profile`` or raise.
+
+    Catches the corruption modes a sick worker (or an injected
+    ``wrong_result`` fault) can produce: a result labelled for a
+    different workload, or non-finite/non-positive performance numbers.
+    Raises :class:`ResultIntegrityError` (retryable) on any violation.
+    """
+    if not isinstance(result, SimResult):
+        raise ResultIntegrityError(
+            f"evaluation returned {type(result).__name__}, not SimResult"
+        )
+    name = getattr(profile, "name", None)
+    if name is not None and result.workload != name:
+        raise ResultIntegrityError(
+            f"result for workload {result.workload!r} returned for {name!r}"
+        )
+    for label, value in (
+        ("instructions", result.instructions),
+        ("cycles", result.cycles),
+        ("clock_period_ns", result.clock_period_ns),
+    ):
+        if not math.isfinite(value) or value <= 0:
+            raise ResultIntegrityError(f"result has invalid {label}: {value}")
+    return result
+
+
+def quarantine_file(path: str | Path) -> Path:
+    """Move a corrupt file aside (``<name>.corrupt``) and return the new path.
+
+    Overwrites any previous quarantine of the same file — the latest
+    corruption is the interesting one — and tolerates the file vanishing
+    underneath us (another process may have quarantined it first).
+    """
+    path = Path(path)
+    target = path.with_name(path.name + ".corrupt")
+    try:
+        os.replace(path, target)
+    except FileNotFoundError:
+        pass
+    return target

@@ -31,7 +31,13 @@ from ..characterize.configurational import (
     from_results,
 )
 from ..characterize.cross import CrossPerformance, cross_performance
-from ..engine import CheckpointManager, EvaluationEngine, ResultCache
+from ..engine import (
+    CheckpointManager,
+    EvaluationEngine,
+    FaultPlan,
+    ResultCache,
+    RetryPolicy,
+)
 from ..explore.annealing import AnnealingSchedule
 from ..explore.xpscalar import XpScalar
 from ..workloads.profile import WorkloadProfile
@@ -74,12 +80,16 @@ def build_engine(
     jobs: int = 1,
     cache_dir: str | Path | None = None,
     use_cache: bool = True,
+    policy: RetryPolicy | None = None,
+    faults: FaultPlan | None = None,
 ) -> EvaluationEngine:
     """Standard engine wiring for pipelines and the CLI.
 
     ``cache_dir`` adds a persistent SQLite result cache under it;
     without one the cache is in-memory.  ``use_cache=False`` disables
-    caching entirely (every evaluation simulates).
+    caching entirely (every evaluation simulates).  ``policy`` overrides
+    the default retry/timeout policy; ``faults`` arms deterministic
+    fault injection (chaos/testing runs — results are unchanged).
     """
     cache: ResultCache | None
     if not use_cache:
@@ -88,7 +98,7 @@ def build_engine(
         cache = ResultCache(Path(cache_dir) / CACHE_FILE)
     else:
         cache = ResultCache()
-    return EvaluationEngine(jobs=jobs, cache=cache)
+    return EvaluationEngine(jobs=jobs, cache=cache, policy=policy, faults=faults)
 
 
 def run_pipeline(
@@ -101,22 +111,34 @@ def run_pipeline(
     cache_dir: str | Path | None = None,
     use_cache: bool = True,
     resume: bool = False,
+    policy: RetryPolicy | None = None,
+    faults: FaultPlan | None = None,
 ) -> PipelineResult:
     """Run exploration + characterization + cross-evaluation.
 
     Results are identical for a given (seed, iterations) at every
-    ``jobs`` setting; parallelism and caching only change how fast they
-    arrive.  When an ``explorer`` is supplied it brings its own engine
-    and the ``jobs``/``cache_dir``/``use_cache`` knobs are ignored.
+    ``jobs`` setting — including under an armed fault plan or a pool
+    that dies mid-run; resilience only changes how fast results arrive.
+    When an ``explorer`` is supplied it brings its own engine and the
+    ``jobs``/``cache_dir``/``use_cache``/``policy``/``faults`` knobs
+    are ignored.
     """
     profiles = list(profiles) if profiles is not None else spec2000_profiles()
     if explorer is None:
         explorer = XpScalar(
             schedule=AnnealingSchedule(iterations=iterations),
-            engine=build_engine(jobs=jobs, cache_dir=cache_dir, use_cache=use_cache),
+            engine=build_engine(
+                jobs=jobs,
+                cache_dir=cache_dir,
+                use_cache=use_cache,
+                policy=policy,
+                faults=faults,
+            ),
         )
     checkpoint = (
-        CheckpointManager(Path(cache_dir) / CHECKPOINT_FILE)
+        CheckpointManager(
+            Path(cache_dir) / CHECKPOINT_FILE, events=explorer.engine.events
+        )
         if cache_dir is not None
         else None
     )

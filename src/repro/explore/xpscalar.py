@@ -317,6 +317,10 @@ class XpScalar:
         signature = self.run_signature(names, seed, cross_seed_rounds)
         results: dict[str, ExplorationResult] = {}
         stage, next_round = "explore", 0
+        if checkpoint is not None and checkpoint.events is None:
+            # Route checkpoint quarantine reports through the engine's
+            # bus so --stats (and tests) can see them.
+            checkpoint.events = self.engine.events
         if checkpoint is not None and resume:
             state = checkpoint.load(signature)
             if state is not None:

@@ -17,6 +17,21 @@ from repro.uarch import DesignSpace, initial_configuration
 from repro.workloads import spec2000_profiles
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the tests/golden/*.json snapshots from current "
+        "code instead of comparing against them",
+    )
+
+
+@pytest.fixture(scope="session")
+def update_golden(request) -> bool:
+    return bool(request.config.getoption("--update-golden"))
+
+
 @pytest.fixture(scope="session")
 def tech():
     return default_technology()

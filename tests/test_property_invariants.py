@@ -1,0 +1,280 @@
+"""Property-based invariants for the engine and merit layers.
+
+Randomized counterparts to the unit suites: each test states an
+invariant ("canonical encoding is order-insensitive", "the LRU never
+exceeds its bound", "merits are permutation-invariant") and hammers it
+with generated cases.
+
+Runs under `hypothesis <https://hypothesis.readthedocs.io>`_ when it is
+installed (shrinking, example database), and falls back to an in-repo
+seeded case generator when it is not — the properties themselves are
+identical, driven by a single integer seed per case, so the fallback
+loses power but never coverage.  Either way every case is reproducible
+from its printed seed.
+
+Set ``REPRO_NO_HYPOTHESIS=1`` to force the fallback generator even with
+hypothesis installed (CI exercises both modes).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import string
+
+import pytest
+
+from repro.characterize.cross import CrossPerformance
+from repro.communal.merit import MERITS
+from repro.engine.cache import ResultCache
+from repro.engine.keys import canonical, digest
+from repro.sim.metrics import SimResult
+from repro.uarch.config import initial_configuration
+from repro.tech import default_technology
+
+if os.environ.get("REPRO_NO_HYPOTHESIS"):
+    HAVE_HYPOTHESIS = False
+else:
+    try:
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        HAVE_HYPOTHESIS = True
+    except ImportError:
+        HAVE_HYPOTHESIS = False
+
+FALLBACK_EXAMPLES = 25
+
+
+def seeded(max_examples: int = FALLBACK_EXAMPLES):
+    """Drive a ``(self?, seed)`` test from hypothesis or a seed sweep.
+
+    With hypothesis the seed is a drawn integer (shrinkable, persisted);
+    without it the test runs as a parametrized sweep over
+    ``range(max_examples)``.  Test bodies derive all their data from
+    ``random.Random(seed)``, so both modes exercise the same generator.
+    """
+    if HAVE_HYPOTHESIS:
+        def decorate(fn):
+            return settings(max_examples=max_examples, deadline=None)(
+                given(seed=st.integers(min_value=0, max_value=2**32 - 1))(fn)
+            )
+        return decorate
+    return pytest.mark.parametrize("seed", range(max_examples))
+
+
+# ----------------------------------------------------------------------
+# generators (pure functions of a Random instance)
+# ----------------------------------------------------------------------
+
+
+def random_scalar(rng: random.Random):
+    kind = rng.randrange(5)
+    if kind == 0:
+        return rng.randint(-(10**9), 10**9)
+    if kind == 1:
+        # ldexp of a random mantissa covers subnormal-to-huge magnitudes.
+        return rng.choice([-1.0, 1.0]) * abs(
+            rng.uniform(-1, 1) * 2.0 ** rng.randint(-30, 30)
+        )
+    if kind == 2:
+        return "".join(rng.choices(string.printable, k=rng.randrange(12)))
+    if kind == 3:
+        return rng.choice([True, False])
+    return None
+
+
+def random_tree(rng: random.Random, depth: int = 3):
+    if depth == 0 or rng.random() < 0.4:
+        return random_scalar(rng)
+    if rng.random() < 0.5:
+        return [random_tree(rng, depth - 1) for _ in range(rng.randrange(4))]
+    return {
+        "".join(rng.choices(string.ascii_lowercase, k=rng.randrange(1, 8))):
+            random_tree(rng, depth - 1)
+        for _ in range(rng.randrange(4))
+    }
+
+
+def shuffled_dicts(obj, rng: random.Random):
+    """A deep copy of ``obj`` with every dict's insertion order shuffled."""
+    if isinstance(obj, dict):
+        items = [(k, shuffled_dicts(v, rng)) for k, v in obj.items()]
+        rng.shuffle(items)
+        return dict(items)
+    if isinstance(obj, list):
+        return [shuffled_dicts(v, rng) for v in obj]
+    return obj
+
+
+def random_cross(rng: random.Random, n: int | None = None) -> CrossPerformance:
+    import numpy as np
+
+    n = n if n is not None else rng.randint(2, 6)
+    names = tuple(f"wl{i}" for i in range(n))
+    config = initial_configuration(default_technology())
+    ipt = np.array(
+        [[rng.uniform(0.1, 50.0) for _ in range(n)] for _ in range(n)]
+    )
+    weights = tuple(rng.uniform(0.1, 5.0) for _ in range(n))
+    return CrossPerformance(
+        names=names, ipt=ipt, configs=(config,) * n, weights=weights
+    )
+
+
+def result_for(i: int) -> SimResult:
+    return SimResult(
+        workload=f"wl{i}", instructions=1000 + i, cycles=500.0 + i,
+        clock_period_ns=0.25,
+    )
+
+
+# ----------------------------------------------------------------------
+# engine/keys.py: canonical encoding
+# ----------------------------------------------------------------------
+
+
+class TestCanonicalEncoding:
+    @seeded()
+    def test_dict_order_is_irrelevant(self, seed):
+        rng = random.Random(seed)
+        tree = random_tree(rng)
+        reordered = shuffled_dicts(tree, random.Random(seed + 1))
+        assert digest(tree) == digest(reordered)
+
+    @seeded()
+    def test_canonical_form_is_idempotent(self, seed):
+        """Encoding an already-canonical tree must not change it again."""
+        rng = random.Random(seed)
+        once = canonical(random_tree(rng))
+        assert canonical(once) == once
+
+    @seeded()
+    def test_canonical_round_trips_through_json(self, seed):
+        import json
+
+        rng = random.Random(seed)
+        tree = random_tree(rng)
+        dumped = json.dumps(canonical(tree), sort_keys=True)
+        assert json.loads(dumped) == json.loads(dumped)  # parseable, stable
+        assert digest(tree) == digest(tree)
+
+    @seeded()
+    def test_tuples_and_lists_are_equivalent(self, seed):
+        rng = random.Random(seed)
+        items = [random_scalar(rng) for _ in range(rng.randrange(1, 8))]
+        assert digest(tuple(items)) == digest(list(items))
+
+    @seeded()
+    def test_distinct_values_get_distinct_digests(self, seed):
+        rng = random.Random(seed)
+        value = rng.randint(-(10**9), 10**9)
+        assert digest({"v": value}) != digest({"v": value + 1})
+
+
+# ----------------------------------------------------------------------
+# engine/cache.py: LRU bound and accounting conservation
+# ----------------------------------------------------------------------
+
+
+class TestCacheInvariants:
+    @seeded()
+    def test_lru_bound_and_conservation(self, seed):
+        rng = random.Random(seed)
+        capacity = rng.randint(1, 16)
+        cache = ResultCache(path=None, max_memory_entries=capacity)
+        universe = [f"key{i}" for i in range(capacity * 3)]
+        gets = puts = 0
+        for _ in range(200):
+            key = rng.choice(universe)
+            if rng.random() < 0.5:
+                cache.put(key, result_for(universe.index(key)))
+                puts += 1
+            else:
+                hit = cache.get(key)
+                gets += 1
+                if hit is not None:
+                    assert hit.workload == f"wl{universe.index(key)}"
+            # The bound holds after *every* operation, not just at the end.
+            assert len(cache._memory) <= capacity
+        assert cache.stats.lookups == gets
+        assert cache.stats.hits + cache.stats.misses == gets
+        assert cache.stats.stores == puts
+        assert 0.0 <= cache.stats.hit_rate <= 1.0
+
+    @seeded()
+    def test_most_recent_entries_survive(self, seed):
+        """After any workload, the ``capacity`` most recently *touched*
+        keys are exactly the memory tier's contents."""
+        rng = random.Random(seed)
+        capacity = rng.randint(1, 8)
+        cache = ResultCache(path=None, max_memory_entries=capacity)
+        touched: list[str] = []  # most recent last
+        for step in range(100):
+            key = f"key{rng.randrange(capacity * 2)}"
+            if rng.random() < 0.6:
+                cache.put(key, result_for(step))
+                if key in touched:
+                    touched.remove(key)
+                touched.append(key)
+            elif cache.get(key) is not None:
+                touched.remove(key)
+                touched.append(key)
+        assert list(cache._memory) == touched[-capacity:]
+
+
+# ----------------------------------------------------------------------
+# communal/merit.py: permutation invariance and monotonicity
+# ----------------------------------------------------------------------
+
+
+class TestMeritInvariants:
+    @seeded()
+    def test_available_order_is_irrelevant(self, seed):
+        rng = random.Random(seed)
+        cross = random_cross(rng)
+        k = rng.randint(1, cross.size)
+        available = rng.sample(list(cross.names), k)
+        shuffled = available[:]
+        rng.shuffle(shuffled)
+        for name, fn in MERITS.items():
+            assert fn(cross, available) == pytest.approx(
+                fn(cross, shuffled), rel=1e-12
+            ), name
+
+    @seeded()
+    def test_workload_relabelling_is_irrelevant(self, seed):
+        """Permuting the matrix (rows+columns together) permutes nothing
+        about the merits of the corresponding available set."""
+        rng = random.Random(seed)
+        cross = random_cross(rng)
+        perm = list(cross.names)
+        rng.shuffle(perm)
+        permuted = cross.subset(perm)
+        k = rng.randint(1, cross.size)
+        available = rng.sample(list(cross.names), k)
+        for name, fn in MERITS.items():
+            assert fn(cross, available) == pytest.approx(
+                fn(permuted, available), rel=1e-12
+            ), name
+
+    @seeded()
+    def test_improving_one_workload_never_hurts(self, seed):
+        """Scaling one workload's whole IPT row by c >= 1 (it got faster
+        everywhere) can only raise every figure of merit."""
+        rng = random.Random(seed)
+        cross = random_cross(rng)
+        k = rng.randint(1, cross.size)
+        available = rng.sample(list(cross.names), k)
+        row = rng.randrange(cross.size)
+        scale = rng.uniform(1.0, 3.0)
+        ipt = cross.ipt.copy()
+        ipt[row, :] *= scale
+        improved = CrossPerformance(
+            names=cross.names, ipt=ipt, configs=cross.configs,
+            weights=cross.weights,
+        )
+        for name, fn in MERITS.items():
+            before = fn(cross, available)
+            after = fn(improved, available)
+            assert after >= before * (1 - 1e-12), (name, before, after)

@@ -1,0 +1,297 @@
+"""Unit tests for the resilience layer, plus engine-lifecycle regressions.
+
+Covers the pieces :mod:`tests.test_faults` exercises only end-to-end:
+the :class:`RetryPolicy` backoff math, :class:`FaultPlan` determinism
+and parsing, result integrity validation — and two lifecycle
+regressions: ``close()`` after an exception escaped mid-batch, and a
+failed pool construction leaving the engine honestly in serial mode.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.engine import (
+    CRASH,
+    HANG,
+    WRONG_RESULT,
+    EvaluationEngine,
+    FaultPlan,
+    InjectedCrash,
+    InjectedHang,
+    ResultIntegrityError,
+    RetryPolicy,
+    validate_result,
+)
+from repro.engine.faults import corrupt_result, enact
+from repro.engine.resilience import quarantine_file
+from repro.errors import EngineError
+from repro.sim.metrics import SimResult
+from repro.tech import default_technology
+from repro.uarch import initial_configuration
+from repro.workloads.synthetic import branchy, streaming
+
+
+class TestRetryPolicy:
+    def test_backoff_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(backoff_base_s=0.1, backoff_factor=2.0,
+                             backoff_max_s=0.5, jitter=0.25, seed=3)
+        for attempt in range(1, 8):
+            d1 = policy.delay_s("some-key", attempt)
+            d2 = policy.delay_s("some-key", attempt)
+            assert d1 == d2
+            raw = min(0.1 * 2.0 ** (attempt - 1), 0.5)
+            assert raw * 0.75 <= d1 <= raw * 1.25
+
+    def test_delays_ramp_then_clamp(self):
+        policy = RetryPolicy(backoff_base_s=0.1, backoff_factor=4.0,
+                             backoff_max_s=0.8, jitter=0.0)
+        assert policy.delay_s("k", 1) == pytest.approx(0.1)
+        assert policy.delay_s("k", 2) == pytest.approx(0.4)
+        assert policy.delay_s("k", 3) == pytest.approx(0.8)  # clamped
+        assert policy.delay_s("k", 9) == pytest.approx(0.8)
+
+    def test_attempt_zero_and_different_keys(self):
+        policy = RetryPolicy(jitter=0.25)
+        assert policy.delay_s("k", 0) == 0.0
+        assert policy.delay_s("a", 1) != policy.delay_s("b", 1)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_retries": -1},
+            {"timeout_s": 0.0},
+            {"backoff_base_s": -0.1},
+            {"backoff_factor": 0.5},
+            {"jitter": 1.5},
+            {"pool_restarts": -2},
+        ],
+    )
+    def test_invalid_policies_are_rejected(self, kwargs):
+        with pytest.raises(EngineError):
+            RetryPolicy(**kwargs)
+
+
+class TestFaultPlan:
+    def test_decisions_are_pure_and_seeded(self):
+        a = FaultPlan(seed=1, crash=0.3, hang=0.2, wrong_result=0.1)
+        b = FaultPlan(seed=1, crash=0.3, hang=0.2, wrong_result=0.1)
+        c = FaultPlan(seed=2, crash=0.3, hang=0.2, wrong_result=0.1)
+        decisions_a = [a.fault_for(f"k{i}", j) for i in range(30) for j in range(3)]
+        decisions_b = [b.fault_for(f"k{i}", j) for i in range(30) for j in range(3)]
+        decisions_c = [c.fault_for(f"k{i}", j) for i in range(30) for j in range(3)]
+        assert decisions_a == decisions_b
+        assert decisions_a != decisions_c
+        assert {CRASH, HANG, WRONG_RESULT} & set(decisions_a)
+
+    def test_budget_guarantees_forward_progress(self):
+        plan = FaultPlan(seed=0, crash=1.0, max_faults_per_key=3)
+        assert plan.expected_faults("key") == [CRASH, CRASH, CRASH]
+        assert plan.fault_for("key", 3) is None
+
+    def test_overrides_fire_exactly_where_asked(self):
+        plan = FaultPlan(overrides=(("k", 1, HANG),))
+        assert plan.fault_for("k", 0) is None
+        assert plan.fault_for("k", 1) == HANG
+        assert plan.fault_for("other", 1) is None
+        assert plan.active
+
+    def test_parse_round_trip_and_rejection(self):
+        plan = FaultPlan.parse(
+            "seed=7, crash=0.1, hang=0.05, wrong=0.02, "
+            "hang-seconds=0.2, max-per-key=4, hard"
+        )
+        assert plan == FaultPlan(
+            seed=7, crash=0.1, hang=0.05, wrong_result=0.02,
+            hang_seconds=0.2, max_faults_per_key=4, hard_crash=True,
+        )
+        with pytest.raises(EngineError):
+            FaultPlan.parse("crsh=0.1")
+        with pytest.raises(EngineError):
+            FaultPlan.parse("crash=lots")
+        with pytest.raises(EngineError):
+            FaultPlan(crash=0.7, hang=0.7)  # rates sum past 1
+
+    def test_enact_raises_the_right_faults(self):
+        crash = FaultPlan(overrides=(("k", 0, CRASH),))
+        with pytest.raises(InjectedCrash):
+            enact(crash, "k", 0)
+        hang = FaultPlan(overrides=(("k", 0, HANG),), hang_seconds=0.0)
+        with pytest.raises(InjectedHang):
+            enact(hang, "k", 0)
+        wrong = FaultPlan(overrides=(("k", 0, WRONG_RESULT),))
+        assert enact(wrong, "k", 0) == WRONG_RESULT
+        assert enact(wrong, "k", 1) is None
+
+    def test_plans_survive_pickling(self):
+        plan = FaultPlan(seed=9, crash=0.25, overrides=(("k", 0, CRASH),))
+        copy = pickle.loads(pickle.dumps(plan))
+        assert copy == plan
+        assert copy.fault_for("k", 0) == CRASH
+
+
+class TestResultValidation:
+    def make_result(self, name="streaming"):
+        return SimResult(
+            workload=name, instructions=1000, cycles=400.0, clock_period_ns=0.25
+        )
+
+    def test_accepts_good_results(self):
+        result = self.make_result()
+        assert validate_result(streaming(), result) is result
+
+    def test_rejects_wrong_workload_and_wrong_type(self):
+        with pytest.raises(ResultIntegrityError):
+            validate_result(streaming(), self.make_result("branchy"))
+        with pytest.raises(ResultIntegrityError):
+            validate_result(streaming(), "not a result")
+
+    def test_rejects_corrupted_results(self):
+        with pytest.raises(ResultIntegrityError):
+            validate_result(streaming(), corrupt_result(self.make_result()))
+
+    def test_quarantine_file_moves_and_tolerates_absence(self, tmp_path):
+        victim = tmp_path / "state.json"
+        victim.write_text("garbage")
+        target = quarantine_file(victim)
+        assert target == tmp_path / "state.json.corrupt"
+        assert not victim.exists() and target.read_text() == "garbage"
+        # Already gone: no error, same target reported.
+        assert quarantine_file(victim) == target
+
+
+# ----------------------------------------------------------------------
+# engine lifecycle regressions
+# ----------------------------------------------------------------------
+
+
+class _PoisonSimulator:
+    """Picklable simulator that errors on one workload name."""
+
+    def evaluate(self, profile, config):
+        if profile.name == "branchy":
+            raise ValueError("poisoned evaluation")
+        from repro.sim.interval import IntervalSimulator
+
+        return IntervalSimulator().evaluate(profile, config)
+
+
+def _pairs():
+    config = initial_configuration(default_technology())
+    return [(streaming(), config), (branchy(), config)]
+
+
+class TestEngineLifecycle:
+    def test_close_after_exception_mid_batch(self):
+        """Regression: a chunk raising mid-evaluate_many used to leave
+        the executor alive behind an engine that then hung on close."""
+        engine = EvaluationEngine(
+            simulator=_PoisonSimulator(), jobs=2, clamp_jobs=False
+        )
+        with pytest.raises(ValueError, match="poisoned"):
+            engine.evaluate_many(_pairs())
+        assert engine._executor is None  # torn down with the exception
+        engine.close()  # must not hang or raise
+        engine.close()  # idempotent
+
+    def test_context_manager_exits_cleanly_after_worker_raise(self):
+        with pytest.raises(ValueError, match="poisoned"):
+            with EvaluationEngine(
+                simulator=_PoisonSimulator(), jobs=2, clamp_jobs=False
+            ) as engine:
+                engine.evaluate_many(_pairs())
+        assert engine._executor is None
+
+    def test_failed_pool_construction_degrades_honestly(self, monkeypatch):
+        """Regression: when the pool cannot be built the engine must stop
+        claiming pool mode (workers stays the requested count otherwise)
+        and still produce results serially."""
+        import repro.engine.pool as pool_mod
+
+        def explode(*args, **kwargs):
+            raise OSError("no processes for you")
+
+        monkeypatch.setattr(pool_mod, "ProcessPoolExecutor", explode)
+        engine = EvaluationEngine(jobs=4, clamp_jobs=False)
+        assert engine.mode == "pool"
+        results = engine.evaluate_many(_pairs())
+        assert len(results) == 2
+        assert engine.mode == "serial"
+        assert engine.workers == 1
+        assert engine.metrics.fallbacks == 1
+        # Later batches stay serial without re-attempting the pool.
+        assert engine.evaluate_many(_pairs())[0] == results[0]
+        assert engine.metrics.fallbacks == 1
+        engine.close()
+
+    def test_fallback_also_applies_to_map(self, monkeypatch):
+        import repro.engine.pool as pool_mod
+
+        monkeypatch.setattr(
+            pool_mod, "ProcessPoolExecutor",
+            lambda *a, **k: (_ for _ in ()).throw(OSError("nope")),
+        )
+        engine = EvaluationEngine(jobs=4, clamp_jobs=False)
+        assert engine.map(abs, [-1, -2, -3]) == [1, 2, 3]
+        assert engine.mode == "serial" and engine.workers == 1
+        engine.close()
+
+    def test_pickled_engine_carries_policy_and_faults(self):
+        policy = RetryPolicy(max_retries=7, backoff_base_s=0.0)
+        plan = FaultPlan(seed=4, crash=0.5)
+        engine = EvaluationEngine(jobs=2, policy=policy, faults=plan)
+        woken = pickle.loads(pickle.dumps(engine))
+        assert woken.workers == 1  # workers never nest pools
+        assert woken.policy == policy
+        assert woken.faults == plan
+        engine.close()
+
+    def test_map_survives_a_hung_task(self, tmp_path):
+        """A map task overrunning the deadline is retried on a fresh pool
+        and succeeds once the hang condition clears."""
+        marker = tmp_path / "slept-once"
+        policy = RetryPolicy(
+            max_retries=5, timeout_s=0.3,
+            backoff_base_s=0.001, backoff_max_s=0.01, pool_restarts=4,
+        )
+        engine = EvaluationEngine(jobs=2, clamp_jobs=False, policy=policy)
+        try:
+            out = engine.map(
+                _sleep_once_then_double, [(i, str(marker)) for i in range(4)]
+            )
+        finally:
+            engine.close()
+        assert out == [0, 2, 4, 6]
+        assert engine.metrics.timeouts >= 1
+        assert engine.metrics.pool_restarts >= 1
+
+    def test_map_exhausted_retries_raise_engine_error(self):
+        policy = RetryPolicy(
+            max_retries=1, timeout_s=0.15,
+            backoff_base_s=0.0, pool_restarts=10,
+        )
+        engine = EvaluationEngine(jobs=2, clamp_jobs=False, policy=policy)
+        try:
+            with pytest.raises(EngineError, match="still failing"):
+                engine.map(_sleep_forever, [1, 2])
+        finally:
+            engine.close()
+
+
+def _sleep_once_then_double(arg):
+    value, marker = arg
+    path = Path(marker)
+    if value == 1 and not path.exists():
+        path.touch()
+        time.sleep(2.0)
+    return value * 2
+
+
+def _sleep_forever(value):
+    time.sleep(30.0)
+    return value
