@@ -4,10 +4,12 @@ Examples::
 
     python -m repro customize mcf
     python -m repro customize gzip mcf --jobs 2        # parallel suite run
+    python -m repro customize mcf --strategy multistart --restarts 4
     python -m repro table 5 --iterations 1200 --jobs 4
     python -m repro table 5 --cache-dir .repro-cache   # warm-cache reruns
     python -m repro figure 7
     python -m repro sweep gzip --clocks 0.18 0.30 0.42
+    python -m repro search-compare gzip mcf --iterations 400 --max-evals 500
     python -m repro validate
 
 Every exploration-running command accepts the engine flags: ``--jobs N``
@@ -53,6 +55,8 @@ from .experiments import (
 )
 from .errors import ReproError
 from .explore import AnnealingSchedule, ClockSweep, XpScalar
+from .search import SearchBudget, strategy_names
+from .search.compare import compare_strategies
 from .sim import validate_interval_model
 from .uarch import initial_configuration
 from .workloads import SPEC2000_INT_NAMES, spec2000_profile, spec2000_profiles
@@ -103,6 +107,51 @@ def _engine_options() -> argparse.ArgumentParser:
     return p
 
 
+def _search_options() -> argparse.ArgumentParser:
+    """Shared search-strategy flags (a parent parser)."""
+    p = argparse.ArgumentParser(add_help=False)
+    group = p.add_argument_group("search strategy")
+    group.add_argument(
+        "--strategy", choices=strategy_names(), default="anneal",
+        help="design-space search policy (default: anneal, the paper's "
+             "simulated annealing)",
+    )
+    group.add_argument(
+        "--max-evals", type=int, default=None, metavar="N",
+        help="stop each search after N fitness evaluations",
+    )
+    group.add_argument(
+        "--max-moves", type=int, default=None, metavar="N",
+        help="stop each search after N move proposals",
+    )
+    group.add_argument(
+        "--patience", type=int, default=None, metavar="N",
+        help="stop each search after N consecutive moves without a new "
+             "best score",
+    )
+    group.add_argument(
+        "--restarts", type=int, default=4, metavar="N",
+        help="independent restarts for multi-start strategies "
+             "(default: 4; other strategies ignore it)",
+    )
+    return p
+
+
+def _search_budget(args) -> SearchBudget | None:
+    """The uniform budget implied by search flags (None when unbounded)."""
+    if (
+        getattr(args, "max_evals", None) is None
+        and getattr(args, "max_moves", None) is None
+        and getattr(args, "patience", None) is None
+    ):
+        return None
+    return SearchBudget(
+        max_evaluations=args.max_evals,
+        max_moves=args.max_moves,
+        plateau_patience=args.patience,
+    )
+
+
 def _resilience(args) -> tuple[RetryPolicy | None, FaultPlan | None]:
     """The retry policy and fault plan implied by engine flags."""
     policy = None
@@ -125,29 +174,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     engine_opts = _engine_options()
+    search_opts = _search_options()
 
     p = sub.add_parser(
         "customize",
-        parents=[engine_opts],
+        parents=[engine_opts, search_opts],
         help="customize a core per benchmark (cross-seeded when several)",
     )
     p.add_argument("benchmark", nargs="+", choices=SPEC2000_INT_NAMES)
     p.add_argument("--iterations", type=int, default=2500)
     p.add_argument("--seed", type=int, default=0)
 
-    p = sub.add_parser("table", parents=[engine_opts],
+    p = sub.add_parser("table", parents=[engine_opts, search_opts],
                        help="regenerate a table of the paper")
     p.add_argument("which", choices=["1", "2", "3", "4", "5", "6", "7", "a"])
     p.add_argument("--iterations", type=int, default=2500)
     p.add_argument("--seed", type=int, default=2008)
 
-    p = sub.add_parser("figure", parents=[engine_opts],
+    p = sub.add_parser("figure", parents=[engine_opts, search_opts],
                        help="regenerate a figure of the paper")
     p.add_argument("which", choices=["1", "2", "4", "6", "7", "8"])
     p.add_argument("--iterations", type=int, default=2500)
     p.add_argument("--seed", type=int, default=2008)
 
-    p = sub.add_parser("sweep", parents=[engine_opts],
+    p = sub.add_parser("sweep", parents=[engine_opts, search_opts],
                        help="pinned-clock sweep for one benchmark")
     p.add_argument("benchmark", choices=SPEC2000_INT_NAMES)
     p.add_argument("--clocks", type=float, nargs="+", default=None)
@@ -155,12 +205,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
 
     p = sub.add_parser(
+        "search-compare", parents=[engine_opts, search_opts],
+        help="run every search strategy on the same benchmarks and rank "
+             "them on a quality/cost table",
+    )
+    p.add_argument("benchmark", nargs="+", choices=SPEC2000_INT_NAMES)
+    p.add_argument("--iterations", type=int, default=400)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--strategies", nargs="+", choices=strategy_names(), default=None,
+        help="strategies to compare (default: all registered)",
+    )
+    p.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the comparison as JSON to FILE",
+    )
+
+    p = sub.add_parser(
         "validate", help="cross-validate the interval model against the cycle simulator"
     )
     p.add_argument("--trace-length", type=int, default=12000)
 
     p = sub.add_parser(
-        "report", parents=[engine_opts],
+        "report", parents=[engine_opts, search_opts],
         help="regenerate every table/figure artifact into a directory",
     )
     p.add_argument("--out", default="results")
@@ -201,12 +268,21 @@ def _pipeline(args):
         resume=args.resume,
         policy=policy,
         faults=faults,
+        strategy=getattr(args, "strategy", "anneal"),
+        budget=_search_budget(args),
+        restarts=getattr(args, "restarts", 4),
     )
 
 
 def cmd_customize(args) -> int:
     engine = _build_engine(args)
-    xp = XpScalar(schedule=AnnealingSchedule(iterations=args.iterations), engine=engine)
+    xp = XpScalar(
+        schedule=AnnealingSchedule(iterations=args.iterations),
+        engine=engine,
+        strategy=args.strategy,
+        budget=_search_budget(args),
+        restarts=args.restarts,
+    )
     profiles = [spec2000_profile(name) for name in args.benchmark]
     if len(profiles) == 1:
         results = {profiles[0].name: xp.customize(profiles[0], seed=args.seed)}
@@ -319,10 +395,29 @@ def cmd_figure(args) -> int:
 
 
 def cmd_sweep(args) -> int:
+    import pathlib
+
     engine = _build_engine(args)
     xp = XpScalar(engine=engine)
-    sweep = ClockSweep(xp, iterations=args.iterations)
-    points = sweep.run(spec2000_profile(args.benchmark), args.clocks, seed=args.seed)
+    sweep = ClockSweep(
+        xp,
+        iterations=args.iterations,
+        strategy=args.strategy,
+        budget=_search_budget(args),
+        restarts=args.restarts,
+    )
+    checkpoint = None
+    if args.cache_dir is not None:
+        checkpoint = CheckpointManager(
+            pathlib.Path(args.cache_dir) / "sweep-checkpoint.json"
+        )
+    points = sweep.run(
+        spec2000_profile(args.benchmark),
+        args.clocks,
+        seed=args.seed,
+        checkpoint=checkpoint,
+        resume=args.resume,
+    )
     rows = [
         [f"{p.clock_period_ns:.2f}", f"{p.score:.2f}", p.config.width,
          p.config.rob_size, p.config.iq_size,
@@ -332,6 +427,29 @@ def cmd_sweep(args) -> int:
     ]
     print(render_table(["clock", "IPT", "W", "ROB", "IQ", "L1", "L2"], rows,
                        title=f"clock sweep: {args.benchmark}"))
+    return _finish(args, engine)
+
+
+def cmd_search_compare(args) -> int:
+    engine = _build_engine(args)
+    profiles = [spec2000_profile(name) for name in args.benchmark]
+    report = compare_strategies(
+        profiles,
+        strategies=args.strategies,
+        iterations=args.iterations,
+        seed=args.seed,
+        budget=_search_budget(args),
+        engine=engine,
+        restarts=args.restarts,
+    )
+    print(report.render())
+    if args.out is not None:
+        import json
+        import pathlib
+
+        out = pathlib.Path(args.out)
+        out.write_text(json.dumps(report.to_jsonable(), indent=2) + "\n")
+        print(f"wrote {out}")
     return _finish(args, engine)
 
 
@@ -402,6 +520,7 @@ _COMMANDS = {
     "table": cmd_table,
     "figure": cmd_figure,
     "sweep": cmd_sweep,
+    "search-compare": cmd_search_compare,
     "validate": cmd_validate,
     "report": cmd_report,
 }

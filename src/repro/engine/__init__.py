@@ -31,7 +31,16 @@ from .faults import (
     InjectedFault,
     InjectedHang,
 )
-from .keys import canonical, digest, evaluation_key, simulator_id
+from .keys import (
+    RESTART_SEED_STRIDE,
+    ROUND_SEED_STRIDE,
+    canonical,
+    derive_seed,
+    digest,
+    evaluation_key,
+    simulator_id,
+    unit_draw,
+)
 from .pool import EvaluationEngine
 from .resilience import ResultIntegrityError, RetryPolicy, validate_result
 from .serialize import (
@@ -57,10 +66,14 @@ __all__ = [
     "ResultIntegrityError",
     "RetryPolicy",
     "validate_result",
+    "RESTART_SEED_STRIDE",
+    "ROUND_SEED_STRIDE",
     "canonical",
+    "derive_seed",
     "digest",
     "evaluation_key",
     "simulator_id",
+    "unit_draw",
     "EvaluationEngine",
     "config_from_jsonable",
     "config_to_jsonable",

@@ -33,6 +33,14 @@ Event vocabulary (payload keys in parentheses):
 ``quarantine`` (``tier``, ``reason``; ``key`` or ``path``)
     Corrupt persistent state (a cache row, the cache database, a
     checkpoint file) was isolated and the run continued without it.
+``search_run`` (``strategy``, ``workload``, ``best_score``,
+``evaluations``, ``moves``, ``accepted``, ``acceptance_rate``,
+``plateau``, ``rollbacks``, ``stop_reason``)
+    One design-space search finished: the convergence diagnostics of a
+    :class:`~repro.search.SearchResult` (see
+    :class:`~repro.search.SearchDiagnostics`).  Emitted by the parent
+    process from returned results, so ``jobs=1`` and ``jobs=N`` report
+    identical events.
 
 :class:`EngineMetrics` is the standard subscriber: it aggregates the
 counters every caller wants (evaluations, hit rate, per-phase wall time)
@@ -102,6 +110,11 @@ class EngineMetrics:
         self.timeouts = 0
         self.pool_restarts = 0
         self.quarantines = 0
+        self.searches = 0
+        self.search_evaluations = 0
+        self.search_plateau_max = 0
+        self._acceptance_sum = 0.0
+        self.searches_by_strategy: dict[str, int] = {}
         self.phase_seconds: dict[str, float] = {}
         if bus is not None:
             bus.subscribe(self._on_event)
@@ -127,6 +140,17 @@ class EngineMetrics:
             self.pool_restarts += 1
         elif event == "quarantine":
             self.quarantines += 1
+        elif event == "search_run":
+            self.searches += 1
+            self.search_evaluations += payload.get("evaluations", 0)
+            self.search_plateau_max = max(
+                self.search_plateau_max, payload.get("plateau", 0)
+            )
+            self._acceptance_sum += payload.get("acceptance_rate", 0.0)
+            strategy = payload.get("strategy", "?")
+            self.searches_by_strategy[strategy] = (
+                self.searches_by_strategy.get(strategy, 0) + 1
+            )
         elif event == "phase_end":
             name = payload.get("name", "?")
             self.phase_seconds[name] = (
@@ -144,6 +168,11 @@ class EngineMetrics:
         total = self.lookups
         return self.cache_hits / total if total else 0.0
 
+    @property
+    def mean_acceptance_rate(self) -> float:
+        """Mean per-search acceptance rate (0 when no searches ran)."""
+        return self._acceptance_sum / self.searches if self.searches else 0.0
+
     def snapshot(self) -> dict[str, Any]:
         """Point-in-time copy of every counter (for before/after deltas)."""
         return {
@@ -157,6 +186,11 @@ class EngineMetrics:
             "timeouts": self.timeouts,
             "pool_restarts": self.pool_restarts,
             "quarantines": self.quarantines,
+            "searches": self.searches,
+            "search_evaluations": self.search_evaluations,
+            "search_plateau_max": self.search_plateau_max,
+            "mean_acceptance_rate": self.mean_acceptance_rate,
+            "searches_by_strategy": dict(self.searches_by_strategy),
             "phase_seconds": dict(self.phase_seconds),
         }
 
@@ -167,6 +201,17 @@ class EngineMetrics:
             f"{self.cache_hits} cache hits "
             f"({self.hit_rate * 100:.1f}% hit rate over {self.lookups} lookups)",
         ]
+        if self.searches:
+            by_strategy = ", ".join(
+                f"{name} x{count}"
+                for name, count in sorted(self.searches_by_strategy.items())
+            )
+            lines.append(
+                f"searches: {self.searches} runs ({by_strategy}), "
+                f"{self.search_evaluations} search evaluations, "
+                f"mean acceptance {self.mean_acceptance_rate * 100:.1f}%, "
+                f"longest plateau {self.search_plateau_max}"
+            )
         for name, seconds in self.phase_seconds.items():
             lines.append(f"phase {name}: {seconds:.2f}s")
         if self.fallbacks:

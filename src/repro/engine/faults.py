@@ -30,13 +30,13 @@ fault-free run.
 
 from __future__ import annotations
 
-import hashlib
 import os
 import time
 from dataclasses import dataclass, replace
 
 from ..errors import EngineError
 from ..sim.metrics import SimResult
+from .keys import unit_draw
 
 #: Fault kinds a plan can inject.
 CRASH = "crash"
@@ -123,8 +123,7 @@ class FaultPlan:
 
     def _draw(self, key: str, attempt: int) -> str | None:
         """The raw (budget-blind) fault drawn for one attempt."""
-        payload = f"{self.seed}|{key}|{attempt}".encode("utf-8")
-        unit = int.from_bytes(hashlib.sha256(payload).digest()[:8], "big") / 2**64
+        unit = unit_draw(self.seed, key, attempt)
         if unit < self.crash:
             return CRASH
         if unit < self.crash + self.hang:

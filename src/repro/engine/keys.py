@@ -77,6 +77,42 @@ def digest(*parts: Any) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+#: Per-benchmark seed strides.  Exploration seeds are derived from one
+#: base seed so that every (workload, refinement round, restart) gets a
+#: distinct, stable RNG stream; the strides keep the derived seeds of a
+#: paper-scale run (tens of workloads, a few rounds, a few restarts)
+#: disjoint.  These constants — and :func:`derive_seed` — are the single
+#: source of truth; xp-scalar, the clock sweep and the multi-start
+#: search all derive their seeds here.
+ROUND_SEED_STRIDE = 1000
+RESTART_SEED_STRIDE = 7919  # the 1000th prime; far outside any round block
+
+
+def derive_seed(base: int, index: int = 0, round_no: int = 0, restart: int = 0) -> int:
+    """Per-benchmark RNG seed: one base seed, three disjoint dimensions.
+
+    ``index`` is the workload's position in its suite (or a sweep's grid
+    position), ``round_no`` the cross-seeding refinement round (0 for
+    the initial exploration), ``restart`` the independent-restart number
+    (0 for the first/only start).  Purely arithmetic — no hashing — so
+    seeds stay human-readable in logs and bit-compatible with the
+    pre-helper derivations scattered across the explorers.
+    """
+    return base + ROUND_SEED_STRIDE * round_no + index + RESTART_SEED_STRIDE * restart
+
+
+def unit_draw(*parts: Any) -> float:
+    """Deterministic draw in ``[0, 1)`` from a tuple of labels.
+
+    SHA-256 of the ``|``-joined string forms of ``parts`` — the shared
+    primitive behind fault-plan scheduling and retry-backoff jitter: no
+    global RNG state is consumed, and the same parts draw the same unit
+    in every process on every platform.
+    """
+    payload = "|".join(str(part) for part in parts).encode("utf-8")
+    return int.from_bytes(hashlib.sha256(payload).digest()[:8], "big") / 2**64
+
+
 def simulator_id(simulator: Any) -> str:
     """Stable identity of a simulator: qualified class name + cache version.
 

@@ -28,7 +28,6 @@ clean ``jobs=1`` run (the fault-matrix suite asserts this).
 
 from __future__ import annotations
 
-import hashlib
 import math
 import os
 from dataclasses import dataclass
@@ -36,6 +35,7 @@ from pathlib import Path
 
 from ..errors import EngineError
 from ..sim.metrics import SimResult
+from .keys import unit_draw
 
 
 class ResultIntegrityError(EngineError):
@@ -110,8 +110,7 @@ class RetryPolicy:
         )
         if raw <= 0.0:
             return 0.0
-        payload = f"backoff|{self.seed}|{key}|{attempt}".encode("utf-8")
-        unit = int.from_bytes(hashlib.sha256(payload).digest()[:8], "big") / 2**64
+        unit = unit_draw("backoff", self.seed, key, attempt)
         return raw * (1.0 - self.jitter + 2.0 * self.jitter * unit)
 
 

@@ -40,6 +40,7 @@ from ..engine import (
 )
 from ..explore.annealing import AnnealingSchedule
 from ..explore.xpscalar import XpScalar
+from ..search import SearchBudget, SearchStrategy
 from ..workloads.profile import WorkloadProfile
 from ..workloads.spec2000 import spec2000_profiles
 
@@ -113,15 +114,21 @@ def run_pipeline(
     resume: bool = False,
     policy: RetryPolicy | None = None,
     faults: FaultPlan | None = None,
+    strategy: str | SearchStrategy = "anneal",
+    budget: SearchBudget | None = None,
+    restarts: int = 4,
 ) -> PipelineResult:
     """Run exploration + characterization + cross-evaluation.
 
     Results are identical for a given (seed, iterations) at every
     ``jobs`` setting — including under an armed fault plan or a pool
     that dies mid-run; resilience only changes how fast results arrive.
-    When an ``explorer`` is supplied it brings its own engine and the
-    ``jobs``/``cache_dir``/``use_cache``/``policy``/``faults`` knobs
-    are ignored.
+    ``strategy`` selects the search policy by name (default ``anneal``,
+    the paper's search — bit-identical to the pre-strategy pipeline);
+    ``budget`` bounds every per-workload search uniformly.  When an
+    ``explorer`` is supplied it brings its own engine and strategy and
+    the ``jobs``/``cache_dir``/``use_cache``/``policy``/``faults``/
+    ``strategy``/``budget``/``restarts`` knobs are ignored.
     """
     profiles = list(profiles) if profiles is not None else spec2000_profiles()
     if explorer is None:
@@ -134,6 +141,9 @@ def run_pipeline(
                 policy=policy,
                 faults=faults,
             ),
+            strategy=strategy,
+            budget=budget,
+            restarts=restarts,
         )
     checkpoint = (
         CheckpointManager(

@@ -1,164 +1,18 @@
-"""Generic simulated-annealing engine with the paper's rollback rule.
+"""Compatibility shim: the annealer moved to :mod:`repro.search.anneal`.
 
-xp-scalar's search (§3) is a simulated-annealing process over processor
-configurations with one distinctive twist: "When a configuration is
-reached for which the IPT is less than half that of the optimal
-configuration, the exploration process rolls back to the optimal solution
-and is continued."  The engine here is generic over the state type so it
-can be tested independently of the processor design space.
+Simulated annealing used to be the *only* search and lived here; it is
+now one pluggable :class:`~repro.search.SearchStrategy` among several.
+Everything historical importers need is re-exported unchanged —
+``AnnealingResult`` is an alias of the strategy-agnostic
+:class:`~repro.search.SearchResult`.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Callable, Generic, TypeVar
+from ..search.anneal import (
+    AnnealingResult,
+    AnnealingSchedule,
+    SimulatedAnnealing,
+)
 
-import numpy as np
-
-from ..errors import ExplorationError
-
-State = TypeVar("State")
-
-
-@dataclass(frozen=True)
-class AnnealingSchedule:
-    """Parameters of the annealing process.
-
-    ``temperature`` is expressed as a *relative* score tolerance: at
-    temperature T, a move that loses a fraction T of the best score so
-    far is accepted with probability 1/e.  Cooling is geometric from
-    ``t_initial`` to ``t_final`` over ``iterations`` steps.
-    ``rollback_fraction`` is the paper's rule: scores below this fraction
-    of the best-so-far snap the search back to the best state.
-    """
-
-    iterations: int = 2500
-    t_initial: float = 0.10
-    t_final: float = 0.005
-    rollback_fraction: float = 0.5
-
-    def __post_init__(self) -> None:
-        if self.iterations < 1:
-            raise ExplorationError(f"iterations must be >= 1: {self.iterations}")
-        if not 0 < self.t_final <= self.t_initial:
-            raise ExplorationError(
-                f"need 0 < t_final <= t_initial, got {self.t_final}, {self.t_initial}"
-            )
-        if not 0 < self.rollback_fraction < 1:
-            raise ExplorationError(
-                f"rollback_fraction must be in (0, 1): {self.rollback_fraction}"
-            )
-
-    def temperature(self, step: int) -> float:
-        """Geometric cooling."""
-        if self.iterations == 1:
-            return self.t_initial
-        ratio = self.t_final / self.t_initial
-        return self.t_initial * ratio ** (step / (self.iterations - 1))
-
-
-@dataclass
-class AnnealingResult(Generic[State]):
-    """Outcome of one annealing run."""
-
-    best_state: State
-    best_score: float
-    evaluations: int
-    accepted: int
-    rollbacks: int
-    history: list[float] = field(default_factory=list)
-
-
-class SimulatedAnnealing(Generic[State]):
-    """Maximize ``evaluate(state)`` by annealed local search.
-
-    Parameters
-    ----------
-    propose:
-        ``(state, rng) -> state`` neighbour generator.  May raise
-        :class:`~repro.errors.TimingError` /
-        :class:`~repro.errors.ConfigurationError` for untenable moves;
-        those proposals are skipped (they still consume an iteration,
-        mirroring a simulation that was not run).
-    evaluate:
-        ``state -> float`` fitness (higher is better, must be positive).
-    schedule:
-        Annealing parameters.
-    """
-
-    def __init__(
-        self,
-        propose: Callable[[State, np.random.Generator], State],
-        evaluate: Callable[[State], float],
-        schedule: AnnealingSchedule | None = None,
-    ) -> None:
-        self._propose = propose
-        self._evaluate = evaluate
-        self._schedule = schedule or AnnealingSchedule()
-
-    def run(self, initial: State, seed: int = 0) -> AnnealingResult[State]:
-        """Anneal from ``initial``; deterministic for a given seed."""
-        rng = np.random.default_rng(seed)
-        schedule = self._schedule
-
-        current = initial
-        current_score = self._evaluate(initial)
-        if current_score <= 0:
-            raise ExplorationError(
-                f"initial state has non-positive score {current_score}"
-            )
-        best, best_score = current, current_score
-        evaluations = 1
-        accepted = 0
-        rollbacks = 0
-        history = [best_score]
-
-        from ..errors import ConfigurationError, TimingError
-
-        for step in range(schedule.iterations):
-            try:
-                candidate = self._propose(current, rng)
-            except (TimingError, ConfigurationError):
-                history.append(best_score)
-                continue
-            score = self._evaluate(candidate)
-            evaluations += 1
-
-            if score > best_score:
-                best, best_score = candidate, score
-
-            if score >= current_score or self._accept(
-                score, current_score, best_score, schedule.temperature(step), rng
-            ):
-                current, current_score = candidate, score
-                accepted += 1
-
-            # The paper's rollback rule: a configuration below half the
-            # best-so-far IPT snaps the search back to the best solution.
-            if current_score < schedule.rollback_fraction * best_score:
-                current, current_score = best, best_score
-                rollbacks += 1
-
-            history.append(best_score)
-
-        return AnnealingResult(
-            best_state=best,
-            best_score=best_score,
-            evaluations=evaluations,
-            accepted=accepted,
-            rollbacks=rollbacks,
-            history=history,
-        )
-
-    @staticmethod
-    def _accept(
-        score: float,
-        current_score: float,
-        best_score: float,
-        temperature: float,
-        rng: np.random.Generator,
-    ) -> bool:
-        """Metropolis acceptance on the relative score loss."""
-        loss = (current_score - score) / max(best_score, 1e-12)
-        return rng.random() < math.exp(-loss / temperature)
+__all__ = ["AnnealingResult", "AnnealingSchedule", "SimulatedAnnealing"]

@@ -31,7 +31,7 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from ..engine import CheckpointManager, EvaluationEngine
-from ..engine.keys import digest, simulator_id
+from ..engine.keys import derive_seed, digest, simulator_id
 from ..engine.serialize import (
     config_from_jsonable,
     config_to_jsonable,
@@ -39,12 +39,21 @@ from ..engine.serialize import (
     simresult_to_jsonable,
 )
 from ..errors import ExplorationError
+from ..search import (
+    AnnealingResult,
+    AnnealingSchedule,
+    SearchBudget,
+    SearchDiagnostics,
+    SearchProblem,
+    SearchResult,
+    SearchStrategy,
+    make_strategy,
+)
 from ..sim.interval import IntervalSimulator
 from ..sim.metrics import SimResult
 from ..tech import CactiModel, TechnologyNode, default_technology
 from ..uarch.config import CoreConfig, DesignSpace, initial_configuration, validate_config
 from ..workloads.profile import WorkloadProfile
-from .annealing import AnnealingResult, AnnealingSchedule, SimulatedAnnealing
 from .moves import MoveGenerator
 
 #: Objective signature: maps a simulation result to the fitness to
@@ -80,7 +89,29 @@ def _customize_task(
     and a private memory cache (see ``EvaluationEngine.__getstate__``).
     """
     explorer, profile, seed, initial = payload
-    return explorer.customize(profile, seed=seed, initial=initial)
+    return explorer._customize_quiet(profile, seed=seed, initial=initial)
+
+
+def _restart_task(
+    payload: tuple["XpScalar", WorkloadProfile, CoreConfig, int, SearchStrategy],
+) -> SearchResult:
+    """One multi-start restart, shaped for ``engine.map``.
+
+    The multi-start strategy hands its restart seeds to the explorer's
+    fan-out hook, which maps this function across the engine pool.  The
+    in-worker problem carries no fan-out of its own (no recursive
+    fan-out) and no best-result tracking — the parent re-evaluates the
+    winner, a cache hit when warm and deterministic either way.
+    """
+    explorer, profile, start, seed, inner = payload
+
+    def evaluate_cfg(config: CoreConfig) -> float:
+        return explorer.objective(explorer.engine.evaluate(profile, config))
+
+    problem = SearchProblem(
+        initial=start, propose=explorer._moves.propose, evaluate=evaluate_cfg
+    )
+    return inner.run(problem, seed=seed)
 
 
 def _result_to_state(result: ExplorationResult) -> dict:
@@ -101,6 +132,7 @@ def _result_to_state(result: ExplorationResult) -> dict:
             "accepted": annealing.accepted,
             "rollbacks": annealing.rollbacks,
             "history": list(annealing.history),
+            "stop_reason": annealing.stop_reason,
         },
     }
 
@@ -117,6 +149,7 @@ def _result_from_state(state: dict) -> ExplorationResult:
             accepted=annealing_state["accepted"],
             rollbacks=annealing_state["rollbacks"],
             history=list(annealing_state["history"]),
+            stop_reason=annealing_state.get("stop_reason"),
         )
     return ExplorationResult(
         workload=state["workload"],
@@ -153,6 +186,18 @@ class XpScalar:
         with ``jobs > 1`` to parallelize :meth:`customize_all` and the
         batched matrix fills, or one with a disk-backed cache to share
         results across processes/runs.
+    strategy:
+        Search policy: a registered strategy name (``"anneal"``, the
+        default and the paper's search; ``"hillclimb"``; ``"random"``;
+        ``"multistart"``) or a ready :class:`~repro.search.SearchStrategy`
+        instance.  The default reproduces the pre-strategy explorer
+        bit-for-bit.
+    budget:
+        Optional uniform :class:`~repro.search.SearchBudget` applied to
+        every search run (only used when ``strategy`` is a name).
+    restarts:
+        Restart count for multi-start strategies (only used when
+        ``strategy`` is a name; others ignore it).
     """
 
     def __init__(
@@ -163,6 +208,9 @@ class XpScalar:
         schedule: AnnealingSchedule | None = None,
         objective: Objective = ipt_objective,
         engine: EvaluationEngine | None = None,
+        strategy: str | SearchStrategy = "anneal",
+        budget: SearchBudget | None = None,
+        restarts: int = 4,
     ) -> None:
         self.tech = tech or default_technology()
         self.space = space or DesignSpace()
@@ -182,6 +230,12 @@ class XpScalar:
         self.simulator = self.engine.simulator
         self.schedule = schedule or AnnealingSchedule()
         self.objective = objective
+        if isinstance(strategy, str):
+            self.strategy: SearchStrategy = make_strategy(
+                strategy, schedule=self.schedule, budget=budget, restarts=restarts
+            )
+        else:
+            self.strategy = strategy
         self._moves = MoveGenerator(self.tech, self.model, self.space)
 
     # ------------------------------------------------------------------
@@ -215,6 +269,7 @@ class XpScalar:
             self.space,
             simulator_id(self.simulator),
             objective_id,
+            self.strategy.identity(),
         )
 
     # ------------------------------------------------------------------
@@ -231,17 +286,43 @@ class XpScalar:
         """Find a customized configuration for one workload.
 
         Starts from Table 3's initial configuration unless given another
-        starting point, anneals under the configured schedule, and
-        returns the best configuration found (always validated).  With
-        ``restarts`` > 1, independent annealing runs (distinct seeds)
-        compete and the best wins — the cheap insurance against local
-        optima the paper's three-week budget bought with sheer length.
+        starting point, searches under the configured strategy (the
+        paper's annealing by default), and returns the best
+        configuration found (always validated).  With ``restarts`` > 1,
+        independent strategy runs (distinct seeds) compete and the best
+        wins — the cheap insurance against local optima the paper's
+        three-week budget bought with sheer length.  (The
+        ``multistart`` strategy folds this into the search itself and
+        fans restarts through the engine pool.)
+
+        Emits a ``search_run`` convergence-diagnostics event on the
+        engine bus.
+        """
+        result = self._customize_quiet(
+            profile, seed=seed, initial=initial, restarts=restarts
+        )
+        self._emit_search(result)
+        return result
+
+    def _customize_quiet(
+        self,
+        profile: WorkloadProfile,
+        seed: int = 0,
+        initial: CoreConfig | None = None,
+        restarts: int = 1,
+    ) -> ExplorationResult:
+        """:meth:`customize` without the diagnostics event.
+
+        The event-free variant runs inside worker processes (whose
+        private buses are discarded); the parent emits diagnostics from
+        the returned results so ``jobs=1`` and ``jobs=N`` report the
+        same events.
         """
         if restarts < 1:
             raise ExplorationError(f"restarts must be >= 1, got {restarts}")
         start = initial or initial_configuration(self.tech)
 
-        # Track the SimResult behind the annealer's best state so the
+        # Track the SimResult behind the search's best state so the
         # winning configuration is not re-simulated after the search.
         # The update rule mirrors the annealer's (strictly-greater, in
         # evaluation order), so the tracked config matches best_state.
@@ -255,14 +336,19 @@ class XpScalar:
                 tracked = (score, config, result)
             return score
 
-        annealer = SimulatedAnnealing(
+        def fanout(seeds: Sequence[int], inner: SearchStrategy) -> list[SearchResult]:
+            payloads = [(self, profile, start, s, inner) for s in seeds]
+            return self.engine.map(_restart_task, payloads)
+
+        problem = SearchProblem(
+            initial=start,
             propose=self._moves.propose,
             evaluate=evaluate_cfg,
-            schedule=self.schedule,
+            fanout=fanout,
         )
-        outcome = annealer.run(start, seed=seed)
+        outcome = self.strategy.run(problem, seed=seed)
         for extra in range(1, restarts):
-            rerun = annealer.run(start, seed=seed + 7919 * extra)
+            rerun = self.strategy.run(problem, seed=derive_seed(seed, restart=extra))
             if rerun.best_score > outcome.best_score:
                 outcome = rerun
         best = outcome.best_state
@@ -278,6 +364,15 @@ class XpScalar:
             result=final,
             annealing=outcome,
         )
+
+    def _emit_search(self, result: ExplorationResult) -> None:
+        """Publish one run's convergence diagnostics on the engine bus."""
+        if result.annealing is None:
+            return
+        diagnostics = SearchDiagnostics.from_result(
+            self.strategy.name, result.workload, result.annealing
+        )
+        self.engine.events.emit("search_run", **diagnostics.payload())
 
     def customize_all(
         self,
@@ -355,10 +450,12 @@ class XpScalar:
             with self.engine.phase("explore"):
                 for lo in range(0, len(pending), chunk):
                     tasks = [
-                        (self, p, seed + i, None) for i, p in pending[lo : lo + chunk]
+                        (self, p, derive_seed(seed, index=i), None)
+                        for i, p in pending[lo : lo + chunk]
                     ]
                     for outcome in self.engine.map(_customize_task, tasks):
                         results[outcome.workload] = outcome
+                        self._emit_search(outcome)
                     if checkpoint is not None and len(results) < len(names):
                         save("explore")
             next_round = 0
@@ -370,11 +467,17 @@ class XpScalar:
                 # Refine: continue annealing from the current best (adopted
                 # or not); keep whichever configuration scores higher.
                 tasks = [
-                    (self, p, seed + 1000 * (round_no + 1) + i, results[p.name].config)
+                    (
+                        self,
+                        p,
+                        derive_seed(seed, index=i, round_no=round_no + 1),
+                        results[p.name].config,
+                    )
                     for i, p in enumerate(profiles)
                 ]
                 refined_all = self.engine.map(_customize_task, tasks)
                 for profile, refined in zip(profiles, refined_all):
+                    self._emit_search(refined)
                     current = results[profile.name]
                     if refined.score > current.score:
                         refined.cross_seeded_from = current.cross_seeded_from

@@ -1,9 +1,20 @@
 """Content hashing of evaluation requests (repro.engine.keys)."""
 
+import hashlib
+
 import numpy as np
 import pytest
 
-from repro.engine import canonical, digest, evaluation_key, simulator_id
+from repro.engine import (
+    RESTART_SEED_STRIDE,
+    ROUND_SEED_STRIDE,
+    canonical,
+    derive_seed,
+    digest,
+    evaluation_key,
+    simulator_id,
+    unit_draw,
+)
 from repro.errors import EngineError
 from repro.sim import IntervalSimulator
 from repro.tech import TechnologyNode
@@ -80,6 +91,63 @@ class TestEvaluationKey:
         base = evaluation_key(p, initial_config)
         assert evaluation_key(p, initial_config, simulator="other@1") != base
         assert evaluation_key(p, initial_config, context="tech-x") != base
+
+
+class TestDeriveSeed:
+    """The one seed-derivation helper every explorer shares."""
+
+    def test_base_passes_through(self):
+        assert derive_seed(42) == 42
+
+    def test_matches_legacy_explore_seeds(self):
+        # customize_all's exploration stage used ``seed + i``.
+        for i in range(12):
+            assert derive_seed(2008, index=i) == 2008 + i
+
+    def test_matches_legacy_refine_seeds(self):
+        # The refinement rounds used ``seed + 1000 * (round_no + 1) + i``.
+        for round_no in range(3):
+            for i in range(12):
+                assert (
+                    derive_seed(2008, index=i, round_no=round_no + 1)
+                    == 2008 + 1000 * (round_no + 1) + i
+                )
+
+    def test_matches_legacy_restart_seeds(self):
+        # Restarts used ``seed + 7919 * extra``.
+        for extra in range(1, 5):
+            assert derive_seed(5, restart=extra) == 5 + 7919 * extra
+
+    def test_strides_disjoint_at_paper_scale(self):
+        seeds = {
+            derive_seed(0, index=i, round_no=r, restart=s)
+            for i in range(20)
+            for r in range(4)
+            for s in range(4)
+        }
+        assert len(seeds) == 20 * 4 * 4
+        assert ROUND_SEED_STRIDE > 20 and RESTART_SEED_STRIDE > 4 * ROUND_SEED_STRIDE
+
+
+class TestUnitDraw:
+    def test_in_unit_interval_and_deterministic(self):
+        for parts in ((0, "k", 1), ("backoff", 3, "key", 2), ("solo",)):
+            value = unit_draw(*parts)
+            assert 0.0 <= value < 1.0
+            assert unit_draw(*parts) == value
+
+    def test_matches_documented_payload(self):
+        # The draw is SHA-256 of the "|"-joined string forms — the exact
+        # payload the fault plan and retry backoff hashed before the
+        # helper existed.
+        expected = (
+            int.from_bytes(hashlib.sha256(b"7|somekey|3").digest()[:8], "big") / 2**64
+        )
+        assert unit_draw(7, "somekey", 3) == expected
+
+    def test_distinct_parts_distinct_draws(self):
+        assert unit_draw(1, "k", 0) != unit_draw(1, "k", 1)
+        assert unit_draw(1, "k", 0) != unit_draw(2, "k", 0)
 
 
 class TestSimulatorId:

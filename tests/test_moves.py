@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import TimingError
 from repro.explore import MoveGenerator
-from repro.uarch import initial_configuration, validate_config
+from repro.uarch import DesignSpace, initial_configuration, validate_config
 
 
 @pytest.fixture(scope="module")
@@ -101,3 +101,86 @@ class TestPropose:
         for c in run_moves(moves, tech, model, initial_config, moves.propose, n=200):
             assert c.iq_size <= c.rob_size
             assert c.l2.capacity_bytes >= c.l1.capacity_bytes
+
+    def test_proposal_sequence_reproducible_from_seed(
+        self, moves, tech, model, initial_config
+    ):
+        """Two walks from the same seed propose identical configurations."""
+        first = run_moves(moves, tech, model, initial_config, moves.propose, n=80, seed=17)
+        second = run_moves(moves, tech, model, initial_config, moves.propose, n=80, seed=17)
+        assert first == second
+
+    def test_distinct_seeds_diverge(self, moves, tech, model, initial_config):
+        first = run_moves(moves, tech, model, initial_config, moves.propose, n=80, seed=17)
+        second = run_moves(moves, tech, model, initial_config, moves.propose, n=80, seed=18)
+        assert first != second
+
+
+class _ForcedMoveRng:
+    """Minimal rng stub: always selects move index ``move`` in propose
+    and answers the move's own draws with the first choice offered."""
+
+    def __init__(self, move: int):
+        self._move = move
+
+    def choice(self, options, p=None):
+        if isinstance(options, (int, np.integer)):  # propose's move pick
+            return self._move
+        return options[-1]
+
+    def uniform(self, lo, hi):
+        return hi
+
+    def integers(self, lo, hi):
+        return lo
+
+
+class TestUntenableSpaces:
+    """Spaces with no tenable neighbour must raise, never loop."""
+
+    def test_width_move_with_single_width(self, tech, model, initial_config):
+        space = DesignSpace(widths=(initial_config.width,))
+        moves = MoveGenerator(tech, model, space)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            with pytest.raises(TimingError):
+                moves.width_move(initial_config, rng)
+
+    def test_size_move_with_only_oversized_buffers(self, tech, model, initial_config):
+        """Every candidate size is beyond what any stage budget admits."""
+        space = DesignSpace(
+            rob_sizes=(65536,), iq_sizes=(65536,), lsq_sizes=(65536,)
+        )
+        moves = MoveGenerator(tech, model, space)
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            with pytest.raises(TimingError):
+                moves.size_move(initial_config, rng)
+
+    def test_propose_propagates_timing_error(self, tech, model, initial_config):
+        """propose must surface the move's TimingError to the caller (the
+        search skips the proposal) instead of retrying internally."""
+        space = DesignSpace(widths=(initial_config.width,))
+        moves = MoveGenerator(tech, model, space)
+        with pytest.raises(TimingError):
+            moves.propose(initial_config, _ForcedMoveRng(move=2))  # width_move
+
+    def test_search_survives_untenable_space(self, tech, model, initial_config):
+        """A search over a space with no tenable width neighbour keeps
+        skipping proposals and terminates (no infinite loop)."""
+        from repro.search import AnnealingSchedule, SimulatedAnnealing
+
+        space = DesignSpace(widths=(initial_config.width,))
+        moves = MoveGenerator(tech, model, space)
+
+        def width_only_propose(config, rng):
+            return moves.width_move(config, rng)
+
+        annealer = SimulatedAnnealing(
+            propose=width_only_propose,
+            evaluate=lambda cfg: 1.0,
+            schedule=AnnealingSchedule(iterations=50),
+        )
+        result = annealer.run(initial_config, seed=0)
+        assert result.evaluations == 1
+        assert result.best_state == initial_config

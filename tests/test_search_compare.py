@@ -1,0 +1,94 @@
+"""Strategy comparison harness (repro.search.compare)."""
+
+import json
+
+import pytest
+
+from repro.engine import EvaluationEngine
+from repro.errors import ExplorationError
+from repro.search import SearchBudget
+from repro.search.compare import DEFAULT_STRATEGIES, compare_strategies
+from repro.workloads import spec2000_profile
+
+ITERATIONS = 60
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def benchmarks():
+    return [spec2000_profile("gzip"), spec2000_profile("mcf")]
+
+
+def run_compare(benchmarks, engine=None, **kwargs):
+    kwargs.setdefault("iterations", ITERATIONS)
+    kwargs.setdefault("seed", SEED)
+    kwargs.setdefault("restarts", 2)
+    return compare_strategies(benchmarks, engine=engine, **kwargs)
+
+
+def comparable(report):
+    """The report's JSON form with wall-clock noise stripped."""
+    data = report.to_jsonable()
+    for row in data["rows"]:
+        row.pop("seconds")
+    return data
+
+
+class TestCompareStrategies:
+    def test_covers_every_strategy_and_benchmark(self, benchmarks):
+        report = run_compare(benchmarks)
+        pairs = {(r.strategy, r.benchmark) for r in report.rows}
+        assert pairs == {
+            (s, b.name) for s in DEFAULT_STRATEGIES for b in benchmarks
+        }
+        assert sorted(report.ranking) == sorted(DEFAULT_STRATEGIES)
+
+    def test_run_to_run_deterministic(self, benchmarks):
+        assert comparable(run_compare(benchmarks)) == comparable(
+            run_compare(benchmarks)
+        )
+
+    def test_jobs_agree_exactly(self, benchmarks):
+        serial = EvaluationEngine(jobs=1)
+        parallel = EvaluationEngine(jobs=4)
+        try:
+            assert comparable(run_compare(benchmarks, engine=serial)) == comparable(
+                run_compare(benchmarks, engine=parallel)
+            )
+        finally:
+            serial.close()
+            parallel.close()
+
+    def test_budget_applies_to_every_strategy(self, benchmarks):
+        report = run_compare(
+            benchmarks[:1], budget=SearchBudget(max_evaluations=15)
+        )
+        for row in report.rows:
+            assert row.stop_reason == "max_evaluations"
+            if row.strategy == "multistart":  # budget is per restart
+                assert row.evaluations <= 15 * 2
+            else:
+                assert row.evaluations <= 15
+
+    def test_multistart_charged_for_all_restarts(self, benchmarks):
+        report = run_compare(benchmarks[:1], strategies=["anneal", "multistart"])
+        by_name = {r.strategy: r for r in report.rows}
+        assert (
+            by_name["multistart"].evaluations > by_name["anneal"].evaluations
+        )
+
+    def test_render_and_json(self, benchmarks):
+        report = run_compare(benchmarks[:1], strategies=["anneal", "hillclimb"])
+        text = report.render()
+        assert "ranking" in text and "anneal" in text and "hillclimb" in text
+        parsed = json.loads(json.dumps(report.to_jsonable()))
+        assert parsed["seed"] == SEED
+        assert len(parsed["rows"]) == 2
+
+    def test_unknown_strategy_rejected(self, benchmarks):
+        with pytest.raises(ExplorationError):
+            run_compare(benchmarks[:1], strategies=["anneal", "nope"])
+
+    def test_needs_workloads(self):
+        with pytest.raises(ExplorationError):
+            compare_strategies([])

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.engine import CheckpointManager
 from repro.explore import ClockSweep, XpScalar
 from repro.workloads import spec2000_profile
 
@@ -51,3 +52,76 @@ class TestClockSweep:
         assert (
             slow.config.l2.capacity_bytes >= fast.config.l2.capacity_bytes
         )
+
+    def test_strategy_selectable_by_name(self, xp):
+        sweep = ClockSweep(xp, iterations=80, strategy="hillclimb")
+        points = sweep.run(spec2000_profile("gzip"), [0.25, 0.45], seed=5)
+        assert all(p.score > 0 for p in points)
+        assert all(p.search is not None and p.search.rollbacks == 0 for p in points)
+
+    def test_default_strategy_bit_identical_to_explicit_anneal(self, xp):
+        clocks = [0.22, 0.40]
+        default = ClockSweep(xp, iterations=120).run(
+            spec2000_profile("gzip"), clocks, seed=6
+        )
+        explicit = ClockSweep(xp, iterations=120, strategy="anneal").run(
+            spec2000_profile("gzip"), clocks, seed=6
+        )
+        assert default == explicit
+
+
+class TestSweepResume:
+    CLOCKS = [0.22, 0.34, 0.46]
+
+    def run_once(self, tmp_path, resume):
+        xp = XpScalar()  # fresh engine + cache each call
+        sweep = ClockSweep(xp, iterations=120)
+        checkpoint = CheckpointManager(tmp_path / "sweep-checkpoint.json")
+        points = sweep.run(
+            spec2000_profile("gzip"),
+            self.CLOCKS,
+            seed=3,
+            checkpoint=checkpoint,
+            resume=resume,
+        )
+        return sweep, xp, points
+
+    def test_full_resume_skips_every_point(self, tmp_path):
+        _, _, first = self.run_once(tmp_path, resume=False)
+        _, xp2, resumed = self.run_once(tmp_path, resume=True)
+        assert resumed == first
+        # Every point was restored from the checkpoint: the second run
+        # never invoked the simulator at all.
+        assert xp2.engine.metrics.evaluations == 0
+
+    def test_partial_resume_recomputes_only_missing_points(self, tmp_path):
+        sweep, _, first = self.run_once(tmp_path, resume=False)
+        # Drop one finished point from the saved state, as if the run
+        # had been interrupted mid-sweep.
+        checkpoint = CheckpointManager(tmp_path / "sweep-checkpoint.json")
+        signature = sweep.run_signature(spec2000_profile("gzip"), self.CLOCKS, seed=3)
+        state = checkpoint.load(signature)
+        assert state is not None and len(state["points"]) == len(self.CLOCKS)
+        del state["points"]["1"]
+        checkpoint.save(signature, state)
+
+        _, xp2, resumed = self.run_once(tmp_path, resume=True)
+        assert resumed == first
+        # Only the dropped grid point was re-searched (the cache can
+        # only shave repeat configurations off its algorithmic count).
+        assert 0 < xp2.engine.metrics.evaluations <= first[1].search.evaluations
+
+    def test_changed_grid_starts_fresh(self, tmp_path):
+        self.run_once(tmp_path, resume=False)
+        xp = XpScalar()
+        sweep = ClockSweep(xp, iterations=120)
+        checkpoint = CheckpointManager(tmp_path / "sweep-checkpoint.json")
+        sweep.run(
+            spec2000_profile("gzip"),
+            [0.25, 0.45],
+            seed=3,
+            checkpoint=checkpoint,
+            resume=True,
+        )
+        # Different signature: nothing restored, everything searched.
+        assert xp.engine.metrics.evaluations > 0
