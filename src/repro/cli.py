@@ -11,6 +11,9 @@ Examples::
     python -m repro sweep gzip --clocks 0.18 0.30 0.42
     python -m repro search-compare gzip mcf --iterations 400 --max-evals 500
     python -m repro validate
+    python -m repro pipeline --run-dir runs/full           # durable run
+    python -m repro resume runs/full                       # after a kill
+    python -m repro runs list && python -m repro runs verify runs/full
 
 Every exploration-running command accepts the engine flags: ``--jobs N``
 (worker processes), ``--cache-dir DIR`` (persistent result cache +
@@ -22,19 +25,38 @@ time and resilience counters when done), plus the resilience knobs:
 and the chaos-testing hook ``--inject-faults SPEC`` (also honoured from
 the ``REPRO_INJECT_FAULTS`` environment variable), e.g.
 ``--inject-faults 'seed=7,crash=0.05,hang=0.02'``.
+
+``--run-dir DIR`` upgrades any of those commands to a *supervised run*
+(see ``docs/runs.md``): DIR gets a versioned manifest, an exclusive
+lock, the cache/checkpoints (under ``DIR/state``), and the produced
+artifacts; SIGINT/SIGTERM interrupt it cleanly (exit ``128+signum``)
+and ``repro resume DIR`` continues it with the original arguments.
 """
 
 from __future__ import annotations
 
 import argparse
 import os
+import pathlib
 import sys
 from typing import Sequence
 
 from .communal import surrogate_merits
-from .engine import CheckpointManager, EvaluationEngine, FaultPlan, RetryPolicy
+from .engine import (
+    CheckpointManager,
+    EvaluationEngine,
+    FaultPlan,
+    RetryPolicy,
+    RunDirectory,
+    RunInterrupted,
+    ShutdownCoordinator,
+    digest,
+    list_runs,
+)
+from .errors import RunError
 from .experiments import (
     build_engine,
+    write_artifact,
     figure1,
     figure2_scenarios,
     figure4,
@@ -82,6 +104,13 @@ def _engine_options() -> argparse.ArgumentParser:
     group.add_argument(
         "--resume", action="store_true",
         help="resume an interrupted exploration from --cache-dir's checkpoint",
+    )
+    group.add_argument(
+        "--run-dir", default=None, metavar="DIR",
+        help="supervise this invocation as a durable run under DIR: "
+             "manifest + lock + checkpoints + artifacts, clean "
+             "SIGINT/SIGTERM shutdown, `repro resume DIR` to continue "
+             "(see docs/runs.md)",
     )
     group.add_argument(
         "--stats", action="store_true",
@@ -234,18 +263,64 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iterations", type=int, default=2500)
     p.add_argument("--seed", type=int, default=2008)
 
+    p = sub.add_parser(
+        "pipeline", parents=[engine_opts, search_opts],
+        help="run the full pipeline as a durable, resumable run "
+             "(exploration + cross matrix + report artifacts)",
+    )
+    p.add_argument("--iterations", type=int, default=2500)
+    p.add_argument("--seed", type=int, default=2008)
+    p.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="artifact directory (default: <run-dir>/artifacts)",
+    )
+
+    p = sub.add_parser(
+        "resume",
+        help="continue an interrupted supervised run with its original "
+             "arguments",
+    )
+    p.add_argument("run_dir", metavar="RUN_DIR")
+
+    p = sub.add_parser("runs", help="inspect supervised run directories")
+    runs_sub = p.add_subparsers(dest="runs_command", required=True)
+    lp = runs_sub.add_parser("list", help="list run directories under a root")
+    lp.add_argument(
+        "--root", default="runs", metavar="DIR",
+        help="directory holding run directories (default: runs)",
+    )
+    vp = runs_sub.add_parser(
+        "verify",
+        help="re-checksum a run's recorded artifacts and report corruption",
+    )
+    vp.add_argument("run_dir", metavar="RUN_DIR")
+    vp.add_argument(
+        "--quarantine", action="store_true",
+        help="move corrupt artifacts aside (<name>.corrupt) so a resume "
+             "cannot consume them",
+    )
+
     return parser
 
 
 def _build_engine(args) -> EvaluationEngine:
     policy, faults = _resilience(args)
-    return build_engine(
+    engine = build_engine(
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
         policy=policy,
         faults=faults,
     )
+    run = getattr(args, "_run", None)
+    if run is not None:
+        # Route durability events (storage_degraded, lock_takeover,
+        # quarantine) through the engine bus and mirror engine phases
+        # and checkpoint heartbeats into the run manifest.
+        run.events = engine.events
+        run.lock.events = engine.events
+        run.attach_engine(engine.events)
+    return engine
 
 
 def _finish(args, engine: EvaluationEngine | None) -> int:
@@ -258,20 +333,71 @@ def _finish(args, engine: EvaluationEngine | None) -> int:
 
 
 def _pipeline(args):
-    policy, faults = _resilience(args)
-    return run_pipeline(
-        iterations=args.iterations,
-        seed=args.seed,
-        jobs=args.jobs,
-        cache_dir=args.cache_dir,
-        use_cache=not args.no_cache,
-        resume=args.resume,
-        policy=policy,
-        faults=faults,
+    explorer = XpScalar(
+        schedule=AnnealingSchedule(iterations=args.iterations),
+        engine=_build_engine(args),
         strategy=getattr(args, "strategy", "anneal"),
         budget=_search_budget(args),
         restarts=getattr(args, "restarts", 4),
     )
+    return run_pipeline(
+        explorer=explorer,
+        seed=args.seed,
+        cache_dir=args.cache_dir,
+        resume=args.resume,
+    )
+
+
+def _persist_run_artifact(args, name: str, text: str) -> None:
+    """Under ``--run-dir``, persist a rendered result as a run artifact."""
+    run = getattr(args, "_run", None)
+    if run is None:
+        return
+    path = run.artifact_dir / name
+    write_artifact(path, text)
+    run.record_artifact(path)
+
+
+def _strip_resume(argv: Sequence[str]) -> list[str]:
+    """The invocation minus ``--resume``: resuming is implied by run state."""
+    return [token for token in argv if token != "--resume"]
+
+
+def _orchestrated(args, fn) -> int:
+    """Run ``fn(args)`` as a supervised run inside ``args.run_dir``.
+
+    A fresh directory is initialized with a manifest recording the
+    invocation; an existing one is resumed — provided it was created by
+    the same command line (minus ``--resume``), so a resumed run cannot
+    silently compute something different from what the manifest claims.
+    """
+    path = pathlib.Path(args.run_dir)
+    argv = _strip_resume(getattr(args, "_argv", []))
+    if (path / "manifest.json").exists():
+        run = RunDirectory.open(path)
+        if run.manifest.command != args.command or run.manifest.args_digest != digest(argv):
+            raise RunError(
+                f"{path} holds a different run "
+                f"({' '.join(run.manifest.argv)!r}); refusing to resume it "
+                f"with {' '.join(argv)!r} — use a fresh --run-dir"
+            )
+        args.resume = True
+        print(f"resuming run {run.manifest.run_id} in {path}")
+    else:
+        run = RunDirectory.create(path, args.command, argv)
+    if args.cache_dir is None:
+        args.cache_dir = str(run.state_dir)
+    args._run = run
+    coordinator = ShutdownCoordinator()
+    try:
+        with run.supervise(coordinator):
+            return fn(args)
+    except RunInterrupted:
+        print(
+            f"interrupted; the run is resumable:\n  repro resume {path}",
+            file=sys.stderr,
+        )
+        raise
 
 
 def cmd_customize(args) -> int:
@@ -289,20 +415,22 @@ def cmd_customize(args) -> int:
     else:
         checkpoint = None
         if args.cache_dir is not None:
-            import pathlib
-
             checkpoint = CheckpointManager(
                 pathlib.Path(args.cache_dir) / "checkpoint.json"
             )
         results = xp.customize_all(
             profiles, seed=args.seed, checkpoint=checkpoint, resume=args.resume
         )
+    lines = []
     for name in args.benchmark:
         result = results[name]
         evaluations = result.annealing.evaluations if result.annealing else 0
         seeded = f" (adopted from {result.cross_seeded_from})" if result.cross_seeded_from else ""
-        print(f"{name}: IPT {result.score:.2f} ({evaluations} evaluations){seeded}")
-        print(result.config.describe())
+        lines.append(f"{name}: IPT {result.score:.2f} ({evaluations} evaluations){seeded}")
+        lines.append(result.config.describe())
+    text = "\n".join(lines)
+    print(text)
+    _persist_run_artifact(args, "customize.txt", text)
     return _finish(args, engine)
 
 
@@ -395,8 +523,6 @@ def cmd_figure(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    import pathlib
-
     engine = _build_engine(args)
     xp = XpScalar(engine=engine)
     sweep = ClockSweep(
@@ -425,8 +551,10 @@ def cmd_sweep(args) -> int:
          f"{p.config.l2.capacity_bytes // 1024}K"]
         for p in points
     ]
-    print(render_table(["clock", "IPT", "W", "ROB", "IQ", "L1", "L2"], rows,
-                       title=f"clock sweep: {args.benchmark}"))
+    text = render_table(["clock", "IPT", "W", "ROB", "IQ", "L1", "L2"], rows,
+                        title=f"clock sweep: {args.benchmark}")
+    print(text)
+    _persist_run_artifact(args, "sweep.txt", text)
     return _finish(args, engine)
 
 
@@ -442,13 +570,15 @@ def cmd_search_compare(args) -> int:
         engine=engine,
         restarts=args.restarts,
     )
-    print(report.render())
+    text = report.render()
+    print(text)
+    _persist_run_artifact(args, "search-compare.txt", text)
     if args.out is not None:
-        import json
-        import pathlib
-
         out = pathlib.Path(args.out)
-        out.write_text(json.dumps(report.to_jsonable(), indent=2) + "\n")
+        report.write_json(out)
+        run = getattr(args, "_run", None)
+        if run is not None:
+            run.record_artifact(out)
         print(f"wrote {out}")
     return _finish(args, engine)
 
@@ -464,16 +594,11 @@ def cmd_validate(args) -> int:
     return 0
 
 
-def cmd_report(args) -> int:
-    import pathlib
-
+def _report_artifacts(pipe) -> dict[str, str]:
+    """Every report rendering, keyed by artifact stem."""
     from .experiments import appendix_a_matrix, render_heatmap
 
-    out = pathlib.Path(args.out)
-    out.mkdir(parents=True, exist_ok=True)
-    pipe = _pipeline(args)
     cross = pipe.cross
-
     headers, rows = table4_rows(pipe.characteristics, list(cross.names))
     artifacts = {
         "table4_customization": render_table(
@@ -509,10 +634,88 @@ def cmd_report(args) -> int:
         f"({', '.join(s.complete_search_configs)}) | "
         f"surrogates {s.surrogate_harmonic:.2f} ({', '.join(s.surrogate_configs)})"
     )
-    for name, text in artifacts.items():
-        (out / f"{name}.txt").write_text(text + "\n")
-        print(f"wrote {out / (name + '.txt')}")
+    return artifacts
+
+
+def _write_report(args, pipe, out: pathlib.Path) -> None:
+    """Atomically persist every report artifact into ``out``."""
+    out.mkdir(parents=True, exist_ok=True)
+    run = getattr(args, "_run", None)
+    for name, text in _report_artifacts(pipe).items():
+        path = out / f"{name}.txt"
+        write_artifact(path, text)
+        if run is not None:
+            run.record_artifact(path, save=False)
+        print(f"wrote {path}")
+    if run is not None:
+        run.save_manifest()
+
+
+def cmd_report(args) -> int:
+    pipe = _pipeline(args)
+    _write_report(args, pipe, pathlib.Path(args.out))
     return _finish(args, pipe.engine)
+
+
+def cmd_pipeline(args) -> int:
+    """The full pipeline as a durable run: explore, cross-evaluate, report."""
+    pipe = _pipeline(args)
+    run = getattr(args, "_run", None)
+    if args.out is not None:
+        out = pathlib.Path(args.out)
+    elif run is not None:
+        out = run.artifact_dir
+    else:
+        out = pathlib.Path("results")
+    _write_report(args, pipe, out)
+    names = list(pipe.cross.names)
+    print(f"pipeline complete: {len(names)} workloads, "
+          f"{len(names) ** 2} cross-configuration cells")
+    return _finish(args, pipe.engine)
+
+
+def cmd_resume(args) -> int:
+    """Re-dispatch an interrupted run with its recorded arguments."""
+    run = RunDirectory.open(args.run_dir)
+    manifest = run.manifest
+    if manifest.status == "completed":
+        print(f"{manifest.run_id}: already completed (exit {manifest.exit_code})")
+        return 0
+    resumed = build_parser().parse_args(list(manifest.argv))
+    resumed._argv = list(manifest.argv)
+    if getattr(resumed, "run_dir", None) is None:
+        resumed.run_dir = str(args.run_dir)
+    return _dispatch(resumed)
+
+
+def cmd_runs(args) -> int:
+    if args.runs_command == "verify":
+        run = RunDirectory.open(args.run_dir)
+        report = run.verify(quarantine=args.quarantine)
+        print(report.render())
+        return 0 if report.clean else 1
+    rows = []
+    for path, manifest in list_runs(args.root):
+        if manifest is None:
+            rows.append([str(path), "?", "UNREADABLE", "-", "-", "-"])
+            continue
+        done = sum(1 for p in manifest.phases if p.get("status") == "done")
+        rows.append([
+            str(path),
+            manifest.run_id,
+            manifest.status,
+            f"{done}/{len(manifest.phases)}",
+            len(manifest.artifacts),
+            f"{manifest.wall_seconds:.1f}s",
+        ])
+    if not rows:
+        print(f"no runs under {args.root}")
+        return 0
+    print(render_table(
+        ["directory", "run", "status", "phases", "artifacts", "wall"], rows,
+        title=f"runs under {args.root}",
+    ))
+    return 0
 
 
 _COMMANDS = {
@@ -523,13 +726,35 @@ _COMMANDS = {
     "search-compare": cmd_search_compare,
     "validate": cmd_validate,
     "report": cmd_report,
+    "pipeline": cmd_pipeline,
+    "resume": cmd_resume,
+    "runs": cmd_runs,
 }
 
 
+def _dispatch(args) -> int:
+    """Route a parsed invocation, orchestrating when a run dir is in play.
+
+    ``pipeline`` is always supervised (defaulting to ``runs/pipeline``);
+    other commands opt in with ``--run-dir``.
+    """
+    fn = _COMMANDS[args.command]
+    if args.command == "pipeline" and args.run_dir is None:
+        args.run_dir = os.path.join("runs", "pipeline")
+    if getattr(args, "run_dir", None) and args.command not in ("resume", "runs"):
+        return _orchestrated(args, fn)
+    return fn(args)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    raw = list(argv) if argv is not None else sys.argv[1:]
+    args = build_parser().parse_args(raw)
+    args._argv = raw
     try:
-        return _COMMANDS[args.command](args)
+        return _dispatch(args)
+    except RunInterrupted as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return exc.exit_code
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -13,15 +13,38 @@ for: all code that needs simulation results routes through one
 * progress/metrics hooks (:mod:`repro.engine.events`);
 * retry/timeout/backoff resilience and integrity checking
   (:mod:`repro.engine.resilience`) with a deterministic fault-injection
-  harness for testing it (:mod:`repro.engine.faults`).
+  harness for testing it (:mod:`repro.engine.faults`);
+* durable run orchestration (:mod:`repro.engine.runs`): run directories
+  with versioned manifests, exclusive locks with stale-lock takeover,
+  cooperative SIGINT/SIGTERM shutdown and artifact integrity
+  verification, on top of the atomic write-rename primitives of
+  :mod:`repro.engine.io_atomic`.
 
 See ``docs/engine.md`` for the key scheme, checkpoint format and
-parallelism model, and ``docs/resilience.md`` for the failure model.
+parallelism model, ``docs/resilience.md`` for the failure model, and
+``docs/runs.md`` for run directories and resume semantics.
 """
 
 from .cache import CacheStats, ResultCache
 from .checkpoint import CheckpointManager
 from .events import EngineMetrics, EventBus
+from .io_atomic import (
+    file_sha256,
+    is_storage_error,
+    read_json,
+    write_json_atomic,
+    write_text_atomic,
+)
+from .runs import (
+    RunDirectory,
+    RunInterrupted,
+    RunLock,
+    RunManifest,
+    ShutdownCoordinator,
+    VerifyReport,
+    interrupt_exit_code,
+    list_runs,
+)
 from .faults import (
     CRASH,
     HANG,
@@ -56,6 +79,19 @@ __all__ = [
     "CheckpointManager",
     "EngineMetrics",
     "EventBus",
+    "file_sha256",
+    "is_storage_error",
+    "read_json",
+    "write_json_atomic",
+    "write_text_atomic",
+    "RunDirectory",
+    "RunInterrupted",
+    "RunLock",
+    "RunManifest",
+    "ShutdownCoordinator",
+    "VerifyReport",
+    "interrupt_exit_code",
+    "list_runs",
     "CRASH",
     "HANG",
     "WRONG_RESULT",

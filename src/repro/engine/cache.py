@@ -28,6 +28,12 @@ owner's ``on_quarantine`` hook — and treated as a miss, so the entry is
 simply re-simulated.  A database file corrupt beyond SQLite's tolerance
 is moved aside (``<file>.corrupt``) and the cache continues memory-only.
 A bad cache can cost time; it can never crash a run or alter a result.
+
+Unavailable storage is not corruption: a write failing with "disk is
+full" or on a read-only filesystem *degrades* the cache — the intact
+database file is left in place, the connection is closed, the
+``on_degrade`` hook is notified, and the cache continues memory-only.
+The next run (with space again) picks the file back up.
 """
 
 from __future__ import annotations
@@ -67,6 +73,7 @@ class CacheStats:
     disk_hits: int = 0
     evictions: int = 0
     quarantined: int = 0
+    degradations: int = 0
 
     @property
     def lookups(self) -> int:
@@ -107,6 +114,10 @@ class ResultCache:
         #: corrupt disk state is isolated (the engine wires this to its
         #: event bus).  ``"*"`` means the whole database file.
         self.on_quarantine: Callable[[str, str], None] | None = None
+        #: Called as ``on_degrade(reason)`` when the disk tier is dropped
+        #: because storage became unavailable (disk full, read-only fs);
+        #: the database file itself is left intact.
+        self.on_degrade: Callable[[str], None] | None = None
         if self.path is not None:
             self.path = Path(self.path)
             self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -191,7 +202,7 @@ class ResultCache:
                     (key, value, _checksum(value)),
                 )
             except sqlite3.DatabaseError as exc:
-                self._quarantine_database(f"database error on write ({exc})")
+                self._dispose_disk_tier(exc, "write")
                 return
             self._pending += 1
             if self._pending >= _FLUSH_EVERY:
@@ -200,6 +211,37 @@ class ResultCache:
     # ------------------------------------------------------------------
     # integrity
     # ------------------------------------------------------------------
+
+    #: ``sqlite3`` error-message fragments that mean "storage unavailable",
+    #: not "database corrupt" — these must never quarantine a healthy file.
+    _STORAGE_MESSAGES = (
+        "disk is full",
+        "readonly database",
+        "read-only",
+        "disk i/o error",
+        "unable to open database",
+    )
+
+    def _dispose_disk_tier(self, exc: sqlite3.DatabaseError, action: str) -> None:
+        """A failed disk write: degrade on sick storage, quarantine corruption."""
+        message = str(exc).lower()
+        if any(fragment in message for fragment in self._STORAGE_MESSAGES):
+            self._degrade(f"database {action} failed ({exc})")
+        else:
+            self._quarantine_database(f"database error on {action} ({exc})")
+
+    def _degrade(self, reason: str) -> None:
+        """Drop the disk tier but keep its (intact) file; go memory-only."""
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+            self._conn = None
+        self._pending = 0
+        self.stats.degradations += 1
+        if self.on_degrade is not None:
+            self.on_degrade(reason)
 
     def _report_quarantine(self, what: str, reason: str) -> None:
         self.stats.quarantined += 1
@@ -240,7 +282,7 @@ class ResultCache:
             try:
                 self._conn.commit()
             except sqlite3.DatabaseError as exc:
-                self._quarantine_database(f"database error on commit ({exc})")
+                self._dispose_disk_tier(exc, "commit")
                 return
             self._pending = 0
 
@@ -297,3 +339,4 @@ class ResultCache:
         self._conn = None
         self._pending = 0
         self.on_quarantine = None
+        self.on_degrade = None

@@ -9,7 +9,7 @@ resume mid-flight instead of starting over.
 Format (one JSON object per file)::
 
     {
-      "format": 1,              # file-format version
+      "version": 2,             # checkpoint schema version
       "signature": "<sha256>",  # content hash of the run's inputs
       "checksum": "<sha256>",   # integrity hash of the state payload
       "state": { ... }          # caller-defined progress payload
@@ -22,32 +22,47 @@ state only when the signature matches — a checkpoint from a different
 run, an edited config, or an upgraded model is silently ignored rather
 than resumed into inconsistency.
 
+``version`` is the schema version of the file itself.  A file written by
+a different schema (or a foreign JSON file that never was a checkpoint)
+is never resumed; when the caller *explicitly* asked to resume
+(``strict=True``), the mismatch raises a clear
+:class:`~repro.errors.ResumeError` instead of silently starting fresh —
+an unattended resume should fail loudly, not quietly discard weeks of
+progress.  (Schema-1 files spelled the field ``format``; they are
+recognized as version 1 and refused the same way.)
+
 ``checksum`` guards against *damage* rather than mismatch: it is the
 SHA-256 of the state payload, recomputed on load.  A truncated, edited
 or bit-rotted checkpoint — one that no longer parses, or parses but
 fails its checksum — is **quarantined**: the file is moved aside as
 ``<name>.corrupt``, a ``quarantine`` event is emitted on the attached
-bus, and the run starts fresh.  (Checkpoints written before checksums
-existed lack the field and are accepted as legacy.)
+bus, and the run starts fresh (even under ``strict``: torn state is
+recoverable by recomputation, so it is never fatal).
 
-Writes are atomic (temp file + ``os.replace``), so a crash mid-save
-leaves the previous checkpoint intact.
+Writes are atomic and durable (write-temp + fsync + ``os.replace``, see
+:mod:`repro.engine.io_atomic`), so a crash mid-save leaves the previous
+checkpoint intact.  A save that fails because storage is unavailable
+(disk full, read-only filesystem) *degrades*: a ``storage_degraded``
+event is emitted, further saves are skipped, and the run keeps computing
+— a full disk costs resumability, never results.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-import os
 from pathlib import Path
 from typing import Any
 
-from ..errors import EngineError
+from ..errors import ResumeError
 from .events import EventBus
+from .io_atomic import dump_json, is_storage_error, write_text_atomic
 from .resilience import quarantine_file
 
 #: Bump when the checkpoint file layout changes incompatibly.
-FORMAT_VERSION = 1
+#: (v1 used a ``format`` key and no durability guarantees; v2 renamed it
+#: to ``version`` when checkpoints joined the run-orchestration layer.)
+SCHEMA_VERSION = 2
 
 
 def _state_checksum(state_json: str) -> str:
@@ -63,46 +78,70 @@ class CheckpointManager:
         The checkpoint file.  Parent directories are created on save.
     events:
         Optional :class:`~repro.engine.events.EventBus` that quarantine
-        notifications are emitted on; drivers usually attach their
-        engine's bus so ``--stats`` counts checkpoint corruption.
+        and storage-degradation notifications are emitted on; drivers
+        usually attach their engine's bus so ``--stats`` counts them.
     """
 
     def __init__(self, path: str | Path, events: EventBus | None = None) -> None:
         self.path = Path(path)
         self.events = events
+        self._degraded = False
 
     @property
     def exists(self) -> bool:
         return self.path.exists()
 
+    @property
+    def degraded(self) -> bool:
+        """True once a save failed on unavailable storage (saves stop)."""
+        return self._degraded
+
     def save(self, signature: str, state: dict[str, Any]) -> None:
-        """Atomically persist ``state`` under the run ``signature``."""
-        try:
-            state_json = json.dumps(state, separators=(",", ":"))
-        except (TypeError, ValueError) as exc:
-            raise EngineError(f"checkpoint state is not JSON-serializable: {exc}") from exc
-        payload = json.dumps(
+        """Atomically persist ``state`` under the run ``signature``.
+
+        On a full or read-only filesystem the save is skipped (after a
+        one-time ``storage_degraded`` event): the exploration's results
+        do not depend on the checkpoint, so the run continues without
+        persistence rather than dying on ENOSPC.
+        """
+        if self._degraded:
+            return
+        state_json = dump_json(state)
+        payload = dump_json(
             {
-                "format": FORMAT_VERSION,
+                "version": SCHEMA_VERSION,
                 "signature": signature,
                 "checksum": _state_checksum(state_json),
                 "state": state,
-            },
-            separators=(",", ":"),
+            }
         )
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
-        tmp.write_text(payload)
-        os.replace(tmp, self.path)
+        try:
+            write_text_atomic(self.path, payload)
+        except OSError as exc:
+            if not is_storage_error(exc):
+                raise
+            self._degraded = True
+            if self.events is not None:
+                self.events.emit(
+                    "storage_degraded",
+                    tier="checkpoint",
+                    path=str(self.path),
+                    reason=f"checkpoint save failed ({exc}); continuing without persistence",
+                )
 
-    def load(self, signature: str) -> dict[str, Any] | None:
+    def load(self, signature: str, strict: bool = False) -> dict[str, Any] | None:
         """The stored state for this exact run, else ``None``.
 
-        Missing files, format mismatches and signature mismatches return
-        ``None`` (start fresh).  *Corrupt* files — unparseable JSON, a
-        failing state checksum — additionally quarantine the file so the
-        damage cannot be re-read forever: a bad checkpoint means "start
-        fresh", never "crash the run it was meant to save".
+        Missing files and signature mismatches return ``None`` (start
+        fresh).  *Corrupt* files — unparseable JSON, a failing state
+        checksum — additionally quarantine the file so the damage cannot
+        be re-read forever: a bad checkpoint means "start fresh", never
+        "crash the run it was meant to save".
+
+        ``strict`` marks an *explicit* resume request: a file written by
+        an older or foreign schema then raises
+        :class:`~repro.errors.ResumeError` with a clear message instead
+        of silently discarding the stored progress.
         """
         try:
             raw = self.path.read_text()
@@ -118,7 +157,15 @@ class CheckpointManager:
         if not isinstance(payload, dict):
             self._quarantine(f"checkpoint is not an object ({type(payload).__name__})")
             return None
-        if payload.get("format") != FORMAT_VERSION:
+        version = payload.get("version", payload.get("format"))
+        if version != SCHEMA_VERSION:
+            if strict:
+                found = "no schema version" if version is None else f"schema version {version!r}"
+                raise ResumeError(
+                    f"cannot resume from {self.path}: file has {found}, this "
+                    f"version reads schema {SCHEMA_VERSION}; delete the "
+                    "checkpoint or rerun without resume to start fresh"
+                )
             return None
         state = payload.get("state")
         if not isinstance(state, dict):
@@ -126,7 +173,7 @@ class CheckpointManager:
             return None
         checksum = payload.get("checksum")
         if checksum is not None:  # absent on legacy (pre-checksum) files
-            state_json = json.dumps(state, separators=(",", ":"))
+            state_json = dump_json(state)
             if checksum != _state_checksum(state_json):
                 self._quarantine("checkpoint state failed its checksum")
                 return None

@@ -32,7 +32,15 @@ Event vocabulary (payload keys in parentheses):
     The worker pool died and was rebuilt (``deaths`` is cumulative).
 ``quarantine`` (``tier``, ``reason``; ``key`` or ``path``)
     Corrupt persistent state (a cache row, the cache database, a
-    checkpoint file) was isolated and the run continued without it.
+    checkpoint file, a run artifact) was isolated and the run continued
+    without it.
+``storage_degraded`` (``tier``, ``reason``; ``path`` when known)
+    Storage became unavailable (disk full, read-only filesystem) and a
+    persistence tier — result cache, checkpoint, run manifest — fell
+    back to memory-only operation; the run keeps computing.
+``lock_takeover`` (``path``, ``pid``, ``reason``)
+    A run directory's lock was held by a dead or stalled process and
+    was taken over.
 ``search_run`` (``strategy``, ``workload``, ``best_score``,
 ``evaluations``, ``moves``, ``accepted``, ``acceptance_rate``,
 ``plateau``, ``rollbacks``, ``stop_reason``)
@@ -110,6 +118,8 @@ class EngineMetrics:
         self.timeouts = 0
         self.pool_restarts = 0
         self.quarantines = 0
+        self.storage_degradations = 0
+        self.lock_takeovers = 0
         self.searches = 0
         self.search_evaluations = 0
         self.search_plateau_max = 0
@@ -140,6 +150,10 @@ class EngineMetrics:
             self.pool_restarts += 1
         elif event == "quarantine":
             self.quarantines += 1
+        elif event == "storage_degraded":
+            self.storage_degradations += 1
+        elif event == "lock_takeover":
+            self.lock_takeovers += 1
         elif event == "search_run":
             self.searches += 1
             self.search_evaluations += payload.get("evaluations", 0)
@@ -186,6 +200,8 @@ class EngineMetrics:
             "timeouts": self.timeouts,
             "pool_restarts": self.pool_restarts,
             "quarantines": self.quarantines,
+            "storage_degradations": self.storage_degradations,
+            "lock_takeovers": self.lock_takeovers,
             "searches": self.searches,
             "search_evaluations": self.search_evaluations,
             "search_plateau_max": self.search_plateau_max,
@@ -221,5 +237,10 @@ class EngineMetrics:
                 f"resilience: {self.retries} retries, {self.timeouts} timeouts, "
                 f"{self.pool_restarts} pool restarts, "
                 f"{self.quarantines} quarantined"
+            )
+        if self.storage_degradations or self.lock_takeovers:
+            lines.append(
+                f"durability: {self.storage_degradations} storage degradations, "
+                f"{self.lock_takeovers} lock takeovers"
             )
         return "\n".join(lines)

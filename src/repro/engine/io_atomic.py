@@ -1,0 +1,130 @@
+"""Atomic, durable file writes — the one way bytes reach disk.
+
+Every on-disk artifact this package produces (engine checkpoints, sweep
+checkpoints, run manifests, golden/report JSON, comparison tables) goes
+through :func:`write_text_atomic`: write to a temporary file in the
+*same directory*, ``fsync`` it, then ``os.replace`` onto the final name.
+A crash — power loss, OOM-kill, SIGKILL — at any instant leaves either
+the previous complete file or the new complete file, never a torn one.
+The temporary name includes the PID so two processes racing on the same
+path cannot corrupt each other's staging file.
+
+Storage failures are split into two classes:
+
+* *corruption* (bad bytes already on disk) is the reader's problem and
+  handled by quarantine (see :func:`repro.engine.resilience.quarantine_file`);
+* *unavailability* (disk full, read-only filesystem, quota) is the
+  writer's problem: :func:`is_storage_error` recognizes it so callers
+  can degrade gracefully — warn, keep state in memory, keep computing —
+  instead of aborting an hours-long run over a full ``/tmp``.
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from ..errors import EngineError
+
+#: ``errno`` values that mean "the storage is unavailable", not "the
+#: caller did something wrong": full disk, quota, read-only filesystem.
+STORAGE_ERRNOS = frozenset(
+    {errno.ENOSPC, errno.EROFS, errno.EDQUOT, errno.EACCES, errno.EPERM}
+)
+
+
+def is_storage_error(exc: BaseException) -> bool:
+    """True when ``exc`` is an OSError meaning storage is unavailable."""
+    return isinstance(exc, OSError) and exc.errno in STORAGE_ERRNOS
+
+
+def write_text_atomic(path: str | Path, text: str, fsync: bool = True) -> Path:
+    """Atomically write ``text`` to ``path`` (write-temp + fsync + rename).
+
+    Parent directories are created on demand.  On any failure the
+    staging file is removed, so a full disk never litters ``*.tmp``
+    files next to good artifacts.  With ``fsync`` (the default) the data
+    is flushed to the device before the rename and the directory entry
+    is flushed after it — the file survives power loss, not just a
+    process crash.  Returns ``path`` as a :class:`~pathlib.Path`.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            if fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    if fsync:
+        _fsync_dir(path.parent)
+    return path
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Flush a directory entry (best effort — not all platforms allow it)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def dump_json(obj: Any, indent: int | None = None, sort_keys: bool = False) -> str:
+    """Serialize ``obj`` as JSON text, raising :class:`EngineError` when
+    the payload is not JSON-serializable (a clear message, not a
+    ``TypeError`` traceback from deep inside a save path)."""
+    try:
+        text = json.dumps(obj, indent=indent, sort_keys=sort_keys,
+                          separators=(",", ":") if indent is None else None)
+    except (TypeError, ValueError) as exc:
+        raise EngineError(f"payload is not JSON-serializable: {exc}") from exc
+    return text + ("\n" if indent is not None else "")
+
+
+def write_json_atomic(
+    path: str | Path,
+    obj: Any,
+    indent: int | None = None,
+    sort_keys: bool = False,
+    fsync: bool = True,
+) -> str:
+    """Atomically write ``obj`` as JSON; returns the serialized text.
+
+    The returned text is exactly what landed on disk, so callers can
+    checksum it without re-reading the file.
+    """
+    text = dump_json(obj, indent=indent, sort_keys=sort_keys)
+    write_text_atomic(path, text, fsync=fsync)
+    return text
+
+
+def read_json(path: str | Path) -> Any:
+    """Parse a JSON file (plain read; callers decide how to treat damage)."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def file_sha256(path: str | Path) -> str:
+    """Streaming SHA-256 of a file's bytes (hex digest)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 16), b""):
+            digest.update(block)
+    return digest.hexdigest()

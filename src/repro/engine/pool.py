@@ -43,7 +43,8 @@ import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeout
-from typing import Any, Callable, Iterable, Sequence, TypeVar
+from contextlib import contextmanager
+from typing import Any, Callable, Iterable, Iterator, Sequence, TypeVar
 
 from ..errors import EngineError
 from ..sim.interval import IntervalSimulator
@@ -199,6 +200,7 @@ class EvaluationEngine:
         self.metrics = EngineMetrics(self.events)
         if self.cache is not None:
             self.cache.on_quarantine = self._on_cache_quarantine
+            self.cache.on_degrade = self._on_cache_degrade
         self._simulator_id = simulator_id(self.simulator)
         self._context_digest = "" if context is None else digest(context)
         self._context_bound = context is not None
@@ -275,6 +277,10 @@ class EvaluationEngine:
         pairs = list(pairs)
         if not pairs:
             return []
+        with self._interrupt_guard():
+            return self._evaluate_many(pairs)
+
+    def _evaluate_many(self, pairs: Sequence[Pair]) -> list[SimResult]:
         if self.cache is None:
             results = self._simulate(pairs)
             self.events.emit("evaluation", count=len(pairs))
@@ -322,7 +328,10 @@ class EvaluationEngine:
         items = list(items)
         if self.workers == 1 or len(items) < 2 or not self._picklable(fn, items):
             return [fn(item) for item in items]
+        with self._interrupt_guard():
+            return self._map_pooled(fn, items)
 
+    def _map_pooled(self, fn: Callable[[T], U], items: list[T]) -> list[U]:
         n = len(items)
         results: dict[int, U] = {}
         attempts = [0] * n
@@ -354,6 +363,24 @@ class EvaluationEngine:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+
+    @contextmanager
+    def _interrupt_guard(self) -> Iterator[None]:
+        """Never leak worker processes to an interrupt.
+
+        A ``KeyboardInterrupt``/``SIGTERM`` (or any other non-``Exception``
+        escape: ``SystemExit``, a run-orchestration interrupt) landing
+        mid-batch used to unwind past ``close()``, leaving worker
+        children alive and buffered cache writes unflushed.  Ordinary
+        :class:`Exception` propagation is untouched — the engine stays
+        usable after an evaluation error.
+        """
+        try:
+            yield
+        except BaseException as exc:
+            if not isinstance(exc, Exception):
+                self.terminate()
+            raise
 
     def _evaluate_serial(
         self,
@@ -694,6 +721,39 @@ class EvaluationEngine:
         if self.cache is not None:
             self.cache.flush()
 
+    def terminate(self) -> None:
+        """Forcibly stop the pool *now*: kill children, flush the cache.
+
+        The interrupt/shutdown path.  Where :meth:`close` shuts down
+        politely, ``terminate`` cancels queued work, SIGTERMs the worker
+        processes (a cancelled future does not stop a task already
+        running), and flushes buffered cache writes so completed work
+        survives the exit.  Idempotent and never raises; the engine
+        remains usable (a later batch would build a fresh pool).
+        """
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            # Grab the children before shutdown forgets them.  The
+            # process table is a private attribute, so guard against
+            # future stdlib changes — leaking on an unknown Python is
+            # acceptable, crashing the shutdown path is not.
+            table = getattr(executor, "_processes", None)
+            processes = list(table.values()) if isinstance(table, dict) else []
+            try:
+                executor.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+            for process in processes:
+                try:
+                    process.terminate()
+                except Exception:
+                    pass
+        if self.cache is not None:
+            try:
+                self.cache.flush()
+            except Exception:
+                pass
+
     def __enter__(self) -> "EvaluationEngine":
         return self
 
@@ -733,3 +793,6 @@ class EvaluationEngine:
 
     def _on_cache_quarantine(self, key: str, reason: str) -> None:
         self.events.emit("quarantine", tier="cache", key=key, reason=reason)
+
+    def _on_cache_degrade(self, reason: str) -> None:
+        self.events.emit("storage_degraded", tier="cache", reason=reason)

@@ -1,0 +1,753 @@
+"""Run orchestration: crash-safe, resumable, supervised units of work.
+
+The paper's headline experiments — per-benchmark customization, the
+11×11 cross-configuration matrix, exhaustive combination search — are
+hours-long multi-phase jobs.  :mod:`repro.engine.checkpoint` makes the
+*task* state survive crashes; this module makes the *run* itself a
+durable unit: every long-running command executes inside a **run
+directory** that can always be killed and resumed without losing or
+corrupting results.
+
+A run directory contains::
+
+    <run-dir>/
+      manifest.json   # versioned run manifest (see RunManifest)
+      lock.json       # exclusive lock: PID + host + heartbeat mtime
+      state/          # engine state: result cache, checkpoints
+      artifacts/      # final outputs (tables, report JSON)
+
+Four cooperating pieces:
+
+* :class:`RunManifest` / :class:`RunDirectory` — the versioned manifest
+  records command, argv, an args digest, code/schema versions, phase
+  progress, wall-clock and exit status; every update is an atomic
+  write-rename (:mod:`repro.engine.io_atomic`), so the manifest is
+  always parseable.  Final artifacts are registered with SHA-256
+  checksums, and :meth:`RunDirectory.verify` re-checksums them later —
+  reporting (and optionally quarantining) corruption instead of crashing
+  on it.
+* :class:`RunLock` — an exclusive lock with stale-lock detection: a
+  lock whose owning PID is dead (or whose heartbeat mtime is ancient on
+  a foreign host) is taken over, so a crashed run never wedges its
+  directory; two *live* concurrent invocations get a clear
+  :class:`~repro.errors.RunLockedError` instead of silently corrupting
+  shared state.
+* :class:`ShutdownCoordinator` — cooperative SIGINT/SIGTERM handling:
+  the first signal raises :class:`RunInterrupted` at the next safe
+  point (deferred inside :meth:`~ShutdownCoordinator.shield` critical
+  sections), letting drivers flush checkpoints and drain the worker
+  pool; a second signal aborts immediately.  The driver records
+  ``interrupted`` in the manifest and exits with ``128 + signum``
+  (130 for SIGINT, 143 for SIGTERM) so supervisors can tell "killed,
+  resumable" from "failed".
+* :func:`list_runs` / :meth:`RunDirectory.verify` back the ``repro runs
+  list|verify`` and ``repro resume`` commands (see ``docs/runs.md``).
+
+Storage failures degrade, never abort: a manifest save on a full or
+read-only filesystem emits ``storage_degraded`` and the run keeps
+computing with an in-memory manifest.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Sequence
+
+from ..errors import ResumeError, RunError, RunLockedError
+from .events import EventBus
+from .io_atomic import (
+    file_sha256,
+    is_storage_error,
+    read_json,
+    write_json_atomic,
+)
+from .keys import digest
+from .resilience import quarantine_file
+
+#: Bump when the manifest layout changes incompatibly.
+MANIFEST_VERSION = 1
+
+MANIFEST_FILE = "manifest.json"
+LOCK_FILE = "lock.json"
+STATE_DIR = "state"
+ARTIFACT_DIR = "artifacts"
+
+#: A foreign-host lock with a heartbeat older than this is stale.
+DEFAULT_STALE_AFTER_S = 15 * 60.0
+
+#: Exit code for an interrupted (resumable) run: ``128 + signum``.
+def interrupt_exit_code(signum: int) -> int:
+    return 128 + int(signum)
+
+
+class RunInterrupted(BaseException):
+    """A shutdown signal arrived; unwind, flush, and exit resumably.
+
+    Deliberately a :class:`BaseException`: ordinary ``except Exception``
+    recovery code must not swallow a shutdown request.
+    """
+
+    def __init__(self, signum: int) -> None:
+        try:
+            name = signal.Signals(signum).name
+        except ValueError:
+            name = f"signal {signum}"
+        super().__init__(f"run interrupted by {name}")
+        self.signum = signum
+
+    @property
+    def exit_code(self) -> int:
+        return interrupt_exit_code(self.signum)
+
+
+class ShutdownCoordinator:
+    """Cooperative SIGINT/SIGTERM handling for one run.
+
+    The first signal raises :class:`RunInterrupted` from the handler —
+    immediately, unless execution is inside a :meth:`shield` block, in
+    which case the raise is deferred to the block's exit (checkpoint and
+    manifest writes finish cleanly).  A second signal raises through the
+    shield: the user escalated, stop now.
+    """
+
+    SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+    def __init__(self) -> None:
+        self.signum: int | None = None
+        self._pending = False
+        self._shield_depth = 0
+        self._previous: dict[int, Any] = {}
+
+    @property
+    def interrupted(self) -> bool:
+        return self.signum is not None
+
+    def install(self) -> "ShutdownCoordinator":
+        """Install the handlers (main thread only); returns self."""
+        for sig in self.SIGNALS:
+            self._previous[sig] = signal.signal(sig, self._handle)
+        return self
+
+    def uninstall(self) -> None:
+        """Restore the previous handlers."""
+        for sig, previous in self._previous.items():
+            signal.signal(sig, previous)
+        self._previous.clear()
+
+    def _handle(self, signum: int, frame: Any) -> None:
+        escalated = self.signum is not None
+        self.signum = signum
+        if self._shield_depth > 0 and not escalated:
+            self._pending = True
+            return
+        raise RunInterrupted(signum)
+
+    @contextmanager
+    def shield(self) -> Iterator[None]:
+        """Critical section: defer a first signal until the block exits."""
+        self._shield_depth += 1
+        try:
+            yield
+        finally:
+            self._shield_depth -= 1
+            if self._shield_depth == 0 and self._pending:
+                self._pending = False
+                raise RunInterrupted(self.signum or signal.SIGTERM)
+
+    def check(self) -> None:
+        """Raise a deferred interrupt, if one is pending (a safe point)."""
+        if self._pending and self._shield_depth == 0:
+            self._pending = False
+            raise RunInterrupted(self.signum or signal.SIGTERM)
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness of a PID on this host."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError:
+        return False
+    return True
+
+
+class RunLock:
+    """Exclusive per-run-directory lock with stale-lock takeover.
+
+    The lock file records ``{pid, host, acquired_at}``; its mtime is the
+    heartbeat, refreshed by :meth:`heartbeat` (drivers tie this to
+    checkpoint/phase events).  Staleness:
+
+    * same host, owner PID dead → stale (crashed run), take over;
+    * foreign host (or unreadable PID) and heartbeat mtime older than
+      ``stale_after_s`` → stale, take over;
+    * otherwise the lock is *held*: acquiring raises
+      :class:`~repro.errors.RunLockedError` — two live invocations must
+      not share a run directory's caches and checkpoints.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        stale_after_s: float = DEFAULT_STALE_AFTER_S,
+        events: EventBus | None = None,
+    ) -> None:
+        self.path = Path(path)
+        self.stale_after_s = stale_after_s
+        self.events = events
+        self._owned = False
+
+    def _payload(self) -> dict[str, Any]:
+        return {
+            "pid": os.getpid(),
+            "host": socket.gethostname(),
+            "acquired_at": time.time(),
+        }
+
+    def acquire(self) -> "RunLock":
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            self._take_over_or_raise()
+        else:
+            import json as _json
+
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                _json.dump(self._payload(), handle)
+        self._owned = True
+        return self
+
+    def _take_over_or_raise(self) -> None:
+        """Existing lock: adopt it if stale, refuse if live."""
+        holder: dict[str, Any] | None
+        try:
+            raw = read_json(self.path)
+            holder = raw if isinstance(raw, dict) else None
+        except (OSError, ValueError):
+            holder = None  # unreadable/corrupt lock: treat as stale below
+
+        reason = None
+        if holder is None:
+            reason = "lock file is unreadable"
+        else:
+            pid = holder.get("pid")
+            host = holder.get("host")
+            same_host = host == socket.gethostname()
+            if same_host and isinstance(pid, int):
+                if _pid_alive(pid):
+                    raise RunLockedError(
+                        f"run directory is locked by live pid {pid} on this "
+                        f"host ({self.path}); refusing to run concurrently"
+                    )
+                reason = f"owner pid {pid} is dead"
+            else:
+                age = time.time() - self._heartbeat_mtime()
+                if age < self.stale_after_s:
+                    raise RunLockedError(
+                        f"run directory is locked by pid {pid} on "
+                        f"{host!r} with a live heartbeat "
+                        f"({age:.0f}s old < {self.stale_after_s:.0f}s); "
+                        f"refusing takeover ({self.path})"
+                    )
+                reason = f"heartbeat stale ({age:.0f}s old)"
+
+        # Stale: replace the lock atomically with our own claim.
+        write_json_atomic(self.path, self._payload())
+        if self.events is not None:
+            self.events.emit(
+                "lock_takeover", path=str(self.path), pid=os.getpid(), reason=reason
+            )
+
+    def _heartbeat_mtime(self) -> float:
+        try:
+            return self.path.stat().st_mtime
+        except OSError:
+            return 0.0
+
+    def heartbeat(self) -> None:
+        """Refresh the lock's mtime (cheap; call on checkpoint/phase)."""
+        if not self._owned:
+            return
+        try:
+            os.utime(self.path)
+        except OSError:
+            pass
+
+    def release(self) -> None:
+        """Drop the lock if we still own it (tolerates takeover/crash)."""
+        if not self._owned:
+            return
+        self._owned = False
+        try:
+            holder = read_json(self.path)
+            if isinstance(holder, dict) and holder.get("pid") != os.getpid():
+                return  # someone legitimately took it over; leave theirs
+        except (OSError, ValueError):
+            pass
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "RunLock":
+        return self.acquire()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.release()
+
+
+@dataclass
+class RunManifest:
+    """The versioned record of one run (see module docstring for layout)."""
+
+    run_id: str
+    command: str
+    argv: list[str]
+    args_digest: str
+    code_version: str
+    created_at: float
+    status: str = "created"  # created | running | completed | interrupted | failed
+    updated_at: float = 0.0
+    exit_code: int | None = None
+    signal: int | None = None
+    wall_seconds: float = 0.0
+    phases: list[dict[str, Any]] = field(default_factory=list)
+    artifacts: dict[str, dict[str, Any]] = field(default_factory=dict)
+    error: str | None = None
+
+    def to_jsonable(self) -> dict[str, Any]:
+        return {
+            "version": MANIFEST_VERSION,
+            "run_id": self.run_id,
+            "command": self.command,
+            "argv": list(self.argv),
+            "args_digest": self.args_digest,
+            "code_version": self.code_version,
+            "created_at": self.created_at,
+            "updated_at": self.updated_at,
+            "status": self.status,
+            "exit_code": self.exit_code,
+            "signal": self.signal,
+            "wall_seconds": self.wall_seconds,
+            "phases": list(self.phases),
+            "artifacts": dict(self.artifacts),
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_jsonable(cls, payload: Any, source: str = "manifest") -> "RunManifest":
+        if not isinstance(payload, dict):
+            raise ResumeError(f"{source} is not a JSON object")
+        version = payload.get("version")
+        if version != MANIFEST_VERSION:
+            found = "no version" if version is None else f"version {version!r}"
+            raise ResumeError(
+                f"{source} has {found}; this version reads manifest "
+                f"version {MANIFEST_VERSION}"
+            )
+        try:
+            return cls(
+                run_id=payload["run_id"],
+                command=payload["command"],
+                argv=list(payload["argv"]),
+                args_digest=payload["args_digest"],
+                code_version=payload.get("code_version", "?"),
+                created_at=float(payload.get("created_at", 0.0)),
+                status=payload.get("status", "created"),
+                updated_at=float(payload.get("updated_at", 0.0)),
+                exit_code=payload.get("exit_code"),
+                signal=payload.get("signal"),
+                wall_seconds=float(payload.get("wall_seconds", 0.0)),
+                phases=list(payload.get("phases", [])),
+                artifacts=dict(payload.get("artifacts", {})),
+                error=payload.get("error"),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ResumeError(f"{source} is malformed: {exc}") from exc
+
+
+@dataclass
+class ArtifactStatus:
+    """One artifact's verification outcome."""
+
+    path: str
+    status: str  # ok | missing | corrupt
+    detail: str = ""
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of re-checksumming a run directory's artifacts."""
+
+    run_dir: Path
+    artifacts: list[ArtifactStatus]
+    manifest_ok: bool = True
+
+    @property
+    def clean(self) -> bool:
+        return self.manifest_ok and all(a.status == "ok" for a in self.artifacts)
+
+    def render(self) -> str:
+        lines = [f"run {self.run_dir}: manifest {'ok' if self.manifest_ok else 'BAD'}"]
+        for artifact in self.artifacts:
+            suffix = f" ({artifact.detail})" if artifact.detail else ""
+            lines.append(f"  {artifact.status:7s} {artifact.path}{suffix}")
+        if not self.artifacts:
+            lines.append("  (no registered artifacts)")
+        lines.append("verdict: " + ("clean" if self.clean else "CORRUPTION DETECTED"))
+        return "\n".join(lines)
+
+
+class RunDirectory:
+    """One run's durable home: manifest + lock + state + artifacts.
+
+    Use :meth:`create` for a fresh run, :meth:`open` to resume or
+    inspect an existing one; :meth:`supervise` brackets the actual work
+    with lock acquisition, signal handling, phase accounting and
+    manifest finalization.
+    """
+
+    def __init__(self, path: str | Path, manifest: RunManifest, events: EventBus | None = None) -> None:
+        self.path = Path(path)
+        self.manifest = manifest
+        self.events = events
+        self.lock = RunLock(self.path / LOCK_FILE, events=events)
+        self._degraded = False
+        self._started: float | None = None
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        path: str | Path,
+        command: str,
+        argv: Sequence[str],
+        events: EventBus | None = None,
+    ) -> "RunDirectory":
+        """Initialize a fresh run directory (manifest status ``created``)."""
+        from .. import __version__
+
+        path = Path(path)
+        if (path / MANIFEST_FILE).exists():
+            raise RunError(
+                f"{path} already contains a run manifest; use resume, or "
+                "choose a fresh directory"
+            )
+        run_id = f"{command}-{time.strftime('%Y%m%d-%H%M%S')}-{os.getpid() % 100000:05d}"
+        manifest = RunManifest(
+            run_id=run_id,
+            command=command,
+            argv=list(argv),
+            args_digest=digest(list(argv)),
+            code_version=__version__,
+            created_at=time.time(),
+        )
+        run = cls(path, manifest, events=events)
+        (path / STATE_DIR).mkdir(parents=True, exist_ok=True)
+        (path / ARTIFACT_DIR).mkdir(parents=True, exist_ok=True)
+        run.save_manifest()
+        return run
+
+    @classmethod
+    def open(cls, path: str | Path, events: EventBus | None = None) -> "RunDirectory":
+        """Load an existing run directory (clear errors, never tracebacks)."""
+        path = Path(path)
+        manifest_path = path / MANIFEST_FILE
+        if not manifest_path.exists():
+            raise ResumeError(f"{path} is not a run directory (no {MANIFEST_FILE})")
+        try:
+            payload = read_json(manifest_path)
+        except ValueError as exc:
+            raise ResumeError(
+                f"run manifest {manifest_path} is unreadable ({exc}); the "
+                "directory cannot be resumed — `repro runs verify` it"
+            ) from exc
+        manifest = RunManifest.from_jsonable(payload, source=str(manifest_path))
+        return cls(path, manifest, events=events)
+
+    # -- paths ---------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.path / MANIFEST_FILE
+
+    @property
+    def state_dir(self) -> Path:
+        return self.path / STATE_DIR
+
+    @property
+    def artifact_dir(self) -> Path:
+        return self.path / ARTIFACT_DIR
+
+    # -- manifest persistence -------------------------------------------
+
+    def save_manifest(self) -> None:
+        """Atomically persist the manifest; degrade on sick storage."""
+        self.manifest.updated_at = time.time()
+        if self._started is not None:
+            self.manifest.wall_seconds += time.time() - self._started
+            self._started = time.time()
+        if self._degraded:
+            return
+        try:
+            write_json_atomic(self.manifest_path, self.manifest.to_jsonable(), indent=2)
+        except OSError as exc:
+            if not is_storage_error(exc):
+                raise
+            self._degraded = True
+            if self.events is not None:
+                self.events.emit(
+                    "storage_degraded",
+                    tier="manifest",
+                    path=str(self.manifest_path),
+                    reason=f"manifest save failed ({exc}); continuing in memory",
+                )
+        self.lock.heartbeat()
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> None:
+        """Acquire the lock and mark the run ``running``."""
+        self.lock.events = self.events
+        self.lock.acquire()
+        self._started = time.time()
+        self.manifest.status = "running"
+        self.manifest.exit_code = None
+        self.manifest.signal = None
+        self.manifest.error = None
+        self.save_manifest()
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Record one named phase's progress in the manifest.
+
+        Re-entering a phase on resume reuses (and re-opens) its entry,
+        so the manifest shows each phase once with cumulative wall time.
+        """
+        entry = next((p for p in self.manifest.phases if p["name"] == name), None)
+        if entry is None:
+            entry = {"name": name, "status": "running", "seconds": 0.0}
+            self.manifest.phases.append(entry)
+        else:
+            entry["status"] = "running"
+        self.save_manifest()
+        started = time.perf_counter()
+        try:
+            yield
+        except BaseException:
+            entry["status"] = "interrupted"
+            entry["seconds"] += time.perf_counter() - started
+            self.save_manifest()
+            raise
+        entry["status"] = "done"
+        entry["seconds"] += time.perf_counter() - started
+        self.save_manifest()
+
+    def record_artifact(self, file_path: str | Path, save: bool = True) -> None:
+        """Register one produced file: relative path + SHA-256 + size."""
+        file_path = Path(file_path)
+        try:
+            relative = str(file_path.relative_to(self.path))
+        except ValueError:
+            relative = str(file_path)
+        self.manifest.artifacts[relative] = {
+            "sha256": file_sha256(file_path),
+            "bytes": file_path.stat().st_size,
+        }
+        if save:
+            self.save_manifest()
+
+    def _record_state_files(self) -> None:
+        """Checksum the run's durable state (checkpoints, artifacts).
+
+        Called at every terminal transition so ``runs verify`` can later
+        re-checksum exactly what this run left behind.  The SQLite cache
+        is deliberately excluded: it is legitimately rewritten by other
+        runs sharing the directory and defends itself row-by-row.
+        """
+        for directory in (self.state_dir, self.artifact_dir):
+            if not directory.exists():
+                continue
+            for file_path in sorted(directory.iterdir()):
+                if file_path.is_file() and file_path.suffix in (".json", ".txt"):
+                    try:
+                        self.record_artifact(file_path, save=False)
+                    except OSError:
+                        continue
+
+    def attach_engine(self, bus: EventBus) -> None:
+        """Mirror engine progress into the run records.
+
+        Subscribes to the engine's event bus: ``checkpoint`` events
+        refresh the lock heartbeat (a checkpointing run is a live run),
+        and ``phase_start``/``phase_end`` mirror the engine's phase
+        bracketing into the manifest's phase progress.
+        """
+
+        def on_event(event: str, payload: dict) -> None:
+            if event == "checkpoint":
+                self.lock.heartbeat()
+            elif event == "phase_start":
+                self._phase_update(payload.get("name", "?"), "running", 0.0)
+            elif event == "phase_end":
+                self._phase_update(
+                    payload.get("name", "?"), "done", payload.get("seconds", 0.0)
+                )
+
+        bus.subscribe(on_event)
+
+    def _phase_update(self, name: str, status: str, seconds: float) -> None:
+        entry = next((p for p in self.manifest.phases if p["name"] == name), None)
+        if entry is None:
+            entry = {"name": name, "status": status, "seconds": 0.0}
+            self.manifest.phases.append(entry)
+        entry["status"] = status
+        entry["seconds"] += seconds
+        self.save_manifest()
+
+    def _close_open_phases(self, status: str) -> None:
+        for entry in self.manifest.phases:
+            if entry.get("status") == "running":
+                entry["status"] = status
+
+    def finish(self, exit_code: int = 0) -> None:
+        self.manifest.status = "completed"
+        self.manifest.exit_code = exit_code
+        self._record_state_files()
+        self.save_manifest()
+        self.lock.release()
+
+    def interrupted(self, signum: int) -> int:
+        """Mark the run interrupted; returns the (distinct) exit code."""
+        code = interrupt_exit_code(signum)
+        self.manifest.status = "interrupted"
+        self.manifest.signal = int(signum)
+        self.manifest.exit_code = code
+        self._close_open_phases("interrupted")
+        self._record_state_files()
+        self.save_manifest()
+        self.lock.release()
+        return code
+
+    def failed(self, error: str, exit_code: int = 2) -> None:
+        self.manifest.status = "failed"
+        self.manifest.error = error
+        self.manifest.exit_code = exit_code
+        self._close_open_phases("failed")
+        self._record_state_files()
+        self.save_manifest()
+        self.lock.release()
+
+    def supervise(self, coordinator: ShutdownCoordinator) -> "_Supervision":
+        """Bracket the run's work: ``with run.supervise(coord): work()``."""
+        return _Supervision(self, coordinator)
+
+    # -- integrity ------------------------------------------------------
+
+    def verify(self, quarantine: bool = False) -> VerifyReport:
+        """Re-checksum every registered artifact; report, don't crash.
+
+        ``quarantine=True`` additionally moves corrupt artifacts aside
+        (``<name>.corrupt``) so a later resume cannot consume them.
+        """
+        statuses: list[ArtifactStatus] = []
+        for relative, meta in sorted(self.manifest.artifacts.items()):
+            target = self.path / relative
+            if not target.exists():
+                statuses.append(ArtifactStatus(relative, "missing"))
+                continue
+            try:
+                actual = file_sha256(target)
+            except OSError as exc:
+                statuses.append(ArtifactStatus(relative, "corrupt", f"unreadable: {exc}"))
+                continue
+            expected = meta.get("sha256")
+            if expected is not None and actual != expected:
+                detail = f"sha256 {actual[:12]}… != recorded {str(expected)[:12]}…"
+                if quarantine:
+                    quarantined = quarantine_file(target)
+                    detail += f"; quarantined to {quarantined.name}"
+                    if self.events is not None:
+                        self.events.emit(
+                            "quarantine",
+                            tier="artifact",
+                            path=str(quarantined),
+                            reason="artifact failed its checksum",
+                        )
+                statuses.append(ArtifactStatus(relative, "corrupt", detail))
+            else:
+                statuses.append(ArtifactStatus(relative, "ok"))
+        return VerifyReport(run_dir=self.path, artifacts=statuses)
+
+
+class _Supervision:
+    """Context manager pairing a run directory with signal handling."""
+
+    def __init__(self, run: RunDirectory, coordinator: ShutdownCoordinator) -> None:
+        self.run = run
+        self.coordinator = coordinator
+
+    def __enter__(self) -> RunDirectory:
+        self.coordinator.install()
+        try:
+            self.run.start()
+        except BaseException:
+            self.coordinator.uninstall()
+            raise
+        return self.run
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        try:
+            if exc is None:
+                with self.coordinator.shield():
+                    self.run.finish()
+            elif isinstance(exc, RunInterrupted):
+                with self.coordinator.shield():
+                    self.run.interrupted(exc.signum)
+            else:
+                with self.coordinator.shield():
+                    self.run.failed(f"{type(exc).__name__}: {exc}")
+        finally:
+            self.coordinator.uninstall()
+        return False  # never swallow; the CLI maps exceptions to exit codes
+
+
+def list_runs(root: str | Path) -> list[tuple[Path, RunManifest | None]]:
+    """Every run directory under ``root`` (newest first).
+
+    Directories whose manifest is unreadable are included with ``None``
+    so `runs list` can surface damage instead of hiding it.
+    """
+    root = Path(root)
+    if not root.exists():
+        return []
+    found: list[tuple[Path, RunManifest | None]] = []
+    for candidate in sorted(root.iterdir()):
+        manifest_path = candidate / MANIFEST_FILE
+        if not manifest_path.exists():
+            continue
+        try:
+            manifest = RunManifest.from_jsonable(
+                read_json(manifest_path), source=str(manifest_path)
+            )
+        except (ResumeError, ValueError, OSError):
+            manifest = None
+        found.append((candidate, manifest))
+    found.sort(
+        key=lambda item: item[1].updated_at if item[1] is not None else 0.0,
+        reverse=True,
+    )
+    return found

@@ -35,3 +35,21 @@ class CommunalError(ReproError):
 
 class EngineError(ReproError):
     """The evaluation engine (cache, pool or checkpoint) was misused or failed."""
+
+
+class ResumeError(EngineError):
+    """A checkpoint or run directory cannot be resumed.
+
+    Raised when resume was *explicitly requested* but the on-disk state
+    is from an older schema, a foreign format, or a different command —
+    a clear message instead of a KeyError/JSON traceback.  (Implicit
+    loads keep the start-fresh behaviour and never raise this.)
+    """
+
+
+class RunError(ReproError):
+    """A run directory (manifest, lock, artifact registry) was misused or failed."""
+
+
+class RunLockedError(RunError):
+    """The run directory is locked by another live process."""

@@ -26,6 +26,8 @@ from functools import lru_cache
 from pathlib import Path
 from typing import Sequence
 
+import numpy as np
+
 from ..characterize.configurational import (
     ConfigurationalCharacteristics,
     from_results,
@@ -37,6 +39,9 @@ from ..engine import (
     FaultPlan,
     ResultCache,
     RetryPolicy,
+    config_from_jsonable,
+    config_to_jsonable,
+    digest,
 )
 from ..explore.annealing import AnnealingSchedule
 from ..explore.xpscalar import XpScalar
@@ -53,6 +58,27 @@ DEFAULT_SEED = 2008  # the paper's year
 #: File names used inside a ``cache_dir``.
 CACHE_FILE = "results.sqlite"
 CHECKPOINT_FILE = "checkpoint.json"
+CROSS_CHECKPOINT_FILE = "cross-checkpoint.json"
+
+
+def _cross_to_state(cross: CrossPerformance) -> dict:
+    """Checkpoint encoding of a :class:`CrossPerformance` (bit-exact)."""
+    return {
+        "names": list(cross.names),
+        "ipt": [[float(v) for v in row] for row in cross.ipt],
+        "configs": [config_to_jsonable(c) for c in cross.configs],
+        "weights": [float(w) for w in cross.weights],
+    }
+
+
+def _cross_from_state(state: dict) -> CrossPerformance:
+    """Inverse of :func:`_cross_to_state`."""
+    return CrossPerformance(
+        names=tuple(state["names"]),
+        ipt=np.asarray(state["ipt"], dtype=float),
+        configs=tuple(config_from_jsonable(c) for c in state["configs"]),
+        weights=tuple(state["weights"]),
+    )
 
 
 @dataclass
@@ -160,10 +186,35 @@ def run_pipeline(
         resume=resume,
     )
     characteristics = from_results(results)
-    with explorer.engine.phase("cross-matrix"):
-        cross = cross_performance(
-            explorer, profiles, {n: c.config for n, c in characteristics.items()}
+    configs = {n: c.config for n, c in characteristics.items()}
+    # The cross matrix is its own checkpointed phase: a resume after the
+    # exploration finished restores Table 5 without re-evaluating, so
+    # the *furthest* completed phase of the pipeline survives a kill —
+    # not just the exploration batches.
+    cross_checkpoint = (
+        CheckpointManager(
+            Path(cache_dir) / CROSS_CHECKPOINT_FILE, events=explorer.engine.events
         )
+        if cache_dir is not None
+        else None
+    )
+    cross_signature = digest(
+        explorer.run_signature([p.name for p in profiles], seed, cross_seed_rounds),
+        [config_to_jsonable(configs[p.name]) for p in profiles],
+    )
+    cross = None
+    if cross_checkpoint is not None and resume:
+        state = cross_checkpoint.load(cross_signature, strict=True)
+        if state is not None:
+            cross = _cross_from_state(state)
+    if cross is None:
+        with explorer.engine.phase("cross-matrix"):
+            cross = cross_performance(explorer, profiles, configs)
+        if cross_checkpoint is not None:
+            cross_checkpoint.save(cross_signature, _cross_to_state(cross))
+            explorer.engine.events.emit(
+                "checkpoint", path=str(cross_checkpoint.path)
+            )
     return PipelineResult(
         explorer=explorer,
         profiles=profiles,

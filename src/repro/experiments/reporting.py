@@ -1,16 +1,34 @@
 """Plain-text rendering of tables, matrices and surrogate graphs.
 
 The benchmark harness prints the same rows/series the paper reports;
-these helpers keep that formatting in one place.
+these helpers keep that formatting in one place.  When a rendering is
+persisted (``repro report``, ``--out`` JSON files), it goes through
+:func:`write_artifact` / :func:`write_json_artifact` — thin wrappers
+over :mod:`repro.engine.io_atomic` — so report files are atomic like
+every other artifact: a crash mid-report never leaves a torn table.
 """
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from pathlib import Path
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
 from ..communal.surrogate import SurrogateGraph
+from ..engine.io_atomic import write_json_atomic, write_text_atomic
+
+
+def write_artifact(path: str | Path, text: str) -> Path:
+    """Atomically persist one rendered artifact (adds a trailing newline)."""
+    return write_text_atomic(path, text if text.endswith("\n") else text + "\n")
+
+
+def write_json_artifact(path: str | Path, payload: Any) -> Path:
+    """Atomically persist one JSON artifact (indented, newline-terminated)."""
+    path = Path(path)
+    write_json_atomic(path, payload, indent=2)
+    return path
 
 
 def render_table(

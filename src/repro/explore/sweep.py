@@ -200,7 +200,7 @@ class ClockSweep:
         if checkpoint is not None and checkpoint.events is None:
             checkpoint.events = engine.events
         if checkpoint is not None and resume:
-            state = checkpoint.load(signature)
+            state = checkpoint.load(signature, strict=True)
             if state is not None:
                 for key, entry in state.get("points", {}).items():
                     index = int(key)
@@ -220,18 +220,24 @@ class ClockSweep:
         # Chunked like customize_all: a checkpoint lands every few
         # completions without starving the pool.
         chunk = 1 if engine.workers == 1 else engine.workers * 2
-        with engine.phase("sweep"):
-            for lo in range(0, len(pending), chunk):
-                batch = pending[lo : lo + chunk]
-                tasks = [
-                    (self, profile, clock, derive_seed(seed, index=i))
-                    for i, clock in batch
-                ]
-                for (index, clock), point in zip(batch, engine.map(_sweep_task, tasks)):
-                    points[index] = point
-                    self._emit_search(profile, point)
-                if checkpoint is not None and len(points) < len(clocks):
-                    save()
+        try:
+            with engine.phase("sweep"):
+                for lo in range(0, len(pending), chunk):
+                    batch = pending[lo : lo + chunk]
+                    tasks = [
+                        (self, profile, clock, derive_seed(seed, index=i))
+                        for i, clock in batch
+                    ]
+                    for (index, clock), point in zip(batch, engine.map(_sweep_task, tasks)):
+                        points[index] = point
+                        self._emit_search(profile, point)
+                    if checkpoint is not None and len(points) < len(clocks):
+                        save()
+        except BaseException:
+            # Interrupt/crash on the way out: flush whatever completed,
+            # so a resume restores every finished grid point.
+            save()
+            raise
         if pending:
             save()
         return [points[i] for i in range(len(clocks))]

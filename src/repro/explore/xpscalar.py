@@ -417,7 +417,7 @@ class XpScalar:
             # bus so --stats (and tests) can see them.
             checkpoint.events = self.engine.events
         if checkpoint is not None and resume:
-            state = checkpoint.load(signature)
+            state = checkpoint.load(signature, strict=True)
             if state is not None:
                 results = {
                     name: _result_from_state(s)
@@ -447,45 +447,67 @@ class XpScalar:
             # Chunked so a checkpoint lands every few completions without
             # starving the pool; serial engines checkpoint per workload.
             chunk = 1 if self.engine.workers == 1 else self.engine.workers * 2
-            with self.engine.phase("explore"):
-                for lo in range(0, len(pending), chunk):
-                    tasks = [
-                        (self, p, derive_seed(seed, index=i), None)
-                        for i, p in pending[lo : lo + chunk]
-                    ]
-                    for outcome in self.engine.map(_customize_task, tasks):
-                        results[outcome.workload] = outcome
-                        self._emit_search(outcome)
-                    if checkpoint is not None and len(results) < len(names):
-                        save("explore")
+            try:
+                with self.engine.phase("explore"):
+                    for lo in range(0, len(pending), chunk):
+                        tasks = [
+                            (self, p, derive_seed(seed, index=i), None)
+                            for i, p in pending[lo : lo + chunk]
+                        ]
+                        for outcome in self.engine.map(_customize_task, tasks):
+                            results[outcome.workload] = outcome
+                            self._emit_search(outcome)
+                        if checkpoint is not None and len(results) < len(names):
+                            save("explore")
+            except BaseException:
+                # Interrupt/crash on the way out: persist every finished
+                # workload so a resume restores them verbatim.
+                save("explore")
+                raise
             next_round = 0
             save("refine", next_round)
 
-        for round_no in range(next_round, cross_seed_rounds):
-            with self.engine.phase(f"cross-seed-{round_no + 1}"):
-                changed = self._cross_seed_once(profiles, results)
-                # Refine: continue annealing from the current best (adopted
-                # or not); keep whichever configuration scores higher.
-                tasks = [
-                    (
-                        self,
-                        p,
-                        derive_seed(seed, index=i, round_no=round_no + 1),
-                        results[p.name].config,
-                    )
-                    for i, p in enumerate(profiles)
-                ]
-                refined_all = self.engine.map(_customize_task, tasks)
-                for profile, refined in zip(profiles, refined_all):
-                    self._emit_search(refined)
-                    current = results[profile.name]
-                    if refined.score > current.score:
-                        refined.cross_seeded_from = current.cross_seeded_from
-                        results[profile.name] = refined
-                        changed = True
-            save("refine", round_no + 1)
-            if not changed:
-                break
+        if stage in ("explore", "refine"):
+            for round_no in range(next_round, cross_seed_rounds):
+                # A refinement round is all-or-nothing: an interrupt rolls
+                # back to the round boundary (results entries are replaced,
+                # never mutated, so a shallow snapshot restores it) and the
+                # resumed round replays identically from the same seeds.
+                snapshot = dict(results)
+                try:
+                    with self.engine.phase(f"cross-seed-{round_no + 1}"):
+                        changed = self._cross_seed_once(profiles, results)
+                        # Refine: continue annealing from the current best
+                        # (adopted or not); keep whichever configuration
+                        # scores higher.
+                        tasks = [
+                            (
+                                self,
+                                p,
+                                derive_seed(seed, index=i, round_no=round_no + 1),
+                                results[p.name].config,
+                            )
+                            for i, p in enumerate(profiles)
+                        ]
+                        refined_all = self.engine.map(_customize_task, tasks)
+                        for profile, refined in zip(profiles, refined_all):
+                            self._emit_search(refined)
+                            current = results[profile.name]
+                            if refined.score > current.score:
+                                refined.cross_seeded_from = current.cross_seeded_from
+                                results[profile.name] = refined
+                                changed = True
+                except BaseException:
+                    results.clear()
+                    results.update(snapshot)
+                    save("refine", round_no)
+                    raise
+                save("refine", round_no + 1)
+                if not changed:
+                    break
+            # Recording that the rounds finished (including an early break)
+            # keeps a resumed run off rounds the uninterrupted run skipped.
+            save("consistency", cross_seed_rounds)
         # Final consistency pass: after the last refinement, no workload
         # should prefer another workload's configuration to its own.
         with self.engine.phase("consistency"):

@@ -234,7 +234,7 @@ def test_truncated_checkpoint_is_quarantined_and_rerun(jobs, tmp_path):
     assert xp.engine.metrics.quarantines == 1
     assert (tmp_path / "checkpoint.json.corrupt").exists()
     # The rerun saved a fresh, valid checkpoint over the quarantined one.
-    assert json.loads(path.read_text())["format"] == 1
+    assert json.loads(path.read_text())["version"] == 2
 
 
 def test_acceptance_cross_matrix_under_fault_storm(pairs):

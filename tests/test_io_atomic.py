@@ -1,0 +1,117 @@
+"""Atomic write helpers: rename discipline, temp hygiene, error taxonomy."""
+
+import errno
+import json
+import os
+
+import pytest
+
+from repro.engine import io_atomic
+from repro.engine.io_atomic import (
+    dump_json,
+    file_sha256,
+    is_storage_error,
+    read_json,
+    write_json_atomic,
+    write_text_atomic,
+)
+from repro.errors import EngineError
+
+
+class TestWriteTextAtomic:
+    def test_writes_and_creates_parents(self, tmp_path):
+        path = tmp_path / "a" / "b" / "file.txt"
+        write_text_atomic(path, "hello\n")
+        assert path.read_text() == "hello\n"
+
+    def test_replaces_existing_content(self, tmp_path):
+        path = tmp_path / "file.txt"
+        write_text_atomic(path, "old")
+        write_text_atomic(path, "new")
+        assert path.read_text() == "new"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = tmp_path / "file.txt"
+        write_text_atomic(path, "data")
+        assert os.listdir(tmp_path) == ["file.txt"]
+
+    def test_failed_replace_keeps_old_content_and_cleans_temp(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "file.txt"
+        write_text_atomic(path, "intact")
+
+        def exploding_replace(src, dst):
+            raise OSError(errno.ENOSPC, "No space left on device")
+
+        monkeypatch.setattr(io_atomic.os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            write_text_atomic(path, "torn?")
+        assert path.read_text() == "intact"
+        assert os.listdir(tmp_path) == ["file.txt"]
+
+    def test_interrupted_write_never_torn(self, tmp_path, monkeypatch):
+        """A crash mid-write leaves either the old file or the new one."""
+        path = tmp_path / "file.txt"
+        write_text_atomic(path, "v1")
+        original_fsync = os.fsync
+
+        def crashing_fsync(fd):
+            original_fsync(fd)
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(io_atomic.os, "fsync", crashing_fsync)
+        with pytest.raises(KeyboardInterrupt):
+            write_text_atomic(path, "v2")
+        assert path.read_text() == "v1"
+
+
+class TestJson:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "data.json"
+        write_json_atomic(path, {"k": [1, 2]}, indent=2)
+        assert read_json(path) == {"k": [1, 2]}
+
+    def test_dump_json_sort_keys_is_order_insensitive(self):
+        assert dump_json({"b": 1, "a": 2}, sort_keys=True) == dump_json(
+            {"a": 2, "b": 1}, sort_keys=True
+        )
+
+    def test_dump_json_rejects_unserializable(self):
+        with pytest.raises(EngineError):
+            dump_json({"bad": object()})
+
+    def test_read_json_raises_value_error_on_garbage(self, tmp_path):
+        path = tmp_path / "data.json"
+        path.write_text("{truncated")
+        with pytest.raises(ValueError):
+            read_json(path)
+
+
+class TestStorageErrors:
+    @pytest.mark.parametrize(
+        "code", [errno.ENOSPC, errno.EROFS, errno.EDQUOT, errno.EACCES]
+    )
+    def test_storage_errnos(self, code):
+        assert is_storage_error(OSError(code, "sick disk"))
+
+    def test_other_errors_are_not_storage(self):
+        assert not is_storage_error(OSError(errno.ENOENT, "missing"))
+        assert not is_storage_error(ValueError("nope"))
+
+
+class TestFileSha256:
+    def test_matches_content(self, tmp_path):
+        path = tmp_path / "f"
+        path.write_bytes(b"payload")
+        import hashlib
+
+        assert file_sha256(path) == hashlib.sha256(b"payload").hexdigest()
+
+    def test_detects_truncation(self, tmp_path):
+        path = tmp_path / "f.json"
+        write_text_atomic(path, json.dumps({"rows": list(range(100))}))
+        before = file_sha256(path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        assert file_sha256(path) != before

@@ -1,0 +1,289 @@
+"""Run orchestration: manifests, locks, signals, artifact verification."""
+
+import os
+import signal
+import subprocess
+import time
+
+import pytest
+
+from repro.engine import EventBus
+from repro.engine.runs import (
+    LOCK_FILE,
+    MANIFEST_FILE,
+    RunDirectory,
+    RunInterrupted,
+    RunLock,
+    RunManifest,
+    ShutdownCoordinator,
+    interrupt_exit_code,
+    list_runs,
+)
+from repro.errors import ResumeError, RunError, RunLockedError
+
+
+def _dead_pid() -> int:
+    """A PID that existed moments ago and is now certainly dead."""
+    proc = subprocess.Popen(["true"])
+    proc.wait()
+    return proc.pid
+
+
+class TestRunLock:
+    def test_acquire_creates_lock_with_owner(self, tmp_path):
+        lock = RunLock(tmp_path / LOCK_FILE).acquire()
+        from repro.engine.io_atomic import read_json
+
+        holder = read_json(tmp_path / LOCK_FILE)
+        assert holder["pid"] == os.getpid()
+        lock.release()
+        assert not (tmp_path / LOCK_FILE).exists()
+
+    def test_live_same_host_holder_refuses(self, tmp_path):
+        first = RunLock(tmp_path / LOCK_FILE).acquire()
+        with pytest.raises(RunLockedError):
+            RunLock(tmp_path / LOCK_FILE).acquire()
+        first.release()
+
+    def test_dead_pid_is_taken_over(self, tmp_path):
+        import json
+
+        path = tmp_path / LOCK_FILE
+        path.write_text(json.dumps(
+            {"pid": _dead_pid(), "host": os.uname().nodename, "acquired_at": 0}
+        ))
+        events = []
+        bus = EventBus()
+        bus.subscribe(lambda event, payload: events.append((event, payload)))
+        RunLock(path, events=bus).acquire()
+        takeovers = [p for e, p in events if e == "lock_takeover"]
+        assert len(takeovers) == 1
+        assert "dead" in takeovers[0]["reason"]
+
+    def test_foreign_host_fresh_heartbeat_refuses(self, tmp_path):
+        import json
+
+        path = tmp_path / LOCK_FILE
+        path.write_text(json.dumps({"pid": 1, "host": "elsewhere"}))
+        with pytest.raises(RunLockedError):
+            RunLock(path, stale_after_s=3600).acquire()
+
+    def test_foreign_host_stale_heartbeat_taken_over(self, tmp_path):
+        import json
+
+        path = tmp_path / LOCK_FILE
+        path.write_text(json.dumps({"pid": 1, "host": "elsewhere"}))
+        ancient = time.time() - 7200
+        os.utime(path, (ancient, ancient))
+        lock = RunLock(path, stale_after_s=3600).acquire()
+        assert lock._owned
+
+    def test_corrupt_lock_file_is_stale(self, tmp_path):
+        path = tmp_path / LOCK_FILE
+        path.write_text("{not json")
+        lock = RunLock(path).acquire()
+        assert lock._owned
+
+    def test_release_respects_takeover(self, tmp_path):
+        import json
+
+        path = tmp_path / LOCK_FILE
+        lock = RunLock(path).acquire()
+        path.write_text(json.dumps({"pid": os.getpid() + 1, "host": "x"}))
+        lock.release()
+        assert path.exists()  # the new owner's claim survives our release
+
+
+class TestShutdownCoordinator:
+    def test_first_signal_raises_immediately(self):
+        coordinator = ShutdownCoordinator().install()
+        try:
+            with pytest.raises(RunInterrupted) as caught:
+                signal.raise_signal(signal.SIGTERM)
+        finally:
+            coordinator.uninstall()
+        assert caught.value.signum == signal.SIGTERM
+        assert caught.value.exit_code == 143
+
+    def test_shield_defers_until_exit(self):
+        coordinator = ShutdownCoordinator().install()
+        try:
+            with pytest.raises(RunInterrupted):
+                with coordinator.shield():
+                    signal.raise_signal(signal.SIGTERM)
+                    flushed = True  # the critical section finishes
+            assert flushed
+        finally:
+            coordinator.uninstall()
+
+    def test_second_signal_escalates_through_shield(self):
+        coordinator = ShutdownCoordinator().install()
+        try:
+            with pytest.raises(RunInterrupted):
+                with coordinator.shield():
+                    try:
+                        signal.raise_signal(signal.SIGINT)  # deferred
+                        signal.raise_signal(signal.SIGINT)  # escalated
+                        pytest.fail("second signal should raise in-shield")
+                    except RunInterrupted:
+                        raise
+        finally:
+            coordinator.uninstall()
+
+    def test_check_raises_pending_interrupt(self):
+        coordinator = ShutdownCoordinator().install()
+        try:
+            with pytest.raises(RunInterrupted):
+                with coordinator.shield():
+                    try:
+                        signal.raise_signal(signal.SIGTERM)
+                    except RunInterrupted:  # pragma: no cover - deferred
+                        pytest.fail("shielded signal must not raise here")
+        finally:
+            coordinator.uninstall()
+
+    def test_exit_codes_are_distinct(self):
+        assert interrupt_exit_code(signal.SIGINT) == 130
+        assert interrupt_exit_code(signal.SIGTERM) == 143
+
+
+class TestRunDirectory:
+    def test_create_open_round_trip(self, tmp_path):
+        run = RunDirectory.create(tmp_path / "r", "sweep", ["sweep", "gzip"])
+        reopened = RunDirectory.open(tmp_path / "r")
+        assert reopened.manifest.command == "sweep"
+        assert reopened.manifest.argv == ["sweep", "gzip"]
+        assert reopened.manifest.status == "created"
+        assert reopened.manifest.args_digest == run.manifest.args_digest
+
+    def test_create_refuses_existing_run(self, tmp_path):
+        RunDirectory.create(tmp_path / "r", "sweep", ["sweep"])
+        with pytest.raises(RunError):
+            RunDirectory.create(tmp_path / "r", "sweep", ["sweep"])
+
+    def test_open_rejects_non_run_directory(self, tmp_path):
+        with pytest.raises(ResumeError):
+            RunDirectory.open(tmp_path)
+
+    def test_open_rejects_torn_manifest(self, tmp_path):
+        run_dir = tmp_path / "r"
+        RunDirectory.create(run_dir, "sweep", ["sweep"])
+        manifest = run_dir / MANIFEST_FILE
+        manifest.write_text(manifest.read_text()[:40])
+        with pytest.raises(ResumeError):
+            RunDirectory.open(run_dir)
+
+    def test_manifest_version_gate(self):
+        with pytest.raises(ResumeError):
+            RunManifest.from_jsonable({"version": 99, "run_id": "x"})
+        with pytest.raises(ResumeError):
+            RunManifest.from_jsonable(["not", "a", "manifest"])
+
+    def test_lifecycle_records_phases_and_wall_clock(self, tmp_path):
+        run = RunDirectory.create(tmp_path / "r", "sweep", ["sweep", "gzip"])
+        run.start()
+        assert run.manifest.status == "running"
+        with run.phase("explore"):
+            pass
+        run.finish()
+        reopened = RunDirectory.open(tmp_path / "r")
+        assert reopened.manifest.status == "completed"
+        assert reopened.manifest.exit_code == 0
+        assert [p["status"] for p in reopened.manifest.phases] == ["done"]
+        assert reopened.manifest.wall_seconds >= 0.0
+        assert not (tmp_path / "r" / LOCK_FILE).exists()
+
+    def test_interrupted_marks_open_phases(self, tmp_path):
+        run = RunDirectory.create(tmp_path / "r", "sweep", ["sweep"])
+        run.start()
+        with pytest.raises(RuntimeError):
+            with run.phase("explore"):
+                raise RuntimeError("boom")
+        code = run.interrupted(signal.SIGTERM)
+        assert code == 143
+        reopened = RunDirectory.open(tmp_path / "r")
+        assert reopened.manifest.status == "interrupted"
+        assert reopened.manifest.signal == signal.SIGTERM
+        assert reopened.manifest.phases[0]["status"] == "interrupted"
+
+    def test_supervise_finalizes_on_signal(self, tmp_path):
+        previous = signal.getsignal(signal.SIGTERM)
+        run = RunDirectory.create(tmp_path / "r", "sweep", ["sweep"])
+        with pytest.raises(RunInterrupted):
+            with run.supervise(ShutdownCoordinator()):
+                signal.raise_signal(signal.SIGTERM)
+        reopened = RunDirectory.open(tmp_path / "r")
+        assert reopened.manifest.status == "interrupted"
+        assert reopened.manifest.exit_code == 143
+        # Supervision restored whatever handler was installed before.
+        assert signal.getsignal(signal.SIGTERM) is previous
+
+    def test_supervise_records_failure(self, tmp_path):
+        run = RunDirectory.create(tmp_path / "r", "sweep", ["sweep"])
+        with pytest.raises(ValueError):
+            with run.supervise(ShutdownCoordinator()):
+                raise ValueError("bad input")
+        reopened = RunDirectory.open(tmp_path / "r")
+        assert reopened.manifest.status == "failed"
+        assert "bad input" in reopened.manifest.error
+
+
+class TestVerify:
+    def _completed_run(self, tmp_path):
+        run = RunDirectory.create(tmp_path / "r", "sweep", ["sweep"])
+        run.start()
+        artifact = run.artifact_dir / "table.txt"
+        artifact.write_text("clock  IPT\n0.30   4.40\n")
+        run.record_artifact(artifact)
+        run.finish()
+        return run
+
+    def test_clean_run_verifies_clean(self, tmp_path):
+        run = self._completed_run(tmp_path)
+        report = run.verify()
+        assert report.clean
+        assert "clean" in report.render()
+
+    def test_truncated_artifact_is_reported_not_raised(self, tmp_path):
+        run = self._completed_run(tmp_path)
+        artifact = run.artifact_dir / "table.txt"
+        artifact.write_text(artifact.read_text()[:5])
+        report = run.verify()
+        assert not report.clean
+        assert "CORRUPTION DETECTED" in report.render()
+        statuses = {a.path: a.status for a in report.artifacts}
+        assert statuses["artifacts/table.txt"] == "corrupt"
+
+    def test_missing_artifact_is_reported(self, tmp_path):
+        run = self._completed_run(tmp_path)
+        (run.artifact_dir / "table.txt").unlink()
+        report = run.verify()
+        assert not report.clean
+        statuses = {a.path: a.status for a in report.artifacts}
+        assert statuses["artifacts/table.txt"] == "missing"
+
+    def test_quarantine_moves_corrupt_artifact_aside(self, tmp_path):
+        run = self._completed_run(tmp_path)
+        artifact = run.artifact_dir / "table.txt"
+        artifact.write_text("torn")
+        report = run.verify(quarantine=True)
+        assert not report.clean
+        assert not artifact.exists()
+        assert (run.artifact_dir / "table.txt.corrupt").exists()
+
+
+class TestListRuns:
+    def test_lists_runs_and_surfaces_damage(self, tmp_path):
+        RunDirectory.create(tmp_path / "a", "sweep", ["sweep"])
+        RunDirectory.create(tmp_path / "b", "pipeline", ["pipeline"])
+        (tmp_path / "b" / MANIFEST_FILE).write_text("{broken")
+        (tmp_path / "not-a-run").mkdir()
+        found = dict(
+            (path.name, manifest) for path, manifest in list_runs(tmp_path)
+        )
+        assert set(found) == {"a", "b"}
+        assert found["a"].command == "sweep"
+        assert found["b"] is None
+
+    def test_missing_root_is_empty(self, tmp_path):
+        assert list_runs(tmp_path / "nowhere") == []
