@@ -28,9 +28,21 @@ the ``REPRO_INJECT_FAULTS`` environment variable), e.g.
 
 ``--run-dir DIR`` upgrades any of those commands to a *supervised run*
 (see ``docs/runs.md``): DIR gets a versioned manifest, an exclusive
-lock, the cache/checkpoints (under ``DIR/state``), and the produced
-artifacts; SIGINT/SIGTERM interrupt it cleanly (exit ``128+signum``)
-and ``repro resume DIR`` continues it with the original arguments.
+lock, the cache/checkpoints (under ``DIR/state``), a durable event
+journal (``DIR/events.jsonl``), and the produced artifacts;
+SIGINT/SIGTERM interrupt it cleanly (exit ``128+signum``) and
+``repro resume DIR`` continues it with the original arguments.
+
+Observability (see ``docs/observability.md``): ``--journal FILE``
+journals any invocation, ``--metrics-out FILE`` exports counters and
+latency histograms (Prometheus textfile format, or JSON for ``.json``
+paths), and ``repro trace summary|slowest|critical-path|export`` reads
+a journal back to answer "where did the time go"::
+
+    python -m repro pipeline --run-dir runs/full --metrics-out metrics.prom
+    python -m repro trace summary runs/full
+    python -m repro trace slowest runs/full --top 20
+    python -m repro trace export runs/full --out trace.json
 """
 
 from __future__ import annotations
@@ -46,13 +58,17 @@ from .engine import (
     CheckpointManager,
     EvaluationEngine,
     FaultPlan,
+    ProgressLine,
     RetryPolicy,
     RunDirectory,
     RunInterrupted,
+    RunJournal,
     ShutdownCoordinator,
+    TelemetryCollector,
     digest,
     list_runs,
 )
+from .engine import trace as trace_analysis
 from .errors import RunError
 from .experiments import (
     build_engine,
@@ -115,6 +131,22 @@ def _engine_options() -> argparse.ArgumentParser:
     group.add_argument(
         "--stats", action="store_true",
         help="print evaluation/cache/phase statistics when done",
+    )
+    group.add_argument(
+        "--journal", default=None, metavar="FILE",
+        help="append every engine event to FILE as a JSONL journal "
+             "(--run-dir runs journal to <run-dir>/events.jsonl "
+             "automatically; see docs/observability.md)",
+    )
+    group.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write engine metrics (counters + latency histograms) on "
+             "exit: Prometheus textfile format, or JSON when FILE ends "
+             "in .json",
+    )
+    group.add_argument(
+        "--no-progress", action="store_true",
+        help="suppress the TTY heartbeat/progress line on stderr",
     )
     group.add_argument(
         "--retries", type=int, default=None, metavar="N",
@@ -300,6 +332,39 @@ def build_parser() -> argparse.ArgumentParser:
              "cannot consume them",
     )
 
+    p = sub.add_parser(
+        "trace",
+        help="analyze a run's event journal: where did the time go? "
+             "(see docs/observability.md)",
+    )
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+    sp = trace_sub.add_parser(
+        "summary",
+        help="phase totals, evaluation/cache counts, search breakdowns",
+    )
+    sp.add_argument("target", metavar="RUN_DIR_OR_JOURNAL")
+    sp.add_argument("--json", action="store_true",
+                    help="emit the summary as JSON instead of text")
+    sp = trace_sub.add_parser(
+        "slowest", help="the top-N slowest worker tasks/evaluations"
+    )
+    sp.add_argument("target", metavar="RUN_DIR_OR_JOURNAL")
+    sp.add_argument("--top", type=int, default=10, metavar="N",
+                    help="how many tasks to show (default: 10)")
+    sp = trace_sub.add_parser(
+        "critical-path",
+        help="the chain of nested spans dominating the run's wall clock",
+    )
+    sp.add_argument("target", metavar="RUN_DIR_OR_JOURNAL")
+    sp = trace_sub.add_parser(
+        "export",
+        help="export the journal as Chrome trace-event JSON "
+             "(chrome://tracing, ui.perfetto.dev)",
+    )
+    sp.add_argument("target", metavar="RUN_DIR_OR_JOURNAL")
+    sp.add_argument("--out", default=None, metavar="FILE",
+                    help="write to FILE instead of stdout")
+
     return parser
 
 
@@ -320,15 +385,49 @@ def _build_engine(args) -> EvaluationEngine:
         run.events = engine.events
         run.lock.events = engine.events
         run.attach_engine(engine.events)
+    _attach_telemetry(args, engine)
     return engine
+
+
+def _attach_telemetry(args, engine: EvaluationEngine) -> None:
+    """Hook the journal, metrics collector and TTY heartbeat to the bus.
+
+    All three are strictly passive subscribers: they never touch stdout
+    (the golden/determinism suites diff stdout) and never change what
+    the engine computes.  A run directory journals automatically;
+    ``--journal`` opts standalone invocations in.
+    """
+    run = getattr(args, "_run", None)
+    journal_path = getattr(args, "journal", None)
+    if journal_path is None and run is not None:
+        journal_path = run.journal_path
+    if journal_path is not None:
+        args._journal = RunJournal(journal_path).attach(engine.events)
+    if getattr(args, "metrics_out", None) is not None:
+        args._collector = TelemetryCollector(engine.events)
+    if not getattr(args, "no_progress", False):
+        heartbeat = ProgressLine(engine.events)
+        if heartbeat.active:
+            args._heartbeat = heartbeat
+        else:
+            heartbeat.close()  # non-TTY: don't even subscribe
 
 
 def _finish(args, engine: EvaluationEngine | None) -> int:
     """Common epilogue: flush the engine and honour ``--stats``."""
+    heartbeat = getattr(args, "_heartbeat", None)
+    if heartbeat is not None:
+        heartbeat.close()
     if engine is not None:
         if getattr(args, "stats", False):
             print(f"--- engine stats ---\n{engine.metrics.summary()}")
         engine.close()
+    collector = getattr(args, "_collector", None)
+    if collector is not None:
+        collector.registry.write(pathlib.Path(args.metrics_out))
+    journal = getattr(args, "_journal", None)
+    if journal is not None:
+        journal.close()
     return 0
 
 
@@ -718,6 +817,44 @@ def cmd_runs(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    """Answer "where did the time go" from a run's event journal."""
+    import json as _json
+
+    target = args.target
+    if args.trace_command == "summary":
+        summary = trace_analysis.summarize(trace_analysis.read_events(target))
+        if summary.events == 0:
+            print(f"error: journal at {target} holds no events", file=sys.stderr)
+            return 1
+        if args.json:
+            print(_json.dumps(summary.to_jsonable(), indent=2))
+        else:
+            print(summary.render())
+        return 0
+    if args.trace_command == "slowest":
+        tasks = trace_analysis.slowest_tasks(
+            trace_analysis.read_events(target), top=args.top
+        )
+        print(trace_analysis.render_slowest(tasks))
+        return 0
+    if args.trace_command == "critical-path":
+        path = trace_analysis.critical_path(trace_analysis.read_events(target))
+        print(trace_analysis.render_critical_path(path))
+        return 0
+    # export
+    payload = trace_analysis.chrome_trace(trace_analysis.read_events(target))
+    text = _json.dumps(payload)
+    if args.out is not None:
+        out = pathlib.Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text + "\n", encoding="utf-8")
+        print(f"wrote {out} ({len(payload['traceEvents'])} trace events)")
+    else:
+        print(text)
+    return 0
+
+
 _COMMANDS = {
     "customize": cmd_customize,
     "table": cmd_table,
@@ -729,6 +866,7 @@ _COMMANDS = {
     "pipeline": cmd_pipeline,
     "resume": cmd_resume,
     "runs": cmd_runs,
+    "trace": cmd_trace,
 }
 
 

@@ -18,11 +18,18 @@ for: all code that needs simulation results routes through one
   with versioned manifests, exclusive locks with stale-lock takeover,
   cooperative SIGINT/SIGTERM shutdown and artifact integrity
   verification, on top of the atomic write-rename primitives of
-  :mod:`repro.engine.io_atomic`.
+  :mod:`repro.engine.io_atomic`;
+* end-to-end observability (:mod:`repro.engine.telemetry`,
+  :mod:`repro.engine.trace`): a durable JSONL event journal per run,
+  hierarchical spans stitched across worker processes, a
+  counters/gauges/histograms registry exportable as JSON or Prometheus
+  textfiles, and the post-hoc analysis behind ``repro trace``.
 
 See ``docs/engine.md`` for the key scheme, checkpoint format and
-parallelism model, ``docs/resilience.md`` for the failure model, and
-``docs/runs.md`` for run directories and resume semantics.
+parallelism model, ``docs/resilience.md`` for the failure model,
+``docs/runs.md`` for run directories and resume semantics, and
+``docs/observability.md`` for the event vocabulary, journal schema and
+trace CLI.
 """
 
 from .cache import CacheStats, ResultCache
@@ -66,6 +73,25 @@ from .keys import (
 )
 from .pool import EvaluationEngine
 from .resilience import ResultIntegrityError, RetryPolicy, validate_result
+from .telemetry import (
+    JOURNAL_FILE,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ProgressLine,
+    RunJournal,
+    TelemetryCollector,
+    journal_files,
+)
+from .trace import (
+    TraceSummary,
+    chrome_trace,
+    critical_path,
+    read_events,
+    slowest_tasks,
+    summarize,
+)
 from .serialize import (
     config_from_jsonable,
     config_to_jsonable,
@@ -111,6 +137,21 @@ __all__ = [
     "simulator_id",
     "unit_draw",
     "EvaluationEngine",
+    "JOURNAL_FILE",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ProgressLine",
+    "RunJournal",
+    "TelemetryCollector",
+    "journal_files",
+    "TraceSummary",
+    "chrome_trace",
+    "critical_path",
+    "read_events",
+    "slowest_tasks",
+    "summarize",
     "config_from_jsonable",
     "config_to_jsonable",
     "simresult_from_jsonable",

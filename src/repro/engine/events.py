@@ -2,53 +2,23 @@
 
 The engine announces what it is doing through a tiny synchronous
 :class:`EventBus`; anything — the CLI's ``--stats`` printer, a test
-asserting "zero simulator invocations", a future dashboard — subscribes a
-callback.  The bus deliberately has no queue or thread: callbacks run
-inline on the emitting thread, so subscribers see events in exact
-program order.
+asserting "zero simulator invocations", the durable run journal
+(:class:`~repro.engine.telemetry.RunJournal`) — subscribes a callback.
+The bus deliberately has no queue or thread: callbacks run inline on the
+emitting thread, so subscribers see events in exact program order.
 
-Event vocabulary (payload keys in parentheses):
+The full event vocabulary (every event name and its payload keys) is
+documented in ``docs/observability.md``; the bus itself does not
+restrict names.  A raising subscriber never aborts the emitting code:
+its exception is swallowed, a warning is printed once per subscriber,
+and delivery continues to the remaining subscribers.
 
-``evaluation`` (``count``)
-    ``count`` fresh simulator invocations were performed.
-``cache_hit`` / ``cache_miss`` (``count``)
-    Result-cache lookups resolved.
-``batch`` (``size``, ``unique``, ``hits``)
-    One ``evaluate_many`` call: total pairs requested, distinct missing
-    keys simulated, pairs served from cache.
-``phase_start`` / ``phase_end`` (``name``; ``seconds`` on end)
-    Wall-time bracket around a named stage of a larger computation.
-``fallback`` (``reason``)
-    The engine degraded to serial execution (unpicklable work, pool
-    creation failure, repeated worker deaths, ...).
-``checkpoint`` (``path``)
-    Exploration state was persisted.
-``retry`` (``key``, ``attempt``, ``reason``, ``delay_s``)
-    One evaluation failed (crash, hang/timeout, integrity violation,
-    broken pool) and will be re-run after ``delay_s`` of backoff.
-``task_timeout`` (``key``, ``timeout_s``)
-    A task overran the retry policy's per-task deadline.
-``pool_restart`` (``deaths``, ``reason``)
-    The worker pool died and was rebuilt (``deaths`` is cumulative).
-``quarantine`` (``tier``, ``reason``; ``key`` or ``path``)
-    Corrupt persistent state (a cache row, the cache database, a
-    checkpoint file, a run artifact) was isolated and the run continued
-    without it.
-``storage_degraded`` (``tier``, ``reason``; ``path`` when known)
-    Storage became unavailable (disk full, read-only filesystem) and a
-    persistence tier — result cache, checkpoint, run manifest — fell
-    back to memory-only operation; the run keeps computing.
-``lock_takeover`` (``path``, ``pid``, ``reason``)
-    A run directory's lock was held by a dead or stalled process and
-    was taken over.
-``search_run`` (``strategy``, ``workload``, ``best_score``,
-``evaluations``, ``moves``, ``accepted``, ``acceptance_rate``,
-``plateau``, ``rollbacks``, ``stop_reason``)
-    One design-space search finished: the convergence diagnostics of a
-    :class:`~repro.search.SearchResult` (see
-    :class:`~repro.search.SearchDiagnostics`).  Emitted by the parent
-    process from returned results, so ``jobs=1`` and ``jobs=N`` report
-    identical events.
+Beyond flat events, the bus carries **hierarchical spans**:
+:meth:`EventBus.phase` and :meth:`EventBus.span` bracket a code region
+with start/end events that carry stable ``trace``/``span``/``parent``
+identifiers, so a subscriber (the journal) can reconstruct the nesting
+tree of a whole run — including per-task spans stitched in from worker
+processes by the pool (see :mod:`repro.engine.telemetry`).
 
 :class:`EngineMetrics` is the standard subscriber: it aggregates the
 counters every caller wants (evaluations, hit rate, per-phase wall time)
@@ -57,6 +27,8 @@ and renders a one-line summary for the CLI.
 
 from __future__ import annotations
 
+import os
+import sys
 import time
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator
@@ -64,11 +36,31 @@ from typing import Any, Callable, Iterator
 Callback = Callable[[str, dict], Any]
 
 
+def new_trace_id() -> str:
+    """A fresh trace identifier (unique per process + instant)."""
+    return f"{os.getpid():05d}-{time.time_ns() & 0xFFFFFFFFFF:010x}"
+
+
 class EventBus:
-    """Synchronous publish/subscribe hub for engine progress events."""
+    """Synchronous publish/subscribe hub for engine progress events.
+
+    The bus also owns the run's **trace context**: a ``trace_id`` naming
+    this process's event stream and a stack of open spans.  Span
+    identifiers are allocated in emission order (``s00001``, ``s00002``,
+    ...), so they are stable for a given program order — two runs of the
+    same deterministic computation produce the same span topology, and
+    only timing fields differ.  ``tracing`` marks whether a durable
+    subscriber (the run journal) wants fine-grained spans; the engine
+    pool consults it before paying for worker-side span round-trips.
+    """
 
     def __init__(self) -> None:
         self._subscribers: list[Callback] = []
+        self._warned: set[int] = set()
+        self.trace_id = new_trace_id()
+        self.tracing = False
+        self._span_stack: list[str] = []
+        self._span_count = 0
 
     def subscribe(self, callback: Callback) -> Callback:
         """Register ``callback(event, payload)``; returns it for symmetry."""
@@ -83,19 +75,92 @@ class EventBus:
             pass
 
     def emit(self, event: str, **payload: Any) -> None:
-        """Deliver one event to every subscriber, in subscription order."""
+        """Deliver one event to every subscriber, in subscription order.
+
+        Subscriber exceptions are isolated: a raising callback is warned
+        about once (to stderr) and delivery continues — a sick stats
+        printer or journal must never abort the engine mid-batch.
+        """
         for callback in list(self._subscribers):
-            callback(event, payload)
+            try:
+                callback(event, payload)
+            except Exception as exc:
+                marker = id(callback)
+                if marker not in self._warned:
+                    self._warned.add(marker)
+                    print(
+                        f"warning: event subscriber {callback!r} raised "
+                        f"{type(exc).__name__}: {exc}; continuing without it "
+                        "(warned once)",
+                        file=sys.stderr,
+                    )
+
+    # -- spans ----------------------------------------------------------
+
+    def next_span_id(self) -> str:
+        """Allocate the next span identifier (stable in program order)."""
+        self._span_count += 1
+        return f"s{self._span_count:05d}"
+
+    @property
+    def current_span(self) -> str | None:
+        """The innermost open span's id, or ``None`` outside all spans."""
+        return self._span_stack[-1] if self._span_stack else None
 
     @contextmanager
-    def phase(self, name: str) -> Iterator[None]:
-        """Bracket a code region with ``phase_start``/``phase_end`` events."""
-        self.emit("phase_start", name=name)
+    def span(
+        self,
+        name: str,
+        kind: str = "span",
+        _start_event: str = "span_start",
+        _end_event: str = "span_end",
+        **attrs: Any,
+    ) -> Iterator[str]:
+        """Bracket a code region as a hierarchical span.
+
+        Emits ``span_start``/``span_end`` (payload: ``name``, ``span``,
+        ``parent``, ``trace``, ``kind``, plus any ``attrs``; ``seconds``
+        on end).  Nested spans parent automatically; yields the span id
+        so callers can parent out-of-band work (worker tasks) under it.
+        """
+        span_id = self.next_span_id()
+        parent = self.current_span
+        self.emit(
+            _start_event,
+            name=name,
+            span=span_id,
+            parent=parent,
+            trace=self.trace_id,
+            kind=kind,
+            **attrs,
+        )
+        self._span_stack.append(span_id)
         started = time.perf_counter()
         try:
-            yield
+            yield span_id
         finally:
-            self.emit("phase_end", name=name, seconds=time.perf_counter() - started)
+            self._span_stack.pop()
+            self.emit(
+                _end_event,
+                name=name,
+                span=span_id,
+                parent=parent,
+                trace=self.trace_id,
+                kind=kind,
+                seconds=time.perf_counter() - started,
+                **attrs,
+            )
+
+    def phase(self, name: str):
+        """Bracket a code region with ``phase_start``/``phase_end`` events.
+
+        A phase is a span of kind ``"phase"`` that keeps its historical
+        event names, so existing subscribers (metrics, run manifests)
+        are untouched while the journal gains the span identifiers.
+        """
+        return self.span(
+            name, kind="phase", _start_event="phase_start", _end_event="phase_end"
+        )
 
 
 class EngineMetrics:
@@ -228,7 +293,11 @@ class EngineMetrics:
                 f"mean acceptance {self.mean_acceptance_rate * 100:.1f}%, "
                 f"longest plateau {self.search_plateau_max}"
             )
-        for name, seconds in self.phase_seconds.items():
+        # Hottest phase first: sorted descending by wall time (ties by
+        # name) so the line that matters leads, not insertion order.
+        for name, seconds in sorted(
+            self.phase_seconds.items(), key=lambda item: (-item[1], item[0])
+        ):
             lines.append(f"phase {name}: {seconds:.2f}s")
         if self.fallbacks:
             lines.append(f"serial fallbacks: {self.fallbacks}")

@@ -54,7 +54,12 @@ from .cache import ResultCache
 from .events import EngineMetrics, EventBus
 from .faults import WRONG_RESULT, FaultPlan, InjectedCrash, InjectedFault, corrupt_result, enact
 from .keys import digest, evaluation_key, simulator_id
-from .resilience import ResultIntegrityError, RetryPolicy, validate_result
+from .resilience import (
+    ResultIntegrityError,
+    RetryPolicy,
+    failure_reason,
+    validate_result,
+)
 
 T = TypeVar("T")
 U = TypeVar("U")
@@ -118,21 +123,61 @@ def _evaluate_task(
     return result
 
 
+def _worker_record(submit_ts: float, start_ts: float, seconds: float) -> dict:
+    """The timing facts a traced worker task ships back to the parent.
+
+    Workers cannot reach the parent's bus, so traced task variants
+    return ``(value, record)`` and the parent emits the ``task_span``
+    event — with span ids allocated parent-side in harvest order, so
+    trace topology stays deterministic.  ``queue_wait_s`` compares two
+    wall clocks on the same machine (submit in parent, start in
+    worker), which is exactly the pool's dispatch latency.
+    """
+    return {
+        "worker_pid": os.getpid(),
+        "start_ts": start_ts,
+        "seconds": seconds,
+        "queue_wait_s": max(start_ts - submit_ts, 0.0),
+    }
+
+
+def _evaluate_chunk_traced(
+    payload: tuple[Sequence[Pair], float],
+) -> tuple[list[SimResult], dict]:
+    """Traced variant of :func:`_evaluate_chunk`: results + timing record."""
+    pairs, submit_ts = payload
+    start_ts = time.time()
+    t0 = time.perf_counter()
+    results = _evaluate_chunk(pairs)
+    return results, _worker_record(submit_ts, start_ts, time.perf_counter() - t0)
+
+
+def _evaluate_task_traced(
+    payload: tuple[tuple[WorkloadProfile, Any, str, int, FaultPlan | None], float],
+) -> tuple[SimResult, dict]:
+    """Traced variant of :func:`_evaluate_task`: result + timing record.
+
+    A failing attempt raises before any record exists — the parent's
+    ``retry`` event already covers failed attempts.
+    """
+    task, submit_ts = payload
+    start_ts = time.time()
+    t0 = time.perf_counter()
+    result = _evaluate_task(task)
+    return result, _worker_record(submit_ts, start_ts, time.perf_counter() - t0)
+
+
+def _map_call_traced(payload: tuple[Callable, Any, float]) -> tuple[Any, dict]:
+    """Traced variant of one :meth:`EvaluationEngine.map` call."""
+    fn, item, submit_ts = payload
+    start_ts = time.time()
+    t0 = time.perf_counter()
+    value = fn(item)
+    return value, _worker_record(submit_ts, start_ts, time.perf_counter() - t0)
+
+
 def _chunked(items: Sequence[T], size: int) -> list[Sequence[T]]:
     return [items[i : i + size] for i in range(0, len(items), size)]
-
-
-def _failure_reason(exc: BaseException) -> str:
-    """Short event-payload label for one retryable failure."""
-    if isinstance(exc, InjectedCrash):
-        return "crash"
-    if isinstance(exc, InjectedFault):
-        return "hang"
-    if isinstance(exc, ResultIntegrityError):
-        return "integrity"
-    if isinstance(exc, FuturesTimeout):
-        return "timeout"
-    return "pool"
 
 
 class EvaluationEngine:
@@ -278,6 +323,9 @@ class EvaluationEngine:
         if not pairs:
             return []
         with self._interrupt_guard():
+            if self.events.tracing:
+                with self.events.span("batch", kind="batch", size=len(pairs)):
+                    return self._evaluate_many(pairs)
             return self._evaluate_many(pairs)
 
     def _evaluate_many(self, pairs: Sequence[Pair]) -> list[SimResult]:
@@ -336,18 +384,37 @@ class EvaluationEngine:
         results: dict[int, U] = {}
         attempts = [0] * n
         pending = list(range(n))
+        traced = self.events.tracing
         while pending:
             executor = self._ensure_executor()
             if executor is None:
                 for i in pending:
                     results[i] = fn(items[i])
                 break
-            futures = self._submit_all(executor, [(i, fn, (items[i],)) for i in pending])
+            submit_ts = time.time()
+            futures = self._submit_all(
+                executor,
+                [
+                    (i, _map_call_traced, ((fn, items[i], submit_ts),))
+                    if traced
+                    else (i, fn, (items[i],))
+                    for i in pending
+                ],
+            )
             if futures is None:
                 continue
+
+            def accept_map(i: int, outcome: Any) -> None:
+                if traced:
+                    value, record = outcome
+                    self._emit_task_span("map", record, key=f"map:{i}")
+                else:
+                    value = outcome
+                results[i] = value
+
             failed, pool_death = self._collect(
                 futures,
-                lambda i, value: results.__setitem__(i, value),
+                accept_map,
                 key_of=lambda i: f"map:{i}",
             )
             if failed is None:  # unpicklable mid-flight: finish serially
@@ -363,6 +430,23 @@ class EvaluationEngine:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+
+    def _emit_task_span(self, name: str, record: dict, **extra: Any) -> None:
+        """Stitch one worker-measured task into the parent's trace.
+
+        Called at harvest time, in deterministic (submission) order, so
+        span ids and parentage match across runs; only the timing fields
+        inside ``record`` vary.
+        """
+        self.events.emit(
+            "task_span",
+            name=name,
+            span=self.events.next_span_id(),
+            parent=self.events.current_span,
+            trace=self.events.trace_id,
+            **record,
+            **extra,
+        )
 
     @contextmanager
     def _interrupt_guard(self) -> Iterator[None]:
@@ -422,7 +506,7 @@ class EvaluationEngine:
             "retry",
             key=key,
             attempt=next_attempt,
-            reason=_failure_reason(exc),
+            reason=failure_reason(exc),
             delay_s=delay,
         )
         if delay > 0:
@@ -464,12 +548,24 @@ class EvaluationEngine:
         beyond the budget the engine degrades to serial.
         """
         chunk = max(1, -(-len(pairs) // (self.workers * 4)))
+        traced = self.events.tracing
         while True:
             executor = self._ensure_executor()
             if executor is None:
                 break
             try:
-                chunks = list(executor.map(_evaluate_chunk, _chunked(pairs, chunk)))
+                if traced:
+                    submit_ts = time.time()
+                    work = [(c, submit_ts) for c in _chunked(pairs, chunk)]
+                    outcomes = list(executor.map(_evaluate_chunk_traced, work))
+                    chunks = []
+                    for (batch_results, record), (batch_pairs, _) in zip(outcomes, work):
+                        self._emit_task_span(
+                            "chunk", record, items=len(batch_pairs)
+                        )
+                        chunks.append(batch_results)
+                else:
+                    chunks = list(executor.map(_evaluate_chunk, _chunked(pairs, chunk)))
             except (pickle.PicklingError, AttributeError, TypeError) as exc:
                 self._fall_back(f"parallel execution failed ({exc}); retrying serially")
                 break
@@ -505,6 +601,7 @@ class EvaluationEngine:
         results: dict[int, SimResult] = {}
         attempts = [0] * n
         pending = list(range(n))
+        traced = self.events.tracing
         while pending:
             executor = self._ensure_executor()
             if executor is None:
@@ -514,13 +611,20 @@ class EvaluationEngine:
                         profile, config, keys[i], start_attempt=attempts[i]
                     )
                 break
+            submit_ts = time.time()
             futures = self._submit_all(
                 executor,
                 [
                     (
                         i,
-                        _evaluate_task,
-                        ((pairs[i][0], pairs[i][1], keys[i], attempts[i], self.faults),),
+                        _evaluate_task_traced if traced else _evaluate_task,
+                        (
+                            ((pairs[i][0], pairs[i][1], keys[i], attempts[i], self.faults),
+                             submit_ts)
+                            if traced
+                            else (pairs[i][0], pairs[i][1], keys[i], attempts[i],
+                                  self.faults),
+                        ),
                     )
                     for i in pending
                 ],
@@ -528,7 +632,14 @@ class EvaluationEngine:
             if futures is None:
                 continue
 
-            def accept(i: int, result: SimResult) -> None:
+            def accept(i: int, outcome: Any) -> None:
+                if traced:
+                    result, record = outcome
+                    self._emit_task_span(
+                        "task", record, key=keys[i], attempt=attempts[i]
+                    )
+                else:
+                    result = outcome
                 results[i] = validate_result(pairs[i][0], result)
 
             failed, pool_death = self._collect(
@@ -642,7 +753,7 @@ class EvaluationEngine:
                 "retry",
                 key=key_of(i),
                 attempt=attempts[i],
-                reason=_failure_reason(exc),
+                reason=failure_reason(exc),
                 delay_s=delay,
             )
             still_pending.append(i)

@@ -30,16 +30,39 @@ from __future__ import annotations
 
 import math
 import os
+from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass
 from pathlib import Path
 
 from ..errors import EngineError
 from ..sim.metrics import SimResult
+from .faults import InjectedCrash, InjectedFault
 from .keys import unit_draw
 
 
 class ResultIntegrityError(EngineError):
     """A simulator returned a result that fails integrity validation."""
+
+
+def failure_reason(exc: BaseException) -> str:
+    """Classify one retryable failure for event payloads and journals.
+
+    The taxonomy lives here, next to the retry policy that consumes it,
+    so every emitter (pool retries, serial retries, telemetry) labels
+    the same exception the same way: ``crash`` (worker died), ``hang``
+    (injected stall), ``integrity`` (result failed validation),
+    ``timeout`` (per-task deadline), ``pool`` (anything else the pool
+    surfaced).
+    """
+    if isinstance(exc, InjectedCrash):
+        return "crash"
+    if isinstance(exc, InjectedFault):
+        return "hang"
+    if isinstance(exc, ResultIntegrityError):
+        return "integrity"
+    if isinstance(exc, FuturesTimeout):
+        return "timeout"
+    return "pool"
 
 
 @dataclass(frozen=True)

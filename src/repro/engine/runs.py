@@ -13,6 +13,7 @@ A run directory contains::
     <run-dir>/
       manifest.json   # versioned run manifest (see RunManifest)
       lock.json       # exclusive lock: PID + host + heartbeat mtime
+      events.jsonl    # durable event journal (see repro.engine.telemetry)
       state/          # engine state: result cache, checkpoints
       artifacts/      # final outputs (tables, report JSON)
 
@@ -69,6 +70,7 @@ from .io_atomic import (
 )
 from .keys import digest
 from .resilience import quarantine_file
+from .telemetry import JOURNAL_FILE
 
 #: Bump when the manifest layout changes incompatibly.
 MANIFEST_VERSION = 1
@@ -491,6 +493,16 @@ class RunDirectory:
     @property
     def artifact_dir(self) -> Path:
         return self.path / ARTIFACT_DIR
+
+    @property
+    def journal_path(self) -> Path:
+        """The run's durable event journal (``events.jsonl``).
+
+        Lives at the run root, next to the manifest — deliberately
+        outside ``state/``/``artifacts/`` so terminal transitions never
+        checksum it (a resume legitimately appends to it).
+        """
+        return self.path / JOURNAL_FILE
 
     # -- manifest persistence -------------------------------------------
 

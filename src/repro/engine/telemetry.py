@@ -1,0 +1,676 @@
+"""Durable telemetry: the run journal, metrics registry and heartbeat.
+
+Everything the engine announces on its :class:`~repro.engine.events.EventBus`
+evaporates at process exit; this module makes the announcement durable
+and measurable, so a three-hour pipeline run can be debugged *after* it
+finished (or crashed):
+
+* :class:`RunJournal` — an append-only JSONL journal of every bus event,
+  one line per event with a monotonic sequence number and wall-clock
+  timestamp.  Appends are flushed per line (a SIGKILL loses at most the
+  line in flight), rotation is size-capped (``events.jsonl`` →
+  ``events.jsonl.1`` …), and reopening a journal — a resumed run —
+  recovers the last sequence number so numbering stays monotonic across
+  attempts.  Storage failures degrade (warn once, keep computing),
+  mirroring the manifest/cache tiers.
+* :class:`MetricsRegistry` / :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` — a minimal metrics surface with log-scale
+  histogram buckets, exportable as JSON or Prometheus textfile format
+  (the ``--metrics-out`` flag).
+* :class:`TelemetryCollector` — the standard registry wiring over one
+  bus: evaluation counts, cache hit/miss, batch sizes, per-task
+  evaluation latency and queue wait (from the pool's ``task_span``
+  events), phase durations, retries, search timings.
+* :class:`ProgressLine` — a lightweight single-line TTY heartbeat
+  (``\\r``-rewritten, rate-limited) so interactive runs show progress
+  without scrolling; inert on non-TTY streams.
+
+Analysis of a written journal lives in :mod:`repro.engine.trace` (the
+``repro trace`` CLI).  Telemetry is strictly passive: attaching or
+detaching any of these subscribers never changes computed results.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import math
+import os
+import re
+import sys
+import time
+from pathlib import Path
+from typing import Any, Iterable, TextIO
+
+from .events import EventBus
+from .io_atomic import is_storage_error, write_text_atomic
+
+#: Journal file name inside a run directory.
+JOURNAL_FILE = "events.jsonl"
+
+#: Default journal rotation threshold (per file, not total).
+DEFAULT_ROTATE_BYTES = 32 * 1024 * 1024
+
+_ROTATED_RE = re.compile(r"\.(\d+)$")
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort JSON fallback: telemetry must never raise on payloads."""
+    return repr(value)
+
+
+# ----------------------------------------------------------------------
+# the durable event journal
+# ----------------------------------------------------------------------
+
+
+def journal_files(path: str | Path) -> list[Path]:
+    """Every file of one journal, oldest first (rotations then current).
+
+    ``path`` is the current journal file (``events.jsonl``); rotated
+    predecessors are ``events.jsonl.1``, ``events.jsonl.2``, … in
+    rotation order.
+    """
+    path = Path(path)
+    rotated = []
+    if path.parent.exists():
+        for candidate in path.parent.iterdir():
+            if not candidate.name.startswith(path.name + "."):
+                continue
+            match = _ROTATED_RE.search(candidate.name)
+            if match is not None:
+                rotated.append((int(match.group(1)), candidate))
+    files = [p for _, p in sorted(rotated)]
+    if path.exists():
+        files.append(path)
+    return files
+
+
+class RunJournal:
+    """Append-only JSONL journal of one run's event stream.
+
+    Parameters
+    ----------
+    path:
+        The journal file (conventionally ``<run-dir>/events.jsonl``).
+        If it (or a rotated predecessor) already exists, sequence
+        numbering continues from the last recorded event — a killed and
+        resumed run yields one coherent journal.
+    rotate_bytes:
+        Size cap per journal file; exceeding it rotates the current file
+        to ``<name>.<n>`` and starts a fresh one (sequence numbers keep
+        counting — rotation is invisible to readers).
+
+    Use :meth:`attach` to subscribe it to a bus (this also flips the
+    bus's ``tracing`` flag on, telling the pool to ship per-task span
+    telemetry home from workers), and :meth:`close` to flush and fsync.
+    """
+
+    def __init__(
+        self, path: str | Path, rotate_bytes: int = DEFAULT_ROTATE_BYTES
+    ) -> None:
+        self.path = Path(path)
+        self.rotate_bytes = max(int(rotate_bytes), 4096)
+        self._handle: TextIO | None = None
+        self._size = 0
+        self._degraded = False
+        self._bus: EventBus | None = None
+        self._seq = self._recover_seq()
+
+    # -- recovery -------------------------------------------------------
+
+    def _recover_seq(self) -> int:
+        """Last sequence number already on disk (0 for a fresh journal)."""
+        for file_path in reversed(journal_files(self.path)):
+            seq = _last_seq_in(file_path)
+            if seq is not None:
+                return seq
+        return 0
+
+    @property
+    def seq(self) -> int:
+        """The last sequence number written (0 before any event)."""
+        return self._seq
+
+    @property
+    def degraded(self) -> bool:
+        """True once storage failed and the journal stopped writing."""
+        return self._degraded
+
+    # -- wiring ---------------------------------------------------------
+
+    def attach(self, bus: EventBus) -> "RunJournal":
+        """Subscribe to ``bus`` and enable fine-grained tracing on it."""
+        self._bus = bus
+        bus.subscribe(self._on_event)
+        bus.tracing = True
+        return self
+
+    def detach(self) -> None:
+        """Unsubscribe from the bus (tracing stays as-is) and flush."""
+        if self._bus is not None:
+            self._bus.unsubscribe(self._on_event)
+            self._bus = None
+        self.close()
+
+    # -- writing --------------------------------------------------------
+
+    def _on_event(self, event: str, payload: dict) -> None:
+        self.append(event, payload)
+
+    def append(self, event: str, payload: dict | None = None) -> None:
+        """Append one event as a JSON line (no-op once degraded)."""
+        if self._degraded:
+            return
+        record: dict[str, Any] = {
+            "seq": self._seq + 1,
+            "ts": round(time.time(), 6),
+            "event": event,
+        }
+        for key, value in (payload or {}).items():
+            if key not in record:
+                record[key] = value
+        line = json.dumps(record, separators=(",", ":"), default=_jsonable) + "\n"
+        try:
+            if self._size + len(line) > self.rotate_bytes and self._size > 0:
+                self._rotate()
+            handle = self._ensure_handle()
+            handle.write(line)
+            handle.flush()
+        except OSError as exc:
+            self._degrade(exc)
+            return
+        self._seq += 1
+        self._size += len(line)
+
+    def _ensure_handle(self) -> TextIO:
+        if self._handle is None or self._handle.closed:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+            self._size = self._handle.tell()
+        return self._handle
+
+    def _rotate(self) -> None:
+        """Move the full journal aside and start a fresh file."""
+        if self._handle is not None and not self._handle.closed:
+            self._handle.close()
+        self._handle = None
+        existing = journal_files(self.path)
+        next_index = len([p for p in existing if p != self.path]) + 1
+        os.replace(self.path, self.path.with_name(f"{self.path.name}.{next_index}"))
+        self._size = 0
+
+    def _degrade(self, exc: OSError) -> None:
+        """Storage went away: stop journaling, warn once, keep the run."""
+        self._degraded = True
+        try:
+            if self._handle is not None and not self._handle.closed:
+                self._handle.close()
+        except OSError:
+            pass
+        self._handle = None
+        reason = f"journal append failed ({exc}); telemetry disabled for this run"
+        print(f"warning: {reason}", file=sys.stderr)
+        if self._bus is not None and is_storage_error(exc):
+            # Safe reentrancy: degraded is already set, so the journal
+            # skips its own storage_degraded event.
+            self._bus.emit(
+                "storage_degraded", tier="journal", path=str(self.path), reason=reason
+            )
+
+    def sync(self) -> None:
+        """Flush and fsync the journal (called at checkpoints/close)."""
+        if self._handle is None or self._handle.closed:
+            return
+        try:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        """Flush, fsync and close the journal file (idempotent)."""
+        self.sync()
+        if self._handle is not None and not self._handle.closed:
+            try:
+                self._handle.close()
+            except OSError:
+                pass
+        self._handle = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def _last_seq_in(path: Path) -> int | None:
+    """The last parsable event's ``seq`` in one journal file, if any.
+
+    Reads only the file's tail; tolerates a torn final line (the crash
+    case journals exist for) by falling back to earlier lines.
+    """
+    try:
+        size = path.stat().st_size
+        with open(path, "rb") as handle:
+            handle.seek(max(0, size - 65536))
+            tail = handle.read().decode("utf-8", errors="replace")
+    except OSError:
+        return None
+    for line in reversed(tail.splitlines()):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+            seq = record.get("seq")
+            if isinstance(seq, int):
+                return seq
+        except ValueError:
+            continue
+    return None
+
+
+# ----------------------------------------------------------------------
+# metrics: counters, gauges, log-scale histograms
+# ----------------------------------------------------------------------
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease ({amount})")
+        self.value += amount
+
+    def to_jsonable(self) -> dict[str, Any]:
+        return {"kind": self.kind, "help": self.help, "value": self.value}
+
+    def render_prometheus(self) -> str:
+        return f"{self.name} {_fmt_num(self.value)}\n"
+
+
+class Gauge:
+    """A value that can go up and down (last write wins)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def to_jsonable(self) -> dict[str, Any]:
+        return {"kind": self.kind, "help": self.help, "value": self.value}
+
+    def render_prometheus(self) -> str:
+        return f"{self.name} {_fmt_num(self.value)}\n"
+
+
+def log_buckets(
+    low: float = 1e-6, high: float = 1e3, per_decade: int = 2
+) -> list[float]:
+    """Logarithmically spaced bucket upper bounds spanning [low, high]."""
+    if low <= 0 or high <= low or per_decade < 1:
+        raise ValueError("log_buckets needs 0 < low < high and per_decade >= 1")
+    steps = int(round(math.log10(high / low) * per_decade))
+    return [round(low * 10 ** (i / per_decade), 12) for i in range(steps + 1)]
+
+
+class Histogram:
+    """A log-scale-bucketed distribution (latency-shaped by default).
+
+    Buckets are cumulative upper bounds (Prometheus ``le`` semantics);
+    observations above the last bound land only in ``+Inf`` (the total
+    count).  ``sum``/``count``/``min``/``max`` are tracked exactly.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, help: str = "", buckets: Iterable[float] | None = None
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.bounds = sorted(set(buckets)) if buckets is not None else log_buckets()
+        self.counts = [0] * len(self.bounds)
+        self.count = 0
+        self.sum = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        if not math.isfinite(value):
+            return
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                break
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_jsonable(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": {_fmt_num(b): c for b, c in zip(self.bounds, self.counts)},
+        }
+
+    def render_prometheus(self) -> str:
+        lines = []
+        cumulative = 0
+        for bound, count in zip(self.bounds, self.counts):
+            cumulative += count
+            lines.append(
+                f'{self.name}_bucket{{le="{_fmt_num(bound)}"}} {cumulative}'
+            )
+        lines.append(f'{self.name}_bucket{{le="+Inf"}} {self.count}')
+        lines.append(f"{self.name}_sum {_fmt_num(self.sum)}")
+        lines.append(f"{self.name}_count {self.count}")
+        return "\n".join(lines) + "\n"
+
+
+def _fmt_num(value: float) -> str:
+    """Compact numeric rendering (integers without a trailing ``.0``)."""
+    if isinstance(value, float) and value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+class MetricsRegistry:
+    """A named collection of metrics with JSON and Prometheus export."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Any] = {}
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, Counter, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, Gauge, help)
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Iterable[float] | None = None
+    ) -> Histogram:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = Histogram(name, help, buckets=buckets)
+            self._metrics[name] = metric
+        elif not isinstance(metric, Histogram):
+            raise ValueError(f"metric {name!r} is a {metric.kind}, not a histogram")
+        return metric
+
+    def _get_or_create(self, name: str, cls: type, help: str) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, help)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise ValueError(f"metric {name!r} is a {metric.kind}, not a {cls.kind}")
+        return metric
+
+    def __iter__(self):
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def get(self, name: str) -> Any:
+        return self._metrics.get(name)
+
+    def to_jsonable(self) -> dict[str, Any]:
+        return {name: metric.to_jsonable() for name, metric in self._metrics.items()}
+
+    def render_prometheus(self) -> str:
+        """Prometheus textfile-collector format (HELP/TYPE + samples)."""
+        out = io.StringIO()
+        for name, metric in self._metrics.items():
+            if metric.help:
+                out.write(f"# HELP {name} {metric.help}\n")
+            out.write(f"# TYPE {name} {metric.kind}\n")
+            out.write(metric.render_prometheus())
+        return out.getvalue()
+
+    def write(self, path: str | Path) -> Path:
+        """Persist the registry: ``.json`` paths get JSON, others
+        Prometheus textfile format (atomic write either way)."""
+        path = Path(path)
+        if path.suffix == ".json":
+            text = json.dumps(self.to_jsonable(), indent=2, default=_jsonable) + "\n"
+        else:
+            text = self.render_prometheus()
+        return write_text_atomic(path, text)
+
+
+# ----------------------------------------------------------------------
+# the standard collector: bus events -> metrics
+# ----------------------------------------------------------------------
+
+
+class TelemetryCollector:
+    """Populate a :class:`MetricsRegistry` from one bus's event stream.
+
+    The counter set mirrors :class:`~repro.engine.events.EngineMetrics`
+    (which stays the ``--stats`` renderer); the histograms are what the
+    odometer cannot express — evaluation latency, queue wait, batch
+    size, phase duration, search move latency.
+    """
+
+    def __init__(
+        self, bus: EventBus | None = None, registry: MetricsRegistry | None = None
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        r = self.registry
+        self._evaluations = r.counter(
+            "repro_evaluations_total", "Fresh simulator invocations"
+        )
+        self._cache_hits = r.counter(
+            "repro_cache_hits_total", "Result-cache lookups served from cache"
+        )
+        self._cache_misses = r.counter(
+            "repro_cache_misses_total", "Result-cache lookups that simulated"
+        )
+        self._batches = r.counter(
+            "repro_batches_total", "evaluate_many batch dispatches"
+        )
+        self._retries = r.counter("repro_retries_total", "Evaluation retries")
+        self._timeouts = r.counter(
+            "repro_task_timeouts_total", "Tasks that overran the per-task deadline"
+        )
+        self._pool_restarts = r.counter(
+            "repro_pool_restarts_total", "Worker-pool rebuilds"
+        )
+        self._searches = r.counter(
+            "repro_search_runs_total", "Design-space searches completed"
+        )
+        self._checkpoints = r.counter(
+            "repro_checkpoints_total", "Checkpoint saves"
+        )
+        self._batch_size = r.histogram(
+            "repro_batch_size",
+            "Pairs requested per evaluate_many batch",
+            buckets=[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096],
+        )
+        self._eval_latency = r.histogram(
+            "repro_eval_latency_seconds",
+            "Per-task evaluation latency measured inside workers",
+        )
+        self._queue_wait = r.histogram(
+            "repro_queue_wait_seconds",
+            "Delay between batch submission and task start in a worker",
+        )
+        self._phase_seconds = r.histogram(
+            "repro_phase_seconds", "Wall time per completed phase"
+        )
+        self._search_seconds = r.histogram(
+            "repro_search_seconds", "Wall time per design-space search"
+        )
+        self._move_latency = r.histogram(
+            "repro_search_move_latency_seconds",
+            "Mean per-move latency of timed searches",
+        )
+        if bus is not None:
+            bus.subscribe(self.on_event)
+
+    def on_event(self, event: str, payload: dict) -> None:
+        if event == "evaluation":
+            self._evaluations.inc(payload.get("count", 1))
+        elif event == "cache_hit":
+            self._cache_hits.inc(payload.get("count", 1))
+        elif event == "cache_miss":
+            self._cache_misses.inc(payload.get("count", 1))
+        elif event == "batch":
+            self._batches.inc()
+            self._batch_size.observe(payload.get("size", 0))
+        elif event == "retry":
+            self._retries.inc()
+        elif event == "task_timeout":
+            self._timeouts.inc()
+        elif event == "pool_restart":
+            self._pool_restarts.inc()
+        elif event == "checkpoint":
+            self._checkpoints.inc()
+        elif event == "phase_end":
+            self._phase_seconds.observe(payload.get("seconds", 0.0))
+        elif event == "task_span":
+            seconds = payload.get("seconds")
+            if seconds is not None:
+                # A chunk span covers `items` evaluations; record the
+                # per-evaluation latency so jobs=1 and jobs=N histograms
+                # measure the same thing.
+                items = max(int(payload.get("items", 1) or 1), 1)
+                self._eval_latency.observe(seconds / items)
+            wait = payload.get("queue_wait_s")
+            if wait is not None:
+                self._queue_wait.observe(max(float(wait), 0.0))
+        elif event == "search_run":
+            self._searches.inc()
+            seconds = payload.get("seconds")
+            if seconds is not None:
+                self._search_seconds.observe(seconds)
+                moves = max(int(payload.get("moves", 0) or 0), 1)
+                self._move_latency.observe(seconds / moves)
+        elif event == "strategy_timing":
+            seconds = payload.get("seconds")
+            if seconds is not None:
+                self._search_seconds.observe(seconds)
+                moves = max(int(payload.get("moves", 0) or 0), 1)
+                self._move_latency.observe(seconds / moves)
+
+
+# ----------------------------------------------------------------------
+# TTY heartbeat
+# ----------------------------------------------------------------------
+
+
+class ProgressLine:
+    """A rate-limited, single-line progress heartbeat for TTYs.
+
+    Subscribes to a bus and rewrites one ``\\r``-terminated stderr line
+    (current phase, evaluation count, cache hit rate, elapsed time) at
+    most every ``interval`` seconds.  On a non-TTY stream every update
+    is suppressed, so batch logs and tests never see it.  Call
+    :meth:`close` to clear the line before normal output resumes.
+    """
+
+    def __init__(
+        self,
+        bus: EventBus,
+        stream: TextIO | None = None,
+        interval: float = 0.5,
+    ) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.interval = interval
+        self._started = time.monotonic()
+        self._last_write = 0.0
+        self._phase = ""
+        self._evaluations = 0
+        self._hits = 0
+        self._lookups = 0
+        self._dirty = False
+        self._width = 0
+        self._bus = bus
+        bus.subscribe(self._on_event)
+
+    def _enabled(self) -> bool:
+        try:
+            return self.stream.isatty()
+        except (AttributeError, ValueError):
+            return False
+
+    @property
+    def active(self) -> bool:
+        """True when the stream is a TTY (updates will actually render)."""
+        return self._enabled()
+
+    def _on_event(self, event: str, payload: dict) -> None:
+        if event == "phase_start":
+            self._phase = payload.get("name", "")
+        elif event == "evaluation":
+            self._evaluations += payload.get("count", 1)
+        elif event == "cache_hit":
+            count = payload.get("count", 1)
+            self._hits += count
+            self._lookups += count
+        elif event == "cache_miss":
+            self._lookups += count if (count := payload.get("count", 1)) else 0
+        self._maybe_render()
+
+    def _maybe_render(self) -> None:
+        if not self._enabled():
+            return
+        now = time.monotonic()
+        if now - self._last_write < self.interval:
+            return
+        self._last_write = now
+        elapsed = now - self._started
+        rate = f"{self._hits / self._lookups * 100:.0f}%" if self._lookups else "-"
+        line = (
+            f"[{self._phase or 'run'}] evals {self._evaluations} | "
+            f"cache {rate} | {elapsed:.0f}s"
+        )
+        pad = max(self._width - len(line), 0)
+        self._width = len(line)
+        try:
+            self.stream.write("\r" + line + " " * pad)
+            self.stream.flush()
+        except OSError:
+            pass
+        self._dirty = True
+
+    def close(self) -> None:
+        """Clear the heartbeat line and unsubscribe."""
+        self._bus.unsubscribe(self._on_event)
+        if self._dirty and self._enabled():
+            try:
+                self.stream.write("\r" + " " * self._width + "\r")
+                self.stream.flush()
+            except OSError:
+                pass
+        self._dirty = False

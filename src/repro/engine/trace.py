@@ -1,0 +1,504 @@
+"""Post-hoc trace analysis: read a run journal, answer "where did the time go".
+
+The write side lives in :mod:`repro.engine.telemetry` (the
+:class:`~repro.engine.telemetry.RunJournal`); this module is the read
+side, backing the ``repro trace`` CLI:
+
+* :func:`read_events` — stream a journal (current file plus rotated
+  predecessors, torn lines skipped) as dicts;
+* :func:`summarize` / :class:`TraceSummary` — per-phase wall-time
+  totals, evaluation/cache counters, per-workload search breakdowns,
+  resume-attempt accounting and sequence-number integrity;
+* :func:`slowest_tasks` — the top-N slowest evaluations/tasks by
+  worker-measured latency;
+* :func:`critical_path` — the chain of nested spans that dominated the
+  run's wall clock;
+* :func:`chrome_trace` — export to Chrome/Perfetto trace-event JSON
+  (load in ``chrome://tracing`` or https://ui.perfetto.dev).
+
+Everything here is read-only and tolerant: a journal truncated by a
+crash, or mid-write at copy time, still analyzes — bad lines are
+counted, not fatal.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+from ..errors import ReproError
+from .telemetry import JOURNAL_FILE, journal_files
+
+
+class TraceError(ReproError):
+    """A journal could not be located or yielded no events."""
+
+
+def resolve_journal(target: str | Path) -> Path:
+    """Map a run directory or journal path to the journal file itself."""
+    target = Path(target)
+    if target.is_dir():
+        candidate = target / JOURNAL_FILE
+        if not candidate.exists() and not journal_files(candidate):
+            raise TraceError(
+                f"{target} has no {JOURNAL_FILE}; was the run started with "
+                "--run-dir or --journal? (see docs/observability.md)"
+            )
+        return candidate
+    if not target.exists() and not journal_files(target):
+        raise TraceError(f"no journal at {target}")
+    return target
+
+
+def read_events(target: str | Path) -> Iterator[dict]:
+    """Stream every parsable event of a journal, oldest first.
+
+    ``target`` may be a run directory, the current journal file, or any
+    rotated segment's base name.  Unparsable lines (torn by a crash) are
+    skipped silently — :func:`summarize` counts them via sequence gaps.
+    """
+    journal = resolve_journal(target)
+    for file_path in journal_files(journal):
+        try:
+            with open(file_path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        continue
+                    if isinstance(record, dict) and "event" in record:
+                        yield record
+        except OSError:
+            continue
+
+
+# ----------------------------------------------------------------------
+# summary
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class SearchTrace:
+    """Aggregate of one workload's ``search_run`` events."""
+
+    workload: str
+    runs: int = 0
+    evaluations: int = 0
+    moves: int = 0
+    best_score: float = 0.0
+    strategies: set[str] = field(default_factory=set)
+
+
+@dataclass
+class TraceSummary:
+    """Everything ``repro trace summary`` prints, structured."""
+
+    events: int = 0
+    first_ts: float | None = None
+    last_ts: float | None = None
+    attempts: int = 0  # distinct trace ids == run attempts (resumes + 1)
+    seq_first: int | None = None
+    seq_last: int | None = None
+    monotonic: bool = True
+    evaluations: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    batches: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    pool_restarts: int = 0
+    checkpoints: int = 0
+    fallbacks: int = 0
+    task_spans: int = 0
+    task_seconds: float = 0.0
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    searches: dict[str, SearchTrace] = field(default_factory=dict)
+    counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def wall_seconds(self) -> float:
+        if self.first_ts is None or self.last_ts is None:
+            return 0.0
+        return max(self.last_ts - self.first_ts, 0.0)
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def to_jsonable(self) -> dict[str, Any]:
+        return {
+            "events": self.events,
+            "attempts": self.attempts,
+            "wall_seconds": self.wall_seconds,
+            "seq_first": self.seq_first,
+            "seq_last": self.seq_last,
+            "monotonic": self.monotonic,
+            "evaluations": self.evaluations,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "hit_rate": self.hit_rate,
+            "batches": self.batches,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "pool_restarts": self.pool_restarts,
+            "checkpoints": self.checkpoints,
+            "fallbacks": self.fallbacks,
+            "task_spans": self.task_spans,
+            "task_seconds": self.task_seconds,
+            "phase_seconds": dict(self.phase_seconds),
+            "searches": {
+                name: {
+                    "runs": s.runs,
+                    "evaluations": s.evaluations,
+                    "moves": s.moves,
+                    "best_score": s.best_score,
+                    "strategies": sorted(s.strategies),
+                }
+                for name, s in self.searches.items()
+            },
+            "event_counts": dict(self.counts),
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"events: {self.events} over {self.wall_seconds:.2f}s wall "
+            f"({self.attempts} attempt{'s' if self.attempts != 1 else ''}, "
+            f"seq {self.seq_first}..{self.seq_last}, "
+            f"{'monotonic' if self.monotonic else 'NON-MONOTONIC'})",
+            f"evaluations: {self.evaluations} simulated, "
+            f"{self.cache_hits} cache hits "
+            f"({self.hit_rate * 100:.1f}% hit rate), {self.batches} batches",
+        ]
+        if self.task_spans:
+            lines.append(
+                f"worker tasks: {self.task_spans} spans, "
+                f"{self.task_seconds:.2f}s in-worker time"
+            )
+        if self.retries or self.timeouts or self.pool_restarts or self.fallbacks:
+            lines.append(
+                f"resilience: {self.retries} retries, {self.timeouts} timeouts, "
+                f"{self.pool_restarts} pool restarts, "
+                f"{self.fallbacks} serial fallbacks"
+            )
+        if self.checkpoints:
+            lines.append(f"checkpoints: {self.checkpoints}")
+        for name, seconds in sorted(
+            self.phase_seconds.items(), key=lambda item: (-item[1], item[0])
+        ):
+            lines.append(f"phase {name}: {seconds:.2f}s")
+        if self.searches:
+            lines.append("searches:")
+            for name in sorted(self.searches):
+                s = self.searches[name]
+                strategies = ",".join(sorted(s.strategies)) or "?"
+                lines.append(
+                    f"  {name}: {s.runs} runs ({strategies}), "
+                    f"{s.evaluations} evaluations, best {s.best_score:.2f}"
+                )
+        return "\n".join(lines)
+
+
+def summarize(events: Iterable[dict]) -> TraceSummary:
+    """Fold an event stream into a :class:`TraceSummary` (single pass)."""
+    summary = TraceSummary()
+    traces_seen: set[str] = set()
+    previous_seq: int | None = None
+    for record in events:
+        summary.events += 1
+        name = record.get("event", "?")
+        summary.counts[name] = summary.counts.get(name, 0) + 1
+        ts = record.get("ts")
+        if isinstance(ts, (int, float)):
+            if summary.first_ts is None:
+                summary.first_ts = float(ts)
+            summary.last_ts = float(ts)
+        seq = record.get("seq")
+        if isinstance(seq, int):
+            if summary.seq_first is None:
+                summary.seq_first = seq
+            summary.seq_last = seq
+            if previous_seq is not None and seq <= previous_seq:
+                summary.monotonic = False
+            previous_seq = seq
+        trace = record.get("trace")
+        if isinstance(trace, str):
+            traces_seen.add(trace)
+
+        if name == "evaluation":
+            summary.evaluations += record.get("count", 1)
+        elif name == "cache_hit":
+            summary.cache_hits += record.get("count", 1)
+        elif name == "cache_miss":
+            summary.cache_misses += record.get("count", 1)
+        elif name == "batch":
+            summary.batches += 1
+        elif name == "retry":
+            summary.retries += 1
+        elif name == "task_timeout":
+            summary.timeouts += 1
+        elif name == "pool_restart":
+            summary.pool_restarts += 1
+        elif name == "checkpoint":
+            summary.checkpoints += 1
+        elif name == "fallback":
+            summary.fallbacks += 1
+        elif name == "phase_end":
+            phase = record.get("name", "?")
+            summary.phase_seconds[phase] = summary.phase_seconds.get(
+                phase, 0.0
+            ) + float(record.get("seconds", 0.0))
+        elif name == "task_span":
+            summary.task_spans += 1
+            summary.task_seconds += float(record.get("seconds", 0.0) or 0.0)
+        elif name == "search_run":
+            workload = record.get("workload", "?")
+            entry = summary.searches.setdefault(workload, SearchTrace(workload))
+            entry.runs += 1
+            entry.evaluations += int(record.get("evaluations", 0) or 0)
+            entry.moves += int(record.get("moves", 0) or 0)
+            entry.best_score = max(
+                entry.best_score, float(record.get("best_score", 0.0) or 0.0)
+            )
+            strategy = record.get("strategy")
+            if isinstance(strategy, str):
+                entry.strategies.add(strategy)
+    summary.attempts = len(traces_seen) if traces_seen else (1 if summary.events else 0)
+    return summary
+
+
+# ----------------------------------------------------------------------
+# slowest tasks
+# ----------------------------------------------------------------------
+
+
+def slowest_tasks(events: Iterable[dict], top: int = 10) -> list[dict]:
+    """The ``top`` slowest task/worker spans, slowest first.
+
+    Sort key is worker-measured seconds; ties break on sequence number
+    so the order is reproducible for one journal.
+    """
+    tasks = [
+        record
+        for record in events
+        if record.get("event") == "task_span" and record.get("seconds") is not None
+    ]
+    tasks.sort(key=lambda r: (-float(r["seconds"]), r.get("seq", 0)))
+    return tasks[: max(top, 0)]
+
+
+def render_slowest(tasks: list[dict]) -> str:
+    if not tasks:
+        return "no task spans in this journal (serial run, or tracing was off)"
+    lines = [f"{'seconds':>9}  {'wait':>7}  {'pid':>7}  task"]
+    for record in tasks:
+        wait = record.get("queue_wait_s")
+        label = record.get("name", "task")
+        key = record.get("key")
+        if key:
+            label = f"{label} {key}"
+        items = record.get("items")
+        if items and items != 1:
+            label += f" ({items} items)"
+        lines.append(
+            f"{float(record['seconds']):9.4f}  "
+            f"{f'{float(wait):7.4f}' if wait is not None else '      -'}  "
+            f"{record.get('worker_pid', '-'):>7}  {label}"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# span tree and critical path
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class SpanNode:
+    """One reconstructed span (phase, batch, search or worker task)."""
+
+    span: str
+    name: str
+    kind: str
+    parent: str | None
+    seconds: float = 0.0
+    start_ts: float | None = None
+    children: list["SpanNode"] = field(default_factory=list)
+
+
+def build_span_tree(events: Iterable[dict]) -> list[SpanNode]:
+    """Reconstruct the span forest of a journal (roots returned).
+
+    Spans arrive as ``phase_start``/``phase_end``, ``span_start``/
+    ``span_end`` and point-like ``task_span`` events; an end without a
+    start (rotated-away head) synthesizes its node.  Parent links that
+    point at spans from another attempt (a resume) fall back to roots.
+    """
+    nodes: dict[str, SpanNode] = {}
+    order: list[str] = []
+
+    def ensure(record: dict) -> SpanNode | None:
+        span = record.get("span")
+        if not isinstance(span, str):
+            return None
+        # A resumed run reuses span ids under a new trace id; qualify.
+        trace = record.get("trace")
+        key = f"{trace}/{span}" if isinstance(trace, str) else span
+        node = nodes.get(key)
+        if node is None:
+            parent = record.get("parent")
+            parent_key = (
+                f"{trace}/{parent}"
+                if isinstance(trace, str) and isinstance(parent, str)
+                else parent
+            )
+            node = SpanNode(
+                span=key,
+                name=record.get("name", "?"),
+                kind=record.get("kind", "span"),
+                parent=parent_key if isinstance(parent_key, str) else None,
+                start_ts=record.get("ts"),
+            )
+            nodes[key] = node
+            order.append(key)
+        return node
+
+    for record in events:
+        event = record.get("event")
+        if event in ("phase_start", "span_start"):
+            ensure(record)
+        elif event in ("phase_end", "span_end"):
+            node = ensure(record)
+            if node is not None:
+                node.seconds += float(record.get("seconds", 0.0) or 0.0)
+        elif event == "task_span":
+            node = ensure(record)
+            if node is not None:
+                node.kind = "task"
+                node.seconds += float(record.get("seconds", 0.0) or 0.0)
+
+    roots: list[SpanNode] = []
+    for key in order:
+        node = nodes[key]
+        parent = nodes.get(node.parent) if node.parent is not None else None
+        if parent is not None and parent is not node:
+            parent.children.append(node)
+        else:
+            roots.append(node)
+    return roots
+
+
+def critical_path(events: Iterable[dict]) -> list[SpanNode]:
+    """The root-to-leaf chain of spans with the largest wall time.
+
+    At each level the child with the most recorded seconds is followed —
+    the answer to "which nesting of phases dominated this run".
+    """
+    roots = build_span_tree(events)
+    if not roots:
+        return []
+    path: list[SpanNode] = []
+    node = max(roots, key=lambda n: n.seconds)
+    while node is not None:
+        path.append(node)
+        node = max(node.children, key=lambda n: n.seconds, default=None)
+    return path
+
+
+def render_critical_path(path: list[SpanNode]) -> str:
+    if not path:
+        return "no spans in this journal"
+    total = path[0].seconds
+    lines = [f"critical path ({total:.2f}s at the root):"]
+    for depth, node in enumerate(path):
+        share = node.seconds / total * 100 if total > 0 else 0.0
+        lines.append(
+            f"{'  ' * depth}{node.name} [{node.kind}] "
+            f"{node.seconds:.2f}s ({share:.0f}%)"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# export
+# ----------------------------------------------------------------------
+
+
+def chrome_trace(events: Iterable[dict]) -> dict[str, Any]:
+    """Chrome trace-event JSON for a journal (complete 'X' events).
+
+    Wall-clock timestamps anchor each span's end; the worker-measured
+    duration places its start.  Worker task spans carry their worker
+    pid as ``tid`` so per-worker lanes render separately.
+    """
+    trace_events: list[dict[str, Any]] = []
+    pid = 1
+    for record in events:
+        event = record.get("event")
+        ts = record.get("ts")
+        if not isinstance(ts, (int, float)):
+            continue
+        micros = float(ts) * 1e6
+        if event in ("phase_end", "span_end"):
+            seconds = float(record.get("seconds", 0.0) or 0.0)
+            trace_events.append(
+                {
+                    "name": record.get("name", "?"),
+                    "cat": record.get("kind", "span"),
+                    "ph": "X",
+                    "ts": micros - seconds * 1e6,
+                    "dur": seconds * 1e6,
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"span": record.get("span"), "seq": record.get("seq")},
+                }
+            )
+        elif event == "task_span":
+            seconds = float(record.get("seconds", 0.0) or 0.0)
+            start = record.get("start_ts")
+            start_us = (
+                float(start) * 1e6
+                if isinstance(start, (int, float))
+                else micros - seconds * 1e6
+            )
+            trace_events.append(
+                {
+                    "name": record.get("name", "task"),
+                    "cat": "task",
+                    "ph": "X",
+                    "ts": start_us,
+                    "dur": seconds * 1e6,
+                    "pid": pid,
+                    "tid": record.get("worker_pid", 0),
+                    "args": {
+                        "key": record.get("key"),
+                        "queue_wait_s": record.get("queue_wait_s"),
+                        "seq": record.get("seq"),
+                    },
+                }
+            )
+        elif event in ("retry", "task_timeout", "pool_restart", "checkpoint",
+                       "fallback", "quarantine", "storage_degraded",
+                       "lock_takeover", "search_run"):
+            trace_events.append(
+                {
+                    "name": event,
+                    "cat": "event",
+                    "ph": "i",
+                    "s": "g",
+                    "ts": micros,
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {
+                        k: v
+                        for k, v in record.items()
+                        if k not in ("event", "ts")
+                    },
+                }
+            )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}

@@ -171,6 +171,30 @@ def run_pipeline(
             budget=budget,
             restarts=restarts,
         )
+    events = explorer.engine.events
+    if events.tracing:
+        # Root span over the whole pipeline: the explore/cross-seed/
+        # cross-matrix phases nest under it, giving `repro trace
+        # critical-path` a single root covering the run.
+        with events.span("pipeline", kind="pipeline", seed=seed,
+                         iterations=iterations):
+            return _pipeline_body(
+                profiles, seed, cross_seed_rounds, cache_dir, resume, explorer
+            )
+    return _pipeline_body(
+        profiles, seed, cross_seed_rounds, cache_dir, resume, explorer
+    )
+
+
+def _pipeline_body(
+    profiles: list[WorkloadProfile],
+    seed: int,
+    cross_seed_rounds: int,
+    cache_dir: str | Path | None,
+    resume: bool,
+    explorer: XpScalar,
+) -> PipelineResult:
+    """The pipeline proper (exploration → characterization → matrix)."""
     checkpoint = (
         CheckpointManager(
             Path(cache_dir) / CHECKPOINT_FILE, events=explorer.engine.events

@@ -228,7 +228,18 @@ class ClockSweep:
                         (self, profile, clock, derive_seed(seed, index=i))
                         for i, clock in batch
                     ]
-                    for (index, clock), point in zip(batch, engine.map(_sweep_task, tasks)):
+                    if engine.events.tracing:
+                        # Give the batch's worker task spans a meaningful
+                        # parent carrying the grid points it covers.
+                        with engine.events.span(
+                            "sweep-batch",
+                            kind="search",
+                            clocks=[clock for _, clock in batch],
+                        ):
+                            outcomes = engine.map(_sweep_task, tasks)
+                    else:
+                        outcomes = engine.map(_sweep_task, tasks)
+                    for (index, clock), point in zip(batch, outcomes):
                         points[index] = point
                         self._emit_search(profile, point)
                     if checkpoint is not None and len(points) < len(clocks):

@@ -27,6 +27,7 @@ The main entry points:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -296,12 +297,22 @@ class XpScalar:
         fans restarts through the engine pool.)
 
         Emits a ``search_run`` convergence-diagnostics event on the
-        engine bus.
+        engine bus (carrying the search's wall time; under a tracing
+        bus the whole search is additionally bracketed as a span).
         """
-        result = self._customize_quiet(
-            profile, seed=seed, initial=initial, restarts=restarts
-        )
-        self._emit_search(result)
+        started = time.perf_counter()
+        if self.engine.events.tracing:
+            with self.engine.events.span(
+                f"customize:{profile.name}", kind="search"
+            ):
+                result = self._customize_quiet(
+                    profile, seed=seed, initial=initial, restarts=restarts
+                )
+        else:
+            result = self._customize_quiet(
+                profile, seed=seed, initial=initial, restarts=restarts
+            )
+        self._emit_search(result, seconds=time.perf_counter() - started)
         return result
 
     def _customize_quiet(
@@ -365,14 +376,25 @@ class XpScalar:
             annealing=outcome,
         )
 
-    def _emit_search(self, result: ExplorationResult) -> None:
-        """Publish one run's convergence diagnostics on the engine bus."""
+    def _emit_search(
+        self, result: ExplorationResult, seconds: float | None = None
+    ) -> None:
+        """Publish one run's convergence diagnostics on the engine bus.
+
+        ``seconds`` is the search's wall time when the caller measured
+        it (direct :meth:`customize` calls); results harvested from
+        worker processes carry no timing, so the key is simply absent —
+        telemetry treats it as optional.
+        """
         if result.annealing is None:
             return
         diagnostics = SearchDiagnostics.from_result(
             self.strategy.name, result.workload, result.annealing
         )
-        self.engine.events.emit("search_run", **diagnostics.payload())
+        payload = diagnostics.payload()
+        if seconds is not None:
+            payload["seconds"] = seconds
+        self.engine.events.emit("search_run", **payload)
 
     def customize_all(
         self,

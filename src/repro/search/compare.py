@@ -185,6 +185,17 @@ def compare_strategies(
             diagnostics = SearchDiagnostics.from_result(
                 name, profile.name, result.annealing
             )
+            # Mirror the row into the event stream: a journaled
+            # search-compare run is analyzable post-hoc (repro trace)
+            # without --stats or the JSON artifact.
+            xp.engine.events.emit(
+                "strategy_timing",
+                strategy=name,
+                benchmark=profile.name,
+                seconds=seconds,
+                moves=diagnostics.moves,
+                evaluations=diagnostics.evaluations,
+            )
             rows.append(
                 CompareRow(
                     strategy=name,

@@ -1,0 +1,406 @@
+"""Telemetry: bus hardening, spans, the run journal, metrics registry."""
+
+import io
+import json
+
+import pytest
+
+from repro.engine import (
+    EvaluationEngine,
+    EventBus,
+    MetricsRegistry,
+    ProgressLine,
+    RunJournal,
+    TelemetryCollector,
+    journal_files,
+)
+from repro.engine.events import EngineMetrics
+from repro.engine.telemetry import Histogram, log_buckets
+from repro.workloads import spec2000_profile
+
+
+def recorder(bus):
+    """Subscribe a list-collector; returns the list of (event, payload)."""
+    seen = []
+    bus.subscribe(lambda event, payload: seen.append((event, dict(payload))))
+    return seen
+
+
+class TestEmitIsolation:
+    def test_raising_subscriber_does_not_break_delivery(self, capsys):
+        bus = EventBus()
+
+        def sick(event, payload):
+            raise RuntimeError("boom")
+
+        bus.subscribe(sick)
+        seen = recorder(bus)
+        bus.emit("evaluation", count=1)
+        bus.emit("evaluation", count=2)
+        # The healthy subscriber saw every event despite the sick one.
+        assert [p["count"] for _, p in seen] == [1, 2]
+
+    def test_warns_once_per_subscriber(self, capsys):
+        bus = EventBus()
+        bus.subscribe(lambda e, p: (_ for _ in ()).throw(ValueError("x")))
+        for _ in range(5):
+            bus.emit("tick")
+        err = capsys.readouterr().err
+        assert err.count("warning: event subscriber") == 1
+
+    def test_unsubscribe_during_emit_is_safe(self):
+        bus = EventBus()
+        seen = []
+
+        def once(event, payload):
+            seen.append(event)
+            bus.unsubscribe(once)
+
+        bus.subscribe(once)
+        after = recorder(bus)
+        bus.emit("first")
+        bus.emit("second")
+        # The self-removing subscriber fired exactly once; the later
+        # subscriber was still delivered both events.
+        assert seen == ["first"]
+        assert [e for e, _ in after] == ["first", "second"]
+
+
+class TestSpans:
+    def test_phase_keeps_legacy_event_names(self):
+        bus = EventBus()
+        seen = recorder(bus)
+        with bus.phase("explore"):
+            pass
+        assert [e for e, _ in seen] == ["phase_start", "phase_end"]
+        assert seen[0][1]["kind"] == "phase"
+        assert seen[1][1]["seconds"] >= 0.0
+
+    def test_nested_spans_parent_automatically(self):
+        bus = EventBus()
+        seen = recorder(bus)
+        with bus.span("outer") as outer_id:
+            assert bus.current_span == outer_id
+            with bus.span("inner") as inner_id:
+                assert bus.current_span == inner_id
+        assert bus.current_span is None
+        starts = {p["name"]: p for e, p in seen if e == "span_start"}
+        assert starts["outer"]["parent"] is None
+        assert starts["inner"]["parent"] == starts["outer"]["span"]
+        assert starts["inner"]["trace"] == bus.trace_id
+
+    def test_span_ids_are_stable_in_program_order(self):
+        ids = []
+        for _ in range(2):
+            bus = EventBus()
+            with bus.span("a") as a:
+                with bus.span("b") as b:
+                    ids.append((a, b))
+            with bus.span("c") as c:
+                ids[-1] += (c,)
+        assert ids[0] == ids[1] == ("s00001", "s00002", "s00003")
+
+
+class TestEngineMetrics:
+    def test_snapshot_json_round_trip(self):
+        bus = EventBus()
+        metrics = EngineMetrics(bus)
+        bus.emit("evaluation", count=3)
+        bus.emit("cache_hit", count=2)
+        with bus.phase("explore"):
+            pass
+        bus.emit(
+            "search_run",
+            strategy="anneal",
+            workload="gzip",
+            evaluations=10,
+            plateau=4,
+            acceptance_rate=0.5,
+        )
+        snap = metrics.snapshot()
+        restored = json.loads(json.dumps(snap))
+        assert restored == snap
+        assert restored["evaluations"] == 3
+        assert restored["searches_by_strategy"] == {"anneal": 1}
+        # A snapshot is a copy, not a view.
+        bus.emit("evaluation", count=1)
+        assert snap["evaluations"] == 3
+
+    def test_summary_orders_phases_by_descending_wall_time(self):
+        metrics = EngineMetrics()
+        metrics.phase_seconds = {"fast": 0.2, "slow": 5.0, "mid": 1.5}
+        lines = [l for l in metrics.summary().splitlines() if l.startswith("phase ")]
+        assert lines == ["phase slow: 5.00s", "phase mid: 1.50s", "phase fast: 0.20s"]
+
+    def test_summary_breaks_phase_ties_by_name(self):
+        metrics = EngineMetrics()
+        metrics.phase_seconds = {"b": 1.0, "a": 1.0}
+        lines = [l for l in metrics.summary().splitlines() if l.startswith("phase ")]
+        assert lines == ["phase a: 1.00s", "phase b: 1.00s"]
+
+
+class TestRunJournal:
+    def test_appends_jsonl_with_monotonic_seq(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with RunJournal(path) as journal:
+            journal.append("alpha", {"x": 1})
+            journal.append("beta", {"y": "z"})
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [l["seq"] for l in lines] == [1, 2]
+        assert lines[0]["event"] == "alpha" and lines[0]["x"] == 1
+        assert all("ts" in l for l in lines)
+
+    def test_reopen_continues_sequence(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with RunJournal(path) as journal:
+            for i in range(5):
+                journal.append("tick", {"i": i})
+        resumed = RunJournal(path)
+        assert resumed.seq == 5
+        resumed.append("resumed")
+        resumed.close()
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [l["seq"] for l in lines] == [1, 2, 3, 4, 5, 6]
+
+    def test_reopen_tolerates_torn_final_line(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with RunJournal(path) as journal:
+            journal.append("tick")
+            journal.append("tick")
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"seq":3,"ts":1.0,"eve')  # SIGKILL mid-write
+        resumed = RunJournal(path)
+        assert resumed.seq == 2
+        resumed.append("after-crash")
+        resumed.close()
+
+    def test_rotation_keeps_counting(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        journal = RunJournal(path, rotate_bytes=4096)
+        for i in range(200):
+            journal.append("tick", {"pad": "x" * 64, "i": i})
+        journal.close()
+        files = journal_files(path)
+        assert len(files) > 1
+        seqs = []
+        for file_path in files:
+            for line in file_path.read_text().splitlines():
+                seqs.append(json.loads(line)["seq"])
+        assert seqs == list(range(1, 201))
+
+    def test_attach_enables_tracing_and_journals_events(self, tmp_path):
+        bus = EventBus()
+        assert bus.tracing is False
+        path = tmp_path / "events.jsonl"
+        journal = RunJournal(path).attach(bus)
+        assert bus.tracing is True
+        bus.emit("evaluation", count=1)
+        journal.close()
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines[0]["event"] == "evaluation"
+
+    def test_unjsonable_payload_degrades_to_repr(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with RunJournal(path) as journal:
+            journal.append("odd", {"obj": object()})
+        record = json.loads(path.read_text())
+        assert "object object" in record["obj"]
+
+    def test_storage_failure_degrades_without_raising(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        bus = EventBus()
+        seen = recorder(bus)
+        journal = RunJournal(path).attach(bus)
+        journal.append("before")
+
+        class Broken:
+            closed = False
+
+            def write(self, line):
+                raise OSError(28, "No space left on device")
+
+            def close(self):
+                pass
+
+        journal._handle = Broken()
+        bus.emit("during")  # journal write fails here
+        bus.emit("after")  # journal is a silent no-op from now on
+        assert journal.degraded
+        assert "telemetry disabled" in capsys.readouterr().err
+        degraded = [p for e, p in seen if e == "storage_degraded"]
+        assert degraded and degraded[0]["tier"] == "journal"
+
+
+class TestMetricsRegistry:
+    def test_counter_and_gauge(self):
+        registry = MetricsRegistry()
+        c = registry.counter("repro_things_total", "things")
+        c.inc()
+        c.inc(2)
+        assert registry.counter("repro_things_total").value == 3
+        with pytest.raises(ValueError):
+            c.inc(-1)
+        g = registry.gauge("repro_level")
+        g.set(5)
+        g.inc(-2)
+        assert g.value == 3
+
+    def test_type_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+
+    def test_log_buckets_span_decades(self):
+        bounds = log_buckets(1e-3, 1e0, per_decade=1)
+        assert bounds == pytest.approx([1e-3, 1e-2, 1e-1, 1e0])
+        with pytest.raises(ValueError):
+            log_buckets(0, 1)
+
+    def test_histogram_buckets_and_stats(self):
+        h = Histogram("lat", buckets=[0.1, 1.0, 10.0])
+        for value in (0.05, 0.5, 5.0, 50.0):
+            h.observe(value)
+        assert h.count == 4
+        assert h.counts == [1, 1, 1]  # 50.0 only lands in +Inf
+        assert h.min == 0.05 and h.max == 50.0
+        assert h.mean == pytest.approx(55.55 / 4)
+        h.observe(float("nan"))  # ignored, never corrupts the sum
+        assert h.count == 4
+
+    def test_prometheus_rendering_is_cumulative(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("repro_lat_seconds", "latency", buckets=[1, 2])
+        h.observe(0.5)
+        h.observe(1.5)
+        h.observe(99.0)
+        text = registry.render_prometheus()
+        assert "# TYPE repro_lat_seconds histogram" in text
+        assert 'repro_lat_seconds_bucket{le="1"} 1' in text
+        assert 'repro_lat_seconds_bucket{le="2"} 2' in text
+        assert 'repro_lat_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_lat_seconds_count 3" in text
+
+    def test_write_json_and_prometheus(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("repro_evals_total", "evals").inc(7)
+        json_path = registry.write(tmp_path / "metrics.json")
+        data = json.loads(json_path.read_text())
+        assert data["repro_evals_total"]["value"] == 7
+        prom_path = registry.write(tmp_path / "metrics.prom")
+        assert "repro_evals_total 7" in prom_path.read_text()
+
+
+class TestTelemetryCollector:
+    def test_counts_core_events(self):
+        bus = EventBus()
+        collector = TelemetryCollector(bus)
+        bus.emit("evaluation", count=4)
+        bus.emit("cache_hit", count=2)
+        bus.emit("cache_miss", count=1)
+        bus.emit("batch", size=8, unique=4, hits=4)
+        bus.emit("retry", key="k", attempt=1, reason="crash", delay_s=0.0)
+        bus.emit("checkpoint", path="x")
+        r = collector.registry
+        assert r.get("repro_evaluations_total").value == 4
+        assert r.get("repro_cache_hits_total").value == 2
+        assert r.get("repro_batches_total").value == 1
+        assert r.get("repro_batch_size").count == 1
+        assert r.get("repro_retries_total").value == 1
+        assert r.get("repro_checkpoints_total").value == 1
+
+    def test_task_span_feeds_latency_per_evaluation(self):
+        bus = EventBus()
+        collector = TelemetryCollector(bus)
+        bus.emit("task_span", name="chunk", seconds=1.0, items=4, queue_wait_s=0.25)
+        latency = collector.registry.get("repro_eval_latency_seconds")
+        assert latency.count == 1
+        assert latency.sum == pytest.approx(0.25)  # 1s over 4 evaluations
+        wait = collector.registry.get("repro_queue_wait_seconds")
+        assert wait.sum == pytest.approx(0.25)
+
+    def test_timed_search_events_feed_histograms(self):
+        bus = EventBus()
+        collector = TelemetryCollector(bus)
+        bus.emit("search_run", strategy="anneal", workload="gzip", moves=10,
+                 seconds=2.0)
+        bus.emit("search_run", strategy="anneal", workload="mcf")  # untimed
+        bus.emit("strategy_timing", strategy="hillclimb", benchmark="gzip",
+                 seconds=1.0, moves=4, evaluations=9)
+        r = collector.registry
+        assert r.get("repro_search_runs_total").value == 2
+        assert r.get("repro_search_seconds").count == 2
+        assert r.get("repro_search_move_latency_seconds").sum == pytest.approx(
+            2.0 / 10 + 1.0 / 4
+        )
+
+
+class TestProgressLine:
+    def test_inert_on_non_tty(self):
+        bus = EventBus()
+        stream = io.StringIO()  # isatty() is False
+        heartbeat = ProgressLine(bus, stream=stream, interval=0.0)
+        assert heartbeat.active is False
+        bus.emit("phase_start", name="explore")
+        bus.emit("evaluation", count=10)
+        heartbeat.close()
+        assert stream.getvalue() == ""
+
+    def test_renders_on_tty(self):
+        class FakeTty(io.StringIO):
+            def isatty(self):
+                return True
+
+        bus = EventBus()
+        stream = FakeTty()
+        heartbeat = ProgressLine(bus, stream=stream, interval=0.0)
+        assert heartbeat.active is True
+        bus.emit("phase_start", name="explore")
+        bus.emit("evaluation", count=10)
+        bus.emit("cache_hit", count=5)
+        out = stream.getvalue()
+        assert "[explore]" in out and "evals 10" in out
+        heartbeat.close()
+        # Close clears the line and unsubscribes.
+        bus.emit("evaluation", count=99)
+        assert "evals 99" not in stream.getvalue().replace("\r", "")
+
+
+class TestWorkerSpanStitching:
+    @pytest.fixture()
+    def pairs(self, initial_config):
+        profiles = [spec2000_profile(n) for n in ("gzip", "mcf", "gcc", "vpr")]
+        configs = [initial_config, initial_config.replace(width=4)]
+        return [(p, c) for p in profiles for c in configs]
+
+    def test_batch_span_parents_worker_task_spans(self, pairs):
+        with EvaluationEngine(jobs=2, clamp_jobs=False) as engine:
+            engine.events.tracing = True
+            seen = recorder(engine.events)
+            engine.evaluate_many(pairs)
+        batch_spans = [p for e, p in seen if e == "span_start" and p["kind"] == "batch"]
+        tasks = [p for e, p in seen if e == "task_span"]
+        assert len(batch_spans) == 1
+        assert tasks, "pooled traced batch must emit worker task spans"
+        for task in tasks:
+            assert task["parent"] == batch_spans[0]["span"]
+            assert task["trace"] == engine.events.trace_id
+            assert task["worker_pid"] != 0
+            assert task["seconds"] >= 0.0
+            assert task["queue_wait_s"] >= 0.0
+
+    def test_tracing_does_not_change_results(self, pairs):
+        plain = EvaluationEngine(jobs=1).evaluate_many(pairs)
+        with EvaluationEngine(jobs=2, clamp_jobs=False) as engine:
+            engine.events.tracing = True
+            traced = engine.evaluate_many(pairs)
+        assert [r.ipt for r in plain] == [r.ipt for r in traced]
+
+    def test_serial_engine_emits_no_task_spans(self, pairs):
+        engine = EvaluationEngine(jobs=1)
+        engine.events.tracing = True
+        seen = recorder(engine.events)
+        engine.evaluate_many(pairs)
+        assert not [p for e, p in seen if e == "task_span"]

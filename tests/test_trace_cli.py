@@ -1,0 +1,163 @@
+"""The `repro trace` CLI and journal-backed post-hoc analysis."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.engine import EvaluationEngine, RunJournal
+from repro.engine import trace as trace_analysis
+from repro.search import SearchBudget
+from repro.search.compare import compare_strategies
+from repro.workloads import spec2000_profile
+
+
+@pytest.fixture(scope="module")
+def journal(tmp_path_factory):
+    """One journaled CLI run (small budget) shared by the read-only tests."""
+    path = tmp_path_factory.mktemp("trace") / "events.jsonl"
+    code = main(
+        [
+            "customize",
+            "gzip",
+            "mcf",
+            "--iterations",
+            "120",
+            "--seed",
+            "1",
+            "--journal",
+            str(path),
+        ]
+    )
+    assert code == 0
+    assert path.exists()
+    return path
+
+
+class TestTraceSummary:
+    def test_renders_totals(self, journal, capsys):
+        assert main(["trace", "summary", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "events:" in out and "1 attempt," in out
+        assert "monotonic" in out and "NON-MONOTONIC" not in out
+        assert "evaluations:" in out and "hit rate" in out
+        assert "phase " in out
+
+    def test_json_output(self, journal, capsys):
+        assert main(["trace", "summary", str(journal), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["attempts"] == 1
+        assert data["monotonic"] is True
+        assert data["evaluations"] > 0
+        assert data["seq_first"] == 1
+        assert data["event_counts"]["phase_end"] >= 1
+
+    def test_accepts_run_directory_target(self, journal, capsys):
+        # A directory containing events.jsonl resolves like a run dir.
+        assert main(["trace", "summary", str(journal.parent)]) == 0
+        assert "events:" in capsys.readouterr().out
+
+    def test_missing_journal_is_an_error(self, tmp_path, capsys):
+        assert main(["trace", "summary", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_empty_journal_is_an_error(self, tmp_path, capsys):
+        empty = tmp_path / "events.jsonl"
+        empty.write_text("")
+        assert main(["trace", "summary", str(empty)]) == 1
+        assert "no events" in capsys.readouterr().err
+
+
+class TestTraceSlowestAndCriticalPath:
+    def test_slowest_on_serial_journal(self, journal, capsys):
+        assert main(["trace", "slowest", str(journal)]) == 0
+        out = capsys.readouterr().out
+        # A serial run ships no worker task spans; the CLI says so
+        # instead of printing an empty table.
+        assert "no task spans" in out
+
+    def test_critical_path_has_a_root(self, journal, capsys):
+        assert main(["trace", "critical-path", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "[phase]" in out or "[search]" in out
+
+
+class TestTraceExport:
+    def test_export_to_file(self, journal, tmp_path, capsys):
+        out_path = tmp_path / "nested" / "trace.json"
+        assert main(["trace", "export", str(journal), "--out", str(out_path)]) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["traceEvents"]
+        phases = [e for e in payload["traceEvents"] if e["cat"] == "phase"]
+        assert phases and all(e["ph"] == "X" for e in phases)
+        assert "wrote" in capsys.readouterr().out
+
+    def test_export_to_stdout(self, journal, capsys):
+        assert main(["trace", "export", str(journal)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["displayTimeUnit"] == "ms"
+
+
+class TestJournalMatchesEngineMetrics:
+    def test_phase_totals_match_stats_within_rounding(self, tmp_path, initial_config):
+        path = tmp_path / "events.jsonl"
+        engine = EvaluationEngine()
+        journal = RunJournal(path).attach(engine.events)
+        pairs = [
+            (spec2000_profile(n), initial_config) for n in ("gzip", "mcf", "twolf")
+        ]
+        with engine.phase("explore"):
+            engine.evaluate_many(pairs)
+        with engine.phase("cross-matrix"):
+            engine.evaluate_many(pairs)  # warm: all hits
+        journal.close()
+
+        summary = trace_analysis.summarize(trace_analysis.read_events(path))
+        assert summary.phase_seconds.keys() == engine.metrics.phase_seconds.keys()
+        for name, seconds in engine.metrics.phase_seconds.items():
+            assert summary.phase_seconds[name] == pytest.approx(seconds, abs=1e-6)
+        assert summary.evaluations == engine.metrics.evaluations
+        assert summary.cache_hits == engine.metrics.cache_hits
+        assert summary.batches == engine.metrics.batches
+
+    def test_resumed_journal_counts_two_attempts(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        for _ in range(2):  # two "attempts" = two processes' buses
+            engine = EvaluationEngine()
+            journal = RunJournal(path).attach(engine.events)
+            with engine.phase("explore"):
+                pass
+            journal.close()
+        summary = trace_analysis.summarize(trace_analysis.read_events(path))
+        assert summary.attempts == 2
+        assert summary.monotonic
+        assert summary.seq_first == 1 and summary.seq_last == summary.events
+
+
+class TestSearchDiagnosticsInJournal:
+    def test_search_compare_is_traceable_without_stats(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        engine = EvaluationEngine()
+        journal = RunJournal(path).attach(engine.events)
+        compare_strategies(
+            [spec2000_profile("gzip")],
+            engine=engine,
+            iterations=60,
+            seed=7,
+            restarts=2,
+            budget=SearchBudget(max_evaluations=150),
+        )
+        journal.close()
+        events = list(trace_analysis.read_events(path))
+        names = {e["event"] for e in events}
+        assert "search_run" in names
+        assert "strategy_timing" in names
+        timings = [e for e in events if e["event"] == "strategy_timing"]
+        for timing in timings:
+            assert timing["benchmark"] == "gzip"
+            assert timing["seconds"] >= 0.0
+            assert timing["moves"] >= 0
+        summary = trace_analysis.summarize(events)
+        assert "gzip" in summary.searches
+        assert summary.searches["gzip"].strategies  # strategy names recorded
