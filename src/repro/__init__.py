@@ -22,7 +22,10 @@ The package rebuilds the paper's full stack in Python:
   exhaustive core-combination search, surrogate graphs, subsetting and
   K-means baselines, BPMST balancing and job-stream simulation;
 * :mod:`repro.experiments` — one driver per table and figure of the
-  paper, plus the end-to-end pipeline.
+  paper, plus the end-to-end pipeline;
+* :mod:`repro.serve` — a long-running multi-tenant HTTP service
+  exposing explorations as asynchronous jobs over a shared result
+  store (``repro serve``).
 
 Quickstart::
 
@@ -37,6 +40,7 @@ from . import (
     engine,
     experiments,
     explore,
+    serve,
     sim,
     tech,
     uarch,
@@ -48,6 +52,7 @@ from .errors import (
     EngineError,
     ExplorationError,
     ReproError,
+    ServeError,
     TimingError,
     WorkloadError,
 )
@@ -60,6 +65,7 @@ __all__ = [
     "engine",
     "experiments",
     "explore",
+    "serve",
     "sim",
     "tech",
     "uarch",
@@ -69,6 +75,7 @@ __all__ = [
     "EngineError",
     "ExplorationError",
     "ReproError",
+    "ServeError",
     "TimingError",
     "WorkloadError",
     "__version__",

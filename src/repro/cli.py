@@ -333,6 +333,106 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "serve",
+        help="run the long-lived exploration service: submit jobs over "
+             "HTTP, stream progress as SSE, share one result store "
+             "across replicas (see docs/serve.md)",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default: 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8023,
+                   help="TCP port (default: 8023; 0 picks an ephemeral port)")
+    p.add_argument("--jobs", type=int, default=2, metavar="N",
+                   help="concurrent job slots / engine leases (default: 2)")
+    p.add_argument(
+        "--cache-backend", default="memory", metavar="SPEC",
+        help="shared result store: 'memory', 'sqlite:<file>', "
+             "'file:<dir>', or 'none' (default: memory; use one "
+             "sqlite:<file> across replicas to share results)",
+    )
+    p.add_argument(
+        "--tenant-budget", default=None, metavar="SPEC",
+        help="per-tenant limits, e.g. "
+             "'queued=16,running=2,evals=5000,moves=8000,patience=500'",
+    )
+    p.add_argument("--max-queued", type=int, default=64, metavar="N",
+                   help="global admission queue bound (default: 64)")
+    p.add_argument("--serve-dir", default=None, metavar="DIR",
+                   help="directory for per-job event journals "
+                        "(default: a temp dir)")
+    p.add_argument("--metrics-out", default=None, metavar="FILE",
+                   help="write the serve metrics registry on exit "
+                        "(Prometheus textfile, or JSON for .json paths)")
+
+    p = sub.add_parser(
+        "client",
+        help="talk to a running exploration service "
+             "(submit/status/result/watch/list)",
+    )
+    p.add_argument(
+        "--url", default=os.environ.get("REPRO_SERVE_URL", "http://127.0.0.1:8023"),
+        help="service base URL (default: $REPRO_SERVE_URL or "
+             "http://127.0.0.1:8023)",
+    )
+    client_sub = p.add_subparsers(dest="client_command", required=True)
+    sp = client_sub.add_parser("submit", help="submit one job")
+    sp.add_argument("kind",
+                    choices=["customize", "sweep", "cross-matrix", "search-compare"])
+    sp.add_argument("benchmark", nargs="+", choices=SPEC2000_INT_NAMES)
+    sp.add_argument("--iterations", type=int, default=None)
+    sp.add_argument("--seed", type=int, default=None)
+    sp.add_argument("--strategy", choices=strategy_names(), default=None)
+    sp.add_argument("--restarts", type=int, default=None)
+    sp.add_argument("--max-evals", type=int, default=None)
+    sp.add_argument("--max-moves", type=int, default=None)
+    sp.add_argument("--patience", type=int, default=None)
+    sp.add_argument("--clocks", type=float, nargs="+", default=None)
+    sp.add_argument("--strategies", nargs="+", choices=strategy_names(),
+                    default=None)
+    sp.add_argument("--tenant", default=None)
+    sp.add_argument("--wait", action="store_true",
+                    help="block until the job finishes and print its result")
+    sp.add_argument("--stream", action="store_true",
+                    help="stream progress events (SSE), then print the result")
+    sp = client_sub.add_parser("status", help="one job's state")
+    sp.add_argument("job_id")
+    sp = client_sub.add_parser("result", help="one finished job's result")
+    sp.add_argument("job_id")
+    sp = client_sub.add_parser(
+        "watch", help="stream a job's events (reconnects resume losslessly)"
+    )
+    sp.add_argument("job_id")
+    sp.add_argument("--after", type=int, default=0, metavar="SEQ",
+                    help="resume after this event sequence number")
+    client_sub.add_parser("list", help="every job the service knows")
+    client_sub.add_parser("health", help="service liveness")
+
+    p = sub.add_parser(
+        "serve-bench",
+        help="load-test a service (self-booted unless --url) and write "
+             "latency percentiles + cache-hit rate to BENCH_serve.json",
+    )
+    p.add_argument("--url", default=None,
+                   help="target an already-running service instead of "
+                        "booting one in-process")
+    p.add_argument("--jobs", type=int, default=12, metavar="N",
+                   help="total jobs to submit (default: 12)")
+    p.add_argument("--clients", type=int, default=4, metavar="N",
+                   help="concurrent client threads (default: 4)")
+    p.add_argument("--iterations", type=int, default=40, metavar="N",
+                   help="annealing iterations per job (default: 40)")
+    p.add_argument("--repeat-every", type=int, default=3, metavar="N",
+                   help="every Nth job repeats the first spec verbatim "
+                        "(default: 3)")
+    p.add_argument("--service-jobs", type=int, default=2, metavar="N",
+                   help="job slots for the self-booted service (default: 2)")
+    p.add_argument("--cache-backend", default=None, metavar="SPEC",
+                   help="backend for the self-booted service "
+                        "(default: sqlite under a temp dir)")
+    p.add_argument("--out", default="BENCH_serve.json", metavar="FILE",
+                   help="report path (default: BENCH_serve.json)")
+
+    p = sub.add_parser(
         "trace",
         help="analyze a run's event journal: where did the time go? "
              "(see docs/observability.md)",
@@ -855,6 +955,120 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the long-lived exploration service until SIGINT/SIGTERM."""
+    from .serve import ExplorationService, TenantPolicy
+
+    policy = (
+        TenantPolicy.parse(args.tenant_budget)
+        if args.tenant_budget is not None
+        else None
+    )
+    service = ExplorationService(
+        jobs=args.jobs,
+        cache_backend=args.cache_backend,
+        serve_dir=args.serve_dir,
+        tenant_policy=policy,
+        max_total_queued=args.max_queued,
+    )
+    shown = args.port if args.port else "<ephemeral>"
+    print(
+        f"repro serve on http://{args.host}:{shown} "
+        f"(jobs={args.jobs}, backend={args.cache_backend}) — "
+        "Ctrl-C or SIGTERM drains and exits"
+    )
+    exit_code = service.serve_forever(host=args.host, port=args.port)
+    if args.metrics_out is not None:
+        out = service.registry.write(pathlib.Path(args.metrics_out))
+        print(f"wrote {out}")
+    return exit_code
+
+
+def cmd_client(args) -> int:
+    """One-shot interactions with a running service."""
+    import json as _json
+
+    from .serve import ServeClient
+
+    client = ServeClient(args.url)
+    command = args.client_command
+    if command == "health":
+        print(_json.dumps(client.health(), indent=2))
+        return 0
+    if command == "list":
+        print(_json.dumps(client.list_jobs(), indent=2))
+        return 0
+    if command == "status":
+        print(_json.dumps(client.status(args.job_id), indent=2))
+        return 0
+    if command == "result":
+        print(_json.dumps(client.result(args.job_id), indent=2))
+        return 0
+    if command == "watch":
+        for event in client.events(args.job_id, after_seq=args.after):
+            print(_json.dumps(event))
+        return 0
+    # submit
+    payload = {"kind": args.kind, "benchmarks": args.benchmark}
+    optional = {
+        "iterations": args.iterations,
+        "seed": args.seed,
+        "strategy": args.strategy,
+        "restarts": args.restarts,
+        "max_evaluations": args.max_evals,
+        "max_moves": args.max_moves,
+        "plateau_patience": args.patience,
+        "clocks": args.clocks,
+        "strategies": args.strategies,
+        "tenant": args.tenant,
+    }
+    payload.update({key: value for key, value in optional.items() if value is not None})
+    submitted = client.submit(payload)
+    if args.stream:
+        for event in client.events(submitted["id"]):
+            print(_json.dumps(event))
+        print(_json.dumps(client.result(submitted["id"]), indent=2))
+    elif args.wait:
+        print(_json.dumps(client.wait(submitted["id"]), indent=2))
+    else:
+        print(_json.dumps(submitted, indent=2))
+    return 0
+
+
+def cmd_serve_bench(args) -> int:
+    """Load-test a service and write BENCH_serve.json."""
+    from .serve import run_load_test
+
+    report = run_load_test(
+        url=args.url,
+        total_jobs=args.jobs,
+        clients=args.clients,
+        iterations=args.iterations,
+        repeat_every=args.repeat_every,
+        service_jobs=args.service_jobs,
+        cache_backend=args.cache_backend,
+    )
+    out = report.write(args.out)
+    summary = report.to_jsonable()
+    latency = summary["latency_s"]
+    print(
+        f"{report.completed}/{report.jobs} jobs completed "
+        f"({report.failed} failed, {report.rejected} rejected) "
+        f"in {report.wall_seconds:.2f}s"
+    )
+    print(
+        f"latency p50={latency['p50']:.3f}s p95={latency['p95']:.3f}s "
+        f"p99={latency['p99']:.3f}s; cache hit rate "
+        f"{report.cache_hit_rate:.1%} ({report.cache_hits} hits)"
+    )
+    print(
+        f"repeated jobs served from the store: "
+        f"{report.repeated_with_zero_evaluations}/{report.repeated_jobs}"
+    )
+    print(f"wrote {out}")
+    return 0 if report.failed == 0 else 1
+
+
 _COMMANDS = {
     "customize": cmd_customize,
     "table": cmd_table,
@@ -867,6 +1081,9 @@ _COMMANDS = {
     "resume": cmd_resume,
     "runs": cmd_runs,
     "trace": cmd_trace,
+    "serve": cmd_serve,
+    "client": cmd_client,
+    "serve-bench": cmd_serve_bench,
 }
 
 

@@ -33,6 +33,18 @@ trace CLI.
 """
 
 from .cache import CacheStats, ResultCache
+from .cache_backends import (
+    CacheBackend,
+    CacheBackendError,
+    CacheCorruption,
+    CacheUnavailable,
+    DirectoryBackend,
+    MemoryBackend,
+    SQLiteBackend,
+    backend_names,
+    make_backend,
+    register_backend,
+)
 from .checkpoint import CheckpointManager
 from .events import EngineMetrics, EventBus
 from .io_atomic import (
@@ -102,6 +114,16 @@ from .serialize import (
 __all__ = [
     "CacheStats",
     "ResultCache",
+    "CacheBackend",
+    "CacheBackendError",
+    "CacheCorruption",
+    "CacheUnavailable",
+    "DirectoryBackend",
+    "MemoryBackend",
+    "SQLiteBackend",
+    "backend_names",
+    "make_backend",
+    "register_backend",
     "CheckpointManager",
     "EngineMetrics",
     "EventBus",

@@ -12,10 +12,13 @@ Two tiers:
 
 * an in-memory LRU front (bounded — annealing streams are mostly-unique,
   so an unbounded dict would grow without benefit);
-* an optional SQLite file behind it, so a cache survives processes and
-  can be shared across runs (``--cache-dir``).  SQLite is stdlib-only,
-  atomic, and tolerant of concurrent readers; writes are batched and
-  flushed on :meth:`close` / interpreter exit.
+* an optional persistent :class:`~repro.engine.cache_backends.CacheBackend`
+  behind it, so a cache survives processes and can be *shared* — across
+  runs (``--cache-dir``), across pool workers, and across `repro serve`
+  replicas pointing at one store.  The default backend is the historical
+  SQLite file (now WAL-journaled and busy-tolerant, safe for concurrent
+  sibling processes); ``memory`` and ``file:<dir>`` backends register in
+  :mod:`repro.engine.cache_backends`.
 
 The cache is strictly *content*-addressed: a hit is bit-identical to the
 simulation it replaces (see :mod:`repro.engine.serialize`), so cached and
@@ -25,22 +28,23 @@ The disk tier defends itself: every row carries a SHA-256 checksum of
 its payload, verified on load.  A row that fails its checksum (or no
 longer parses) is *quarantined* — deleted, counted, reported through the
 owner's ``on_quarantine`` hook — and treated as a miss, so the entry is
-simply re-simulated.  A database file corrupt beyond SQLite's tolerance
+simply re-simulated.  A store corrupt beyond the backend's tolerance
 is moved aside (``<file>.corrupt``) and the cache continues memory-only.
 A bad cache can cost time; it can never crash a run or alter a result.
 
-Unavailable storage is not corruption: a write failing with "disk is
-full" or on a read-only filesystem *degrades* the cache — the intact
-database file is left in place, the connection is closed, the
-``on_degrade`` hook is notified, and the cache continues memory-only.
-The next run (with space again) picks the file back up.
+Unavailable storage is not corruption: a backend raising
+:class:`~repro.engine.cache_backends.CacheUnavailable` (disk full,
+read-only filesystem, a sibling holding the database lock past the busy
+budget) *degrades* the cache — the intact store is left in place, the
+handle is closed, the ``on_degrade`` hook is notified, and the cache
+continues memory-only.  The next run (with space again) picks the store
+back up.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-import sqlite3
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -48,14 +52,16 @@ from typing import Callable
 
 from ..errors import EngineError
 from ..sim.metrics import SimResult
-from .resilience import quarantine_file
+from .cache_backends import (
+    CacheBackend,
+    CacheCorruption,
+    CacheUnavailable,
+    SQLiteBackend,
+)
 from .serialize import simresult_from_jsonable, simresult_to_jsonable
 
 #: Default bound on the in-memory tier.
 DEFAULT_MEMORY_ENTRIES = 65_536
-
-#: Disk writes are committed every this many puts (and on close).
-_FLUSH_EVERY = 512
 
 
 def _checksum(value: str) -> str:
@@ -84,62 +90,76 @@ class CacheStats:
         """Fraction of lookups served from cache (0.0 when never used)."""
         return self.hits / self.lookups if self.lookups else 0.0
 
+    def snapshot(self) -> dict[str, int]:
+        """Counter values as a plain dict (for delta accounting)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "disk_hits": self.disk_hits,
+            "evictions": self.evictions,
+            "quarantined": self.quarantined,
+            "degradations": self.degradations,
+        }
+
 
 @dataclass
 class ResultCache:
-    """Two-tier (memory + optional SQLite) store of :class:`SimResult`.
+    """Two-tier (memory + optional persistent) store of :class:`SimResult`.
 
     Parameters
     ----------
     path:
         SQLite file for the persistent tier; ``None`` keeps the cache
-        memory-only.  Parent directories are created on demand.
+        memory-only.  Parent directories are created on demand.  This is
+        shorthand for ``backend=SQLiteBackend(path)``.
     max_memory_entries:
         LRU bound of the memory tier (``0`` disables the bound).
+    backend:
+        An explicit :class:`CacheBackend` for the persistent tier
+        (mutually exclusive with ``path``).  Build one from a spec
+        string with :func:`repro.engine.cache_backends.make_backend`.
     """
 
     path: str | Path | None = None
     max_memory_entries: int = DEFAULT_MEMORY_ENTRIES
     stats: CacheStats = field(default_factory=CacheStats)
+    backend: CacheBackend | None = None
 
     def __post_init__(self) -> None:
         if self.max_memory_entries < 0:
             raise EngineError(
                 f"max_memory_entries cannot be negative: {self.max_memory_entries}"
             )
+        if self.path is not None and self.backend is not None:
+            raise EngineError("pass either path or backend, not both")
         self._memory: OrderedDict[str, SimResult] = OrderedDict()
-        self._conn: sqlite3.Connection | None = None
-        self._pending = 0
         #: Called as ``on_quarantine(key_or_path, reason)`` whenever
         #: corrupt disk state is isolated (the engine wires this to its
-        #: event bus).  ``"*"`` means the whole database file.
+        #: event bus).  ``"*"`` means the whole store.
         self.on_quarantine: Callable[[str, str], None] | None = None
         #: Called as ``on_degrade(reason)`` when the disk tier is dropped
         #: because storage became unavailable (disk full, read-only fs);
-        #: the database file itself is left intact.
+        #: the store itself is left intact.
         self.on_degrade: Callable[[str], None] | None = None
         if self.path is not None:
             self.path = Path(self.path)
             self.path.parent.mkdir(parents=True, exist_ok=True)
             try:
-                self._connect()
-            except sqlite3.DatabaseError as exc:
-                self._quarantine_database(f"unreadable database ({exc})")
-
-    def _connect(self) -> None:
-        assert isinstance(self.path, Path)
-        self._conn = sqlite3.connect(self.path)
-        self._conn.execute("PRAGMA journal_mode=WAL")
-        self._conn.execute(
-            "CREATE TABLE IF NOT EXISTS results ("
-            "key TEXT PRIMARY KEY, value TEXT NOT NULL, checksum TEXT)"
-        )
-        # Databases written before checksumming existed lack the column;
-        # add it in place (their rows verify as legacy, see get()).
-        columns = {row[1] for row in self._conn.execute("PRAGMA table_info(results)")}
-        if "checksum" not in columns:
-            self._conn.execute("ALTER TABLE results ADD COLUMN checksum TEXT")
-        self._conn.commit()
+                self.backend = SQLiteBackend(self.path)
+            except CacheUnavailable as exc:
+                self.backend = None
+                self._degrade(str(exc))
+            except CacheCorruption as exc:
+                self.backend = None
+                self._quarantine_store_file(self.path, str(exc))
+        elif self.backend is not None and not self.backend.persistent:
+            # A memory backend is just a second dict behind the LRU; the
+            # cache treats it as "no persistent tier" for stats purposes
+            # but still writes through, so conformance semantics hold.
+            pass
+        if self.backend is not None and self.path is None:
+            self.path = self.backend.location
 
     # ------------------------------------------------------------------
     # lookup / store
@@ -148,8 +168,8 @@ class ResultCache:
     def get(self, key: str) -> SimResult | None:
         """The cached result for ``key``, or ``None`` (counts a miss).
 
-        Disk rows are integrity-checked on load: a checksum mismatch or
-        unparseable payload quarantines the row (it is deleted and
+        Backend rows are integrity-checked on load: a checksum mismatch
+        or unparseable payload quarantines the row (it is deleted and
         reported, never returned) and the lookup counts as a miss.
         """
         hit = self._memory.get(key)
@@ -157,13 +177,14 @@ class ResultCache:
             self._memory.move_to_end(key)
             self.stats.hits += 1
             return hit
-        if self._conn is not None:
+        if self.backend is not None:
             try:
-                row = self._conn.execute(
-                    "SELECT value, checksum FROM results WHERE key = ?", (key,)
-                ).fetchone()
-            except sqlite3.DatabaseError as exc:
-                self._quarantine_database(f"database error on read ({exc})")
+                row = self.backend.get(key)
+            except CacheUnavailable as exc:
+                self._degrade(str(exc))
+                row = None
+            except CacheCorruption as exc:
+                self._quarantine_store(str(exc))
                 row = None
             if row is not None:
                 value, checksum = row
@@ -193,52 +214,27 @@ class ResultCache:
         if self.max_memory_entries and len(self._memory) > self.max_memory_entries:
             self._memory.popitem(last=False)
             self.stats.evictions += 1
-        if store and self._conn is not None:
+        if store and self.backend is not None:
             value = json.dumps(simresult_to_jsonable(result), separators=(",", ":"))
             try:
-                self._conn.execute(
-                    "INSERT OR REPLACE INTO results (key, value, checksum) "
-                    "VALUES (?, ?, ?)",
-                    (key, value, _checksum(value)),
-                )
-            except sqlite3.DatabaseError as exc:
-                self._dispose_disk_tier(exc, "write")
-                return
-            self._pending += 1
-            if self._pending >= _FLUSH_EVERY:
-                self.flush()
+                self.backend.put(key, value, _checksum(value))
+            except CacheUnavailable as exc:
+                self._degrade(str(exc))
+            except CacheCorruption as exc:
+                self._quarantine_store(str(exc))
 
     # ------------------------------------------------------------------
     # integrity
     # ------------------------------------------------------------------
 
-    #: ``sqlite3`` error-message fragments that mean "storage unavailable",
-    #: not "database corrupt" — these must never quarantine a healthy file.
-    _STORAGE_MESSAGES = (
-        "disk is full",
-        "readonly database",
-        "read-only",
-        "disk i/o error",
-        "unable to open database",
-    )
-
-    def _dispose_disk_tier(self, exc: sqlite3.DatabaseError, action: str) -> None:
-        """A failed disk write: degrade on sick storage, quarantine corruption."""
-        message = str(exc).lower()
-        if any(fragment in message for fragment in self._STORAGE_MESSAGES):
-            self._degrade(f"database {action} failed ({exc})")
-        else:
-            self._quarantine_database(f"database error on {action} ({exc})")
-
     def _degrade(self, reason: str) -> None:
-        """Drop the disk tier but keep its (intact) file; go memory-only."""
-        if self._conn is not None:
+        """Drop the disk tier but keep its (intact) store; go memory-only."""
+        if self.backend is not None:
             try:
-                self._conn.close()
-            except sqlite3.Error:
+                self.backend.close()
+            except (CacheUnavailable, CacheCorruption):
                 pass
-            self._conn = None
-        self._pending = 0
+            self.backend = None
         self.stats.degradations += 1
         if self.on_degrade is not None:
             self.on_degrade(reason)
@@ -250,26 +246,29 @@ class ResultCache:
 
     def _quarantine_row(self, key: str, reason: str) -> None:
         """Delete one corrupt row and carry on (the caller re-simulates)."""
-        assert self._conn is not None
-        try:
-            self._conn.execute("DELETE FROM results WHERE key = ?", (key,))
-            self._conn.commit()
-        except sqlite3.DatabaseError as exc:
-            self._quarantine_database(f"database error during quarantine ({exc})")
-            return
+        if self.backend is not None:
+            try:
+                self.backend.delete(key)
+            except CacheUnavailable as exc:
+                self._degrade(str(exc))
+                return
+            except CacheCorruption as exc:
+                self._quarantine_store(f"{exc} (during row quarantine)")
+                return
         self._report_quarantine(key, reason)
 
-    def _quarantine_database(self, reason: str) -> None:
-        """Move a corrupt database aside and continue memory-only."""
-        if self._conn is not None:
-            try:
-                self._conn.close()
-            except sqlite3.Error:
-                pass
-            self._conn = None
-        self._pending = 0
-        if self.path is not None:
-            quarantine_file(self.path)
+    def _quarantine_store(self, reason: str) -> None:
+        """Move a corrupt store aside and continue memory-only."""
+        backend, self.backend = self.backend, None
+        if backend is not None:
+            backend.quarantine()
+        self._report_quarantine("*", reason)
+
+    def _quarantine_store_file(self, path: Path, reason: str) -> None:
+        """Quarantine a store whose backend never finished constructing."""
+        from .resilience import quarantine_file
+
+        quarantine_file(path)
         self._report_quarantine("*", reason)
 
     # ------------------------------------------------------------------
@@ -277,47 +276,57 @@ class ResultCache:
     # ------------------------------------------------------------------
 
     def flush(self) -> None:
-        """Commit pending disk writes."""
-        if self._conn is not None and self._pending:
+        """Make accepted writes visible to other readers of the store."""
+        if self.backend is not None:
             try:
-                self._conn.commit()
-            except sqlite3.DatabaseError as exc:
-                self._dispose_disk_tier(exc, "commit")
-                return
-            self._pending = 0
+                self.backend.flush()
+            except CacheUnavailable as exc:
+                self._degrade(str(exc))
+            except CacheCorruption as exc:
+                self._quarantine_store(str(exc))
 
     def close(self) -> None:
-        """Flush and release the disk connection (memory tier survives)."""
-        if self._conn is not None:
-            self.flush()
-            self._conn.close()
-            self._conn = None
+        """Flush and release the disk handle (memory tier survives)."""
+        if self.backend is not None:
+            self.backend.close()
+            self.backend = None
 
     def clear(self) -> None:
         """Drop every entry from both tiers."""
         self._memory.clear()
-        if self._conn is not None:
-            self._conn.execute("DELETE FROM results")
-            self._conn.commit()
-            self._pending = 0
+        if self.backend is not None:
+            try:
+                self.backend.clear()
+            except CacheUnavailable as exc:
+                self._degrade(str(exc))
+            except CacheCorruption as exc:
+                self._quarantine_store(str(exc))
 
     def __len__(self) -> int:
-        """Number of distinct keys (disk tier included when present)."""
-        if self._conn is None:
+        """Number of distinct keys (persistent tier included when present)."""
+        if self.backend is None:
             return len(self._memory)
-        self.flush()
-        (count,) = self._conn.execute("SELECT COUNT(*) FROM results").fetchone()
-        return int(count)
+        try:
+            self.flush()
+            if self.backend is None:  # flush may have degraded the tier
+                return len(self._memory)
+            return len(self.backend)
+        except CacheUnavailable as exc:
+            self._degrade(str(exc))
+            return len(self._memory)
+        except CacheCorruption as exc:
+            self._quarantine_store(str(exc))
+            return len(self._memory)
 
     def __contains__(self, key: str) -> bool:
         if key in self._memory:
             return True
-        if self._conn is None:
+        if self.backend is None:
             return False
-        row = self._conn.execute(
-            "SELECT 1 FROM results WHERE key = ?", (key,)
-        ).fetchone()
-        return row is not None
+        try:
+            return key in self.backend
+        except (CacheUnavailable, CacheCorruption):
+            return False
 
     def __del__(self) -> None:  # best-effort flush on GC
         try:
@@ -327,7 +336,7 @@ class ResultCache:
 
     # Caches never travel across process boundaries with their disk
     # handle: a pickled copy (sent to a worker) starts memory-only and
-    # empty, so workers cannot corrupt the parent's SQLite file.
+    # empty, so workers cannot corrupt the parent's store.
     def __getstate__(self) -> dict:
         return {"max_memory_entries": self.max_memory_entries}
 
@@ -335,8 +344,7 @@ class ResultCache:
         self.path = None
         self.max_memory_entries = state["max_memory_entries"]
         self.stats = CacheStats()
+        self.backend = None
         self._memory = OrderedDict()
-        self._conn = None
-        self._pending = 0
         self.on_quarantine = None
         self.on_degrade = None

@@ -1,0 +1,561 @@
+"""Pluggable persistent backends for the result cache.
+
+:class:`~repro.engine.cache.ResultCache` used to *be* its SQLite tier;
+this module splits the storage policy out into a :class:`CacheBackend`
+interface so N pool workers and M service replicas can share one result
+store — the seam a networked backend plugs into later.  Three
+implementations ship:
+
+* :class:`MemoryBackend` — a plain dict; the explicit spelling of
+  "no persistence" (``memory``);
+* :class:`SQLiteBackend` — the historical SQLite file, now safe for
+  concurrent multi-process access: WAL journaling, a ``busy_timeout``,
+  and retry-on-``SQLITE_BUSY`` so a database locked by a sibling
+  process degrades to a *wait* instead of losing the disk tier
+  (``sqlite:<file>``);
+* :class:`DirectoryBackend` — one file per key under a fan-out
+  directory, written atomically (write-temp + rename), so concurrent
+  writers on any shared filesystem never tear each other's entries
+  (``file:<dir>``).
+
+Backends speak rows of ``(value, checksum)`` strings; integrity
+checking, parsing and the memory LRU stay in :class:`ResultCache`,
+which owns *policy* while backends own *storage*.  Backends report
+trouble through two exception flavours the cache maps onto its existing
+degrade/quarantine split:
+
+* :class:`CacheUnavailable` — storage is sick (disk full, read-only,
+  still locked after the busy budget): the store's file is intact, the
+  cache should drop the tier and continue memory-only;
+* :class:`CacheCorruption` — the store itself is damaged: the cache
+  should quarantine it (move it aside) and continue memory-only.
+
+New backends register with :func:`register_backend` and are constructed
+from a ``scheme:location`` spec via :func:`make_backend` (the
+``--cache-backend`` CLI flag).
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+import sqlite3
+import threading
+import time
+from pathlib import Path
+from typing import Any, ClassVar, Iterator
+
+from ..errors import EngineError
+from .resilience import quarantine_file
+
+#: One stored row: the serialized payload and its (optional) checksum.
+Row = "tuple[str, str | None]"
+
+
+class CacheBackendError(EngineError):
+    """A cache backend failed (see the two subclasses for how to react)."""
+
+
+class CacheUnavailable(CacheBackendError):
+    """Storage went away (full/read-only/locked-out); the store file is
+    intact — degrade to memory-only, do not quarantine."""
+
+
+class CacheCorruption(CacheBackendError):
+    """The store itself is damaged — quarantine it and continue."""
+
+
+#: Error-message fragments that mean "storage unavailable", not
+#: "database corrupt" — these must never quarantine a healthy file.
+STORAGE_MESSAGES = (
+    "disk is full",
+    "database or disk is full",
+    "readonly database",
+    "read-only",
+    "disk i/o error",
+    "unable to open database",
+)
+
+#: Error-message fragments that mean "locked by a sibling" — retryable.
+BUSY_MESSAGES = ("database is locked", "database is busy", "database table is locked")
+
+
+class CacheBackend(abc.ABC):
+    """One persistent key/value store behind a :class:`ResultCache`.
+
+    Subclasses set ``scheme`` (the ``make_backend`` spelling) and
+    ``persistent`` (False only for the memory backend), and implement
+    the row operations.  All methods may raise :class:`CacheUnavailable`
+    or :class:`CacheCorruption`; they must never raise anything else on
+    storage trouble.
+    """
+
+    scheme: ClassVar[str] = "?"
+    persistent: ClassVar[bool] = True
+
+    #: Where the store lives on disk (``None`` for memory).
+    location: Path | None = None
+
+    @classmethod
+    @abc.abstractmethod
+    def from_spec(cls, location: str) -> "CacheBackend":
+        """Construct from the part of the spec after ``scheme:``."""
+
+    @abc.abstractmethod
+    def get(self, key: str) -> tuple[str, str | None] | None:
+        """The stored ``(value, checksum)`` row for ``key``, or ``None``."""
+
+    @abc.abstractmethod
+    def put(self, key: str, value: str, checksum: str | None) -> None:
+        """Store one row (last write wins)."""
+
+    @abc.abstractmethod
+    def delete(self, key: str) -> None:
+        """Remove one row (no-op when absent)."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of stored rows."""
+
+    @abc.abstractmethod
+    def __contains__(self, key: str) -> bool: ...
+
+    @abc.abstractmethod
+    def clear(self) -> None:
+        """Drop every row."""
+
+    def keys(self) -> Iterator[str]:  # pragma: no cover - optional
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Make every accepted write visible to other readers."""
+
+    def close(self) -> None:
+        """Flush and release any handles (idempotent)."""
+
+    def quarantine(self) -> None:
+        """Move the damaged store aside (``<name>.corrupt``) and close."""
+        self.close()
+        if self.location is not None:
+            quarantine_file(self.location)
+
+    def describe(self) -> str:
+        target = str(self.location) if self.location is not None else "-"
+        return f"{self.scheme}:{target}"
+
+
+# ----------------------------------------------------------------------
+# the registry
+# ----------------------------------------------------------------------
+
+_BACKENDS: dict[str, type[CacheBackend]] = {}
+
+
+def register_backend(cls: type[CacheBackend]) -> type[CacheBackend]:
+    """Class decorator: make ``cls`` constructible via :func:`make_backend`."""
+    scheme = cls.scheme
+    if not scheme or scheme == "?":
+        raise EngineError(f"backend {cls.__name__} must set a scheme")
+    existing = _BACKENDS.get(scheme)
+    if existing is not None and existing is not cls:
+        raise EngineError(
+            f"cache backend scheme {scheme!r} already registered by "
+            f"{existing.__name__}"
+        )
+    _BACKENDS[scheme] = cls
+    return cls
+
+
+def backend_names() -> list[str]:
+    """Every registered backend scheme, in registration order."""
+    return list(_BACKENDS)
+
+
+def make_backend(spec: str | Path) -> CacheBackend:
+    """Construct a backend from a ``scheme:location`` spec.
+
+    ``memory`` needs no location; ``sqlite:<file>`` and ``file:<dir>``
+    do.  A bare path (no scheme) is read as ``sqlite:<path>`` — the
+    historical meaning of a cache file.
+    """
+    spec = str(spec)
+    scheme, sep, location = spec.partition(":")
+    if not sep:
+        if scheme in _BACKENDS:
+            scheme, location = spec, ""
+        else:
+            scheme, location = "sqlite", spec
+    cls = _BACKENDS.get(scheme)
+    if cls is None:
+        raise EngineError(
+            f"unknown cache backend {scheme!r}; known: {', '.join(_BACKENDS)}"
+        )
+    return cls.from_spec(location)
+
+
+# ----------------------------------------------------------------------
+# memory
+# ----------------------------------------------------------------------
+
+
+@register_backend
+class MemoryBackend(CacheBackend):
+    """A plain in-process dict — the explicit "no persistence" backend.
+
+    Useful to *name* the no-disk configuration in ``--cache-backend``
+    specs and to anchor the conformance suite's baseline semantics.
+    """
+
+    scheme = "memory"
+    persistent = False
+
+    def __init__(self) -> None:
+        self._rows: dict[str, tuple[str, str | None]] = {}
+
+    @classmethod
+    def from_spec(cls, location: str) -> "MemoryBackend":
+        if location:
+            raise EngineError("the memory backend takes no location")
+        return cls()
+
+    def get(self, key: str) -> tuple[str, str | None] | None:
+        return self._rows.get(key)
+
+    def put(self, key: str, value: str, checksum: str | None) -> None:
+        self._rows[key] = (value, checksum)
+
+    def delete(self, key: str) -> None:
+        self._rows.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._rows
+
+    def keys(self) -> Iterator[str]:
+        return iter(list(self._rows))
+
+    def clear(self) -> None:
+        self._rows.clear()
+
+
+# ----------------------------------------------------------------------
+# sqlite (WAL, busy-tolerant, process-safe)
+# ----------------------------------------------------------------------
+
+
+@register_backend
+class SQLiteBackend(CacheBackend):
+    """The SQLite result store, safe for concurrent siblings.
+
+    * ``journal_mode=WAL`` — readers never block the writer and vice
+      versa, so N workers and M service replicas share one file;
+    * ``busy_timeout`` — a locked database makes SQLite *wait* (up to
+      ``busy_timeout_s``) instead of failing immediately;
+    * retry-on-busy — a lock that outlives the timeout is retried with
+      a short sleep up to ``busy_retries`` times, and only then raised
+      as :class:`CacheUnavailable` (degrade, never quarantine: a busy
+      database is a healthy database);
+    * per-write commits (WAL + ``synchronous=NORMAL`` keeps them cheap)
+      so a row stored by one replica is immediately visible to others.
+
+    Connections are created with ``check_same_thread=False`` and every
+    operation holds an internal lock, so one backend instance may be
+    driven from the service's job threads.
+    """
+
+    scheme = "sqlite"
+    persistent = True
+
+    def __init__(
+        self,
+        path: str | Path,
+        busy_timeout_s: float = 5.0,
+        busy_retries: int = 3,
+    ) -> None:
+        self.location = Path(path)
+        self.busy_timeout_s = busy_timeout_s
+        self.busy_retries = busy_retries
+        self._lock = threading.RLock()
+        self._conn: sqlite3.Connection | None = None
+        self.location.parent.mkdir(parents=True, exist_ok=True)
+        self._connect()
+
+    @classmethod
+    def from_spec(cls, location: str) -> "SQLiteBackend":
+        if not location:
+            raise EngineError("the sqlite backend needs a file path: sqlite:<file>")
+        return cls(location)
+
+    # -- connection -----------------------------------------------------
+
+    def _connect(self) -> None:
+        try:
+            conn = sqlite3.connect(
+                self.location,
+                timeout=self.busy_timeout_s,
+                check_same_thread=False,
+            )
+            conn.execute(f"PRAGMA busy_timeout={int(self.busy_timeout_s * 1000)}")
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS results ("
+                "key TEXT PRIMARY KEY, value TEXT NOT NULL, checksum TEXT)"
+            )
+            # Databases written before checksumming existed lack the
+            # column; add it in place (their rows verify as legacy).
+            columns = {row[1] for row in conn.execute("PRAGMA table_info(results)")}
+            if "checksum" not in columns:
+                conn.execute("ALTER TABLE results ADD COLUMN checksum TEXT")
+            conn.commit()
+        except sqlite3.DatabaseError as exc:
+            raise self._classify(exc, "open") from exc
+        self._conn = conn
+
+    def _classify(self, exc: sqlite3.DatabaseError, action: str) -> CacheBackendError:
+        message = str(exc).lower()
+        if any(fragment in message for fragment in BUSY_MESSAGES):
+            return CacheUnavailable(
+                f"database still locked after {self.busy_timeout_s:.1f}s "
+                f"busy timeout and {self.busy_retries} retries on {action} ({exc})"
+            )
+        if any(fragment in message for fragment in STORAGE_MESSAGES):
+            return CacheUnavailable(f"database {action} failed ({exc})")
+        return CacheCorruption(f"database error on {action} ({exc})")
+
+    def _is_busy(self, exc: sqlite3.DatabaseError) -> bool:
+        message = str(exc).lower()
+        return any(fragment in message for fragment in BUSY_MESSAGES)
+
+    def _execute(self, action: str, sql: str, params: tuple = (), commit: bool = False):
+        """Run one statement under the lock, retrying SQLITE_BUSY.
+
+        ``busy_timeout`` already makes SQLite wait; the retry loop on
+        top covers locks that outlive it (a sibling mid-bulk-write).
+        Exhausting the budget raises :class:`CacheUnavailable` — the
+        file is healthy, just contended.
+        """
+        if self._conn is None:
+            raise CacheUnavailable("backend is closed")
+        with self._lock:
+            for attempt in range(self.busy_retries + 1):
+                try:
+                    cursor = self._conn.execute(sql, params)
+                    if commit:
+                        self._conn.commit()
+                    return cursor
+                except sqlite3.DatabaseError as exc:
+                    if self._is_busy(exc) and attempt < self.busy_retries:
+                        time.sleep(0.05 * (attempt + 1))
+                        continue
+                    raise self._classify(exc, action) from exc
+
+    # -- rows -----------------------------------------------------------
+
+    def get(self, key: str) -> tuple[str, str | None] | None:
+        row = self._execute(
+            "read", "SELECT value, checksum FROM results WHERE key = ?", (key,)
+        ).fetchone()
+        return None if row is None else (row[0], row[1])
+
+    def put(self, key: str, value: str, checksum: str | None) -> None:
+        self._execute(
+            "write",
+            "INSERT OR REPLACE INTO results (key, value, checksum) VALUES (?, ?, ?)",
+            (key, value, checksum),
+            commit=True,
+        )
+
+    def delete(self, key: str) -> None:
+        self._execute(
+            "delete", "DELETE FROM results WHERE key = ?", (key,), commit=True
+        )
+
+    def __len__(self) -> int:
+        (count,) = self._execute("count", "SELECT COUNT(*) FROM results").fetchone()
+        return int(count)
+
+    def __contains__(self, key: str) -> bool:
+        row = self._execute(
+            "read", "SELECT 1 FROM results WHERE key = ?", (key,)
+        ).fetchone()
+        return row is not None
+
+    def keys(self) -> Iterator[str]:
+        rows = self._execute("read", "SELECT key FROM results ORDER BY key").fetchall()
+        return iter([row[0] for row in rows])
+
+    def clear(self) -> None:
+        self._execute("clear", "DELETE FROM results", commit=True)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def flush(self) -> None:
+        if self._conn is None:
+            return
+        with self._lock:
+            try:
+                self._conn.commit()
+            except sqlite3.DatabaseError as exc:
+                raise self._classify(exc, "commit") from exc
+
+    def close(self) -> None:
+        with self._lock:
+            conn, self._conn = self._conn, None
+            if conn is not None:
+                try:
+                    conn.commit()
+                    conn.close()
+                except sqlite3.Error:
+                    try:
+                        conn.close()
+                    except sqlite3.Error:
+                        pass
+
+
+# ----------------------------------------------------------------------
+# directory of files
+# ----------------------------------------------------------------------
+
+
+@register_backend
+class DirectoryBackend(CacheBackend):
+    """One file per key under a two-level fan-out directory.
+
+    The simplest *shared* store: entries are written atomically
+    (write-temp + ``os.replace`` in the same directory), so concurrent
+    writers — even across machines on a shared filesystem — can never
+    tear each other's rows; the worst case is the last writer winning,
+    which is harmless for a content-addressed cache.  No fsync per
+    entry: a crash may lose the newest rows, and every row is
+    recomputable by definition.
+
+    File format: first line the checksum (``-`` for none), second line
+    the key, the rest the payload verbatim.  Storing the key inside the
+    entry matters because filenames are *sanitized* keys — two hostile
+    keys can collide on one filename, and the header lets ``get``
+    detect that it found somebody else's row instead of serving it.
+    """
+
+    scheme = "file"
+    persistent = True
+
+    def __init__(self, root: str | Path) -> None:
+        self.location = Path(root)
+        self.location.mkdir(parents=True, exist_ok=True)
+
+    @classmethod
+    def from_spec(cls, location: str) -> "DirectoryBackend":
+        if not location:
+            raise EngineError("the file backend needs a directory: file:<dir>")
+        return cls(location)
+
+    def _path(self, key: str) -> Path:
+        safe = "".join(c if c.isalnum() or c in "-_." else "_" for c in key)
+        fan = safe[:2] if len(safe) >= 2 else "__"
+        return self.location / fan / f"{safe}.entry"
+
+    @staticmethod
+    def _parse(raw: str) -> tuple[str, str, str | None] | None:
+        """``(key, value, checksum)`` from an entry body, None if torn."""
+        head, sep_head, rest = raw.partition("\n")
+        stored_key, sep_key, value = rest.partition("\n")
+        if not sep_head or not sep_key:
+            return None
+        return (stored_key, value, None if head == "-" else head)
+
+    def get(self, key: str) -> tuple[str, str | None] | None:
+        try:
+            raw = self._path(key).read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            raise CacheUnavailable(f"entry read failed ({exc})") from exc
+        parsed = self._parse(raw)
+        if parsed is None:
+            # A torn/foreign entry: surface it as a row whose checksum
+            # cannot verify, so the cache quarantines just this entry.
+            return (raw, "<malformed-entry>")
+        stored_key, value, checksum = parsed
+        if stored_key != key:
+            # Filename collision after sanitizing: this is somebody
+            # else's row.  A miss is correct; serving it would not be.
+            return None
+        return (value, checksum)
+
+    def put(self, key: str, value: str, checksum: str | None) -> None:
+        target = self._path(key)
+        # pid AND thread id: service job threads share a process, and a
+        # shared tmp name would let one thread replace away another's.
+        tmp = target.with_name(
+            f"{target.name}.{os.getpid()}-{threading.get_ident()}.tmp"
+        )
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(f"{checksum or '-'}\n{key}\n{value}", encoding="utf-8")
+            os.replace(tmp, target)
+        except OSError as exc:
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            raise CacheUnavailable(f"entry write failed ({exc})") from exc
+
+    def delete(self, key: str) -> None:
+        try:
+            self._path(key).unlink(missing_ok=True)
+        except OSError as exc:
+            raise CacheUnavailable(f"entry delete failed ({exc})") from exc
+
+    def _entries(self) -> list[Path]:
+        try:
+            return [
+                p
+                for fan in sorted(self.location.iterdir())
+                if fan.is_dir()
+                for p in sorted(fan.iterdir())
+                if p.suffix == ".entry"
+            ]
+        except OSError as exc:
+            raise CacheUnavailable(f"store listing failed ({exc})") from exc
+
+    def __len__(self) -> int:
+        return len(self._entries())
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def keys(self) -> Iterator[str]:
+        found = []
+        for path in self._entries():
+            try:
+                parsed = self._parse(path.read_text(encoding="utf-8"))
+            except OSError as exc:
+                raise CacheUnavailable(f"entry read failed ({exc})") from exc
+            if parsed is not None:  # torn entries have no recoverable key
+                found.append(parsed[0])
+        return iter(found)
+
+    def clear(self) -> None:
+        for path in self._entries():
+            try:
+                path.unlink(missing_ok=True)
+            except OSError as exc:
+                raise CacheUnavailable(f"entry delete failed ({exc})") from exc
+
+    def quarantine(self) -> None:
+        """Move the whole store directory aside (``<dir>.corrupt``)."""
+        self.close()
+        if self.location is None or not self.location.exists():
+            return
+        target = self.location.with_name(self.location.name + ".corrupt")
+        try:
+            if target.exists():
+                import shutil
+
+                shutil.rmtree(target, ignore_errors=True)
+            os.replace(self.location, target)
+        except OSError:
+            pass

@@ -53,3 +53,23 @@ class RunError(ReproError):
 
 class RunLockedError(RunError):
     """The run directory is locked by another live process."""
+
+
+class ServeError(ReproError):
+    """The exploration service was misconfigured or a request is invalid."""
+
+
+class QueueFullError(ServeError):
+    """A tenant's admission queue is at capacity (HTTP 429 territory)."""
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class ServeClientError(ServeError):
+    """The serve HTTP client got an error response or could not connect."""
+
+    def __init__(self, message: str, status: int | None = None) -> None:
+        super().__init__(message)
+        self.status = status

@@ -1,0 +1,32 @@
+"""Multi-tenant exploration service over a pluggable shared result store.
+
+``repro serve`` runs the long-lived HTTP front-end
+(:class:`ExplorationService`), ``repro client`` talks to it
+(:class:`ServeClient`), and ``repro serve-bench`` measures it
+(:func:`run_load_test`).  See ``docs/serve.md`` for the API, the
+tenancy/budget model, and backend selection.
+"""
+
+from .client import ServeClient
+from .jobs import Job, JobSpec, merge_budgets
+from .loadtest import LoadReport, run_load_test
+from .runner import execute_job
+from .scheduler import FairShareScheduler, TenantPolicy
+from .service import ExplorationService, ServiceThread
+from .sse import JournalFollower, format_sse
+
+__all__ = [
+    "ServeClient",
+    "Job",
+    "JobSpec",
+    "merge_budgets",
+    "LoadReport",
+    "run_load_test",
+    "execute_job",
+    "FairShareScheduler",
+    "TenantPolicy",
+    "ExplorationService",
+    "ServiceThread",
+    "JournalFollower",
+    "format_sse",
+]

@@ -1,0 +1,197 @@
+"""Stdlib HTTP client for the exploration service (``repro client``).
+
+A thin, dependency-free wrapper over :mod:`http.client`: submit jobs,
+poll status, fetch results, and iterate SSE progress events — including
+transparent reconnect-with-``Last-Event-ID``, so a dropped stream
+resumes from the journal without duplicating or losing events.  The
+load harness and the service's own tests drive the API through this
+client, so it stays honest.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Iterator
+from urllib.parse import urlsplit
+
+from ..errors import ServeClientError
+
+
+class ServeClient:
+    """Talk to one service replica at ``base_url``."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        split = urlsplit(base_url)
+        if split.scheme != "http" or not split.hostname:
+            raise ServeClientError(
+                f"base_url must look like http://host:port, got {base_url!r}"
+            )
+        self.host = split.hostname
+        self.port = split.port or 80
+        self.timeout = timeout
+
+    # -- plumbing -------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Any = None,
+        headers: dict[str, str] | None = None,
+        expect: tuple[int, ...] = (200, 202),
+    ) -> tuple[int, Any]:
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            payload = None
+            send_headers = dict(headers or {})
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                send_headers["Content-Type"] = "application/json"
+            try:
+                conn.request(method, path, body=payload, headers=send_headers)
+                response = conn.getresponse()
+                raw = response.read()
+            except OSError as exc:
+                raise ServeClientError(
+                    f"cannot reach service at {self.host}:{self.port} ({exc})"
+                ) from exc
+            try:
+                decoded = json.loads(raw.decode("utf-8")) if raw else None
+            except ValueError:
+                decoded = raw.decode("utf-8", errors="replace")
+            if response.status not in expect:
+                message = (
+                    decoded.get("error", str(decoded))
+                    if isinstance(decoded, dict)
+                    else str(decoded)
+                )
+                raise ServeClientError(
+                    f"{method} {path} -> {response.status}: {message}",
+                    status=response.status,
+                )
+            return response.status, decoded
+        finally:
+            conn.close()
+
+    # -- API ------------------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        return self._request("GET", "/v1/healthz")[1]
+
+    def stats(self) -> dict[str, Any]:
+        return self._request("GET", "/v1/stats")[1]
+
+    def metrics_json(self) -> dict[str, Any]:
+        return self._request("GET", "/v1/metrics?format=json")[1]
+
+    def submit(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Submit one job; returns the 202 body (id, state, links)."""
+        return self._request("POST", "/v1/jobs", body=payload, expect=(202,))[1]
+
+    def list_jobs(self) -> list[dict[str, Any]]:
+        return self._request("GET", "/v1/jobs")[1]["jobs"]
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}")[1]
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        """The finished job record (raises 409 ServeClientError while pending)."""
+        return self._request("GET", f"/v1/jobs/{job_id}/result")[1]
+
+    def wait(
+        self, job_id: str, timeout: float = 300.0, poll_s: float = 0.05
+    ) -> dict[str, Any]:
+        """Poll until the job finishes; returns the full result record."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in ("completed", "failed"):
+                return self.result(job_id)
+            if time.monotonic() > deadline:
+                raise ServeClientError(
+                    f"job {job_id} still {status['state']} after {timeout:.0f}s"
+                )
+            time.sleep(poll_s)
+
+    # -- SSE ------------------------------------------------------------
+
+    def events(
+        self,
+        job_id: str,
+        after_seq: int = 0,
+        reconnect: bool = True,
+        timeout: float = 300.0,
+    ) -> Iterator[dict[str, Any]]:
+        """Yield the job's journal events as dicts, in sequence order.
+
+        The stream ends when the service closes it (job finished).  With
+        ``reconnect=True`` a dropped connection resumes transparently
+        from the last seen event id — the SSE contract under test in the
+        bridge suite.
+        """
+        last_seen = after_seq
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                saw_end = yield from self._stream_once(job_id, last_seen)
+            except ServeClientError:
+                raise
+            except OSError as exc:
+                if not reconnect:
+                    raise ServeClientError(f"event stream dropped ({exc})") from exc
+                saw_end = False
+            if saw_end:
+                return
+            if not reconnect or time.monotonic() > deadline:
+                return
+            last_seen = max(last_seen, self._last_yielded)
+            time.sleep(0.05)
+
+    _last_yielded = 0
+
+    def _stream_once(self, job_id: str, after_seq: int) -> Iterator[dict[str, Any]]:
+        """One SSE connection; returns True when the server ended the stream."""
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            conn.request(
+                "GET",
+                f"/v1/jobs/{job_id}/events",
+                headers={"Last-Event-ID": str(after_seq)} if after_seq else {},
+            )
+            response = conn.getresponse()
+            if response.status != 200:
+                raise ServeClientError(
+                    f"event stream for {job_id} -> {response.status}",
+                    status=response.status,
+                )
+            buffer = b""
+            while True:
+                chunk = response.read1(65536)
+                if not chunk:
+                    return False  # connection dropped without the end marker
+                buffer += chunk
+                while b"\n\n" in buffer:
+                    frame, buffer = buffer.split(b"\n\n", 1)
+                    if frame.startswith(b":"):
+                        return True  # ": stream complete" terminator
+                    event = _parse_frame(frame.decode("utf-8"))
+                    if event is not None:
+                        self._last_yielded = event.get("seq", self._last_yielded)
+                        yield event
+        finally:
+            conn.close()
+
+
+def _parse_frame(frame: str) -> dict[str, Any] | None:
+    """Decode one SSE frame's ``data:`` payload (None for non-data frames)."""
+    data_lines = [
+        line[5:].lstrip() for line in frame.splitlines() if line.startswith("data:")
+    ]
+    if not data_lines:
+        return None
+    try:
+        return json.loads("\n".join(data_lines))
+    except ValueError:
+        return None

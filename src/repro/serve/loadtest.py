@@ -1,0 +1,221 @@
+"""Load-test harness for the exploration service (``repro serve-bench``).
+
+Fires many concurrent small customization jobs at a service — a
+self-booted in-process replica by default, or any running one via
+``--url`` — and writes the serve performance contract to
+``BENCH_serve.json``: end-to-end latency percentiles (p50/p95/p99,
+submit→completed wall time) and the shared-store cache-hit rate.  The
+job mix deliberately repeats specs: repeat queries are exactly the
+traffic a result-store-backed service exists for, and the hit rate on
+them is the number CI asserts on.
+
+Deterministic job content (fixed seeds, fixed benchmark rotation) keeps
+runs comparable; wall-clock latencies are machine-dependent, which is
+why CI asserts a generous p99 bound rather than a tight regression gate.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..errors import ServeClientError
+from .client import ServeClient
+
+#: Benchmarks rotated through by the generated job mix (small profiles).
+DEFAULT_MIX = ("gzip", "mcf", "parser", "vpr")
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(int(round(q / 100.0 * len(sorted_values) + 0.5)), 1)
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+@dataclass
+class LoadReport:
+    """Everything one harness run measured."""
+
+    jobs: int
+    clients: int
+    iterations: int
+    repeat_fraction: float
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    latencies_s: list[float] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    evaluations: int = 0
+    repeated_with_zero_evaluations: int = 0
+    repeated_jobs: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def to_jsonable(self) -> dict[str, Any]:
+        latencies = sorted(self.latencies_s)
+        return {
+            "bench": "serve",
+            "jobs": self.jobs,
+            "clients": self.clients,
+            "iterations": self.iterations,
+            "repeat_fraction": self.repeat_fraction,
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejected": self.rejected,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "throughput_jobs_per_s": (
+                round(self.completed / self.wall_seconds, 6)
+                if self.wall_seconds
+                else 0.0
+            ),
+            "latency_s": {
+                "p50": round(percentile(latencies, 50), 6),
+                "p95": round(percentile(latencies, 95), 6),
+                "p99": round(percentile(latencies, 99), 6),
+                "max": round(latencies[-1], 6) if latencies else 0.0,
+                "mean": (
+                    round(sum(latencies) / len(latencies), 6) if latencies else 0.0
+                ),
+            },
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "hit_rate": round(self.cache_hit_rate, 6),
+            },
+            "evaluations": self.evaluations,
+            "repeated_jobs": self.repeated_jobs,
+            "repeated_with_zero_evaluations": self.repeated_with_zero_evaluations,
+        }
+
+    def write(self, path: str | Path) -> Path:
+        from ..engine.io_atomic import write_json_atomic
+
+        target = Path(path)
+        write_json_atomic(target, self.to_jsonable(), indent=2)
+        return target
+
+
+def _job_mix(total: int, iterations: int, repeat_every: int) -> list[dict[str, Any]]:
+    """``total`` customize payloads; every ``repeat_every``-th repeats
+    the first spec verbatim (the shared-store hit the harness measures)."""
+    payloads = []
+    for index in range(total):
+        if repeat_every and index and index % repeat_every == 0:
+            payloads.append(dict(payloads[0]))
+        else:
+            payloads.append(
+                {
+                    "kind": "customize",
+                    "benchmarks": [DEFAULT_MIX[index % len(DEFAULT_MIX)]],
+                    "iterations": iterations,
+                    "seed": index % 3,  # few distinct seeds -> some reuse
+                }
+            )
+    return payloads
+
+
+def run_load_test(
+    url: str | None = None,
+    total_jobs: int = 12,
+    clients: int = 4,
+    iterations: int = 40,
+    repeat_every: int = 3,
+    service_jobs: int = 2,
+    cache_backend: str | None = None,
+    timeout_s: float = 600.0,
+) -> LoadReport:
+    """Drive the load and return the report.
+
+    With ``url=None`` a service replica is booted in-process on an
+    ephemeral port (backend ``sqlite:<tmp>`` unless ``cache_backend``
+    says otherwise) and torn down afterwards.
+    """
+    import tempfile
+
+    from .service import ExplorationService, ServiceThread
+
+    own_service = None
+    if url is None:
+        if cache_backend is None:
+            store = Path(tempfile.mkdtemp(prefix="repro-bench-")) / "results.sqlite"
+            cache_backend = f"sqlite:{store}"
+        own_service = ServiceThread(
+            ExplorationService(jobs=service_jobs, cache_backend=cache_backend)
+        ).start()
+        url = own_service.base_url
+
+    payloads = _job_mix(total_jobs, iterations, repeat_every)
+    repeated = {
+        i for i in range(total_jobs) if repeat_every and i and i % repeat_every == 0
+    }
+    report = LoadReport(
+        jobs=total_jobs,
+        clients=clients,
+        iterations=iterations,
+        repeat_fraction=len(repeated) / total_jobs if total_jobs else 0.0,
+    )
+    lock = threading.Lock()
+    cursor = {"next": 0}
+
+    def worker() -> None:
+        client = ServeClient(url, timeout=timeout_s)
+        while True:
+            with lock:
+                index = cursor["next"]
+                if index >= len(payloads):
+                    return
+                cursor["next"] = index + 1
+            payload = payloads[index]
+            started = time.perf_counter()
+            try:
+                submitted = client.submit(payload)
+                record = client.wait(submitted["id"], timeout=timeout_s)
+            except ServeClientError as exc:
+                with lock:
+                    if exc.status == 429:
+                        report.rejected += 1
+                    else:
+                        report.failed += 1
+                continue
+            latency = time.perf_counter() - started
+            stats = record.get("stats") or {}
+            cache = stats.get("cache") or {}
+            with lock:
+                if record.get("state") == "completed":
+                    report.completed += 1
+                    report.latencies_s.append(latency)
+                else:
+                    report.failed += 1
+                report.evaluations += int(stats.get("evaluations", 0))
+                report.cache_hits += int(cache.get("hits", 0))
+                report.cache_misses += int(cache.get("misses", 0))
+                if index in repeated:
+                    report.repeated_jobs += 1
+                    if int(stats.get("evaluations", 0)) == 0:
+                        report.repeated_with_zero_evaluations += 1
+
+    started = time.perf_counter()
+    threads = [
+        threading.Thread(target=worker, name=f"bench-client-{i}", daemon=True)
+        for i in range(clients)
+    ]
+    try:
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout_s)
+    finally:
+        report.wall_seconds = time.perf_counter() - started
+        if own_service is not None:
+            own_service.stop()
+    return report

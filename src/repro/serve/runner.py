@@ -1,0 +1,132 @@
+"""Execute one job against one engine — the CLI paths, verbatim.
+
+The service's bit-identity guarantee lives here: for every job kind the
+runner calls exactly the functions the corresponding CLI command calls,
+with the same defaults, in the same order — ``customize`` goes through
+:meth:`XpScalar.customize` (one benchmark) or
+:meth:`XpScalar.customize_all` (several, cross-seeded), ``sweep``
+through :class:`ClockSweep`, ``cross-matrix`` through
+:func:`run_pipeline`, ``search-compare`` through
+:func:`compare_strategies`.  A job resubmitted to the service therefore
+returns the same numbers the one-shot CLI prints, and both populate the
+shared result store under the same evaluation keys.
+
+Results are serialized with the engine's canonical encoders
+(:func:`config_to_jsonable`), so two replicas serving the same job emit
+byte-equal JSON.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..engine import EvaluationEngine, config_to_jsonable
+from ..errors import ServeError
+from .jobs import JobSpec
+
+
+def execute_job(spec: JobSpec, engine: EvaluationEngine) -> dict[str, Any]:
+    """Run ``spec`` on ``engine`` and return the JSON-ready result."""
+    from ..explore import AnnealingSchedule, ClockSweep, XpScalar
+    from ..workloads import spec2000_profile
+
+    profiles = [spec2000_profile(name) for name in spec.benchmarks]
+
+    if spec.kind == "customize":
+        xp = XpScalar(
+            schedule=AnnealingSchedule(iterations=spec.iterations),
+            engine=engine,
+            strategy=spec.strategy,
+            budget=spec.budget,
+            restarts=spec.restarts,
+        )
+        if len(profiles) == 1:
+            results = {profiles[0].name: xp.customize(profiles[0], seed=spec.seed)}
+        else:
+            results = xp.customize_all(profiles, seed=spec.seed)
+        return {
+            "kind": spec.kind,
+            "benchmarks": [
+                {
+                    "benchmark": name,
+                    "ipt": results[name].score,
+                    "evaluations": (
+                        results[name].annealing.evaluations
+                        if results[name].annealing
+                        else 0
+                    ),
+                    "cross_seeded_from": results[name].cross_seeded_from,
+                    "config": config_to_jsonable(results[name].config),
+                    "described": results[name].config.describe(),
+                }
+                for name in spec.benchmarks
+            ],
+        }
+
+    if spec.kind == "sweep":
+        xp = XpScalar(engine=engine)
+        sweep = ClockSweep(
+            xp,
+            iterations=spec.iterations,
+            strategy=spec.strategy,
+            budget=spec.budget,
+            restarts=spec.restarts,
+        )
+        points = sweep.run(
+            profiles[0],
+            list(spec.clocks) if spec.clocks is not None else None,
+            seed=spec.seed,
+        )
+        return {
+            "kind": spec.kind,
+            "benchmark": spec.benchmarks[0],
+            "points": [
+                {
+                    "clock_period_ns": p.clock_period_ns,
+                    "ipt": p.score,
+                    "config": config_to_jsonable(p.config),
+                }
+                for p in points
+            ],
+        }
+
+    if spec.kind == "cross-matrix":
+        from ..experiments import run_pipeline
+        from ..explore import AnnealingSchedule as _Schedule
+
+        explorer = XpScalar(
+            schedule=_Schedule(iterations=spec.iterations),
+            engine=engine,
+            strategy=spec.strategy,
+            budget=spec.budget,
+            restarts=spec.restarts,
+        )
+        pipe = run_pipeline(
+            profiles=profiles,
+            iterations=spec.iterations,
+            seed=spec.seed,
+            explorer=explorer,
+        )
+        cross = pipe.cross
+        return {
+            "kind": spec.kind,
+            "names": list(cross.names),
+            "ipt": [[float(v) for v in row] for row in cross.ipt],
+            "configs": [config_to_jsonable(c) for c in cross.configs],
+        }
+
+    if spec.kind == "search-compare":
+        from ..search.compare import compare_strategies
+
+        report = compare_strategies(
+            profiles,
+            strategies=list(spec.strategies) if spec.strategies else None,
+            iterations=spec.iterations,
+            seed=spec.seed,
+            budget=spec.budget,
+            engine=engine,
+            restarts=spec.restarts,
+        )
+        return {"kind": spec.kind, **report.to_jsonable()}
+
+    raise ServeError(f"unknown job kind {spec.kind!r}")

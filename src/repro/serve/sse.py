@@ -1,0 +1,97 @@
+"""Bridge a job's event journal to Server-Sent Events.
+
+Each running job journals its engine's event stream to a private
+:class:`~repro.engine.telemetry.RunJournal` (JSONL, per-line flush,
+monotonic ``seq``, size-capped rotation).  That file — not an in-memory
+queue — is the SSE source of truth: a stream is a *tail* of the journal,
+which makes reconnection trivial and lossless.  A client that
+reconnects with ``Last-Event-ID: <seq>`` resumes from the journal at
+``seq + 1``; because ``seq`` is monotonic across rotation and process
+restarts, no event is duplicated or dropped, even when the journal
+rotated between the disconnect and the reconnect.
+
+:class:`JournalFollower` does the incremental reading.  It tracks a byte
+offset *per file identity* (inode), so rotation — which renames the
+current file — leaves already-consumed offsets valid; only complete
+lines are consumed, so a torn in-flight line is simply picked up on the
+next poll.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterator
+
+from ..engine.telemetry import journal_files
+
+
+def format_sse(event: dict[str, Any]) -> str:
+    """One journal record as an SSE frame (``id`` carries the seq)."""
+    name = event.get("event", "message")
+    data = json.dumps(event, separators=(",", ":"))
+    return f"id: {event.get('seq', 0)}\nevent: {name}\ndata: {data}\n\n"
+
+
+class JournalFollower:
+    """Incrementally yield journal events with ``seq`` greater than a cursor.
+
+    Parameters
+    ----------
+    path:
+        The journal's *current* file; rotated predecessors
+        (``<name>.1`` …) are discovered through
+        :func:`~repro.engine.telemetry.journal_files`.
+    after_seq:
+        Only events with ``seq`` strictly greater are yielded (``0``
+        replays the whole journal) — exactly SSE ``Last-Event-ID``
+        semantics.
+    """
+
+    def __init__(self, path: str | Path, after_seq: int = 0) -> None:
+        self.path = Path(path)
+        self.after_seq = after_seq
+        #: Bytes already consumed, keyed by file identity (inode), so a
+        #: rotation rename does not reset or double-read a file.
+        self._offsets: dict[int, int] = {}
+
+    def poll(self) -> list[dict[str, Any]]:
+        """Every new event since the last poll, in sequence order."""
+        events: list[dict[str, Any]] = []
+        for file_path in journal_files(self.path):
+            try:
+                stat = file_path.stat()
+            except OSError:
+                continue
+            offset = self._offsets.get(stat.st_ino, 0)
+            if stat.st_size <= offset:
+                continue
+            try:
+                with open(file_path, "rb") as handle:
+                    handle.seek(offset)
+                    chunk = handle.read()
+            except OSError:
+                continue
+            # Consume only complete lines; a torn tail (an append in
+            # flight) stays unconsumed until the next poll.
+            cut = chunk.rfind(b"\n")
+            if cut < 0:
+                continue
+            self._offsets[stat.st_ino] = offset + cut + 1
+            for line in chunk[: cut + 1].splitlines():
+                events.append(line)
+        return list(self._decode(events))
+
+    def _decode(self, lines: list[bytes]) -> Iterator[dict[str, Any]]:
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            seq = record.get("seq")
+            if isinstance(seq, int) and seq > self.after_seq:
+                self.after_seq = seq
+                yield record

@@ -1,0 +1,59 @@
+"""Load-harness tests: the serve performance contract in BENCH_serve.json.
+
+A small in-process run of :func:`run_load_test` (the same code path CI's
+smoke job uses) must complete every job, record sane latencies, and show
+the shared store doing its job: a positive cache-hit rate and repeated
+jobs replayed with zero fresh evaluations.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.serve.loadtest import LoadReport, percentile, run_load_test
+
+
+def test_percentile_is_nearest_rank():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(values, 50) == 2.0
+    assert percentile(values, 99) == 4.0
+    assert percentile([], 99) == 0.0
+    assert percentile([7.0], 50) == 7.0
+
+
+def test_report_jsonable_shape():
+    report = LoadReport(jobs=2, clients=1, iterations=5, repeat_fraction=0.0)
+    report.completed = 2
+    report.latencies_s = [0.2, 0.1]
+    report.cache_hits = 3
+    report.cache_misses = 1
+    report.wall_seconds = 0.5
+    payload = report.to_jsonable()
+    assert payload["bench"] == "serve"
+    assert set(payload["latency_s"]) == {"p50", "p95", "p99", "max", "mean"}
+    assert payload["latency_s"]["max"] == 0.2
+    assert payload["cache"]["hit_rate"] == 0.75
+    assert payload["throughput_jobs_per_s"] == 4.0
+
+
+def test_load_test_end_to_end_writes_the_benchmark_contract(tmp_path):
+    report = run_load_test(
+        total_jobs=8,
+        clients=3,
+        iterations=20,
+        repeat_every=2,
+        service_jobs=2,
+    )
+    assert report.completed == 8
+    assert report.failed == 0
+    assert len(report.latencies_s) == 8
+    # The repeated jobs hit the shared store.
+    assert report.repeated_jobs == 3  # indices 2, 4, 6
+    assert report.repeated_with_zero_evaluations >= 1
+    assert report.cache_hit_rate > 0.0
+
+    out = report.write(tmp_path / "BENCH_serve.json")
+    written = json.loads(out.read_text())
+    assert written["completed"] == 8
+    assert written["latency_s"]["p99"] >= written["latency_s"]["p50"] > 0.0
+    assert written["cache"]["hits"] == report.cache_hits
