@@ -69,6 +69,7 @@ from .engine import (
     list_runs,
 )
 from .engine import trace as trace_analysis
+from .engine import bench as engine_bench
 from .errors import RunError
 from .experiments import (
     build_engine,
@@ -194,6 +195,12 @@ def _search_options() -> argparse.ArgumentParser:
         "--restarts", type=int, default=4, metavar="N",
         help="independent restarts for multi-start strategies "
              "(default: 4; other strategies ignore it)",
+    )
+    group.add_argument(
+        "--search-batch", type=int, default=1, metavar="N",
+        help="evaluate N candidates per round through the vectorized "
+             "batch model (anneal/hillclimb; default: 1 keeps the "
+             "sequential, signature-stable walk)",
     )
     return p
 
@@ -433,6 +440,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="report path (default: BENCH_serve.json)")
 
     p = sub.add_parser(
+        "bench-engine",
+        help="benchmark scalar vs vectorized batch evaluation and write "
+             "configs/sec + speedups to BENCH_engine.json",
+    )
+    p.add_argument("--profile", default="gzip", choices=SPEC2000_INT_NAMES,
+                   help="workload profile to evaluate (default: gzip)")
+    p.add_argument("--configs", type=int, default=512, metavar="N",
+                   help="length of the seeded design-space walk "
+                        "(default: 512)")
+    p.add_argument("--batch-sizes", type=int, nargs="+",
+                   default=list(engine_bench.DEFAULT_BATCH_SIZES), metavar="N",
+                   help="batch widths to sweep (default: 16 64 256 512)")
+    p.add_argument("--repeats", type=int, default=3, metavar="N",
+                   help="timing repeats per measurement, best is kept "
+                        "(default: 3)")
+    p.add_argument("--seed", type=int, default=7,
+                   help="seed for the config walk (default: 7)")
+    p.add_argument("--out", default="BENCH_engine.json", metavar="FILE",
+                   help="report path (default: BENCH_engine.json)")
+
+    p = sub.add_parser(
         "trace",
         help="analyze a run's event journal: where did the time go? "
              "(see docs/observability.md)",
@@ -538,6 +566,7 @@ def _pipeline(args):
         strategy=getattr(args, "strategy", "anneal"),
         budget=_search_budget(args),
         restarts=getattr(args, "restarts", 4),
+        search_batch=getattr(args, "search_batch", 1),
     )
     return run_pipeline(
         explorer=explorer,
@@ -607,6 +636,7 @@ def cmd_customize(args) -> int:
         strategy=args.strategy,
         budget=_search_budget(args),
         restarts=args.restarts,
+        search_batch=args.search_batch,
     )
     profiles = [spec2000_profile(name) for name in args.benchmark]
     if len(profiles) == 1:
@@ -730,6 +760,7 @@ def cmd_sweep(args) -> int:
         strategy=args.strategy,
         budget=_search_budget(args),
         restarts=args.restarts,
+        search_batch=args.search_batch,
     )
     checkpoint = None
     if args.cache_dir is not None:
@@ -1069,6 +1100,20 @@ def cmd_serve_bench(args) -> int:
     return 0 if report.failed == 0 else 1
 
 
+def cmd_bench_engine(args) -> int:
+    report = engine_bench.run_engine_bench(
+        profile_name=args.profile,
+        configs=args.configs,
+        batch_sizes=args.batch_sizes,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    out = engine_bench.write_report(report, args.out)
+    print(engine_bench.format_report(report))
+    print(f"wrote {out}")
+    return 0 if report["equivalence"]["equivalent"] else 1
+
+
 _COMMANDS = {
     "customize": cmd_customize,
     "table": cmd_table,
@@ -1084,6 +1129,7 @@ _COMMANDS = {
     "serve": cmd_serve,
     "client": cmd_client,
     "serve-bench": cmd_serve_bench,
+    "bench-engine": cmd_bench_engine,
 }
 
 

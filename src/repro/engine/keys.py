@@ -117,9 +117,16 @@ def simulator_id(simulator: Any) -> str:
     """Stable identity of a simulator: qualified class name + cache version.
 
     Simulators may declare a ``cache_version`` class attribute; bumping it
-    invalidates every cached result produced by earlier versions.
+    invalidates every cached result produced by earlier versions.  A
+    simulator that is *bit-identical* to another implementation may
+    declare ``cache_identity`` (a qualified class name) to share that
+    implementation's cache entries — e.g. the vectorized
+    ``BatchIntervalModel`` interoperates with scalar
+    ``IntervalSimulator`` results because the differential suite proves
+    their numbers equal.
     """
-    return f"{_type_name(simulator)}@{getattr(simulator, 'cache_version', 0)}"
+    identity = getattr(simulator, "cache_identity", None) or _type_name(simulator)
+    return f"{identity}@{getattr(simulator, 'cache_version', 0)}"
 
 
 @lru_cache(maxsize=512)

@@ -48,6 +48,7 @@ from typing import Any, Callable, Iterable, Iterator, Sequence, TypeVar
 
 from ..errors import EngineError
 from ..sim.interval import IntervalSimulator
+from ..sim.interval_batch import BatchIntervalModel
 from ..sim.metrics import SimResult
 from ..workloads.profile import WorkloadProfile
 from .cache import ResultCache
@@ -95,12 +96,38 @@ def _init_worker(simulator: Any) -> None:
     _WORKER_SIMULATOR = simulator
 
 
+def _simulate_pairs(sim: Any, pairs: Sequence[Pair]) -> list[SimResult]:
+    """Simulate pairs through the simulator's batch path when it has one.
+
+    Pairs are grouped by profile (first-seen order) and each group goes
+    through ``evaluate_batch`` in one call; results come back in input
+    order.  Simulators without a batch path — and unbatchable inputs
+    (single pair, unhashable profile subtype) — take the plain scalar
+    loop.
+    """
+    evaluate_batch = getattr(sim, "evaluate_batch", None)
+    if evaluate_batch is None or len(pairs) < 2:
+        return [sim.evaluate(profile, config) for profile, config in pairs]
+    groups: dict[Any, list[int]] = {}
+    try:
+        for i, (profile, _) in enumerate(pairs):
+            groups.setdefault(profile, []).append(i)
+    except TypeError:  # unhashable profile subtype
+        return [sim.evaluate(profile, config) for profile, config in pairs]
+    results: list[SimResult | None] = [None] * len(pairs)
+    for profile, indices in groups.items():
+        batch = evaluate_batch(profile, [pairs[i][1] for i in indices])
+        for i, result in zip(indices, batch):
+            results[i] = result
+    return results  # type: ignore[return-value]
+
+
 def _evaluate_chunk(pairs: Sequence[Pair]) -> list[SimResult]:
     """Simulate a chunk of (profile, config) pairs in a worker process."""
     sim = _WORKER_SIMULATOR
     if sim is None:  # serial in-process use
-        sim = IntervalSimulator()
-    return [sim.evaluate(profile, config) for profile, config in pairs]
+        sim = BatchIntervalModel()
+    return _simulate_pairs(sim, pairs)
 
 
 def _evaluate_task(
@@ -231,7 +258,11 @@ class EvaluationEngine:
     ) -> None:
         if jobs < 1:
             raise EngineError(f"jobs must be >= 1, got {jobs}")
-        self.simulator = simulator if simulator is not None else IntervalSimulator()
+        # The default simulator is the vectorized batch model: scalar
+        # calls are inherited unchanged, batches hit the array path, and
+        # its shared cache identity keeps keys interoperable with plain
+        # IntervalSimulator results.
+        self.simulator = simulator if simulator is not None else BatchIntervalModel()
         self.jobs = jobs
         self.workers = min(jobs, available_cpus()) if clamp_jobs else jobs
         self.policy = policy if policy is not None else RetryPolicy()
@@ -526,6 +557,14 @@ class EvaluationEngine:
     ) -> list[SimResult]:
         """Simulate pairs (order-preserving), parallel when worthwhile."""
         if self.workers == 1 or len(pairs) < 2 or not self._picklable(_evaluate_chunk, pairs):
+            if self.faults is None and len(pairs) > 1:
+                # Serial batch fast path: one vectorized call per profile
+                # group, with the same validate-and-raise semantics as
+                # the chunked pool path.
+                results = _simulate_pairs(self.simulator, pairs)
+                for (profile, _), result in zip(pairs, results):
+                    validate_result(profile, result)
+                return results
             all_keys = self._keys_if_needed(pairs, keys)
             return [
                 self._evaluate_serial(p, c, k)

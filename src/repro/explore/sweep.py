@@ -16,6 +16,7 @@ re-annealing it.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -120,6 +121,10 @@ class ClockSweep:
     restarts:
         Restart count for multi-start strategies (only used when
         ``strategy`` is a name).
+    search_batch:
+        Candidate batch width for strategies with a batched evaluation
+        mode; ``1`` (the default) keeps the sequential, signature-stable
+        walk (only used when ``strategy`` is a name).
     """
 
     def __init__(
@@ -129,6 +134,7 @@ class ClockSweep:
         strategy: str | SearchStrategy = "anneal",
         budget: SearchBudget | None = None,
         restarts: int = 4,
+        search_batch: int = 1,
     ) -> None:
         self._xp = explorer
         self._iterations = iterations
@@ -138,6 +144,7 @@ class ClockSweep:
                 schedule=AnnealingSchedule(iterations=iterations),
                 budget=budget,
                 restarts=restarts,
+                batch=search_batch,
             )
         else:
             self._strategy = strategy
@@ -286,10 +293,17 @@ class ClockSweep:
             self._xp.model,
             self._xp.space,
         )
+        def evaluate_many(configs: Sequence[CoreConfig]) -> list[float]:
+            results = self._xp.engine.evaluate_many(
+                [(profile, cfg) for cfg in configs]
+            )
+            return [self._xp.objective(result) for result in results]
+
         problem = SearchProblem(
             initial=start,
             propose=propose,
             evaluate=lambda cfg: self._xp.score(profile, cfg),
+            evaluate_many=evaluate_many,
         )
         outcome = self._strategy.run(problem, seed=seed)
         return SweepPoint(

@@ -109,8 +109,15 @@ def _restart_task(
     def evaluate_cfg(config: CoreConfig) -> float:
         return explorer.objective(explorer.engine.evaluate(profile, config))
 
+    def evaluate_many_cfg(configs: Sequence[CoreConfig]) -> list[float]:
+        results = explorer.engine.evaluate_many([(profile, c) for c in configs])
+        return [explorer.objective(result) for result in results]
+
     problem = SearchProblem(
-        initial=start, propose=explorer._moves.propose, evaluate=evaluate_cfg
+        initial=start,
+        propose=explorer._moves.propose,
+        evaluate=evaluate_cfg,
+        evaluate_many=evaluate_many_cfg,
     )
     return inner.run(problem, seed=seed)
 
@@ -199,6 +206,11 @@ class XpScalar:
     restarts:
         Restart count for multi-start strategies (only used when
         ``strategy`` is a name; others ignore it).
+    search_batch:
+        Candidate batch width for strategies with a batched evaluation
+        mode (anneal neighborhoods, hillclimb frontiers); ``1`` (the
+        default) keeps the sequential, signature-stable walk.  Only used
+        when ``strategy`` is a name.
     """
 
     def __init__(
@@ -212,6 +224,7 @@ class XpScalar:
         strategy: str | SearchStrategy = "anneal",
         budget: SearchBudget | None = None,
         restarts: int = 4,
+        search_batch: int = 1,
     ) -> None:
         self.tech = tech or default_technology()
         self.space = space or DesignSpace()
@@ -225,15 +238,20 @@ class XpScalar:
             if not engine.context_bound:
                 engine.bind_context(self.tech)
         else:
-            self.engine = EvaluationEngine(
-                simulator=simulator or IntervalSimulator(), context=self.tech
-            )
+            # simulator=None lets the engine pick its default (the
+            # vectorized batch model, scalar-compatible in results and
+            # cache identity).
+            self.engine = EvaluationEngine(simulator=simulator, context=self.tech)
         self.simulator = self.engine.simulator
         self.schedule = schedule or AnnealingSchedule()
         self.objective = objective
         if isinstance(strategy, str):
             self.strategy: SearchStrategy = make_strategy(
-                strategy, schedule=self.schedule, budget=budget, restarts=restarts
+                strategy,
+                schedule=self.schedule,
+                budget=budget,
+                restarts=restarts,
+                batch=search_batch,
             )
         else:
             self.strategy = strategy
@@ -347,6 +365,20 @@ class XpScalar:
                 tracked = (score, config, result)
             return score
 
+        def evaluate_many_cfg(configs: Sequence[CoreConfig]) -> list[float]:
+            # The batched twin of evaluate_cfg: one engine batch for the
+            # whole candidate set, tracked updates applied in input
+            # order so the strictly-greater rule picks the same winner.
+            nonlocal tracked
+            results = self.engine.evaluate_many([(profile, c) for c in configs])
+            scores: list[float] = []
+            for config, result in zip(configs, results):
+                score = self.objective(result)
+                if tracked is None or score > tracked[0]:
+                    tracked = (score, config, result)
+                scores.append(score)
+            return scores
+
         def fanout(seeds: Sequence[int], inner: SearchStrategy) -> list[SearchResult]:
             payloads = [(self, profile, start, s, inner) for s in seeds]
             return self.engine.map(_restart_task, payloads)
@@ -356,6 +388,7 @@ class XpScalar:
             propose=self._moves.propose,
             evaluate=evaluate_cfg,
             fanout=fanout,
+            evaluate_many=evaluate_many_cfg,
         )
         outcome = self.strategy.run(problem, seed=seed)
         for extra in range(1, restarts):

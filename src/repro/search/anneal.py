@@ -205,7 +205,19 @@ class SimulatedAnnealing(Generic[State]):
 
 @register_strategy
 class AnnealStrategy(SearchStrategy):
-    """The paper's simulated annealing, behind the strategy protocol."""
+    """The paper's simulated annealing, behind the strategy protocol.
+
+    With ``neighborhood=1`` (the default) this is the sequential
+    annealer, bit-identical to the pre-strategy explorer.  With
+    ``neighborhood=N`` each round proposes up to N candidates from the
+    round's starting state, scores them in one ``evaluate_many`` call
+    (the vectorized batch path when the problem provides one), then
+    applies the usual accept/rollback rules to each candidate in
+    proposal order at its own temperature step.  That is a different —
+    still fully deterministic — walk than the sequential chain, so the
+    neighborhood width joins :meth:`identity` whenever it exceeds 1;
+    default run signatures are unchanged.
+    """
 
     name = "anneal"
 
@@ -213,17 +225,115 @@ class AnnealStrategy(SearchStrategy):
         self,
         schedule: AnnealingSchedule | None = None,
         budget: SearchBudget | None = None,
+        neighborhood: int = 1,
     ) -> None:
+        if neighborhood < 1:
+            raise ExplorationError(f"neighborhood must be >= 1, got {neighborhood}")
         self.schedule = schedule or AnnealingSchedule()
         self.budget = budget
+        self.neighborhood = neighborhood
+
+    def identity(self) -> dict:
+        ident = super().identity()
+        if self.neighborhood > 1:
+            ident["neighborhood"] = self.neighborhood
+        return ident
+
+    @classmethod
+    def from_options(cls, schedule=None, budget=None, restarts=4, batch=1):
+        return cls(schedule=schedule, budget=budget, neighborhood=batch)
 
     def run(self, problem: SearchProblem, seed: int = 0) -> SearchResult:
-        annealer = SimulatedAnnealing(
-            propose=problem.propose,
-            evaluate=problem.evaluate,
-            schedule=self.schedule,
+        if self.neighborhood <= 1:
+            annealer = SimulatedAnnealing(
+                propose=problem.propose,
+                evaluate=problem.evaluate,
+                schedule=self.schedule,
+            )
+            return annealer.run(problem.initial, seed=seed, budget=self.budget)
+        return self._run_batched(problem, seed)
+
+    def _run_batched(self, problem: SearchProblem, seed: int) -> SearchResult:
+        """Neighborhood-batched annealing loop.
+
+        ``max_evaluations`` stays exact (the neighborhood is clamped to
+        the remaining allowance); ``max_moves``/``plateau_patience`` are
+        checked between rounds, so a round may finish past the limit —
+        the budget granularity a batch buys its throughput with.
+        """
+        from ..errors import ConfigurationError, TimingError
+
+        rng = np.random.default_rng(seed)
+        schedule = self.schedule
+        budget = self.budget
+        meter = BudgetMeter(budget)
+
+        current = problem.initial
+        current_score = problem.evaluate(current)
+        if current_score <= 0:
+            raise ExplorationError(
+                f"initial state has non-positive score {current_score}"
+            )
+        meter.note_evaluation()
+        best, best_score = current, current_score
+        evaluations = 1
+        accepted = 0
+        rollbacks = 0
+        history = [best_score]
+        stop_reason: str | None = None
+
+        step = 0
+        iterations = schedule.iterations
+        while step < iterations:
+            stop_reason = meter.stop_reason()
+            if stop_reason is not None:
+                break
+            width = min(self.neighborhood, iterations - step)
+            if budget is not None and budget.max_evaluations is not None:
+                width = min(width, budget.max_evaluations - meter.evaluations)
+            candidates: list[tuple[int, object]] = []
+            for _ in range(width):
+                try:
+                    candidates.append((step, problem.propose(current, rng)))
+                except (TimingError, ConfigurationError):
+                    meter.note_move(improved=False)
+                    history.append(best_score)
+                step += 1
+            if not candidates:
+                continue
+            scores = self.evaluate_many(
+                problem, [state for _, state in candidates]
+            )
+            for (cand_step, candidate), score in zip(candidates, scores):
+                evaluations += 1
+                meter.note_evaluation()
+                improved = score > best_score
+                if improved:
+                    best, best_score = candidate, score
+                if score >= current_score or SimulatedAnnealing._accept(
+                    score,
+                    current_score,
+                    best_score,
+                    schedule.temperature(cand_step),
+                    rng,
+                ):
+                    current, current_score = candidate, score
+                    accepted += 1
+                if current_score < schedule.rollback_fraction * best_score:
+                    current, current_score = best, best_score
+                    rollbacks += 1
+                meter.note_move(improved)
+                history.append(best_score)
+
+        return SearchResult(
+            best_state=best,
+            best_score=best_score,
+            evaluations=evaluations,
+            accepted=accepted,
+            rollbacks=rollbacks,
+            history=history,
+            stop_reason=stop_reason,
         )
-        return annealer.run(problem.initial, seed=seed, budget=self.budget)
 
 
 @register_strategy
@@ -251,20 +361,29 @@ class MultiStartAnneal(SearchStrategy):
         schedule: AnnealingSchedule | None = None,
         budget: SearchBudget | None = None,
         restarts: int = 4,
+        neighborhood: int = 1,
     ) -> None:
         if restarts < 1:
             raise ExplorationError(f"restarts must be >= 1, got {restarts}")
         self.schedule = schedule or AnnealingSchedule()
         self.budget = budget
         self.restarts = restarts
-        self.inner = AnnealStrategy(schedule=self.schedule, budget=budget)
+        self.neighborhood = neighborhood
+        self.inner = AnnealStrategy(
+            schedule=self.schedule, budget=budget, neighborhood=neighborhood
+        )
 
     def identity(self) -> dict:
-        return {**super().identity(), "restarts": self.restarts}
+        ident = {**super().identity(), "restarts": self.restarts}
+        if self.neighborhood > 1:
+            ident["neighborhood"] = self.neighborhood
+        return ident
 
     @classmethod
-    def from_options(cls, schedule=None, budget=None, restarts=4):
-        return cls(schedule=schedule, budget=budget, restarts=restarts)
+    def from_options(cls, schedule=None, budget=None, restarts=4, batch=1):
+        return cls(
+            schedule=schedule, budget=budget, restarts=restarts, neighborhood=batch
+        )
 
     def run(self, problem: SearchProblem, seed: int = 0) -> SearchResult:
         seeds = [derive_seed(seed, restart=r) for r in range(self.restarts)]

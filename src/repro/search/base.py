@@ -45,6 +45,9 @@ State = TypeVar("State")
 Propose = Callable[[Any, np.random.Generator], Any]
 #: Fitness signature: higher is better, must be positive.
 Evaluate = Callable[[Any], float]
+#: Batched fitness signature: one score per state, in state order.  Must
+#: return exactly the floats ``evaluate`` would return one by one.
+EvaluateMany = Callable[[Sequence[Any]], Sequence[float]]
 
 
 # ----------------------------------------------------------------------
@@ -154,12 +157,21 @@ Fanout = Callable[[Sequence[int], "SearchStrategy"], "list[SearchResult]"]
 
 @dataclass
 class SearchProblem(Generic[State]):
-    """One design-space search instance, strategy-agnostic."""
+    """One design-space search instance, strategy-agnostic.
+
+    ``evaluate_many`` is an optional batched fitness hook: the explorers
+    wire it to the evaluation engine's vectorized batch path, and
+    batching strategies (``neighborhood``/``frontier`` > 1) score a
+    whole candidate set per call through it.  It must return exactly
+    the floats ``evaluate`` would return one state at a time — the
+    determinism suite holds both paths to bit-identity.
+    """
 
     initial: State
     propose: Propose
     evaluate: Evaluate
     fanout: Fanout | None = None
+    evaluate_many: EvaluateMany | None = None
 
 
 @dataclass
@@ -219,15 +231,32 @@ class SearchStrategy(abc.ABC):
             "budget": getattr(self, "budget", None),
         }
 
+    def evaluate_many(
+        self, problem: SearchProblem, states: Sequence[Any]
+    ) -> list[float]:
+        """Score a batch of states through the problem's batched hook.
+
+        Falls back to a scalar ``problem.evaluate`` loop when the
+        problem provides no batched path — bit-identical by the
+        ``evaluate_many`` contract, so strategies can call this
+        unconditionally.
+        """
+        if problem.evaluate_many is not None:
+            return [float(score) for score in problem.evaluate_many(states)]
+        return [problem.evaluate(state) for state in states]
+
     @classmethod
     def from_options(
         cls,
         schedule: Any = None,
         budget: SearchBudget | None = None,
         restarts: int = 4,
+        batch: int = 1,
     ) -> "SearchStrategy":
         """Construct from the uniform option set (``restarts`` is only
-        meaningful to multi-start strategies; others ignore it)."""
+        meaningful to multi-start strategies, ``batch`` only to
+        strategies with a batched evaluation mode; others ignore
+        them)."""
         return cls(schedule=schedule, budget=budget)  # type: ignore[call-arg]
 
 
@@ -266,6 +295,7 @@ def make_strategy(
     schedule: Any = None,
     budget: SearchBudget | None = None,
     restarts: int = 4,
+    batch: int = 1,
 ) -> SearchStrategy:
     """Construct a registered strategy by name."""
     cls = _REGISTRY.get(name)
@@ -273,7 +303,9 @@ def make_strategy(
         raise ExplorationError(
             f"unknown search strategy {name!r}; known: {', '.join(_REGISTRY)}"
         )
-    return cls.from_options(schedule=schedule, budget=budget, restarts=restarts)
+    return cls.from_options(
+        schedule=schedule, budget=budget, restarts=restarts, batch=batch
+    )
 
 
 # ----------------------------------------------------------------------

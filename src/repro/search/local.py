@@ -35,6 +35,12 @@ class HillClimbStrategy(SearchStrategy):
     The cheapest strategy and the easiest to trap in a local optimum —
     the lower bound the annealer must beat.  Never rolls back (the
     current state *is* the best state at all times).
+
+    With ``frontier=N`` each round proposes up to N candidates from the
+    current state, scores them in one ``evaluate_many`` call, and climbs
+    to the best strictly-improving candidate (ties to the earliest
+    proposal).  A different deterministic walk than the sequential
+    climb, so the frontier width joins :meth:`identity` when above 1.
     """
 
     name = "hillclimb"
@@ -43,11 +49,27 @@ class HillClimbStrategy(SearchStrategy):
         self,
         schedule: AnnealingSchedule | None = None,
         budget: SearchBudget | None = None,
+        frontier: int = 1,
     ) -> None:
+        if frontier < 1:
+            raise ExplorationError(f"frontier must be >= 1, got {frontier}")
         self.schedule = schedule or AnnealingSchedule()
         self.budget = budget
+        self.frontier = frontier
+
+    def identity(self) -> dict:
+        ident = super().identity()
+        if self.frontier > 1:
+            ident["frontier"] = self.frontier
+        return ident
+
+    @classmethod
+    def from_options(cls, schedule=None, budget=None, restarts=4, batch=1):
+        return cls(schedule=schedule, budget=budget, frontier=batch)
 
     def run(self, problem: SearchProblem, seed: int = 0) -> SearchResult:
+        if self.frontier > 1:
+            return self._run_frontier(problem, seed)
         rng = np.random.default_rng(seed)
         meter = BudgetMeter(self.budget)
 
@@ -94,6 +116,76 @@ class HillClimbStrategy(SearchStrategy):
             stop_reason=stop_reason,
         )
 
+    def _run_frontier(self, problem: SearchProblem, seed: int) -> SearchResult:
+        """Frontier-batched greedy climb.
+
+        ``max_evaluations`` stays exact (the frontier is clamped to the
+        remaining allowance); ``max_moves``/``plateau_patience`` are
+        checked between rounds.
+        """
+        rng = np.random.default_rng(seed)
+        budget = self.budget
+        meter = BudgetMeter(budget)
+
+        current = problem.initial
+        current_score = problem.evaluate(current)
+        if current_score <= 0:
+            raise ExplorationError(
+                f"initial state has non-positive score {current_score}"
+            )
+        meter.note_evaluation()
+        evaluations = 1
+        accepted = 0
+        history = [current_score]
+        stop_reason: str | None = None
+
+        step = 0
+        iterations = self.schedule.iterations
+        while step < iterations:
+            stop_reason = meter.stop_reason()
+            if stop_reason is not None:
+                break
+            width = min(self.frontier, iterations - step)
+            if budget is not None and budget.max_evaluations is not None:
+                width = min(width, budget.max_evaluations - meter.evaluations)
+            candidates = []
+            failures = 0
+            for _ in range(width):
+                try:
+                    candidates.append(problem.propose(current, rng))
+                except (TimingError, ConfigurationError):
+                    failures += 1
+                step += 1
+            if candidates:
+                scores = self.evaluate_many(problem, candidates)
+                evaluations += len(scores)
+                for _ in scores:
+                    meter.note_evaluation()
+                best_i = max(range(len(scores)), key=lambda i: (scores[i], -i))
+                improved = scores[best_i] > current_score
+                if improved:
+                    current, current_score = candidates[best_i], scores[best_i]
+                    accepted += 1
+                # One history entry per proposal, like the scalar climb:
+                # the round's winner lands on its own slot, the rest
+                # (and every untenable proposal) carry the running best.
+                for i in range(len(scores)):
+                    meter.note_move(improved and i == best_i)
+                    history.append(current_score)
+            for _ in range(failures):
+                meter.note_move(improved=False)
+                history.append(current_score)
+
+        return SearchResult(
+            best_state=current,
+            best_score=current_score,
+            evaluations=evaluations,
+            accepted=accepted,
+            rollbacks=0,
+            history=history,
+            stop_reason=stop_reason,
+        )
+
 
 @register_strategy
 class RandomSearchStrategy(SearchStrategy):
@@ -101,7 +193,9 @@ class RandomSearchStrategy(SearchStrategy):
 
     The "no search policy at all" baseline — pure design-space sampling
     along a neighbour chain.  Beating it is the minimum bar for any
-    strategy that claims to *search*.
+    strategy that claims to *search*.  Every proposal depends on the one
+    before it (the chain *is* the strategy), so there is no batched mode
+    and the uniform ``batch`` option is ignored.
     """
 
     name = "random"

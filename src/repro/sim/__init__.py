@@ -4,12 +4,14 @@ type."""
 
 from .cycle import CycleSimulator
 from .interval import IntervalSimulator
+from .interval_batch import BatchIntervalModel
 from .metrics import CpiStack, SimResult, slowdown
 from .validation import ValidationReport, validate_interval_model
 
 __all__ = [
     "CycleSimulator",
     "IntervalSimulator",
+    "BatchIntervalModel",
     "CpiStack",
     "SimResult",
     "slowdown",

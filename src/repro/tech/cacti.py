@@ -42,10 +42,19 @@ class CactiResult:
 
 
 class CactiModel:
-    """Access-time model for RAM and CAM structures in one technology node."""
+    """Access-time model for RAM and CAM structures in one technology node.
+
+    Solutions are memoized per geometry: the model is pure per technology
+    node, and exploration re-times the same handful of structures on
+    every move, so repeat geometries are answered from ``_memo`` (hit
+    and miss counts are kept on ``memo_hits``/``memo_misses``).
+    """
 
     def __init__(self, tech: TechnologyNode) -> None:
         self._tech = tech
+        self._memo: dict[tuple, CactiResult] = {}
+        self.memo_hits = 0
+        self.memo_misses = 0
 
     @property
     def tech(self) -> TechnologyNode:
@@ -70,6 +79,12 @@ class CactiModel:
                 f"CACTI model is inaccurate below {MIN_BLOCK_BYTES}-byte blocks "
                 f"(got {block_bytes})"
             )
+        key = ("ram", nsets, assoc, block_bytes, read_ports, write_ports)
+        cached = self._memo.get(key)
+        if cached is not None:
+            self.memo_hits += 1
+            return cached
+        self.memo_misses += 1
         geometry = ArrayGeometry(
             nsets=nsets,
             assoc=assoc,
@@ -78,11 +93,13 @@ class CactiModel:
             write_ports=write_ports,
         )
         timing: ArrayTiming = array_timing(geometry, self._tech)
-        return CactiResult(
+        result = CactiResult(
             access_time_ns=timing.access_ns,
             tag_comparison_ns=timing.compare_ns,
             datapath_ns=timing.datapath_ns,
         )
+        self._memo[key] = result
+        return result
 
     def cam(
         self,
@@ -101,6 +118,12 @@ class CactiModel:
                 f"CACTI model is inaccurate below {MIN_BLOCK_BYTES}-byte blocks "
                 f"(got {block_bytes})"
             )
+        key = ("cam", entries, block_bytes, read_ports, write_ports)
+        cached = self._memo.get(key)
+        if cached is not None:
+            self.memo_hits += 1
+            return cached
+        self.memo_misses += 1
         geometry = CamGeometry(
             entries=entries,
             tag_bits=block_bytes * 8,
@@ -119,11 +142,13 @@ class CactiModel:
             ),
             self._tech,
         )
-        return CactiResult(
+        result = CactiResult(
             access_time_ns=search + data.output_ns,
             tag_comparison_ns=search,
             datapath_ns=search + data.sense_ns,
         )
+        self._memo[key] = result
+        return result
 
 
 def _next_pow2(n: int) -> int:

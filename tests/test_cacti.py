@@ -145,3 +145,42 @@ class TestCactiModel:
         small = model.ram(64, 2, 64, 2, 2).access_time_ns  # 8 KB
         large = model.ram(8192, 4, 128, 2, 2).access_time_ns  # 4 MB
         assert large > 5 * small
+
+
+class TestCactiMemo:
+    """Geometry-keyed memoization: repeated timing queries are free."""
+
+    def test_repeat_ram_geometry_hits_memo(self):
+        model = CactiModel(default_technology())
+        first = model.ram(nsets=256, assoc=2, block_bytes=64, read_ports=2, write_ports=2)
+        assert (model.memo_hits, model.memo_misses) == (0, 1)
+        second = model.ram(nsets=256, assoc=2, block_bytes=64, read_ports=2, write_ports=2)
+        assert second is first
+        assert (model.memo_hits, model.memo_misses) == (1, 1)
+
+    def test_cam_and_ram_keys_do_not_collide(self):
+        model = CactiModel(default_technology())
+        model.ram(nsets=64, assoc=1, block_bytes=8, read_ports=1, write_ports=1)
+        model.cam(entries=64, block_bytes=8, read_ports=1, write_ports=1)
+        assert (model.memo_hits, model.memo_misses) == (0, 2)
+        model.cam(entries=64, block_bytes=8, read_ports=1, write_ports=1)
+        assert (model.memo_hits, model.memo_misses) == (1, 2)
+
+    def test_distinct_geometries_miss(self):
+        model = CactiModel(default_technology())
+        model.ram(nsets=256, assoc=2, block_bytes=64, read_ports=2, write_ports=2)
+        model.ram(nsets=512, assoc=2, block_bytes=64, read_ports=2, write_ports=2)
+        assert (model.memo_hits, model.memo_misses) == (0, 2)
+
+    def test_invalid_block_not_memoized(self):
+        model = CactiModel(default_technology())
+        with pytest.raises(TimingError):
+            model.ram(nsets=256, assoc=2, block_bytes=4, read_ports=2, write_ports=2)
+        assert (model.memo_hits, model.memo_misses) == (0, 0)
+
+    def test_memoized_result_matches_fresh_model(self):
+        warm = CactiModel(default_technology())
+        warm.ram(256, 2, 64, 2, 2)
+        memoized = warm.ram(256, 2, 64, 2, 2)
+        fresh = CactiModel(default_technology()).ram(256, 2, 64, 2, 2)
+        assert memoized == fresh
