@@ -20,7 +20,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from ..errors import CommunalError
-from ..explore.xpscalar import XpScalar
+from ..explore.xpscalar import XpScalar, apply_objective
 from ..uarch.config import CoreConfig
 from ..workloads.profile import WorkloadProfile
 
@@ -138,7 +138,10 @@ def cross_performance(
     engine = getattr(explorer, "engine", None)
     if engine is not None:
         sims = engine.evaluate_many(pairs)
-        values = [explorer.objective(sim) for sim in sims]
+        values = [
+            apply_objective(explorer.objective, profile, config, sim)
+            for (profile, config), sim in zip(pairs, sims)
+        ]
     else:  # duck-typed explorer without an engine: evaluate pairwise
         values = [explorer.score(profile, config) for profile, config in pairs]
     ipt = np.asarray(values, dtype=float).reshape(n, n)

@@ -54,6 +54,18 @@ import sys
 from typing import Sequence
 
 from .communal import surrogate_merits
+from .communal.combination import DEFAULT_BEAM_WIDTH
+from .communal.merit import MERITS
+from .design import (
+    OBJECTIVE_NAMES,
+    ConstraintSet,
+    DesignError,
+    ParetoExplorer,
+    best_homogeneous,
+    build_design_matrix,
+    hetero_search,
+    make_objective,
+)
 from .engine import (
     CheckpointManager,
     EvaluationEngine,
@@ -205,6 +217,60 @@ def _search_options() -> argparse.ArgumentParser:
     return p
 
 
+def _envelope_options(with_objective: bool) -> argparse.ArgumentParser:
+    """Shared design-envelope flags (a parent parser).
+
+    ``with_objective`` adds ``--objective`` for the commands that run a
+    single-objective search (customize/sweep); the multi-objective
+    commands (pareto/hetero) take the budgets alone.
+    """
+    p = argparse.ArgumentParser(add_help=False)
+    group = p.add_argument_group("design envelope")
+    if with_objective:
+        group.add_argument(
+            "--objective", choices=OBJECTIVE_NAMES, default="ipt",
+            help="figure of merit to optimize: ipt (the paper's default), "
+                 "edp (inverse energy-delay product), ed2 (inverse "
+                 "energy-delay^2), epi (IPT under --epi-budget), or "
+                 "envelope (IPT discounted by every active budget overrun; "
+                 "see docs/design.md)",
+        )
+    group.add_argument(
+        "--power-budget", type=float, default=None, metavar="W",
+        help="peak-power envelope in watts (per core; hetero also caps "
+             "the sum over the chosen combination)",
+    )
+    group.add_argument(
+        "--area-budget", type=float, default=None, metavar="MM2",
+        help="die-area envelope in mm^2 (per core; hetero also caps the "
+             "sum over the chosen combination)",
+    )
+    group.add_argument(
+        "--epi-budget", type=float, default=None, metavar="NJ",
+        help="energy-per-instruction budget in nanojoules per core",
+    )
+    return p
+
+
+def _constraints(args) -> ConstraintSet:
+    """The :class:`ConstraintSet` implied by the envelope flags."""
+    return ConstraintSet(
+        peak_power_w=getattr(args, "power_budget", None),
+        area_mm2=getattr(args, "area_budget", None),
+        epi_budget_nj=getattr(args, "epi_budget", None),
+    )
+
+
+def _objective_kwargs(args) -> dict:
+    """``XpScalar`` objective override per ``--objective`` (empty for ipt)."""
+    from .tech import default_technology
+
+    objective = make_objective(
+        getattr(args, "objective", "ipt"), default_technology(), _constraints(args)
+    )
+    return {} if objective is None else {"objective": objective}
+
+
 def _search_budget(args) -> SearchBudget | None:
     """The uniform budget implied by search flags (None when unbounded)."""
     if (
@@ -243,10 +309,12 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     engine_opts = _engine_options()
     search_opts = _search_options()
+    objective_opts = _envelope_options(with_objective=True)
+    envelope_opts = _envelope_options(with_objective=False)
 
     p = sub.add_parser(
         "customize",
-        parents=[engine_opts, search_opts],
+        parents=[engine_opts, search_opts, objective_opts],
         help="customize a core per benchmark (cross-seeded when several)",
     )
     p.add_argument("benchmark", nargs="+", choices=SPEC2000_INT_NAMES)
@@ -265,12 +333,52 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iterations", type=int, default=2500)
     p.add_argument("--seed", type=int, default=2008)
 
-    p = sub.add_parser("sweep", parents=[engine_opts, search_opts],
+    p = sub.add_parser("sweep", parents=[engine_opts, search_opts, objective_opts],
                        help="pinned-clock sweep for one benchmark")
     p.add_argument("benchmark", choices=SPEC2000_INT_NAMES)
     p.add_argument("--clocks", type=float, nargs="+", default=None)
     p.add_argument("--iterations", type=int, default=600)
     p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "pareto", parents=[engine_opts, envelope_opts],
+        help="sweep the design space into per-benchmark (IPT, power, "
+             "area) Pareto fronts (see docs/design.md)",
+    )
+    p.add_argument("benchmark", nargs="+", choices=SPEC2000_INT_NAMES)
+    p.add_argument("--samples", type=int, default=128, metavar="N",
+                   help="design points in the seeded space walk, each "
+                        "evaluated in both core types (default: 128)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--top", type=int, default=None, metavar="N",
+                   help="print only the N best-IPT front rows per benchmark")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="also write every front as JSON to FILE")
+
+    p = sub.add_parser(
+        "hetero", parents=[engine_opts, search_opts, envelope_opts],
+        help="search the best heterogeneous k-core combination (core "
+             "type + count) under a shared power/area envelope",
+    )
+    p.add_argument("benchmark", nargs="+", choices=SPEC2000_INT_NAMES)
+    p.add_argument("--cores", "-k", type=int, default=2, metavar="K",
+                   help="cores in the combination (default: 2)")
+    p.add_argument("--iterations", type=int, default=2500)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--merit", choices=tuple(MERITS), default="cw-har",
+                   help="figure of merit over the workload population "
+                        "(default: cw-har)")
+    p.add_argument("--mode", choices=["auto", "exact", "beam"], default="auto",
+                   help="combination enumeration: exact, beam, or auto "
+                        "(exact while the count stays tractable)")
+    p.add_argument("--beam-width", type=int, default=DEFAULT_BEAM_WIDTH,
+                   metavar="N",
+                   help=f"partial combinations kept per beam level "
+                        f"(default: {DEFAULT_BEAM_WIDTH})")
+    p.add_argument("--no-inorder", action="store_true",
+                   help="offer only the out-of-order candidates (no @io twins)")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="also write the result as JSON to FILE")
 
     p = sub.add_parser(
         "search-compare", parents=[engine_opts, search_opts],
@@ -383,9 +491,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     client_sub = p.add_subparsers(dest="client_command", required=True)
     sp = client_sub.add_parser("submit", help="submit one job")
-    sp.add_argument("kind",
-                    choices=["customize", "sweep", "cross-matrix", "search-compare"])
+    sp.add_argument(
+        "kind",
+        choices=["customize", "sweep", "cross-matrix", "search-compare",
+                 "pareto"],
+    )
     sp.add_argument("benchmark", nargs="+", choices=SPEC2000_INT_NAMES)
+    sp.add_argument("--samples", type=int, default=None, metavar="N",
+                    help="design points for pareto jobs")
     sp.add_argument("--iterations", type=int, default=None)
     sp.add_argument("--seed", type=int, default=None)
     sp.add_argument("--strategy", choices=strategy_names(), default=None)
@@ -637,6 +750,7 @@ def cmd_customize(args) -> int:
         budget=_search_budget(args),
         restarts=args.restarts,
         search_batch=args.search_batch,
+        **_objective_kwargs(args),
     )
     profiles = [spec2000_profile(name) for name in args.benchmark]
     if len(profiles) == 1:
@@ -650,12 +764,14 @@ def cmd_customize(args) -> int:
         results = xp.customize_all(
             profiles, seed=args.seed, checkpoint=checkpoint, resume=args.resume
         )
+    objective = getattr(args, "objective", "ipt")
+    label = "IPT" if objective == "ipt" else f"{objective} score"
     lines = []
     for name in args.benchmark:
         result = results[name]
         evaluations = result.annealing.evaluations if result.annealing else 0
         seeded = f" (adopted from {result.cross_seeded_from})" if result.cross_seeded_from else ""
-        lines.append(f"{name}: IPT {result.score:.2f} ({evaluations} evaluations){seeded}")
+        lines.append(f"{name}: {label} {result.score:.2f} ({evaluations} evaluations){seeded}")
         lines.append(result.config.describe())
     text = "\n".join(lines)
     print(text)
@@ -753,7 +869,7 @@ def cmd_figure(args) -> int:
 
 def cmd_sweep(args) -> int:
     engine = _build_engine(args)
-    xp = XpScalar(engine=engine)
+    xp = XpScalar(engine=engine, **_objective_kwargs(args))
     sweep = ClockSweep(
         xp,
         iterations=args.iterations,
@@ -785,6 +901,93 @@ def cmd_sweep(args) -> int:
                         title=f"clock sweep: {args.benchmark}")
     print(text)
     _persist_run_artifact(args, "sweep.txt", text)
+    return _finish(args, engine)
+
+
+def _write_json_out(args, payload) -> None:
+    """Honour ``--out FILE``: write JSON, record it under ``--run-dir``."""
+    import json as _json
+
+    if getattr(args, "out", None) is None:
+        return
+    out = pathlib.Path(args.out)
+    if out.parent != pathlib.Path("."):
+        out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(_json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    run = getattr(args, "_run", None)
+    if run is not None:
+        run.record_artifact(out)
+    print(f"wrote {out}")
+
+
+def cmd_pareto(args) -> int:
+    engine = _build_engine(args)
+    explorer = ParetoExplorer(engine=engine, constraints=_constraints(args))
+    profiles = [spec2000_profile(name) for name in args.benchmark]
+    fronts = explorer.fronts(profiles, samples=args.samples, seed=args.seed)
+    text = "\n\n".join(fronts[name].render(top=args.top) for name in args.benchmark)
+    print(text)
+    _persist_run_artifact(args, "pareto.txt", text)
+    _write_json_out(
+        args, {name: front.as_jsonable() for name, front in fronts.items()}
+    )
+    return _finish(args, engine)
+
+
+def cmd_hetero(args) -> int:
+    engine = _build_engine(args)
+    xp = XpScalar(
+        schedule=AnnealingSchedule(iterations=args.iterations),
+        engine=engine,
+        strategy=args.strategy,
+        budget=_search_budget(args),
+        restarts=args.restarts,
+        search_batch=args.search_batch,
+    )
+    profiles = [spec2000_profile(name) for name in args.benchmark]
+    if len(profiles) == 1:
+        results = {profiles[0].name: xp.customize(profiles[0], seed=args.seed)}
+    else:
+        results = xp.customize_all(profiles, seed=args.seed)
+    configs = {name: results[name].config for name in args.benchmark}
+    matrix = build_design_matrix(
+        engine,
+        profiles,
+        configs,
+        tech=xp.tech,
+        include_inorder=not args.no_inorder,
+    )
+    constraints = _constraints(args)
+    best = hetero_search(
+        matrix,
+        args.cores,
+        constraints,
+        merit=args.merit,
+        mode=args.mode,
+        beam_width=args.beam_width,
+    )
+    lines = [
+        f"heterogeneous {args.cores}-core search ({constraints.identity})",
+        best.render(),
+    ]
+    payload = {"hetero": best.as_jsonable(), "homogeneous": None}
+    try:
+        homogeneous = best_homogeneous(
+            matrix, args.cores, constraints, merit=args.merit
+        )
+        lines.append("best homogeneous:")
+        lines.append(homogeneous.render())
+        lines.append(
+            f"hetero/homogeneous merit ratio: "
+            f"{best.merit / homogeneous.merit:.4f}"
+        )
+        payload["homogeneous"] = homogeneous.as_jsonable()
+    except DesignError as exc:
+        lines.append(f"best homogeneous: none ({exc})")
+    text = "\n".join(lines)
+    print(text)
+    _persist_run_artifact(args, "hetero.txt", text)
+    _write_json_out(args, payload)
     return _finish(args, engine)
 
 
@@ -1051,6 +1254,7 @@ def cmd_client(args) -> int:
         "plateau_patience": args.patience,
         "clocks": args.clocks,
         "strategies": args.strategies,
+        "samples": args.samples,
         "tenant": args.tenant,
     }
     payload.update({key: value for key, value in optional.items() if value is not None})
@@ -1119,6 +1323,8 @@ _COMMANDS = {
     "table": cmd_table,
     "figure": cmd_figure,
     "sweep": cmd_sweep,
+    "pareto": cmd_pareto,
+    "hetero": cmd_hetero,
     "search-compare": cmd_search_compare,
     "validate": cmd_validate,
     "report": cmd_report,

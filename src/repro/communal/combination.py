@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations
+from math import comb
 from typing import Callable, Sequence
 
 from ..characterize.cross import CrossPerformance
@@ -24,6 +25,18 @@ from .merit import (
 )
 
 MeritFn = Callable[[CrossPerformance, Sequence[str]], float]
+
+#: ``mode="auto"`` stays exhaustive up to this many k-subsets, then
+#: switches to the beam search.  The paper-scale searches (C(11, 4) =
+#: 330) sit far below it, so the default mode is exact for every
+#: historical call; the heterogeneous design searches (hundreds of
+#: candidates) sit far above it.
+EXACT_SUBSET_LIMIT = 100_000
+
+#: Default beam width.  The beam is *provably* exhaustive whenever it
+#: never overflows — i.e. when every partial-subset level fits within
+#: the width — which the small-n tests exploit.
+DEFAULT_BEAM_WIDTH = 64
 
 
 @dataclass(frozen=True)
@@ -69,31 +82,104 @@ def evaluate_combination(
     )
 
 
-def best_combination(
-    cross: CrossPerformance,
-    k: int,
-    merit: str | MeritFn = "har",
-    candidates: Sequence[str] | None = None,
-) -> Combination:
-    """Exhaustively search the best k-core combination under a merit.
-
-    ``candidates`` restricts the configurations considered (used by the
-    §5.3 subsetting experiment, where bzip's configuration is excluded);
-    all workloads still contribute to the merit.
-    """
-    pool = tuple(candidates) if candidates is not None else cross.names
-    if not 1 <= k <= len(pool):
-        raise CommunalError(
-            f"k={k} out of range for {len(pool)} candidate configurations"
-        )
-    name, fn = _resolve_merit(merit)
+def _best_exact(
+    cross: CrossPerformance, pool: tuple[str, ...], k: int, fn: MeritFn
+) -> tuple[str, ...]:
+    """The complete search: every k-subset, lexicographic, greater-wins."""
     best: tuple[float, tuple[str, ...]] | None = None
     for subset in combinations(pool, k):
         score = fn(cross, subset)
         if best is None or score > best[0] + 1e-12:
             best = (score, subset)
     assert best is not None
-    return evaluate_combination(cross, best[1], merit)
+    return best[1]
+
+
+def _best_beam(
+    cross: CrossPerformance,
+    pool: tuple[str, ...],
+    k: int,
+    fn: MeritFn,
+    width: int,
+) -> tuple[str, ...]:
+    """Deterministic beam search over prefix-extended subsets.
+
+    Level ``j`` holds (up to ``width``) partial subsets of size ``j`` as
+    sorted index tuples; each is extended only by candidates *after* its
+    last member, so every k-subset is reachable exactly once and the
+    search degenerates to the exhaustive enumeration whenever no level
+    overflows the beam.  Pruning keeps the top ``width`` partials by
+    ``(-merit, subset)`` — a total order, so the outcome is independent
+    of enumeration incidentals — and levels are re-sorted
+    lexicographically so the final selection applies the exhaustive
+    path's first-wins tie rule to an identically ordered stream.
+    """
+    level: list[tuple[int, ...]] = [()]
+    scores: dict[tuple[int, ...], float] = {}
+    for depth in range(k):
+        remaining_after = k - depth - 1
+        scored: list[tuple[float, tuple[int, ...]]] = []
+        for partial in level:
+            start = partial[-1] + 1 if partial else 0
+            for i in range(start, len(pool) - remaining_after):
+                subset = partial + (i,)
+                names = tuple(pool[j] for j in subset)
+                scored.append((fn(cross, names), subset))
+        if len(scored) > width:
+            scored.sort(key=lambda item: (-item[0], item[1]))
+            scored = scored[:width]
+        scores = {subset: score for score, subset in scored}
+        level = sorted(scores)
+    best: tuple[float, tuple[int, ...]] | None = None
+    for subset in level:
+        score = scores[subset]
+        if best is None or score > best[0] + 1e-12:
+            best = (score, subset)
+    assert best is not None
+    return tuple(pool[i] for i in best[1])
+
+
+def best_combination(
+    cross: CrossPerformance,
+    k: int,
+    merit: str | MeritFn = "har",
+    candidates: Sequence[str] | None = None,
+    mode: str = "auto",
+    beam_width: int = DEFAULT_BEAM_WIDTH,
+) -> Combination:
+    """Search the best k-core combination under a merit.
+
+    ``candidates`` restricts the configurations considered (used by the
+    §5.3 subsetting experiment, where bzip's configuration is excluded);
+    all workloads still contribute to the merit.
+
+    ``mode`` guards against the C(n, k) blow-up of the paper's complete
+    search: ``"exact"`` always enumerates every subset, ``"beam"``
+    always runs the deterministic beam search (``beam_width`` partials
+    kept per level), and ``"auto"`` (the default) enumerates exactly
+    while the subset count stays within :data:`EXACT_SUBSET_LIMIT` and
+    switches to the beam beyond it.  At paper scale the auto mode is
+    always exact, so historical results are unchanged.
+    """
+    pool = tuple(candidates) if candidates is not None else cross.names
+    if not 1 <= k <= len(pool):
+        raise CommunalError(
+            f"k={k} out of range for {len(pool)} candidate configurations"
+        )
+    if mode not in ("auto", "exact", "beam"):
+        raise CommunalError(
+            f"unknown combination search mode {mode!r}; known: auto, exact, beam"
+        )
+    if beam_width < 1:
+        raise CommunalError(f"beam width must be >= 1, got {beam_width}")
+    name, fn = _resolve_merit(merit)
+    if mode == "auto":
+        mode = "exact" if comb(len(pool), k) <= EXACT_SUBSET_LIMIT else "beam"
+    if mode == "exact":
+        winner = _best_exact(cross, pool, k, fn)
+    else:
+        winner = _best_beam(cross, pool, k, fn, beam_width)
+    return evaluate_combination(cross, winner, merit)
 
 
 def best_combinations_table(

@@ -76,13 +76,21 @@ def contention_weighted_harmonic_ipt(
     on the most suitable core available for it, by the number of
     benchmarks with which it shares that core, and then taking the
     harmonic mean."
+
+    ``available`` may repeat a configuration name (the heterogeneous
+    core-count search replicates cores): with ``c`` copies, the
+    workloads preferring that configuration spread across them, so each
+    pays ``ceil(count / c)`` sharers.  With every name distinct — every
+    historical caller — that is exactly ``count``, bit-identically.
     """
     chosen = assignment(cross, available)
     sharers = Counter(chosen.values())
+    copies = Counter(available)
     weights = np.array(cross.weights)
     ipts = np.array(
         [
-            cross.ipt_on(w, chosen[w]) / sharers[chosen[w]]
+            cross.ipt_on(w, chosen[w])
+            / -(-sharers[chosen[w]] // copies[chosen[w]])
             for w in cross.names
         ],
         dtype=float,

@@ -1,0 +1,62 @@
+"""Constrained multi-objective design: envelopes, Pareto fronts, hetero cores.
+
+The paper customizes for IPT alone and notes power/area stay "within
+acceptable limits"; this package makes those limits first-class.
+:mod:`~repro.design.constraints` defines the power/area/EPI envelope,
+:mod:`~repro.design.objectives` turns it into explorer objectives,
+:mod:`~repro.design.pareto` sweeps design spaces into non-dominated
+(IPT, power, area) fronts, and :mod:`~repro.design.hetero` searches
+constrained heterogeneous core combinations — core type and count per
+workload group under a shared budget.
+"""
+
+from .constraints import ConstraintSet, DesignError
+from .hetero import (
+    INORDER_SUFFIX,
+    CoreCandidate,
+    DesignMatrix,
+    HeteroResult,
+    best_homogeneous,
+    build_design_matrix,
+    hetero_search,
+)
+from .objectives import (
+    OBJECTIVE_NAMES,
+    ConstrainedIptScore,
+    Ed2Score,
+    constrained_ipt_objective,
+    ed2_objective,
+    make_objective,
+)
+from .pareto import (
+    DesignPoint,
+    ParetoExplorer,
+    ParetoFront,
+    dominates,
+    pareto_filter,
+    sample_design_space,
+)
+
+__all__ = [
+    "ConstraintSet",
+    "DesignError",
+    "INORDER_SUFFIX",
+    "CoreCandidate",
+    "DesignMatrix",
+    "HeteroResult",
+    "best_homogeneous",
+    "build_design_matrix",
+    "hetero_search",
+    "OBJECTIVE_NAMES",
+    "ConstrainedIptScore",
+    "Ed2Score",
+    "constrained_ipt_objective",
+    "ed2_objective",
+    "make_objective",
+    "DesignPoint",
+    "ParetoExplorer",
+    "ParetoFront",
+    "dominates",
+    "pareto_filter",
+    "sample_design_space",
+]

@@ -1,0 +1,124 @@
+"""Constrained figures of merit as first-class explorer objectives.
+
+Each factory returns a *context objective*: a picklable callable with a
+truthy ``needs_context`` attribute, invoked as ``objective(profile,
+config, result)`` by :func:`repro.explore.xpscalar.apply_objective`, and
+an ``identity`` folded into run signatures/checkpoints.  They plug into
+``XpScalar(objective=...)``, ``SearchProblem`` evaluation and the CLI's
+``--objective`` flag, completing the paper's sketched "combination of
+performance, power and die area" extension:
+
+* :func:`constrained_ipt_objective` — IPT discounted by every active
+  envelope overrun (power / area / EPI), via
+  :meth:`~repro.design.constraints.ConstraintSet.discount`;
+* :func:`ed2_objective` — inverse energy-delay² product, the
+  voltage-scaling-neutral figure of the low-power literature;
+* the EDP / EPI / area scorers re-exported from :mod:`repro.tech`.
+
+:func:`make_objective` maps CLI names to built objectives.
+"""
+
+from __future__ import annotations
+
+from ..tech.area import area_aware_objective
+from ..tech.power import edp_objective, energy_per_instruction_nj, epi_objective
+from ..tech.technology import TechnologyNode
+from .constraints import ConstraintSet, DesignError
+
+#: CLI-selectable objective names (see :func:`make_objective`).
+OBJECTIVE_NAMES = ("ipt", "edp", "epi", "ed2", "envelope")
+
+
+class ConstrainedIptScore:
+    """IPT discounted by the :class:`ConstraintSet` envelope overruns."""
+
+    needs_context = True
+
+    def __init__(self, tech: TechnologyNode, constraints: ConstraintSet) -> None:
+        self.tech = tech
+        self.constraints = constraints
+
+    @property
+    def identity(self) -> str:
+        return f"envelope:{self.constraints.identity}"
+
+    def __call__(self, profile, config, result) -> float:
+        measures = self.constraints.measure(self.tech, profile, config, result)
+        return result.ipt / self.constraints.discount(measures)
+
+
+class Ed2Score:
+    """Inverse energy-delay² product (maximize ``1 / (EPI * delay²)``)."""
+
+    needs_context = True
+
+    def __init__(self, tech: TechnologyNode) -> None:
+        self.tech = tech
+
+    @property
+    def identity(self) -> str:
+        return "ed2"
+
+    def __call__(self, profile, config, result) -> float:
+        epi = energy_per_instruction_nj(self.tech, profile, config, result)
+        delay_per_instr = 1.0 / max(result.ipt, 1e-12)
+        return 1.0 / (epi * delay_per_instr * delay_per_instr)
+
+
+def constrained_ipt_objective(tech: TechnologyNode, constraints: ConstraintSet):
+    """IPT under a power/area/EPI envelope (soft, multiplicative)."""
+    return ConstrainedIptScore(tech, constraints)
+
+
+def ed2_objective(tech: TechnologyNode):
+    """Energy-delay² score hook."""
+    return Ed2Score(tech)
+
+
+def make_objective(
+    name: str,
+    tech: TechnologyNode,
+    constraints: ConstraintSet | None = None,
+):
+    """Build the objective a CLI name refers to.
+
+    ``"ipt"`` returns ``None`` — callers keep their default (the paper's
+    plain-IPT objective, preserving historical run signatures).  The
+    constrained names consume the relevant :class:`ConstraintSet`
+    budgets; ``"epi"`` requires ``epi_budget_nj`` and ``"envelope"``
+    requires at least one active budget.
+    """
+    constraints = constraints or ConstraintSet()
+    if name == "ipt":
+        return None
+    if name == "edp":
+        return edp_objective(tech)
+    if name == "ed2":
+        return ed2_objective(tech)
+    if name == "epi":
+        if constraints.epi_budget_nj is None:
+            raise DesignError("--objective epi requires --epi-budget")
+        return epi_objective(tech, constraints.epi_budget_nj)
+    if name == "envelope":
+        if constraints.unconstrained:
+            raise DesignError(
+                "--objective envelope requires at least one of "
+                "--power-budget/--area-budget/--epi-budget"
+            )
+        return constrained_ipt_objective(tech, constraints)
+    raise DesignError(
+        f"unknown objective {name!r}; known: {', '.join(OBJECTIVE_NAMES)}"
+    )
+
+
+__all__ = [
+    "OBJECTIVE_NAMES",
+    "ConstrainedIptScore",
+    "Ed2Score",
+    "area_aware_objective",
+    "constrained_ipt_objective",
+    "ed2_objective",
+    "edp_objective",
+    "epi_objective",
+    "make_objective",
+]

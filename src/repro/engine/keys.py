@@ -48,9 +48,23 @@ def canonical(obj: Any) -> Any:
         # plain IEEE double so their reprs don't leak the subtype name.
         return {"__float__": repr(float(obj))}
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        # A dataclass may list newly added fields in
+        # ``__canonical_omit_defaults__``: such a field is omitted from
+        # the encoding while it holds its default value, so growing a
+        # type does not reshuffle the digests (cache keys, run
+        # signatures, seeded fault schedules) of every value that
+        # predates the field.  Non-default values always encode.
+        omit = getattr(obj, "__canonical_omit_defaults__", ())
         encoded: dict[str, Any] = {"__type__": _type_name(obj)}
         for field in dataclasses.fields(obj):
-            encoded[field.name] = canonical(getattr(obj, field.name))
+            value = getattr(obj, field.name)
+            if (
+                field.name in omit
+                and field.default is not dataclasses.MISSING
+                and value == field.default
+            ):
+                continue
+            encoded[field.name] = canonical(value)
         return encoded
     if isinstance(obj, (list, tuple)):
         return [canonical(item) for item in obj]

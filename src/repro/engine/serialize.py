@@ -68,6 +68,7 @@ def config_to_jsonable(config: CoreConfig) -> dict[str, Any]:
         "memory_cycles": config.memory_cycles,
         "l1": _geometry_to_jsonable(config.l1),
         "l2": _geometry_to_jsonable(config.l2),
+        "core_type": config.core_type,
     }
 
 

@@ -35,7 +35,7 @@ from ..search import (
 from ..uarch.config import CoreConfig, initial_configuration
 from ..uarch.fit import refit_config
 from ..workloads.profile import WorkloadProfile
-from .xpscalar import XpScalar
+from .xpscalar import XpScalar, apply_objective, objective_identity
 
 
 @dataclass(frozen=True)
@@ -158,9 +158,7 @@ class ClockSweep:
         seed, schedule length, strategy, technology, design space or
         simulator starts fresh instead of resuming into inconsistency.
         """
-        objective_id = getattr(
-            self._xp.objective, "__qualname__", repr(self._xp.objective)
-        )
+        objective_id = objective_identity(self._xp.objective)
         return digest(
             profile,
             [float(c) for c in clocks],
@@ -297,7 +295,10 @@ class ClockSweep:
             results = self._xp.engine.evaluate_many(
                 [(profile, cfg) for cfg in configs]
             )
-            return [self._xp.objective(result) for result in results]
+            return [
+                apply_objective(self._xp.objective, profile, cfg, result)
+                for cfg, result in zip(configs, results)
+            ]
 
         problem = SearchProblem(
             initial=start,

@@ -59,13 +59,51 @@ from .moves import MoveGenerator
 
 #: Objective signature: maps a simulation result to the fitness to
 #: maximize.  The default is IPT; power/area-aware objectives plug in
-#: here (the paper's §3 notes this extension).
+#: here (the paper's §3 notes this extension).  Objectives that need
+#: the workload and configuration as well (the constrained scorers in
+#: :mod:`repro.tech.power`/:mod:`repro.tech.area` and
+#: :mod:`repro.design`) declare a truthy ``needs_context`` attribute
+#: and are called as ``objective(profile, config, result)`` — see
+#: :func:`apply_objective`.
 Objective = Callable[[SimResult], float]
 
 
 def ipt_objective(result: SimResult) -> float:
     """The paper's fitness: instructions per time unit."""
     return result.ipt
+
+
+def apply_objective(
+    objective: Objective,
+    profile: WorkloadProfile,
+    config: CoreConfig,
+    result: SimResult,
+) -> float:
+    """Score ``result`` under ``objective``, passing context if asked.
+
+    Plain objectives take the :class:`~repro.sim.metrics.SimResult`
+    alone; context objectives (power/area/EPI-aware scorers) declare a
+    truthy ``needs_context`` attribute and receive the workload and
+    configuration too.  Duck-typed so :mod:`repro.design` never has to
+    be imported here.
+    """
+    if getattr(objective, "needs_context", False):
+        return objective(profile, config, result)  # type: ignore[call-arg]
+    return objective(result)
+
+
+def objective_identity(objective: Objective) -> str:
+    """Stable identity of an objective for run signatures.
+
+    Context objectives built by factories (EDP, EPI, envelopes) carry
+    an ``identity`` attribute that folds their parameters in; plain
+    functions fall back to their qualified name, keeping historical
+    signatures (and hence resumable checkpoints) byte-stable.
+    """
+    ident = getattr(objective, "identity", None)
+    if ident is not None:
+        return str(ident() if callable(ident) else ident)
+    return getattr(objective, "__qualname__", repr(objective))
 
 
 @dataclass
@@ -107,11 +145,15 @@ def _restart_task(
     explorer, profile, start, seed, inner = payload
 
     def evaluate_cfg(config: CoreConfig) -> float:
-        return explorer.objective(explorer.engine.evaluate(profile, config))
+        result = explorer.engine.evaluate(profile, config)
+        return apply_objective(explorer.objective, profile, config, result)
 
     def evaluate_many_cfg(configs: Sequence[CoreConfig]) -> list[float]:
         results = explorer.engine.evaluate_many([(profile, c) for c in configs])
-        return [explorer.objective(result) for result in results]
+        return [
+            apply_objective(explorer.objective, profile, config, result)
+            for config, result in zip(configs, results)
+        ]
 
     problem = SearchProblem(
         initial=start,
@@ -267,7 +309,9 @@ class XpScalar:
 
     def score(self, profile: WorkloadProfile, config: CoreConfig) -> float:
         """Objective value of one pair."""
-        return self.objective(self.evaluate(profile, config))
+        return apply_objective(
+            self.objective, profile, config, self.evaluate(profile, config)
+        )
 
     def run_signature(
         self, names: Sequence[str], seed: int, cross_seed_rounds: int
@@ -278,7 +322,7 @@ class XpScalar:
         schedule, seed, technology, design space, simulator or workload
         list starts fresh instead of resuming into inconsistency.
         """
-        objective_id = getattr(self.objective, "__qualname__", repr(self.objective))
+        objective_id = objective_identity(self.objective)
         return digest(
             list(names),
             seed,
@@ -360,7 +404,7 @@ class XpScalar:
         def evaluate_cfg(config: CoreConfig) -> float:
             nonlocal tracked
             result = self.engine.evaluate(profile, config)
-            score = self.objective(result)
+            score = apply_objective(self.objective, profile, config, result)
             if tracked is None or score > tracked[0]:
                 tracked = (score, config, result)
             return score
@@ -373,7 +417,7 @@ class XpScalar:
             results = self.engine.evaluate_many([(profile, c) for c in configs])
             scores: list[float] = []
             for config, result in zip(configs, results):
-                score = self.objective(result)
+                score = apply_objective(self.objective, profile, config, result)
                 if tracked is None or score > tracked[0]:
                     tracked = (score, config, result)
                 scores.append(score)
@@ -602,7 +646,10 @@ class XpScalar:
                     labels.append((profile.name, other.name))
             sims = self.engine.evaluate_many(pairs)
             sim_by_label = dict(zip(labels, sims))
-            scores = {label: self.objective(sim) for label, sim in sim_by_label.items()}
+            scores = {
+                label: apply_objective(self.objective, pair[0], pair[1], sim)
+                for label, pair, sim in zip(labels, pairs, sims)
+            }
             fired = False
             for profile in profiles:
                 own = results[profile.name]

@@ -31,6 +31,7 @@ JOB_KINDS = {
     "sweep": 600,
     "cross-matrix": 2500,
     "search-compare": 400,
+    "pareto": 1,  # pareto jobs size by `samples`, not iterations
 }
 
 #: Seed defaults per kind (the CLI's: explorations 0, the pipeline 2008).
@@ -39,7 +40,11 @@ DEFAULT_SEEDS = {
     "sweep": 0,
     "cross-matrix": 2008,
     "search-compare": 0,
+    "pareto": 0,
 }
+
+#: CLI default for pareto jobs' design-space sample count.
+DEFAULT_PARETO_SAMPLES = 128
 
 #: Job lifecycle states.
 QUEUED = "queued"
@@ -76,6 +81,7 @@ class JobSpec:
     plateau_patience: int | None = None
     clocks: tuple[float, ...] | None = None
     strategies: tuple[str, ...] | None = None
+    samples: int | None = None
 
     @classmethod
     def from_payload(cls, payload: Any) -> "JobSpec":
@@ -84,7 +90,7 @@ class JobSpec:
         unknown = set(payload) - {
             "kind", "benchmarks", "iterations", "seed", "strategy", "restarts",
             "max_evaluations", "max_moves", "plateau_patience", "clocks",
-            "strategies", "tenant",
+            "strategies", "samples", "tenant",
         }
         _require(not unknown, f"unknown job fields: {', '.join(sorted(unknown))}")
 
@@ -165,6 +171,16 @@ class JobSpec:
             )
             strategies = tuple(strategies)
 
+        samples = payload.get("samples")
+        if samples is not None:
+            _require(kind == "pareto", "samples only apply to pareto jobs")
+            _require(
+                isinstance(samples, int) and samples >= 1,
+                f"samples must be a positive integer, got {samples!r}",
+            )
+        elif kind == "pareto":
+            samples = DEFAULT_PARETO_SAMPLES
+
         return cls(
             kind=kind,
             benchmarks=tuple(benchmarks),
@@ -177,6 +193,7 @@ class JobSpec:
             plateau_patience=_bound("plateau_patience"),
             clocks=clocks,
             strategies=strategies,
+            samples=samples,
         )
 
     @property
@@ -216,6 +233,7 @@ class JobSpec:
             "plateau_patience": self.plateau_patience,
             "clocks": list(self.clocks) if self.clocks is not None else None,
             "strategies": list(self.strategies) if self.strategies else None,
+            "samples": self.samples,
         }
 
     @property

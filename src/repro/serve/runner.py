@@ -115,6 +115,18 @@ def execute_job(spec: JobSpec, engine: EvaluationEngine) -> dict[str, Any]:
             "configs": [config_to_jsonable(c) for c in cross.configs],
         }
 
+    if spec.kind == "pareto":
+        from ..design import ParetoExplorer
+
+        explorer = ParetoExplorer(engine=engine)
+        fronts = explorer.fronts(
+            profiles, samples=spec.samples or 128, seed=spec.seed
+        )
+        return {
+            "kind": spec.kind,
+            "fronts": [fronts[name].as_jsonable() for name in spec.benchmarks],
+        }
+
     if spec.kind == "search-compare":
         from ..search.compare import compare_strategies
 

@@ -65,6 +65,12 @@ _MEMORY_SERVICE_NS = 4.0
 #: Fraction of poisoned issue slots recovered per replayed cycle.
 _REPLAY_FACTOR = 0.5
 
+#: Instruction-window ceiling for in-order cores, in multiples of the
+#: issue width.  A stall-on-use in-order pipeline exposes only the
+#: instructions between fetch and the first stalled consumer — a couple
+#: of issue groups — regardless of how large the ROB/IQ structures are.
+_INORDER_WINDOW_FACTOR = 2.0
+
 #: Nominal number of evaluated instructions reported in results.
 _NOMINAL_INSTRUCTIONS = 100_000_000
 
@@ -132,16 +138,19 @@ class IntervalSimulator:
 
         Bounded by the ROB, by the issue queue (scaled, since issued
         instructions leave it), and by the LSQ relative to the workload's
-        memory-operation density.
+        memory-operation density.  An in-order core cannot look past a
+        stalled instruction, so its window is additionally capped at a
+        couple of issue groups (``_INORDER_WINDOW_FACTOR * width``).
         """
         mem_frac = max(profile.mix.memory, 1e-6)
-        return float(
-            min(
-                config.rob_size,
-                _IQ_WINDOW_FACTOR * config.iq_size,
-                config.lsq_size / mem_frac,
-            )
+        window = min(
+            config.rob_size,
+            _IQ_WINDOW_FACTOR * config.iq_size,
+            config.lsq_size / mem_frac,
         )
+        if config.is_inorder:
+            window = min(window, _INORDER_WINDOW_FACTOR * config.width)
+        return float(window)
 
     def chain_stretch(self, profile: WorkloadProfile, config: CoreConfig) -> float:
         """Average issue-slot stretch along dependence chains.
@@ -255,11 +264,15 @@ class IntervalSimulator:
         if events <= 0:
             return 0.0
         # Outstanding misses live in the ROB/LSQ (issued loads have left
-        # the issue queue), so the MLP window is not IQ-capped.
+        # the issue queue), so the MLP window is not IQ-capped.  In-order
+        # cores stall at the first miss consumer, so their MLP window is
+        # the same couple-of-issue-groups cap as the ILP window.
         mem_window = min(
             float(config.rob_size),
             config.lsq_size / max(profile.mix.memory, 1e-6),
         )
+        if config.is_inorder:
+            mem_window = min(mem_window, _INORDER_WINDOW_FACTOR * config.width)
         misses_in_window = events * mem_window
         mlp = max(
             1.0, min(profile.memory.achievable_mlp(mem_window), misses_in_window)
@@ -274,8 +287,11 @@ class IntervalSimulator:
 
         Schedulers issue load consumers assuming L1 hits; every L1 miss
         poisons the slots issued during the scheduler/wake-up loop's
-        depth, which must be replayed.
+        depth, which must be replayed.  In-order cores stall instead of
+        speculating on load latency, so they pay no replay cost.
         """
+        if config.is_inorder:
+            return 0.0
         events = profile.mix.load * miss1
         depth = config.scheduler_depth - 1 + config.wakeup_latency
         return events * depth * _REPLAY_FACTOR

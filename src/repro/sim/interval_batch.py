@@ -43,6 +43,7 @@ from ..errors import ConfigurationError, WorkloadError
 from ..workloads.profile import REFERENCE_BLOCK_BYTES, MemoryModel, WorkloadProfile
 from .interval import (
     _BRANCH_RESOLVE_CYCLES,
+    _INORDER_WINDOW_FACTOR,
     _IQ_WINDOW_FACTOR,
     _L2_SERVICE_FRACTION,
     _MEMORY_SERVICE_NS,
@@ -80,6 +81,7 @@ class ConfigColumns:
         "l2_block",
         "l2_assoc",
         "l2_latency",
+        "inorder",
     )
 
     def __init__(self, configs: Sequence[Any]) -> None:
@@ -136,6 +138,9 @@ class ConfigColumns:
         # once per column instead of twice per config via the property.
         self.l1_capacity = l1_nsets * self.l1_assoc * self.l1_block
         self.l2_capacity = l2_nsets * self.l2_assoc * self.l2_block
+        self.inorder = np.array(
+            [c.core_type == "inorder" for c in configs], dtype=bool
+        )
 
 
 def _libm_pow(base: Any, exponent: Any) -> np.ndarray:
@@ -408,12 +413,19 @@ class BatchIntervalModel(IntervalSimulator):
     @staticmethod
     def _effective_window(profile: WorkloadProfile, cols: ConfigColumns) -> np.ndarray:
         mem_frac = max(profile.mix.memory, 1e-6)
-        return np.minimum(
+        window = np.minimum(
             np.minimum(
                 cols.rob_size.astype(np.float64), _IQ_WINDOW_FACTOR * cols.iq_size
             ),
             cols.lsq_size / mem_frac,
         )
+        if cols.inorder.any():  # pure-ooo batches skip the extra min
+            window = np.where(
+                cols.inorder,
+                np.minimum(window, _INORDER_WINDOW_FACTOR * cols.width),
+                window,
+            )
+        return window
 
     @staticmethod
     def _chain_stretch(profile: WorkloadProfile, cols: ConfigColumns) -> np.ndarray:
@@ -490,6 +502,12 @@ class BatchIntervalModel(IntervalSimulator):
             cols.rob_size.astype(np.float64),
             cols.lsq_size / max(profile.mix.memory, 1e-6),
         )
+        if cols.inorder.any():
+            mem_window = np.where(
+                cols.inorder,
+                np.minimum(mem_window, _INORDER_WINDOW_FACTOR * cols.width),
+                mem_window,
+            )
         misses_in_window = events * mem_window
         mlp = np.maximum(
             1.0,
@@ -506,4 +524,7 @@ class BatchIntervalModel(IntervalSimulator):
     ) -> np.ndarray:
         events = profile.mix.load * miss1
         depth = cols.scheduler_depth - 1 + cols.wakeup_latency
-        return events * depth * _REPLAY_FACTOR
+        cpi = events * depth * _REPLAY_FACTOR
+        if cols.inorder.any():  # in-order cores never replay
+            cpi = np.where(cols.inorder, 0.0, cpi)
+        return cpi

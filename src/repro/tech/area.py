@@ -34,6 +34,21 @@ _DATAPATH_MM2 = 0.35
 _FRONTEND_BASE_MM2 = 1.5
 _FRONTEND_PER_WIDTH_MM2 = 0.4
 
+#: Per-unit area multipliers for the in-order core type, in the lumos
+#: tradition of modelling in-order cores as a constant-factor-leaner
+#: silicon budget at equal width: the "regfile" shrinks to architectural
+#: state (no rename/ROB entries), the scheduler is a RAM scoreboard
+#: rather than a CAM wake-up matrix, the LSQ is a store buffer without
+#: ordering CAMs, and the bypass/rename logic thins out.  Caches are
+#: core-type independent and keep their full area.
+_INORDER_AREA_SCALE = {
+    "regfile": 0.25,
+    "issue_queue": 0.3,
+    "lsq": 0.5,
+    "datapath": 0.6,
+    "frontend": 0.7,
+}
+
 
 def unit_areas_mm2(tech: TechnologyNode, config: CoreConfig) -> dict[str, float]:
     """Per-unit area estimates for one configuration."""
@@ -50,7 +65,7 @@ def unit_areas_mm2(tech: TechnologyNode, config: CoreConfig) -> dict[str, float]
     lsq_bits = config.lsq_size * 8 * 8
     width = config.width
 
-    return {
+    areas = {
         "l1": sram(l1_bits, 2, 2),
         "l2": sram(l2_bits, 2, 2),
         "regfile": sram(rob_bits, 2 * width, width),
@@ -59,11 +74,34 @@ def unit_areas_mm2(tech: TechnologyNode, config: CoreConfig) -> dict[str, float]
         "datapath": _DATAPATH_MM2 * width * width,
         "frontend": _FRONTEND_BASE_MM2 + _FRONTEND_PER_WIDTH_MM2 * width,
     }
+    if config.is_inorder:
+        for unit, scale in _INORDER_AREA_SCALE.items():
+            areas[unit] *= scale
+    return areas
 
 
 def core_area_mm2(tech: TechnologyNode, config: CoreConfig) -> float:
     """Total core area estimate (mm^2)."""
     return sum(unit_areas_mm2(tech, config).values())
+
+
+class _AreaAwareScore:
+    """Callable scoring IPT, discounted beyond an area cap (picklable)."""
+
+    needs_context = True
+
+    def __init__(self, tech: TechnologyNode, mm2_budget: float) -> None:
+        self.tech = tech
+        self.mm2_budget = mm2_budget
+
+    @property
+    def identity(self) -> str:
+        return f"area:{self.mm2_budget!r}"
+
+    def __call__(self, profile, config, result) -> float:
+        area = core_area_mm2(self.tech, config)
+        overrun = max(0.0, area / self.mm2_budget - 1.0)
+        return result.ipt / (1.0 + overrun)
 
 
 def area_aware_objective(tech: TechnologyNode, mm2_budget: float = 20.0):
@@ -75,10 +113,4 @@ def area_aware_objective(tech: TechnologyNode, mm2_budget: float = 20.0):
     """
     if mm2_budget <= 0:
         raise ValueError(f"area budget must be positive, got {mm2_budget}")
-
-    def score(profile, config, result) -> float:
-        area = core_area_mm2(tech, config)
-        overrun = max(0.0, area / mm2_budget - 1.0)
-        return result.ipt / (1.0 + overrun)
-
-    return score
+    return _AreaAwareScore(tech, mm2_budget)

@@ -43,6 +43,16 @@ _LEAKAGE_W_PER_MM2 = 0.15
 #: Clock-tree power per mm^2 per GHz (W).
 _CLOCK_W_PER_MM2_GHZ = 0.04
 
+#: Dynamic-energy multipliers for the in-order core type, mirroring the
+#: per-unit area scaling in :mod:`repro.tech.area`: no rename/ROB writes
+#: per instruction, a RAM scoreboard instead of a CAM wake-up broadcast,
+#: and a thinner bypass network.  Cache access energy is core-type
+#: independent; leakage and clock power scale automatically through the
+#: per-type die area.
+_INORDER_DATAPATH_SCALE = 0.6
+_INORDER_ROB_SCALE = 0.25
+_INORDER_IQ_SCALE = 0.3
+
 
 @dataclass(frozen=True)
 class PowerEstimate:
@@ -77,10 +87,15 @@ def estimate_power(
     l1_miss = profile.memory.miss_rate(
         config.l1.capacity_bytes, config.l1.block_bytes, config.l1.assoc
     )
+    dp_scale, rob_scale, iq_scale = (
+        (_INORDER_DATAPATH_SCALE, _INORDER_ROB_SCALE, _INORDER_IQ_SCALE)
+        if config.is_inorder
+        else (1.0, 1.0, 1.0)
+    )
     energy_per_instr = (
-        _DATAPATH_NJ * config.width ** 0.5
-        + _access_energy_nj(config.rob_size * 16)  # rename/ROB access
-        + _access_energy_nj(config.iq_size * 8)  # wakeup broadcast
+        dp_scale * _DATAPATH_NJ * config.width ** 0.5
+        + rob_scale * _access_energy_nj(config.rob_size * 16)  # rename/ROB access
+        + iq_scale * _access_energy_nj(config.iq_size * 8)  # wakeup broadcast
         + mem_frac * _access_energy_nj(config.l1.capacity_bytes)
         + mem_frac * l1_miss * _access_energy_nj(config.l2.capacity_bytes)
     )
@@ -105,15 +120,53 @@ def energy_per_instruction_nj(
     return power.total_w / max(result.ipt, 1e-12)
 
 
-def edp_objective(tech: TechnologyNode):
-    """Score hook minimizing the energy-delay product (maximize 1/EDP)."""
+class _EdpScore:
+    """Callable minimizing the energy-delay product (maximize 1/EDP).
 
-    def score(profile, config, result) -> float:
-        epi = energy_per_instruction_nj(tech, profile, config, result)
+    A module-level class (not a closure) so objective-carrying explorers
+    pickle into engine worker processes; ``needs_context`` marks it as a
+    3-argument context objective (see
+    :func:`repro.explore.xpscalar.apply_objective`) and ``identity``
+    folds it into run signatures.
+    """
+
+    needs_context = True
+
+    def __init__(self, tech: TechnologyNode) -> None:
+        self.tech = tech
+
+    @property
+    def identity(self) -> str:
+        return "edp"
+
+    def __call__(self, profile, config, result) -> float:
+        epi = energy_per_instruction_nj(self.tech, profile, config, result)
         delay_per_instr = 1.0 / max(result.ipt, 1e-12)
         return 1.0 / (epi * delay_per_instr)
 
-    return score
+
+class _EpiScore:
+    """Callable scoring IPT, discounted beyond an EPI cap (picklable)."""
+
+    needs_context = True
+
+    def __init__(self, tech: TechnologyNode, epi_budget_nj: float) -> None:
+        self.tech = tech
+        self.epi_budget_nj = epi_budget_nj
+
+    @property
+    def identity(self) -> str:
+        return f"epi:{self.epi_budget_nj!r}"
+
+    def __call__(self, profile, config, result) -> float:
+        epi = energy_per_instruction_nj(self.tech, profile, config, result)
+        overrun = max(0.0, epi / self.epi_budget_nj - 1.0)
+        return result.ipt / (1.0 + overrun)
+
+
+def edp_objective(tech: TechnologyNode):
+    """Score hook minimizing the energy-delay product (maximize 1/EDP)."""
+    return _EdpScore(tech)
 
 
 def epi_objective(tech: TechnologyNode, epi_budget_nj: float):
@@ -124,10 +177,4 @@ def epi_objective(tech: TechnologyNode, epi_budget_nj: float):
     """
     if epi_budget_nj <= 0:
         raise ValueError(f"EPI budget must be positive, got {epi_budget_nj}")
-
-    def score(profile, config, result) -> float:
-        epi = energy_per_instruction_nj(tech, profile, config, result)
-        overrun = max(0.0, epi / epi_budget_nj - 1.0)
-        return result.ipt / (1.0 + overrun)
-
-    return score
+    return _EpiScore(tech, epi_budget_nj)

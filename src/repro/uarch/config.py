@@ -24,6 +24,14 @@ from ..tech import CactiModel, TechnologyNode
 from ..tech.unitdelay import issue_queue_ns, l1_cache_ns, l2_cache_ns, lsq_ns, regfile_ns
 from ..units import KB, MB, format_size, is_power_of_two
 
+#: Legal core types.  ``"ooo"`` is the paper's out-of-order superscalar
+#: (the historical default — every pre-existing configuration is one);
+#: ``"inorder"`` is a stall-on-use in-order core in the lumos tradition:
+#: the same sized units and timing rules, but no reordering window, so
+#: the interval model clamps its effective window to the issue width and
+#: the power/area models drop most of the scheduling-structure cost.
+CORE_TYPES = ("ooo", "inorder")
+
 
 @dataclass(frozen=True)
 class CacheGeometry:
@@ -78,8 +86,19 @@ class CoreConfig:
     memory_cycles: int
     l1: CacheGeometry
     l2: CacheGeometry
+    core_type: str = "ooo"
+
+    #: Keep historical content digests (cache keys, run signatures,
+    #: seeded fault schedules) byte-stable: ``core_type`` joined the
+    #: schema after PR 7, so at its default it is omitted from the
+    #: canonical encoding (see :func:`repro.engine.keys.canonical`).
+    __canonical_omit_defaults__ = frozenset({"core_type"})
 
     def __post_init__(self) -> None:
+        if self.core_type not in CORE_TYPES:
+            raise ConfigurationError(
+                f"core type must be one of {CORE_TYPES}: {self.core_type!r}"
+            )
         if self.clock_period_ns <= 0:
             raise ConfigurationError(f"clock period must be positive: {self.clock_period_ns}")
         if self.width < 1:
@@ -127,9 +146,21 @@ class CoreConfig:
         """A copy with the given fields replaced (validation re-runs)."""
         return replace(self, **changes)
 
+    @property
+    def is_inorder(self) -> bool:
+        """True for the in-order core type."""
+        return self.core_type == "inorder"
+
     def describe(self) -> str:
-        """Multi-line human-readable rendering in Table 4's row order."""
-        return "\n".join(
+        """Multi-line human-readable rendering in Table 4's row order.
+
+        The core type line only appears for non-default types, so every
+        historical (out-of-order) rendering is byte-identical.
+        """
+        lines = []
+        if self.core_type != "ooo":
+            lines.append(f"core type            {self.core_type}")
+        lines.extend(
             (
                 f"memory cycles        {self.memory_cycles}",
                 f"front-end stages     {self.frontend_stages}",
@@ -144,6 +175,7 @@ class CoreConfig:
                 f"LSQ size             {self.lsq_size} (depth {self.lsq_depth})",
             )
         )
+        return "\n".join(lines)
 
 
 @dataclass(frozen=True)

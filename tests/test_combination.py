@@ -100,3 +100,51 @@ class TestPerWorkloadIpt:
         cross = make_cross()
         ipts = per_workload_ipt(cross, ["a", "b"])
         assert ipts == {"a": 3.0, "b": 2.0, "c": 0.5}
+
+
+class TestSearchModes:
+    """The beam guard against the complete search's C(n, k) blow-up."""
+
+    def make_big_cross(self, n=8, seed=11):
+        rng = np.random.default_rng(seed)
+        names = tuple(f"c{i}" for i in range(n))
+        return make_cross(
+            ipt=rng.uniform(0.5, 4.0, size=(n, n)), names=names
+        )
+
+    def test_auto_is_exact_at_paper_scale(self):
+        cross = make_cross()
+        for k in (1, 2, 3):
+            assert best_combination(cross, k, mode="auto") == best_combination(
+                cross, k, mode="exact"
+            )
+
+    def test_wide_beam_is_provably_exhaustive(self):
+        """A beam no level overflows enumerates every subset: it must
+        equal the exact search bit-identically."""
+        cross = self.make_big_cross()
+        for merit in ("avg", "har", "cw-har"):
+            for k in range(1, 9):
+                exact = best_combination(cross, k, merit, mode="exact")
+                beam = best_combination(
+                    cross, k, merit, mode="beam", beam_width=10_000
+                )
+                assert beam == exact
+
+    def test_narrow_beam_is_deterministic_and_valid(self):
+        cross = self.make_big_cross()
+        first = best_combination(cross, 4, "har", mode="beam", beam_width=3)
+        second = best_combination(cross, 4, "har", mode="beam", beam_width=3)
+        assert first == second
+        assert len(first.configs) == 4
+        assert len(set(first.configs)) == 4
+        # Wider beams never score worse.
+        wider = best_combination(cross, 4, "har", mode="beam", beam_width=64)
+        assert wider.merit >= first.merit
+
+    def test_mode_and_width_validation(self):
+        cross = make_cross()
+        with pytest.raises(CommunalError):
+            best_combination(cross, 2, mode="random")
+        with pytest.raises(CommunalError):
+            best_combination(cross, 2, mode="beam", beam_width=0)

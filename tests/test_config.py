@@ -148,3 +148,47 @@ class TestDesignSpace:
         space = DesignSpace(l1_capacity_range=(1, 2))
         with pytest.raises(ConfigurationError):
             space.l1_geometries()
+
+
+class TestCoreType:
+    def test_default_is_out_of_order(self, initial_config):
+        assert initial_config.core_type == "ooo"
+        assert not initial_config.is_inorder
+
+    def test_inorder_variant(self, initial_config):
+        io = initial_config.replace(core_type="inorder")
+        assert io.is_inorder
+        assert io.replace(core_type="ooo") == initial_config
+
+    def test_rejects_unknown_core_type(self, initial_config):
+        with pytest.raises(ConfigurationError):
+            initial_config.replace(core_type="vliw")
+
+    def test_describe_mentions_type_only_when_inorder(self, initial_config):
+        assert "core type" not in initial_config.describe()
+        assert "core type" in initial_config.replace(core_type="inorder").describe()
+
+    def test_canonical_digest_stable_at_default(self, initial_config):
+        """`core_type` joined the schema late: at its default it must not
+        reshuffle historical digests (cache keys, fault schedules)."""
+        from repro.engine.keys import digest
+
+        assert digest(initial_config) == digest(
+            initial_config.replace(core_type="ooo")
+        )
+        assert digest(initial_config) != digest(
+            initial_config.replace(core_type="inorder")
+        )
+
+    def test_serialization_roundtrip_and_legacy_payloads(self, initial_config):
+        from repro.engine.serialize import (
+            config_from_jsonable,
+            config_to_jsonable,
+        )
+
+        io = initial_config.replace(core_type="inorder")
+        assert config_from_jsonable(config_to_jsonable(io)) == io
+        # Payloads written before the field existed decode as ooo.
+        legacy = config_to_jsonable(initial_config)
+        del legacy["core_type"]
+        assert config_from_jsonable(legacy) == initial_config

@@ -210,6 +210,77 @@ class TestDifferential:
             assert stack.branch >= 0 and stack.l2_access >= 0 and stack.memory >= 0
             assert result.cycles == stack.total * result.instructions
 
+    def test_inorder_configs_bit_identical(self):
+        """The in-order core type mirrors scalar<->batch exactly too."""
+        inorder = [c.replace(core_type="inorder") for c in WALK]
+        for name in ("gzip", "mcf", "twolf"):
+            assert_batch_equals_scalar(spec2000_profile(name), inorder)
+
+    def test_mixed_core_type_batches_bit_identical(self):
+        """Interleaved ooo/inorder columns don't perturb either type."""
+        mixed = [
+            c.replace(core_type="inorder") if i % 2 else c
+            for i, c in enumerate(WALK)
+        ]
+        assert_batch_equals_scalar(spec2000_profile("gzip"), mixed)
+
+    @seeded(max_examples=10)
+    def test_random_profiles_mixed_types_bit_identical(self, seed):
+        rng = random.Random(seed)
+        profile = random_profile(rng)
+        configs = [
+            c.replace(core_type=rng.choice(["ooo", "inorder"]))
+            for c in rng.sample(WALK, k=rng.randint(1, 12))
+        ]
+        assert_batch_equals_scalar(profile, configs)
+
+    def test_inorder_presence_leaves_ooo_results_untouched(self):
+        """A batch mixing in types returns the ooo rows byte-identically
+        to a pure-ooo batch (the `inorder.any()` guards are inert)."""
+        profile = spec2000_profile("mcf")
+        pure = BatchIntervalModel().evaluate_batch(profile, WALK)
+        mixed_configs = list(WALK) + [
+            c.replace(core_type="inorder") for c in WALK[:8]
+        ]
+        mixed = BatchIntervalModel().evaluate_batch(profile, mixed_configs)
+        assert mixed[: len(WALK)] == pure
+
+    def test_inorder_is_never_faster(self):
+        """Stall-on-use can only hurt: in-order IPT <= ooo IPT per config."""
+        profile = spec2000_profile("gzip")
+        batch = BatchIntervalModel()
+        ooo = batch.ipt_batch(profile, WALK)
+        io = batch.ipt_batch(
+            profile, [c.replace(core_type="inorder") for c in WALK]
+        )
+        assert (io <= ooo).all()
+
+    def test_power_and_area_identical_on_batch_results(self):
+        """`estimate_power`/`core_area_mm2` fed batch results match the
+        scalar simulator bit-identically, both core types."""
+        from repro.tech import default_technology
+        from repro.tech.area import core_area_mm2
+        from repro.tech.power import estimate_power
+
+        tech = default_technology()
+        profile = spec2000_profile("twolf")
+        configs = [
+            c.replace(core_type="inorder") if i % 2 else c
+            for i, c in enumerate(WALK[:24])
+        ]
+        scalar = IntervalSimulator()
+        got = BatchIntervalModel().evaluate_batch(profile, configs)
+        for config, batch_result in zip(configs, got):
+            scalar_result = scalar.evaluate(profile, config)
+            want = estimate_power(tech, profile, config, scalar_result)
+            have = estimate_power(tech, profile, config, batch_result)
+            assert want == have
+            assert want.total_w == have.total_w
+            # Area is config-only; the in-order variant must shrink it.
+            assert core_area_mm2(
+                tech, config.replace(core_type="inorder")
+            ) < core_area_mm2(tech, config.replace(core_type="ooo"))
+
     def test_miss_memo_carries_across_batches(self):
         """Geometry solutions are memoized per MemoryModel on the instance."""
         profile = spec2000_profile("gzip")

@@ -111,3 +111,41 @@ class TestAverageSlowdown:
         cross = make_cross()
         ipts = assigned_ipts(cross, ["a"])
         assert list(ipts) == [3.0, 1.0, 0.5]
+
+
+class TestMultisetContention:
+    """`available` may repeat names: replicated cores split their load."""
+
+    def test_distinct_names_bit_identical_to_sharer_counts(self):
+        """Every historical caller (all names distinct) is unchanged."""
+        cross = make_cross()
+        available = ["a", "b"]
+        chosen = assignment(cross, available)
+        sharers = {}
+        for config in chosen.values():
+            sharers[config] = sharers.get(config, 0) + 1
+        ipts = np.array(
+            [cross.ipt_on(w, chosen[w]) / sharers[chosen[w]] for w in cross.names]
+        )
+        weights = np.array(cross.weights)
+        want = float(weights.sum() / (weights / ipts).sum())
+        assert contention_weighted_harmonic_ipt(cross, available) == want
+
+    def test_copies_divide_the_sharers(self):
+        """Three workloads on two copies of one core pay ceil(3/2) = 2."""
+        cross = make_cross()
+        ipts = np.array([cross.ipt_on(w, "a") / 2 for w in cross.names])
+        want = float(3.0 / (1.0 / ipts).sum())
+        assert contention_weighted_harmonic_ipt(cross, ["a", "a"]) == want
+
+    def test_enough_copies_remove_contention_entirely(self):
+        cross = make_cross()
+        ipts = np.array([cross.ipt_on(w, "a") for w in cross.names])
+        want = float(3.0 / (1.0 / ipts).sum())
+        assert contention_weighted_harmonic_ipt(cross, ["a"] * 3) == want
+
+    def test_replication_never_hurts(self):
+        cross = make_cross()
+        assert contention_weighted_harmonic_ipt(
+            cross, ["a", "a"]
+        ) >= contention_weighted_harmonic_ipt(cross, ["a"])

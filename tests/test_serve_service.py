@@ -240,3 +240,61 @@ def test_service_result_is_bit_identical_to_direct_run(tmp_path):
     )
     assert second["stats"]["evaluations"] == 0
     assert second["stats"]["cache"]["hits"] > 0
+
+
+# ----------------------------------------------------------------------
+# pareto jobs
+# ----------------------------------------------------------------------
+
+
+def test_pareto_job_spec_validation():
+    spec = JobSpec.from_payload({"kind": "pareto", "benchmarks": ["gzip"]})
+    assert spec.samples == 128  # the CLI default
+    spec = JobSpec.from_payload(
+        {"kind": "pareto", "benchmarks": ["gzip"], "samples": 16, "seed": 2}
+    )
+    assert spec.samples == 16
+    from repro.errors import ServeError
+
+    with pytest.raises(ServeError):
+        JobSpec.from_payload(
+            {"kind": "customize", "benchmarks": ["gzip"], "samples": 8}
+        )
+    with pytest.raises(ServeError):
+        JobSpec.from_payload(
+            {"kind": "pareto", "benchmarks": ["gzip"], "samples": 0}
+        )
+
+
+def test_pareto_job_runs_and_matches_direct_front(live):
+    """The serve path returns the ParetoExplorer's front verbatim, and
+    the emitted front survives an independent dominance check."""
+    payload = {
+        "kind": "pareto",
+        "benchmarks": ["gzip"],
+        "samples": 6,
+        "seed": 4,
+    }
+    direct = execute_job(JobSpec.from_payload(payload), EvaluationEngine(jobs=1))
+    job = live.wait(live.submit(dict(payload))["id"])
+    assert job["state"] == "completed"
+    result = job["result"]
+    assert json.dumps(result, sort_keys=True) == json.dumps(
+        direct, sort_keys=True
+    )
+    (front,) = result["fronts"]
+    assert front["workload"] == "gzip"
+    points = [
+        (p["ipt"], p["power_w"], p["area_mm2"]) for p in front["front"]
+    ]
+    assert points
+    for i, a in enumerate(points):
+        for j, b in enumerate(points):
+            dominated = (
+                i != j
+                and b[0] >= a[0]
+                and b[1] <= a[1]
+                and b[2] <= a[2]
+                and a != b
+            )
+            assert not dominated, f"point {i} dominated by {j}"
