@@ -553,6 +553,47 @@ def build_parser() -> argparse.ArgumentParser:
                    help="report path (default: BENCH_serve.json)")
 
     p = sub.add_parser(
+        "chaos",
+        help="network-chaos acceptance run: replicas behind seeded fault "
+             "proxies versus a fault-free baseline; exits nonzero on any "
+             "non-identical result (see docs/serve.md)",
+    )
+    p.add_argument("--benchmark", nargs="+", default=["gzip"],
+                   choices=SPEC2000_INT_NAMES,
+                   help="one job per benchmark (default: gzip)")
+    p.add_argument("--iterations", type=int, default=20, metavar="N",
+                   help="annealing iterations per job (default: 20)")
+    p.add_argument("--seed", type=int, default=5,
+                   help="job seed of the first payload; later payloads "
+                        "increment it (default: 5)")
+    p.add_argument("--replicas", type=int, default=2, metavar="N",
+                   help="service replicas behind fault proxies (default: 2)")
+    p.add_argument(
+        "--faults",
+        default="seed=11,refuse=0.08,reset=0.06,truncate=0.06,"
+                "error5xx=0.1,delay=0.08,delay-s=0.05",
+        metavar="SPEC",
+        help="seeded network fault plan, e.g. "
+             "'seed=7,refuse=0.1,reset=0.05,truncate=0.05,error5xx=0.1,"
+             "delay=0.1,delay-s=0.2,max-consecutive=2' (replayable: the "
+             "same spec injects the same fault sequence)",
+    )
+    p.add_argument("--kill-one", action="store_true",
+                   help="kill the replica that served the first job "
+                        "mid-run; the survivors must finish the work")
+    p.add_argument("--workdir", default=None, metavar="DIR",
+                   help="scratch directory for stores and journals "
+                        "(default: a temp dir)")
+    p.add_argument("--journal", default=None, metavar="FILE",
+                   help="append every proxied connection's fate as JSON "
+                        "lines (the chaos artifact CI uploads)")
+    p.add_argument("--timeout", type=float, default=600.0, metavar="S",
+                   help="per-job wait budget in seconds (default: 600)")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="write the full chaos report (summary + journal) "
+                        "as JSON")
+
+    p = sub.add_parser(
         "bench-engine",
         help="benchmark scalar vs vectorized batch evaluation and write "
              "configs/sec + speedups to BENCH_engine.json",
@@ -1218,6 +1259,17 @@ def cmd_serve(args) -> int:
     return exit_code
 
 
+def _print_client_counters(client) -> None:
+    """Nonzero client counters on stderr (stdout stays parseable JSON)."""
+    active = {name: count for name, count in client.counters.items() if count}
+    if active:
+        print(
+            "client counters: "
+            + " ".join(f"{name}={count}" for name, count in sorted(active.items())),
+            file=sys.stderr,
+        )
+
+
 def cmd_client(args) -> int:
     """One-shot interactions with a running service."""
     import json as _json
@@ -1241,6 +1293,7 @@ def cmd_client(args) -> int:
     if command == "watch":
         for event in client.events(args.job_id, after_seq=args.after):
             print(_json.dumps(event))
+        _print_client_counters(client)
         return 0
     # submit
     payload = {"kind": args.kind, "benchmarks": args.benchmark}
@@ -1263,8 +1316,10 @@ def cmd_client(args) -> int:
         for event in client.events(submitted["id"]):
             print(_json.dumps(event))
         print(_json.dumps(client.result(submitted["id"]), indent=2))
+        _print_client_counters(client)
     elif args.wait:
         print(_json.dumps(client.wait(submitted["id"]), indent=2))
+        _print_client_counters(client)
     else:
         print(_json.dumps(submitted, indent=2))
     return 0
@@ -1304,6 +1359,53 @@ def cmd_serve_bench(args) -> int:
     return 0 if report.failed == 0 else 1
 
 
+def cmd_chaos(args) -> int:
+    """Network-chaos acceptance run (see docs/serve.md)."""
+    import json as _json
+    import tempfile
+
+    from .serve import NetworkFaultPlan, run_chaos
+
+    plan = NetworkFaultPlan.parse(args.faults)
+    workdir = args.workdir or tempfile.mkdtemp(prefix="repro-chaos-")
+    payloads = [
+        {
+            "kind": "customize",
+            "benchmarks": [name],
+            "iterations": args.iterations,
+            "seed": args.seed + index,
+        }
+        for index, name in enumerate(args.benchmark)
+    ]
+    report = run_chaos(
+        payloads,
+        plan,
+        workdir,
+        replicas=args.replicas,
+        seed=plan.seed,
+        kill_first_replica=args.kill_one,
+        timeout_s=args.timeout,
+        journal_path=args.journal,
+    )
+    summary = report.as_jsonable()
+    print(_json.dumps(summary, indent=2, sort_keys=True))
+    if args.out:
+        pathlib.Path(args.out).write_text(
+            _json.dumps(
+                {**summary, "journal": report.journal}, indent=2, sort_keys=True
+            )
+            + "\n"
+        )
+        print(f"wrote {args.out}", file=sys.stderr)
+    if not report.identical:
+        print(
+            "error: chaos run diverged from the fault-free baseline",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_bench_engine(args) -> int:
     report = engine_bench.run_engine_bench(
         profile_name=args.profile,
@@ -1335,6 +1437,7 @@ _COMMANDS = {
     "serve": cmd_serve,
     "client": cmd_client,
     "serve-bench": cmd_serve_bench,
+    "chaos": cmd_chaos,
     "bench-engine": cmd_bench_engine,
 }
 

@@ -38,15 +38,21 @@ from a ``scheme:location`` spec via :func:`make_backend` (the
 from __future__ import annotations
 
 import abc
+import contextlib
+import http.client
+import json
 import os
+import socket
 import sqlite3
 import threading
 import time
+from collections import OrderedDict
 from pathlib import Path
 from typing import Any, ClassVar, Iterator
+from urllib.parse import quote, urlsplit
 
 from ..errors import EngineError
-from .resilience import quarantine_file
+from .resilience import CircuitBreaker, RetryPolicy, quarantine_file
 
 #: One stored row: the serialized payload and its (optional) checksum.
 Row = "tuple[str, str | None]"
@@ -559,3 +565,425 @@ class DirectoryBackend(CacheBackend):
             os.replace(self.location, target)
         except OSError:
             pass
+
+
+# ----------------------------------------------------------------------
+# network store (a replica's /v1/cache API)
+# ----------------------------------------------------------------------
+
+
+class _RemoteUnavailable(Exception):
+    """Internal: the remote store cannot be reached right now.
+
+    Never escapes :class:`HttpBackend` — the backend degrades to its
+    local tier instead of surfacing network weather to the cache.
+    """
+
+
+@register_backend
+class HttpBackend(CacheBackend):
+    """A result store served by another replica's ``/v1/cache`` API.
+
+    The networked leg of the registry seam: ``http://host:port`` (an
+    optional path prefix is honoured) turns any ``repro serve`` replica
+    into a shared result store for every engine that points at it.
+    Unlike the file-backed backends, the network itself is a failure
+    domain, so every remote call is defended in depth:
+
+    * per-call connect/read **timeouts** (``timeout_s``);
+    * transient failures (connection refused/reset, torn or truncated
+      responses, injected 5xx, ``Retry-After``-carrying 429/503) are
+      retried through the engine's :class:`RetryPolicy` with the same
+      deterministic seeded backoff the pool uses — a replayed run sleeps
+      the same milliseconds;
+    * a :class:`CircuitBreaker` opens after ``failure_threshold``
+      consecutive failed attempts; while open, remote calls are skipped
+      entirely until the deterministic cool-down elapses, then one
+      half-open probe decides whether to close it;
+    * on sustained failure the backend **degrades to a local
+      read-through/write-behind tier** instead of raising: reads serve
+      from an LRU of rows seen while the network was up (anything else
+      is an honest miss — the engine re-simulates, bit-identically),
+      writes queue locally and are **replayed in order** when the
+      circuit closes again.  The cache above never sees network
+      weather, preserving the degrade-vs-quarantine taxonomy: only a
+      server that *reports its own store corrupt* raises
+      :class:`CacheCorruption`, and only a server that answers but is
+      not a cache server (4xx) raises :class:`CacheUnavailable`.
+    """
+
+    scheme = "http"
+    persistent = True
+
+    #: LRU bound of the local read-through tier.
+    DEFAULT_LOCAL_ENTRIES = 8192
+    #: Write-behind queue bound; beyond it the oldest queued *put* is
+    #: dropped (content-addressed rows are recomputable by definition).
+    DEFAULT_MAX_PENDING = 10_000
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout_s: float = 5.0,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        max_local_entries: int = DEFAULT_LOCAL_ENTRIES,
+        max_pending: int = DEFAULT_MAX_PENDING,
+    ) -> None:
+        split = urlsplit(base_url)
+        if split.scheme != "http" or not split.hostname:
+            raise EngineError(
+                f"the http backend needs a URL like http://host:port, "
+                f"got {base_url!r}"
+            )
+        self.host = split.hostname
+        self.port = split.port or 80
+        self.base_path = split.path.rstrip("/")
+        self.timeout_s = timeout_s
+        self.retry = retry or RetryPolicy(
+            max_retries=3, backoff_base_s=0.05, backoff_max_s=1.0
+        )
+        self.breaker = breaker or CircuitBreaker(
+            failure_threshold=5, cooldown_s=1.0
+        )
+        self.location = None
+        self._lock = threading.RLock()
+        self._local: OrderedDict[str, tuple[str, str | None]] = OrderedDict()
+        self.max_local_entries = max_local_entries
+        self._pending: list[tuple] = []  # ("put", k, v, c) | ("delete", k) | ("clear",)
+        self.max_pending = max_pending
+        self._replaying = False
+        self._closed = False
+        self.stats = {
+            "remote_calls": 0,
+            "retries": 0,
+            "failures": 0,
+            "degraded_reads": 0,
+            "deferred_writes": 0,
+            "replayed_writes": 0,
+            "dropped_writes": 0,
+        }
+
+    @classmethod
+    def from_spec(cls, location: str) -> "HttpBackend":
+        # make_backend splits on the first ":", so the location arrives
+        # as "//host:port[/prefix]" (or bare "host:port").
+        if not location:
+            raise EngineError("the http backend needs a URL: http://host:port")
+        url = f"http:{location}" if location.startswith("//") else f"http://{location}"
+        return cls(url)
+
+    # -- wire plumbing --------------------------------------------------
+
+    def _key_path(self, key: str) -> str:
+        return f"{self.base_path}/v1/cache/{quote(key, safe='')}"
+
+    def _http(self, method: str, path: str, payload: Any = None):
+        """One HTTP exchange; returns ``(status, headers, decoded-json)``.
+
+        Raises ``_RemoteUnavailable`` on anything transient: connection
+        trouble, timeouts, torn responses, undecodable JSON where JSON
+        was promised.  DNS failure (a bad hostname is configuration,
+        not weather) and non-transient responses pass through to the
+        caller's classification.
+        """
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout_s)
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+            except socket.gaierror as exc:
+                raise CacheUnavailable(
+                    f"cannot resolve cache server host {self.host!r} ({exc})"
+                ) from exc
+            except (OSError, http.client.HTTPException) as exc:
+                raise _RemoteUnavailable(f"{method} {path}: {exc}") from exc
+            if (
+                response.status != 204
+                and response.getheader("Content-Length") is None
+                and not response.getheader("Transfer-Encoding")
+            ):
+                # The cache API always declares Content-Length; a
+                # response without it is a head torn mid-headers
+                # (http.client parses EOF as end-of-headers) — weather,
+                # never an empty body.
+                raise _RemoteUnavailable(f"{method} {path}: torn response head")
+            decoded = None
+            if raw:
+                try:
+                    decoded = json.loads(raw.decode("utf-8"))
+                except ValueError as exc:
+                    content_type = response.getheader("Content-Type", "")
+                    if "json" in content_type:
+                        # A 200 with torn JSON is a transport fault
+                        # (truncation mid-body), never store state.
+                        raise _RemoteUnavailable(
+                            f"{method} {path}: torn JSON body"
+                        ) from exc
+            return response.status, dict(response.getheaders()), decoded
+        finally:
+            conn.close()
+
+    def _call(
+        self,
+        method: str,
+        path: str,
+        payload: Any = None,
+        expect: tuple[int, ...] = (200, 204),
+        miss_status: int | None = None,
+    ):
+        """One remote operation under retry + circuit-breaker discipline.
+
+        Returns the decoded body (or ``_MISS`` for ``miss_status``).
+        Raises ``_RemoteUnavailable`` when the network loses (the caller
+        degrades), :class:`CacheCorruption` when the server reports its
+        store corrupt, :class:`CacheUnavailable` on misconfiguration.
+        """
+        if self._closed:
+            raise CacheUnavailable("backend is closed")
+        last_error: Exception | None = None
+        for attempt in range(self.retry.max_retries + 1):
+            if not self.breaker.allow():
+                raise _RemoteUnavailable("circuit open")
+            self.stats["remote_calls"] += 1
+            try:
+                status, headers, decoded = self._http(method, path, payload)
+            except _RemoteUnavailable as exc:
+                last_error = exc
+                self.stats["failures"] += 1
+                self.breaker.record_failure(str(exc))
+            else:
+                if status in expect:
+                    self.breaker.record_success()
+                    self._maybe_replay()
+                    return decoded
+                if miss_status is not None and status == miss_status:
+                    self.breaker.record_success()
+                    self._maybe_replay()
+                    return _MISS
+                if isinstance(decoded, dict) and decoded.get("corruption"):
+                    # The *server's* store is damaged — real corruption,
+                    # propagated so the cache can quarantine its tier.
+                    raise CacheCorruption(
+                        f"cache server reports corrupt store: "
+                        f"{decoded.get('error', status)}"
+                    )
+                if status in (429, 503, 500, 502, 504):
+                    # Overload / injected 5xx: transient.  Honour
+                    # Retry-After as a floor on the deterministic delay.
+                    last_error = _RemoteUnavailable(f"{method} {path} -> {status}")
+                    self.stats["failures"] += 1
+                    self.breaker.record_failure(f"status {status}")
+                    retry_after = _parse_retry_after(headers)
+                    if attempt < self.retry.max_retries:
+                        delay = max(
+                            self.retry.delay_s(path, attempt + 1), retry_after
+                        )
+                        self.stats["retries"] += 1
+                        time.sleep(min(delay, self.retry.backoff_max_s))
+                        continue
+                    break
+                # Anything else (404 on an unexpected route, 400, 405):
+                # the server answered but is not serving a cache API —
+                # misconfiguration, fail fast without burning retries.
+                raise CacheUnavailable(
+                    f"cache server rejected {method} {path} with {status}"
+                )
+            if attempt < self.retry.max_retries:
+                self.stats["retries"] += 1
+                time.sleep(self.retry.delay_s(path, attempt + 1))
+        raise _RemoteUnavailable(str(last_error or "remote store unreachable"))
+
+    # -- the local read-through/write-behind tier -----------------------
+
+    def _local_remember(self, key: str, row: "tuple[str, str | None]") -> None:
+        with self._lock:
+            self._local[key] = row
+            self._local.move_to_end(key)
+            if self.max_local_entries and len(self._local) > self.max_local_entries:
+                self._local.popitem(last=False)
+
+    def _defer(self, op: tuple) -> None:
+        with self._lock:
+            self._pending.append(op)
+            self.stats["deferred_writes"] += 1
+            if len(self._pending) > self.max_pending:
+                self._pending.pop(0)
+                self.stats["dropped_writes"] += 1
+
+    def _maybe_replay(self) -> None:
+        """Flush the write-behind queue after the network healed.
+
+        Runs at most once at a time; replays strictly in order so
+        last-write-wins semantics match what an always-connected client
+        would have produced.  A failure mid-replay re-queues the
+        remainder and goes back to degraded mode.
+        """
+        with self._lock:
+            if self._replaying or not self._pending:
+                return
+            self._replaying = True
+            pending, self._pending = self._pending, []
+        try:
+            while pending:
+                op = pending[0]
+                try:
+                    if op[0] == "put":
+                        self._call(
+                            "PUT",
+                            self._key_path(op[1]),
+                            {"value": op[2], "checksum": op[3]},
+                            expect=(200, 204),
+                        )
+                    elif op[0] == "delete":
+                        self._call(
+                            "DELETE", self._key_path(op[1]), expect=(200, 204)
+                        )
+                    elif op[0] == "clear":
+                        self._call(
+                            "DELETE", f"{self.base_path}/v1/cache", expect=(200, 204)
+                        )
+                except _RemoteUnavailable:
+                    with self._lock:
+                        self._pending = pending + self._pending
+                    return
+                pending.pop(0)
+                self.stats["replayed_writes"] += 1
+        finally:
+            with self._lock:
+                self._replaying = False
+
+    # -- rows -----------------------------------------------------------
+
+    def get(self, key: str) -> tuple[str, str | None] | None:
+        try:
+            decoded = self._call(
+                "GET", self._key_path(key), expect=(200,), miss_status=404
+            )
+        except _RemoteUnavailable:
+            with self._lock:
+                row = self._local.get(key)
+                if row is not None:
+                    self._local.move_to_end(key)
+                    self.stats["degraded_reads"] += 1
+            return row
+        if decoded is _MISS:
+            return None
+        if not isinstance(decoded, dict) or "value" not in decoded:
+            raise CacheUnavailable(
+                f"cache server returned a malformed row for {key[:16]!r}"
+            )
+        row = (str(decoded["value"]), decoded.get("checksum"))
+        self._local_remember(key, row)
+        return row
+
+    def put(self, key: str, value: str, checksum: str | None) -> None:
+        self._local_remember(key, (value, checksum))
+        try:
+            self._call(
+                "PUT",
+                self._key_path(key),
+                {"value": value, "checksum": checksum},
+                expect=(200, 204),
+            )
+        except _RemoteUnavailable:
+            self._defer(("put", key, value, checksum))
+
+    def delete(self, key: str) -> None:
+        with self._lock:
+            self._local.pop(key, None)
+        try:
+            self._call("DELETE", self._key_path(key), expect=(200, 204))
+        except _RemoteUnavailable:
+            self._defer(("delete", key))
+
+    def __len__(self) -> int:
+        try:
+            decoded = self._call(
+                "GET", f"{self.base_path}/v1/cache", expect=(200,)
+            )
+        except _RemoteUnavailable:
+            with self._lock:
+                return len(self._local)
+        return int(decoded.get("count", 0)) if isinstance(decoded, dict) else 0
+
+    def __contains__(self, key: str) -> bool:
+        try:
+            decoded = self._call(
+                "GET", self._key_path(key), expect=(200,), miss_status=404
+            )
+        except _RemoteUnavailable:
+            with self._lock:
+                return key in self._local
+        return decoded is not _MISS
+
+    def keys(self) -> Iterator[str]:
+        try:
+            decoded = self._call(
+                "GET", f"{self.base_path}/v1/cache", expect=(200,)
+            )
+        except _RemoteUnavailable:
+            with self._lock:
+                return iter(list(self._local))
+        listed = decoded.get("keys", []) if isinstance(decoded, dict) else []
+        return iter([str(k) for k in listed])
+
+    def clear(self) -> None:
+        with self._lock:
+            self._local.clear()
+            self._pending.clear()
+        try:
+            self._call("DELETE", f"{self.base_path}/v1/cache", expect=(200, 204))
+        except _RemoteUnavailable:
+            self._defer(("clear",))
+
+    # -- lifecycle ------------------------------------------------------
+
+    def flush(self) -> None:
+        """Best-effort replay of queued write-behind operations."""
+        if self._closed:
+            return
+        self._maybe_replay()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        with contextlib.suppress(Exception):
+            self.flush()
+        self._closed = True
+
+    def describe(self) -> str:
+        return f"http://{self.host}:{self.port}{self.base_path}"
+
+    def stats_snapshot(self) -> dict:
+        """Backend counters merged with the circuit's state/counters."""
+        with self._lock:
+            pending = len(self._pending)
+            local = len(self._local)
+        return {
+            **self.stats,
+            "pending_writes": pending,
+            "local_entries": local,
+            "circuit": self.breaker.snapshot(),
+        }
+
+
+#: Sentinel distinguishing "row absent" (a 404) from "no body".
+_MISS = object()
+
+
+def _parse_retry_after(headers: dict) -> float:
+    """Seconds asked for by a ``Retry-After`` header (0.0 when absent)."""
+    for name, value in headers.items():
+        if name.lower() == "retry-after":
+            try:
+                return max(float(value), 0.0)
+            except ValueError:
+                return 0.0
+    return 0.0

@@ -30,6 +30,8 @@ from __future__ import annotations
 
 import math
 import os
+import threading
+import time
 from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass
 from pathlib import Path
@@ -162,6 +164,132 @@ def validate_result(profile, result: SimResult) -> SimResult:
         if not math.isfinite(value) or value <= 0:
             raise ResultIntegrityError(f"result has invalid {label}: {value}")
     return result
+
+
+#: Circuit breaker states.
+CIRCUIT_CLOSED = "closed"
+CIRCUIT_OPEN = "open"
+CIRCUIT_HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with a deterministic cool-down.
+
+    Network-facing tiers (the ``http:`` cache backend, the replica
+    client) must not hammer a dead peer with full retry budgets on every
+    operation.  The breaker tracks consecutive failures; at
+    ``failure_threshold`` it *opens* and :meth:`allow` answers False —
+    callers skip the remote and serve their degraded path — until the
+    cool-down elapses.  The first call after the cool-down transitions
+    to *half-open* and is allowed through as a probe: success closes the
+    circuit, failure re-opens it with the cool-down scaled by
+    ``cooldown_factor`` (bounded by ``cooldown_max_s``).  Every delay is
+    a pure function of the failure history — no randomness — so a
+    replayed fault sequence produces the identical open/half-open/close
+    transition sequence (the chaos suite asserts this).
+
+    Thread-safe; all transitions are appended to :attr:`transitions`
+    (``{"from", "to", "reason", "at"}``) for telemetry and tests, and
+    monotonic counters live in :attr:`counters`
+    (``opened``/``closed``/``probes``/``rejected``).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown_s: float = 2.0,
+        cooldown_factor: float = 2.0,
+        cooldown_max_s: float = 30.0,
+        clock=time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise EngineError(
+                f"failure_threshold must be >= 1: {failure_threshold}"
+            )
+        if cooldown_s < 0 or cooldown_max_s < 0:
+            raise EngineError("cool-down delays cannot be negative")
+        if cooldown_factor < 1.0:
+            raise EngineError(f"cooldown_factor must be >= 1: {cooldown_factor}")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.cooldown_factor = cooldown_factor
+        self.cooldown_max_s = cooldown_max_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.state = CIRCUIT_CLOSED
+        self.consecutive_failures = 0
+        self.opened_count = 0  # consecutive opens (resets on close)
+        self._opened_at = 0.0
+        self.transitions: list[dict] = []
+        self.counters = {"opened": 0, "closed": 0, "probes": 0, "rejected": 0}
+
+    def _transition(self, state: str, reason: str) -> None:
+        self.transitions.append(
+            {
+                "from": self.state,
+                "to": state,
+                "reason": reason,
+                "at": round(self._clock(), 6),
+            }
+        )
+        self.state = state
+
+    def current_cooldown_s(self) -> float:
+        """The cool-down of the current open period (deterministic ramp)."""
+        scale = self.cooldown_factor ** max(self.opened_count - 1, 0)
+        return min(self.cooldown_s * scale, self.cooldown_max_s)
+
+    def allow(self) -> bool:
+        """Whether the next remote call may proceed.
+
+        Closed: always.  Open: only once the cool-down has elapsed, in
+        which case the circuit moves to half-open and this call is the
+        probe.  Half-open: the probe is already in flight — callers
+        short-circuit to their degraded path.
+        """
+        with self._lock:
+            if self.state == CIRCUIT_CLOSED:
+                return True
+            if self.state == CIRCUIT_OPEN:
+                if self._clock() - self._opened_at >= self.current_cooldown_s():
+                    self._transition(CIRCUIT_HALF_OPEN, "cool-down elapsed")
+                    self.counters["probes"] += 1
+                    return True
+                self.counters["rejected"] += 1
+                return False
+            # half-open: exactly one probe at a time
+            self.counters["rejected"] += 1
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self.consecutive_failures = 0
+            if self.state != CIRCUIT_CLOSED:
+                self._transition(CIRCUIT_CLOSED, "probe succeeded")
+                self.counters["closed"] += 1
+                self.opened_count = 0
+
+    def record_failure(self, reason: str = "remote call failed") -> None:
+        with self._lock:
+            self.consecutive_failures += 1
+            if self.state == CIRCUIT_HALF_OPEN or (
+                self.state == CIRCUIT_CLOSED
+                and self.consecutive_failures >= self.failure_threshold
+            ):
+                self.opened_count += 1
+                self._opened_at = self._clock()
+                self._transition(CIRCUIT_OPEN, reason)
+                self.counters["opened"] += 1
+
+    def snapshot(self) -> dict:
+        """State + counters for telemetry payloads."""
+        with self._lock:
+            return {
+                "state": self.state,
+                "consecutive_failures": self.consecutive_failures,
+                "transitions": len(self.transitions),
+                **self.counters,
+            }
 
 
 def quarantine_file(path: str | Path) -> Path:

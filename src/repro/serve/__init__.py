@@ -10,6 +10,8 @@ tenancy/budget model, and backend selection.
 from .client import ServeClient
 from .jobs import Job, JobSpec, merge_budgets
 from .loadtest import LoadReport, run_load_test
+from .netfaults import ChaosProxy, ChaosReport, NetworkFaultPlan, run_chaos
+from .replicas import JobHandle, ReplicaSet
 from .runner import execute_job
 from .scheduler import FairShareScheduler, TenantPolicy
 from .service import ExplorationService, ServiceThread
@@ -22,6 +24,12 @@ __all__ = [
     "merge_budgets",
     "LoadReport",
     "run_load_test",
+    "ChaosProxy",
+    "ChaosReport",
+    "NetworkFaultPlan",
+    "run_chaos",
+    "JobHandle",
+    "ReplicaSet",
     "execute_job",
     "FairShareScheduler",
     "TenantPolicy",

@@ -6,42 +6,121 @@ transparent reconnect-with-``Last-Event-ID``, so a dropped stream
 resumes from the journal without duplicating or losing events.  The
 load harness and the service's own tests drive the API through this
 client, so it stays honest.
+
+The client is *transient-fault tolerant*: connection refusals/resets,
+torn responses and timeouts are retried through the engine's
+:class:`~repro.engine.resilience.RetryPolicy` with deterministic seeded
+backoff, and 429/503 responses are retried after the server's
+``Retry-After``.  Non-retryable trouble — a bad URL, DNS failure, any
+other 4xx — fails fast.  :attr:`counters` tracks requests, retries,
+polls and honoured Retry-After waits; ``repro client`` surfaces them,
+and the chaos harness asserts over them.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import socket
 import time
 from typing import Any, Iterator
 from urllib.parse import urlsplit
 
+from ..engine.keys import derive_seed
+from ..engine.resilience import RetryPolicy
 from ..errors import ServeClientError
+
+#: Statuses retried after the server's Retry-After (or the backoff ramp).
+RETRYABLE_STATUSES = (429, 503)
+
+#: Cap on a single honoured Retry-After sleep; a server asking for more
+#: still gets polled again within this bound (it can always re-ask).
+MAX_RETRY_AFTER_S = 5.0
+
+
+def _retry_after_s(headers: dict[str, str]) -> float | None:
+    """The ``Retry-After`` delay (seconds) a response asked for, if any."""
+    for name, value in headers.items():
+        if name.lower() == "retry-after":
+            try:
+                return min(max(float(value), 0.0), MAX_RETRY_AFTER_S)
+            except ValueError:
+                return None
+    return None
 
 
 class ServeClient:
-    """Talk to one service replica at ``base_url``."""
+    """Talk to one service replica at ``base_url``.
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    Parameters
+    ----------
+    base_url:
+        ``http://host:port`` of the replica.
+    timeout:
+        Per-request connect/read timeout in seconds.
+    retry:
+        Transient-failure policy (deterministic backoff).  The default
+        derives its jitter seed from ``seed`` via
+        :func:`~repro.engine.keys.derive_seed`, so replayed chaos runs
+        sleep identically.
+    retry_backpressure:
+        When True, 429/503 responses are retried after the server's
+        ``Retry-After`` instead of raising.  Off by default: a plain
+        client surfaces backpressure to its caller (the load harness
+        counts rejections); the :class:`~repro.serve.replicas.ReplicaSet`
+        failover client turns it on.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retry: RetryPolicy | None = None,
+        seed: int = 0,
+        retry_backpressure: bool = False,
+    ) -> None:
         split = urlsplit(base_url)
         if split.scheme != "http" or not split.hostname:
             raise ServeClientError(
                 f"base_url must look like http://host:port, got {base_url!r}"
             )
+        self.base_url = base_url
         self.host = split.hostname
         self.port = split.port or 80
         self.timeout = timeout
+        self.retry = retry or RetryPolicy(
+            max_retries=3,
+            backoff_base_s=0.05,
+            backoff_max_s=1.0,
+            seed=derive_seed(seed),
+        )
+        self.retry_backpressure = retry_backpressure
+        #: Headers of the most recent response (lower-cased names).
+        self.last_headers: dict[str, str] = {}
+        #: Monotonic client-side telemetry (``repro_client_*`` territory).
+        self.counters = {
+            "requests": 0,
+            "retries": 0,
+            "retry_after_waits": 0,
+            "polls": 0,
+            "reconnects": 0,
+        }
 
     # -- plumbing -------------------------------------------------------
 
-    def _request(
+    def _once(
         self,
         method: str,
         path: str,
         body: Any = None,
         headers: dict[str, str] | None = None,
-        expect: tuple[int, ...] = (200, 202),
-    ) -> tuple[int, Any]:
+    ) -> tuple[int, dict[str, str], Any]:
+        """One HTTP exchange: ``(status, headers, decoded-body)``.
+
+        Raises ``OSError``/``http.client.HTTPException`` on transport
+        trouble (the retry loop's food) and ``ServeClientError`` only
+        for a bad hostname (configuration, fail fast).
+        """
         conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
             payload = None
@@ -53,27 +132,95 @@ class ServeClient:
                 conn.request(method, path, body=payload, headers=send_headers)
                 response = conn.getresponse()
                 raw = response.read()
-            except OSError as exc:
+            except socket.gaierror as exc:
                 raise ServeClientError(
-                    f"cannot reach service at {self.host}:{self.port} ({exc})"
+                    f"cannot resolve service host {self.host!r} ({exc})"
                 ) from exc
+            response_headers = {
+                name.lower(): value for name, value in response.getheaders()
+            }
+            if (
+                response.status != 204
+                and "content-length" not in response_headers
+                and not response_headers.get("transfer-encoding")
+            ):
+                # The service always declares Content-Length; a response
+                # without it is a head torn mid-headers (http.client
+                # happily parses EOF as end-of-headers) — transport
+                # fault, not an empty body.
+                raise http.client.HTTPException(
+                    f"headerless response from {method} {path} (torn head)"
+                )
             try:
                 decoded = json.loads(raw.decode("utf-8")) if raw else None
-            except ValueError:
+            except ValueError as exc:
+                if "json" in response_headers.get("content-type", ""):
+                    # A declared-JSON body that does not parse is a torn
+                    # response (truncation mid-body) — transport fault.
+                    raise http.client.HTTPException(
+                        f"torn JSON body from {method} {path}"
+                    ) from exc
                 decoded = raw.decode("utf-8", errors="replace")
-            if response.status not in expect:
-                message = (
-                    decoded.get("error", str(decoded))
-                    if isinstance(decoded, dict)
-                    else str(decoded)
-                )
-                raise ServeClientError(
-                    f"{method} {path} -> {response.status}: {message}",
-                    status=response.status,
-                )
-            return response.status, decoded
+            return response.status, response_headers, decoded
         finally:
             conn.close()
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Any = None,
+        headers: dict[str, str] | None = None,
+        expect: tuple[int, ...] = (200, 202),
+    ) -> tuple[int, Any]:
+        """One API call with transient-failure retries.
+
+        Connection-level failures (refused, reset, timeout, torn
+        responses) and 429/503 responses are retried with deterministic
+        backoff — 429/503 honouring the server's ``Retry-After`` as a
+        floor.  Every other unexpected status raises immediately.
+        """
+        attempt = 0
+        while True:
+            self.counters["requests"] += 1
+            try:
+                status, response_headers, decoded = self._once(
+                    method, path, body, headers
+                )
+            except (OSError, http.client.HTTPException) as exc:
+                if attempt >= self.retry.max_retries:
+                    raise ServeClientError(
+                        f"cannot reach service at {self.host}:{self.port} "
+                        f"after {attempt + 1} attempts ({exc})"
+                    ) from exc
+                attempt += 1
+                self.counters["retries"] += 1
+                time.sleep(self.retry.delay_s(f"{method} {path}", attempt))
+                continue
+            self.last_headers = response_headers
+            if status in expect:
+                return status, decoded
+            message = (
+                decoded.get("error", str(decoded))
+                if isinstance(decoded, dict)
+                else str(decoded)
+            )
+            if (
+                status in RETRYABLE_STATUSES
+                and self.retry_backpressure
+                and attempt < self.retry.max_retries
+            ):
+                attempt += 1
+                self.counters["retries"] += 1
+                retry_after = _retry_after_s(response_headers)
+                if retry_after is not None:
+                    self.counters["retry_after_waits"] += 1
+                delay = self.retry.delay_s(f"{method} {path}", attempt)
+                time.sleep(max(delay, retry_after or 0.0))
+                continue
+            raise ServeClientError(
+                f"{method} {path} -> {status}: {message}", status=status
+            )
 
     # -- API ------------------------------------------------------------
 
@@ -101,11 +248,26 @@ class ServeClient:
         return self._request("GET", f"/v1/jobs/{job_id}/result")[1]
 
     def wait(
-        self, job_id: str, timeout: float = 300.0, poll_s: float = 0.05
+        self,
+        job_id: str,
+        timeout: float = 300.0,
+        poll_s: float = 0.05,
+        max_poll_s: float = 1.0,
+        backoff: float = 1.6,
     ) -> dict[str, Any]:
-        """Poll until the job finishes; returns the full result record."""
+        """Poll until the job finishes; returns the full result record.
+
+        The poll interval starts at ``poll_s`` and backs off by
+        ``backoff`` up to ``max_poll_s`` — a saturated service is not
+        hammered by waiting clients — and any ``Retry-After`` the
+        server sends (429/503 mid-poll, or on the status response)
+        takes precedence over the local ramp.  Poll/retry counts
+        accumulate in :attr:`counters` (``repro client`` prints them).
+        """
         deadline = time.monotonic() + timeout
+        interval = max(poll_s, 0.001)
         while True:
+            self.counters["polls"] += 1
             status = self.status(job_id)
             if status["state"] in ("completed", "failed"):
                 return self.result(job_id)
@@ -113,7 +275,11 @@ class ServeClient:
                 raise ServeClientError(
                     f"job {job_id} still {status['state']} after {timeout:.0f}s"
                 )
-            time.sleep(poll_s)
+            retry_after = _retry_after_s(self.last_headers)
+            if retry_after is not None:
+                self.counters["retry_after_waits"] += 1
+            time.sleep(retry_after if retry_after is not None else interval)
+            interval = min(interval * backoff, max_poll_s)
 
     # -- SSE ------------------------------------------------------------
 
@@ -138,9 +304,10 @@ class ServeClient:
                 saw_end = yield from self._stream_once(job_id, last_seen)
             except ServeClientError:
                 raise
-            except OSError as exc:
+            except (OSError, http.client.HTTPException) as exc:
                 if not reconnect:
                     raise ServeClientError(f"event stream dropped ({exc})") from exc
+                self.counters["reconnects"] += 1
                 saw_end = False
             if saw_end:
                 return

@@ -40,6 +40,15 @@ API summary (details in ``docs/serve.md``)::
     GET  /v1/healthz               liveness
     GET  /v1/metrics               Prometheus (?format=json for JSON)
     GET  /v1/stats                 scheduler + store snapshot
+    GET  /v1/cache                 store row count + keys
+    GET  /v1/cache/<key>           one row   -> 200 {value, checksum} | 404
+    PUT  /v1/cache/<key>           store row -> 204
+    DELETE /v1/cache[/<key>]       clear / delete one row -> 204
+
+The ``/v1/cache`` rows make any replica a *network result store*: the
+``http:`` :class:`~repro.engine.cache_backends.HttpBackend` points other
+replicas' engines at this API, so a fleet shares one store without a
+shared filesystem (see ``docs/serve.md`` § HA & failure handling).
 """
 
 from __future__ import annotations
@@ -65,6 +74,7 @@ from ..engine import (
     ShutdownCoordinator,
     make_backend,
 )
+from ..engine.cache_backends import CacheCorruption, CacheUnavailable
 from ..errors import QueueFullError, ReproError, ServeError
 from .http import (
     BadRequest,
@@ -142,6 +152,11 @@ class ExplorationService:
         self._engine_lock = threading.Lock()
         self._all_engines: list[EvaluationEngine] = []
 
+        #: The service's own handle on the shared store, serving the
+        #: /v1/cache API (lazily opened; engines keep separate handles).
+        self._store = None
+        self._store_lock = threading.Lock()
+
         self._executor = ThreadPoolExecutor(
             max_workers=jobs, thread_name_prefix="repro-serve"
         )
@@ -193,6 +208,13 @@ class ExplorationService:
         )
         self._m_queue_wait = r.histogram(
             "repro_serve_queue_wait_seconds", "Delay between submit and job start"
+        )
+        self._m_cache_api = r.counter(
+            "repro_serve_cache_api_total", "Requests served by the /v1/cache API"
+        )
+        self._m_cache_api_errors = r.counter(
+            "repro_serve_cache_api_errors_total",
+            "Cache API requests answered 5xx (store unavailable or corrupt)",
         )
 
     # ------------------------------------------------------------------
@@ -461,6 +483,8 @@ class ExplorationService:
                 )
         elif path == "/v1/stats":
             writer.write(json_response(200, self.stats()))
+        elif path == "/v1/cache" or path.startswith("/v1/cache/"):
+            self._handle_cache(request, writer, path)
         elif path == "/v1/jobs":
             if request.method == "POST":
                 await self._handle_submit(request, writer)
@@ -501,6 +525,101 @@ class ExplorationService:
                 else:
                     writer.write(json_response(200, job.to_jsonable()))
         await writer.drain()
+
+    # ------------------------------------------------------------------
+    # the /v1/cache network-store API
+    # ------------------------------------------------------------------
+
+    def _store_handle(self):
+        """The service's own backend handle (None when caching is off)."""
+        if self.cache_backend_spec in (None, "none"):
+            return None
+        with self._store_lock:
+            if self._store is None:
+                self._store = make_backend(self.cache_backend_spec)
+            return self._store
+
+    def _handle_cache(self, request: Request, writer, path: str) -> None:
+        """Serve the shared store over HTTP (the ``http:`` backend's peer).
+
+        Backend trouble maps onto the wire the same way the cache maps
+        it locally: :class:`CacheUnavailable` answers 503 + Retry-After
+        (the remote should retry/degrade, the store file is fine), and
+        :class:`CacheCorruption` answers 500 with ``"corruption": true``
+        so the remote can quarantine its tier instead of retrying.
+        """
+        with self._metrics_lock:
+            self._m_cache_api.inc()
+        store = self._store_handle()
+        if store is None:
+            writer.write(error_response(404, "no shared store configured"))
+            return
+        # Row keys come from the *raw* path so every character survives;
+        # the collection route is the exact "/v1/cache" path.
+        key = request.path[len("/v1/cache/"):] if path != "/v1/cache" else None
+        try:
+            if key is None:
+                if request.method == "GET":
+                    writer.write(
+                        json_response(
+                            200, {"count": len(store), "keys": list(store.keys())}
+                        )
+                    )
+                elif request.method == "DELETE":
+                    store.clear()
+                    writer.write(response_bytes(204))
+                else:
+                    writer.write(
+                        error_response(405, f"{request.method} not allowed")
+                    )
+            elif request.method == "GET":
+                row = store.get(key)
+                if row is None:
+                    writer.write(error_response(404, "no such row"))
+                else:
+                    writer.write(
+                        json_response(
+                            200,
+                            {"key": key, "value": row[0], "checksum": row[1]},
+                        )
+                    )
+            elif request.method == "PUT":
+                try:
+                    payload = request.json()
+                except ValueError as exc:
+                    writer.write(error_response(400, f"invalid JSON body: {exc}"))
+                    return
+                if not isinstance(payload, dict) or "value" not in payload:
+                    writer.write(
+                        error_response(400, "body must be {value, checksum?}")
+                    )
+                    return
+                checksum = payload.get("checksum")
+                store.put(
+                    key,
+                    str(payload["value"]),
+                    None if checksum is None else str(checksum),
+                )
+                writer.write(response_bytes(204))
+            elif request.method == "DELETE":
+                store.delete(key)
+                writer.write(response_bytes(204))
+            else:
+                writer.write(error_response(405, f"{request.method} not allowed"))
+        except CacheUnavailable as exc:
+            with self._metrics_lock:
+                self._m_cache_api_errors.inc()
+            writer.write(
+                error_response(503, str(exc), extra_headers={"Retry-After": "1"})
+            )
+        except CacheCorruption as exc:
+            with self._metrics_lock:
+                self._m_cache_api_errors.inc()
+            writer.write(
+                json_response(
+                    500, {"error": str(exc), "status": 500, "corruption": True}
+                )
+            )
 
     async def _handle_submit(
         self, request: Request, writer: asyncio.StreamWriter
@@ -586,13 +705,28 @@ class ExplorationService:
             states: dict[str, int] = {}
             for job in self._jobs.values():
                 states[job.state] = states.get(job.state, 0) + 1
-        return {
+        payload = {
             "scheduler": depths,
             "jobs_by_state": states,
             "engines": self._engines_created,
             "backend": str(self.cache_backend_spec),
             "draining": self._stopping,
         }
+        # Network store tiers carry degrade/circuit telemetry; surface
+        # every engine handle's snapshot so operators (and the chaos
+        # harness) can see breaker transitions over the API.
+        snapshots = []
+        with self._engine_lock:
+            engines = list(self._all_engines)
+        for engine in engines:
+            backend = getattr(getattr(engine, "cache", None), "backend", None)
+            snapshot = getattr(backend, "stats_snapshot", None)
+            if callable(snapshot):
+                with contextlib.suppress(Exception):
+                    snapshots.append(snapshot())
+        if snapshots:
+            payload["store"] = snapshots
+        return payload
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -673,6 +807,11 @@ class ExplorationService:
         for engine in engines:
             with contextlib.suppress(Exception):
                 engine.close()
+        with self._store_lock:
+            store, self._store = self._store, None
+        if store is not None:
+            with contextlib.suppress(Exception):
+                store.close()
         self._update_gauges()
 
     def __enter__(self) -> "ExplorationService":

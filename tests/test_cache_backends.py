@@ -37,7 +37,10 @@ def factory(request, tmp_path):
     """A zero-argument constructor for one registered backend.
 
     Calling it again reopens the *same* store (same location), which is
-    what the persistence and concurrent-handle tests need.
+    what the persistence and concurrent-handle tests need.  The ``http``
+    backend gets a real service (memory-backed) to talk to — closing and
+    reopening the client handle leaves the server's store intact, which
+    is exactly its persistence story.
     """
     scheme = request.param
     specs = {
@@ -45,6 +48,15 @@ def factory(request, tmp_path):
         "sqlite": f"sqlite:{tmp_path / 'store.sqlite'}",
         "file": f"file:{tmp_path / 'store'}",
     }
+    server = None
+    if scheme == "http":
+        from repro.serve.service import ExplorationService, ServiceThread
+
+        server = ServiceThread(
+            ExplorationService(jobs=1, cache_backend="memory", serve_dir=tmp_path)
+        )
+        server.start()
+        specs["http"] = server.base_url
     if scheme not in specs:
         pytest.fail(
             f"backend scheme {scheme!r} registered but not wired into the "
@@ -55,7 +67,11 @@ def factory(request, tmp_path):
         return make_backend(specs[scheme])
 
     make.scheme = scheme
-    return make
+    try:
+        yield make
+    finally:
+        if server is not None:
+            server.stop()
 
 
 # ----------------------------------------------------------------------
