@@ -478,6 +478,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-out", default=None, metavar="FILE",
                    help="write the serve metrics registry on exit "
                         "(Prometheus textfile, or JSON for .json paths)")
+    p.add_argument("--replica-id", default=None, metavar="ID",
+                   help="stable replica identity stamped on journals and "
+                        "surfaced by /v1/healthz (default: host:pid)")
 
     p = sub.add_parser(
         "client",
@@ -524,6 +527,9 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("job_id")
     sp.add_argument("--after", type=int, default=0, metavar="SEQ",
                     help="resume after this event sequence number")
+    sp.add_argument("--json", action="store_true",
+                    help="one JSON object per event (machine form; the "
+                         "default human lines surface trace ids)")
     client_sub.add_parser("list", help="every job the service knows")
     client_sub.add_parser("health", help="service liveness")
 
@@ -551,6 +557,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: sqlite under a temp dir)")
     p.add_argument("--out", default="BENCH_serve.json", metavar="FILE",
                    help="report path (default: BENCH_serve.json)")
+    p.add_argument("--check-slo", nargs="?", const="SLO.json", default=None,
+                   metavar="SLO_FILE",
+                   help="after the run, check the report against a "
+                        "committed SLO file (default file: SLO.json); "
+                        "exit nonzero on violation")
 
     p = sub.add_parser(
         "chaos",
@@ -592,6 +603,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None, metavar="FILE",
                    help="write the full chaos report (summary + journal) "
                         "as JSON")
+    p.add_argument("--fleet-trace", default=None, metavar="FILE",
+                   help="after the run, stitch every replica journal and "
+                        "write the merged Chrome trace to FILE (the fleet "
+                        "trace artifact CI uploads)")
 
     p = sub.add_parser(
         "bench-engine",
@@ -620,32 +635,113 @@ def build_parser() -> argparse.ArgumentParser:
              "(see docs/observability.md)",
     )
     trace_sub = p.add_subparsers(dest="trace_command", required=True)
+
+    def _journal_args(sp) -> None:
+        sp.add_argument("target", nargs="?", default=None,
+                        metavar="RUN_DIR_OR_JOURNAL")
+        sp.add_argument("--journal", action="append", default=None,
+                        metavar="PATH",
+                        help="read this journal file/dir (repeatable; "
+                             "multiple journals are concatenated)")
+
     sp = trace_sub.add_parser(
         "summary",
         help="phase totals, evaluation/cache counts, search breakdowns",
     )
-    sp.add_argument("target", metavar="RUN_DIR_OR_JOURNAL")
+    _journal_args(sp)
     sp.add_argument("--json", action="store_true",
                     help="emit the summary as JSON instead of text")
     sp = trace_sub.add_parser(
         "slowest", help="the top-N slowest worker tasks/evaluations"
     )
-    sp.add_argument("target", metavar="RUN_DIR_OR_JOURNAL")
+    _journal_args(sp)
     sp.add_argument("--top", type=int, default=10, metavar="N",
                     help="how many tasks to show (default: 10)")
     sp = trace_sub.add_parser(
         "critical-path",
         help="the chain of nested spans dominating the run's wall clock",
     )
-    sp.add_argument("target", metavar="RUN_DIR_OR_JOURNAL")
+    _journal_args(sp)
     sp = trace_sub.add_parser(
         "export",
         help="export the journal as Chrome trace-event JSON "
              "(chrome://tracing, ui.perfetto.dev)",
     )
-    sp.add_argument("target", metavar="RUN_DIR_OR_JOURNAL")
+    _journal_args(sp)
     sp.add_argument("--out", default=None, metavar="FILE",
                     help="write to FILE instead of stdout")
+    sp = trace_sub.add_parser(
+        "fleet",
+        help="stitch multiple replica journals into one span tree with "
+             "skew alignment; render cross-replica critical paths and "
+             "failover seams (see docs/observability.md)",
+    )
+    sp.add_argument("journals", nargs="+", metavar="SERVE_DIR_OR_JOURNAL",
+                    help="replica serve dirs and/or journal files")
+    sp.add_argument("--trace", default=None, metavar="TRACE_ID",
+                    help="restrict to one distributed trace id")
+    sp.add_argument("--json", action="store_true",
+                    help="emit the stitched summary as JSON")
+    sp.add_argument("--export", default=None, metavar="FILE",
+                    help="also write the merged Chrome trace to FILE")
+
+    p = sub.add_parser(
+        "fleet",
+        help="operate on a fleet of serve replicas: aggregate status "
+             "and metrics across every replica's API",
+    )
+    fleet_sub = p.add_subparsers(dest="fleet_command", required=True)
+    for name, blurb in (
+        ("status", "per-replica health/jobs one-liners + fleet totals"),
+        ("metrics", "merged Prometheus metrics (histograms summed "
+                    "bucket-wise) with per-replica JSON breakdown"),
+    ):
+        sp = fleet_sub.add_parser(name, help=blurb)
+        sp.add_argument("--url", action="append", required=True,
+                        metavar="URL", dest="urls",
+                        help="replica base URL (repeatable)")
+        sp.add_argument("--json", action="store_true",
+                        help="emit the full JSON snapshot")
+        sp.add_argument("--out", default=None, metavar="FILE",
+                        help="write the output to FILE (metrics: "
+                             "Prometheus textfile, or JSON for .json "
+                             "paths)")
+        sp.add_argument("--timeout", type=float, default=10.0, metavar="S",
+                        help="per-replica scrape timeout (default: 10)")
+
+    p = sub.add_parser(
+        "bench-compare",
+        help="diff current bench reports against committed ones with "
+             "tolerances; optionally check the serve report against "
+             "SLO.json — exits nonzero on regression (the CI perf gate)",
+    )
+    p.add_argument("--serve", default="BENCH_serve.json", metavar="FILE",
+                   help="current serve bench report "
+                        "(default: BENCH_serve.json)")
+    p.add_argument("--engine", default="BENCH_engine.json", metavar="FILE",
+                   help="current engine bench report "
+                        "(default: BENCH_engine.json)")
+    p.add_argument("--committed", default=".", metavar="DIR",
+                   help="directory holding the committed BENCH_*.json "
+                        "(default: the repo root)")
+    p.add_argument("--latency-tolerance", type=float, default=1.0,
+                   metavar="FRAC",
+                   help="allowed fractional p99 latency growth "
+                        "(default: 1.0 = up to 2x)")
+    p.add_argument("--throughput-tolerance", type=float, default=0.6,
+                   metavar="FRAC",
+                   help="allowed fractional throughput loss "
+                        "(default: 0.6 = down to 0.4x)")
+    p.add_argument("--speedup-tolerance", type=float, default=0.5,
+                   metavar="FRAC",
+                   help="allowed fractional engine-speedup loss "
+                        "(default: 0.5 = down to 0.5x)")
+    p.add_argument("--check-slo", nargs="?", const="SLO.json", default=None,
+                   metavar="SLO_FILE",
+                   help="also check the current serve report against "
+                        "this SLO file (default file: SLO.json)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the comparison as JSON")
 
     return parser
 
@@ -1192,15 +1288,40 @@ def cmd_runs(args) -> int:
     return 0
 
 
+def _trace_events(args) -> tuple[list, str]:
+    """Resolve a trace subcommand's input: one target and/or --journal paths.
+
+    Returns ``(events, label)`` where *label* names the source for error
+    messages.  Multiple journals are concatenated in path order.
+    """
+    from .serve.fleet import collect_journal_files
+
+    targets = list(args.journal or [])
+    if args.target is not None:
+        targets.insert(0, args.target)
+    if not targets:
+        raise ReproError(
+            "trace needs a RUN_DIR_OR_JOURNAL argument or --journal"
+        )
+    if len(targets) == 1 and args.journal is None:
+        return list(trace_analysis.read_events(targets[0])), targets[0]
+    events: list = []
+    for path in collect_journal_files(targets):
+        events.extend(trace_analysis.read_events(path))
+    return events, ", ".join(str(t) for t in targets)
+
+
 def cmd_trace(args) -> int:
     """Answer "where did the time go" from a run's event journal."""
     import json as _json
 
-    target = args.target
+    if args.trace_command == "fleet":
+        return _cmd_trace_fleet(args)
+    events, label = _trace_events(args)
     if args.trace_command == "summary":
-        summary = trace_analysis.summarize(trace_analysis.read_events(target))
+        summary = trace_analysis.summarize(events)
         if summary.events == 0:
-            print(f"error: journal at {target} holds no events", file=sys.stderr)
+            print(f"error: journal at {label} holds no events", file=sys.stderr)
             return 1
         if args.json:
             print(_json.dumps(summary.to_jsonable(), indent=2))
@@ -1208,17 +1329,15 @@ def cmd_trace(args) -> int:
             print(summary.render())
         return 0
     if args.trace_command == "slowest":
-        tasks = trace_analysis.slowest_tasks(
-            trace_analysis.read_events(target), top=args.top
-        )
+        tasks = trace_analysis.slowest_tasks(events, top=args.top)
         print(trace_analysis.render_slowest(tasks))
         return 0
     if args.trace_command == "critical-path":
-        path = trace_analysis.critical_path(trace_analysis.read_events(target))
+        path = trace_analysis.critical_path(events)
         print(trace_analysis.render_critical_path(path))
         return 0
     # export
-    payload = trace_analysis.chrome_trace(trace_analysis.read_events(target))
+    payload = trace_analysis.chrome_trace(events)
     text = _json.dumps(payload)
     if args.out is not None:
         out = pathlib.Path(args.out)
@@ -1227,6 +1346,67 @@ def cmd_trace(args) -> int:
         print(f"wrote {out} ({len(payload['traceEvents'])} trace events)")
     else:
         print(text)
+    return 0
+
+
+def _span_jsonable(node, recurse: bool = True) -> dict:
+    """JSON form of a :class:`~repro.engine.trace.SpanNode` subtree."""
+    out = {
+        "span": node.span,
+        "name": node.name,
+        "kind": node.kind,
+        "seconds": round(node.seconds, 6),
+        "start_ts": node.start_ts,
+    }
+    if recurse:
+        out["children"] = [_span_jsonable(child) for child in node.children]
+    return out
+
+
+def _cmd_trace_fleet(args) -> int:
+    """Stitch replica journals into one cross-replica span tree."""
+    import json as _json
+
+    from .serve import fleet as fleet_mod
+
+    stitched = fleet_mod.stitch_journals(args.journals, trace_id=args.trace)
+    roots = fleet_mod.fleet_span_tree(stitched)
+    if args.export is not None:
+        payload = fleet_mod.fleet_chrome_trace(stitched)
+        out = pathlib.Path(args.export)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(_json.dumps(payload) + "\n", encoding="utf-8")
+        print(
+            f"wrote {out} ({len(payload['traceEvents'])} trace events)",
+            file=sys.stderr,
+        )
+    if args.json:
+        print(_json.dumps(
+            {
+                "trace_ids": sorted(stitched.trace_ids),
+                "journals": [
+                    {
+                        "path": str(view.path),
+                        "replica_id": view.replica_id,
+                        "events": len(view.events),
+                        "shift_s": view.shift_s,
+                    }
+                    for view in stitched.journals
+                ],
+                "tree": [_span_jsonable(root) for root in roots],
+                "critical_path": [
+                    _span_jsonable(node, recurse=False)
+                    for node in fleet_mod.fleet_critical_path(roots)
+                ],
+            },
+            indent=2,
+        ))
+        return 0
+    print(fleet_mod.render_fleet_tree(roots))
+    print()
+    print(fleet_mod.render_fleet_critical_path(
+        fleet_mod.fleet_critical_path(roots)
+    ))
     return 0
 
 
@@ -1245,6 +1425,7 @@ def cmd_serve(args) -> int:
         serve_dir=args.serve_dir,
         tenant_policy=policy,
         max_total_queued=args.max_queued,
+        replica_id=args.replica_id,
     )
     shown = args.port if args.port else "<ephemeral>"
     print(
@@ -1270,6 +1451,26 @@ def _print_client_counters(client) -> None:
         )
 
 
+_WATCH_DETAIL_KEYS = (
+    "job", "phase", "name", "benchmark", "config", "status", "key",
+    "method", "from", "to", "replica", "replica_id", "seconds", "error",
+)
+
+
+def _format_watch_event(event: dict) -> str:
+    """One human line per journal event, surfacing the trace id."""
+    seq = event.get("seq", "?")
+    kind = event.get("event", "?")
+    details = " ".join(
+        f"{key}={event[key]}"
+        for key in _WATCH_DETAIL_KEYS
+        if event.get(key) is not None
+    )
+    trace_id = event.get("trace_id")
+    trace = f" trace={trace_id}" if trace_id else ""
+    return f"[{seq}] {kind}" + (f" {details}" if details else "") + trace
+
+
 def cmd_client(args) -> int:
     """One-shot interactions with a running service."""
     import json as _json
@@ -1292,7 +1493,10 @@ def cmd_client(args) -> int:
         return 0
     if command == "watch":
         for event in client.events(args.job_id, after_seq=args.after):
-            print(_json.dumps(event))
+            if args.json:
+                print(_json.dumps(event))
+            else:
+                print(_format_watch_event(event))
         _print_client_counters(client)
         return 0
     # submit
@@ -1356,7 +1560,19 @@ def cmd_serve_bench(args) -> int:
         f"{report.repeated_with_zero_evaluations}/{report.repeated_jobs}"
     )
     print(f"wrote {out}")
-    return 0 if report.failed == 0 else 1
+    exit_code = 0 if report.failed == 0 else 1
+    if args.check_slo is not None:
+        from .serve.fleet import load_slo, slo_violations
+
+        slo = load_slo(args.check_slo)
+        violations = slo_violations(summary, slo)
+        if violations:
+            for line in violations:
+                print(f"SLO violation: {line}", file=sys.stderr)
+            exit_code = 1
+        else:
+            print(f"SLO check against {args.check_slo}: ok")
+    return exit_code
 
 
 def cmd_chaos(args) -> int:
@@ -1397,6 +1613,24 @@ def cmd_chaos(args) -> int:
             + "\n"
         )
         print(f"wrote {args.out}", file=sys.stderr)
+    if args.fleet_trace and report.journal_dirs:
+        from .serve import fleet as fleet_mod
+
+        try:
+            stitched = fleet_mod.stitch_journals(report.journal_dirs)
+            payload = fleet_mod.fleet_chrome_trace(stitched)
+            out_path = pathlib.Path(args.fleet_trace)
+            out_path.parent.mkdir(parents=True, exist_ok=True)
+            out_path.write_text(_json.dumps(payload) + "\n", encoding="utf-8")
+            print(
+                f"wrote {out_path} "
+                f"({len(payload['traceEvents'])} trace events, "
+                f"{len(stitched.journals)} journal(s), "
+                f"{len(stitched.trace_ids)} trace id(s))",
+                file=sys.stderr,
+            )
+        except fleet_mod.FleetError as exc:
+            print(f"fleet trace skipped: {exc}", file=sys.stderr)
     if not report.identical:
         print(
             "error: chaos run diverged from the fault-free baseline",
@@ -1404,6 +1638,94 @@ def cmd_chaos(args) -> int:
         )
         return 1
     return 0
+
+
+def cmd_fleet(args) -> int:
+    """Aggregate status/metrics across every replica of a serve fleet."""
+    import json as _json
+
+    from .serve import fleet as fleet_mod
+
+    scrape = fleet_mod.scrape_fleet(args.urls, timeout=args.timeout)
+    aggregate = fleet_mod.aggregate_fleet(scrape)
+    if args.fleet_command == "status":
+        text = (
+            _json.dumps(aggregate, indent=2, sort_keys=True)
+            if args.json
+            else fleet_mod.render_fleet_status(aggregate)
+        )
+    else:  # metrics
+        text = (
+            _json.dumps(aggregate, indent=2, sort_keys=True)
+            if args.json
+            else fleet_mod.render_fleet_metrics(aggregate)
+        )
+    if args.out is not None:
+        out = pathlib.Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        if args.fleet_command == "metrics" and out.suffix == ".json":
+            out.write_text(
+                _json.dumps(aggregate, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+        else:
+            out.write_text(text + "\n", encoding="utf-8")
+        print(f"wrote {out}", file=sys.stderr)
+    print(text)
+    if aggregate["errors"]:
+        for url, error in sorted(aggregate["errors"].items()):
+            print(f"error: {url} unreachable: {error}", file=sys.stderr)
+        return 1
+    if aggregate["fleet_size"] == 0:
+        print("error: no replicas reachable", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_bench_compare(args) -> int:
+    """Perf gate: diff bench reports vs committed ones, check the SLO."""
+    import json as _json
+
+    from .serve import fleet as fleet_mod
+
+    result = fleet_mod.compare_benches(
+        serve_current=args.serve,
+        engine_current=args.engine,
+        committed_dir=args.committed,
+        latency_tolerance=args.latency_tolerance,
+        throughput_tolerance=args.throughput_tolerance,
+        speedup_tolerance=args.speedup_tolerance,
+    )
+    slo_failures: list[str] = []
+    if args.check_slo is not None:
+        slo = fleet_mod.load_slo(args.check_slo)
+        current = fleet_mod._load_report(args.serve)
+        if current is None:
+            result["skipped"].append(
+                f"SLO check: no current serve report at {args.serve}"
+            )
+        else:
+            slo_failures = fleet_mod.slo_violations(current, slo)
+    ok = result["ok"] and not slo_failures
+    if args.json:
+        print(_json.dumps(
+            {**result, "ok": ok, "slo_violations": slo_failures}, indent=2
+        ))
+    else:
+        for entry in result["compared"]:
+            print(
+                f"{entry['metric']}: current={entry['current']:.4g} "
+                f"committed={entry['committed']:.4g} "
+                f"ratio={entry['ratio']:.2f}"
+            )
+        for line in result["skipped"]:
+            print(f"skipped: {line}")
+        for line in result["regressions"]:
+            print(f"REGRESSION: {line}", file=sys.stderr)
+        for line in slo_failures:
+            print(f"SLO violation: {line}", file=sys.stderr)
+        print("bench-compare: ok" if ok else "bench-compare: FAILED")
+    return 0 if ok else 1
 
 
 def cmd_bench_engine(args) -> int:
@@ -1438,6 +1760,8 @@ _COMMANDS = {
     "client": cmd_client,
     "serve-bench": cmd_serve_bench,
     "chaos": cmd_chaos,
+    "fleet": cmd_fleet,
+    "bench-compare": cmd_bench_compare,
     "bench-engine": cmd_bench_engine,
 }
 

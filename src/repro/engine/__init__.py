@@ -87,6 +87,7 @@ from .pool import EvaluationEngine
 from .resilience import ResultIntegrityError, RetryPolicy, validate_result
 from .telemetry import (
     JOURNAL_FILE,
+    TRACEPARENT_HEADER,
     Counter,
     Gauge,
     Histogram,
@@ -94,9 +95,19 @@ from .telemetry import (
     ProgressLine,
     RunJournal,
     TelemetryCollector,
+    TraceContext,
+    activate_trace,
+    current_trace,
+    escape_label_value,
     journal_files,
+    merge_metric_snapshots,
+    mint_span_id,
+    mint_trace_id,
+    parse_traceparent,
+    render_prometheus_snapshot,
 )
 from .trace import (
+    KNOWN_EVENTS,
     TraceSummary,
     chrome_trace,
     critical_path,
@@ -160,6 +171,7 @@ __all__ = [
     "unit_draw",
     "EvaluationEngine",
     "JOURNAL_FILE",
+    "TRACEPARENT_HEADER",
     "Counter",
     "Gauge",
     "Histogram",
@@ -167,7 +179,17 @@ __all__ = [
     "ProgressLine",
     "RunJournal",
     "TelemetryCollector",
+    "TraceContext",
+    "activate_trace",
+    "current_trace",
+    "escape_label_value",
     "journal_files",
+    "merge_metric_snapshots",
+    "mint_span_id",
+    "mint_trace_id",
+    "parse_traceparent",
+    "render_prometheus_snapshot",
+    "KNOWN_EVENTS",
     "TraceSummary",
     "chrome_trace",
     "critical_path",

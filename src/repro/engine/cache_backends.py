@@ -53,6 +53,7 @@ from urllib.parse import quote, urlsplit
 
 from ..errors import EngineError
 from .resilience import CircuitBreaker, RetryPolicy, quarantine_file
+from .telemetry import TRACEPARENT_HEADER, current_trace
 
 #: One stored row: the serialized payload and its (optional) checksum.
 Row = "tuple[str, str | None]"
@@ -694,6 +695,12 @@ class HttpBackend(CacheBackend):
             if payload is not None:
                 body = json.dumps(payload).encode("utf-8")
                 headers["Content-Type"] = "application/json"
+            # Propagate the ambient trace (the job span running this
+            # engine) so the store service can journal this call under
+            # the same fleet-wide trace id.
+            trace = current_trace()
+            if trace is not None:
+                headers[TRACEPARENT_HEADER] = trace.header()
             try:
                 conn.request(method, path, body=body, headers=headers)
                 response = conn.getresponse()

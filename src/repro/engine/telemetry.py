@@ -32,15 +32,19 @@ detaching any of these subscribers never changes computed results.
 
 from __future__ import annotations
 
+import contextlib
+import contextvars
 import io
 import json
 import math
 import os
 import re
+import secrets
 import sys
 import time
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Iterable, TextIO
+from typing import Any, Iterable, Iterator, TextIO
 
 from .events import EventBus
 from .io_atomic import is_storage_error, write_text_atomic
@@ -57,6 +61,97 @@ _ROTATED_RE = re.compile(r"\.(\d+)$")
 def _jsonable(value: Any) -> Any:
     """Best-effort JSON fallback: telemetry must never raise on payloads."""
     return repr(value)
+
+
+# ----------------------------------------------------------------------
+# distributed trace context (W3C-traceparent-style)
+# ----------------------------------------------------------------------
+
+#: HTTP header carrying the trace context across the serve layer.
+TRACEPARENT_HEADER = "traceparent"
+
+#: Version prefix of the ``traceparent`` value we mint.
+_TRACE_VERSION = "00"
+
+_TRACEPARENT_RE = re.compile(
+    r"^([0-9a-f]{2})-([0-9a-f]{32})-([0-9a-f]{16})-([0-9a-f]{2})$"
+)
+
+
+def mint_trace_id() -> str:
+    """A fresh 128-bit trace id (32 lowercase hex chars)."""
+    return secrets.token_hex(16)
+
+
+def mint_span_id() -> str:
+    """A fresh 64-bit span id (16 lowercase hex chars)."""
+    return secrets.token_hex(8)
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One hop of a distributed trace: ``(trace_id, span_id)``.
+
+    ``trace_id`` names the whole request tree (one client submit, every
+    replica incarnation and store call it causes); ``span_id`` is the
+    *sender's* current span, which the receiver records as its
+    ``parent_span_id``.  The wire format is the W3C ``traceparent``
+    shape, ``00-<trace_id>-<span_id>-01``.
+    """
+
+    trace_id: str
+    span_id: str
+
+    @classmethod
+    def mint(cls) -> "TraceContext":
+        return cls(trace_id=mint_trace_id(), span_id=mint_span_id())
+
+    def child(self) -> "TraceContext":
+        """Same trace, a freshly minted span id (the next hop's parent)."""
+        return TraceContext(trace_id=self.trace_id, span_id=mint_span_id())
+
+    def header(self) -> str:
+        return f"{_TRACE_VERSION}-{self.trace_id}-{self.span_id}-01"
+
+
+def parse_traceparent(value: str | None) -> TraceContext | None:
+    """Decode a ``traceparent`` header (None for absent/malformed).
+
+    Malformed values are dropped rather than rejected: trace context is
+    telemetry, and a bad header must never fail a job submission.
+    """
+    if not isinstance(value, str):
+        return None
+    match = _TRACEPARENT_RE.match(value.strip().lower())
+    if match is None:
+        return None
+    return TraceContext(trace_id=match.group(2), span_id=match.group(3))
+
+
+_active_trace: contextvars.ContextVar[TraceContext | None] = contextvars.ContextVar(
+    "repro_active_trace", default=None
+)
+
+
+def current_trace() -> TraceContext | None:
+    """The trace context active on this thread/task, if any."""
+    return _active_trace.get()
+
+
+@contextlib.contextmanager
+def activate_trace(context: TraceContext | None) -> Iterator[TraceContext | None]:
+    """Make ``context`` the ambient trace for the enclosed block.
+
+    The serve layer wraps job execution in this so outbound calls made
+    on the job's thread — the ``http:`` cache backend above all — can
+    stamp the job's trace context onto their requests without plumbing
+    it through every engine signature.
+    """
+    token = _active_trace.set(context)
+    try:
+        yield context
+    finally:
+        _active_trace.reset(token)
 
 
 # ----------------------------------------------------------------------
@@ -100,6 +195,11 @@ class RunJournal:
         Size cap per journal file; exceeding it rotates the current file
         to ``<name>.<n>`` and starts a fresh one (sequence numbers keep
         counting — rotation is invisible to readers).
+    context:
+        Fields stamped onto *every* record (after the payload, which
+        wins on key collisions).  The serve layer passes
+        ``{trace_id, parent_span_id, replica_id}`` here so a journal's
+        lines are attributable in a stitched fleet trace.
 
     Use :meth:`attach` to subscribe it to a bus (this also flips the
     bus's ``tracing`` flag on, telling the pool to ship per-task span
@@ -107,10 +207,14 @@ class RunJournal:
     """
 
     def __init__(
-        self, path: str | Path, rotate_bytes: int = DEFAULT_ROTATE_BYTES
+        self,
+        path: str | Path,
+        rotate_bytes: int = DEFAULT_ROTATE_BYTES,
+        context: dict[str, Any] | None = None,
     ) -> None:
         self.path = Path(path)
         self.rotate_bytes = max(int(rotate_bytes), 4096)
+        self.context = dict(context or {})
         self._handle: TextIO | None = None
         self._size = 0
         self._degraded = False
@@ -165,9 +269,16 @@ class RunJournal:
         record: dict[str, Any] = {
             "seq": self._seq + 1,
             "ts": round(time.time(), 6),
+            # The monotonic clock is what the fleet stitcher aligns on:
+            # wall clocks step (NTP, VM migration), monotonic deltas
+            # within one process never do.
+            "mono": round(time.monotonic(), 6),
             "event": event,
         }
         for key, value in (payload or {}).items():
+            if key not in record:
+                record[key] = value
+        for key, value in self.context.items():
             if key not in record:
                 record[key] = value
         line = json.dumps(record, separators=(",", ":"), default=_jsonable) + "\n"
@@ -277,14 +388,47 @@ def _last_seq_in(path: Path) -> int | None:
 # ----------------------------------------------------------------------
 
 
+def escape_label_value(value: str) -> str:
+    """Prometheus label-value escaping: ``\\``, ``"`` and newline.
+
+    The exposition format requires exactly these three escapes inside a
+    quoted label value; everything else passes through verbatim.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _label_suffix(labels: dict[str, str] | None) -> str:
+    """``{k="v",...}`` with escaped values ('' when unlabeled)."""
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{escape_label_value(value)}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def series_key(name: str, labels: dict[str, str] | None = None) -> str:
+    """Registry key of one series: the name plus its label suffix."""
+    return name + _label_suffix(labels)
+
+
 class Counter:
     """A monotonically increasing count."""
 
     kind = "counter"
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(
+        self, name: str, help: str = "", labels: dict[str, str] | None = None
+    ) -> None:
         self.name = name
         self.help = help
+        self.labels = dict(labels or {})
         self.value: float = 0
 
     def inc(self, amount: float = 1) -> None:
@@ -293,10 +437,15 @@ class Counter:
         self.value += amount
 
     def to_jsonable(self) -> dict[str, Any]:
-        return {"kind": self.kind, "help": self.help, "value": self.value}
+        payload: dict[str, Any] = {
+            "kind": self.kind, "help": self.help, "value": self.value
+        }
+        if self.labels:
+            payload["labels"] = dict(self.labels)
+        return payload
 
     def render_prometheus(self) -> str:
-        return f"{self.name} {_fmt_num(self.value)}\n"
+        return f"{series_key(self.name, self.labels)} {_fmt_num(self.value)}\n"
 
 
 class Gauge:
@@ -304,9 +453,12 @@ class Gauge:
 
     kind = "gauge"
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(
+        self, name: str, help: str = "", labels: dict[str, str] | None = None
+    ) -> None:
         self.name = name
         self.help = help
+        self.labels = dict(labels or {})
         self.value: float = 0
 
     def set(self, value: float) -> None:
@@ -316,10 +468,15 @@ class Gauge:
         self.value += amount
 
     def to_jsonable(self) -> dict[str, Any]:
-        return {"kind": self.kind, "help": self.help, "value": self.value}
+        payload: dict[str, Any] = {
+            "kind": self.kind, "help": self.help, "value": self.value
+        }
+        if self.labels:
+            payload["labels"] = dict(self.labels)
+        return payload
 
     def render_prometheus(self) -> str:
-        return f"{self.name} {_fmt_num(self.value)}\n"
+        return f"{series_key(self.name, self.labels)} {_fmt_num(self.value)}\n"
 
 
 def log_buckets(
@@ -343,10 +500,15 @@ class Histogram:
     kind = "histogram"
 
     def __init__(
-        self, name: str, help: str = "", buckets: Iterable[float] | None = None
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] | None = None,
+        labels: dict[str, str] | None = None,
     ) -> None:
         self.name = name
         self.help = help
+        self.labels = dict(labels or {})
         self.bounds = sorted(set(buckets)) if buckets is not None else log_buckets()
         self.counts = [0] * len(self.bounds)
         self.count = 0
@@ -371,7 +533,7 @@ class Histogram:
         return self.sum / self.count if self.count else 0.0
 
     def to_jsonable(self) -> dict[str, Any]:
-        return {
+        payload: dict[str, Any] = {
             "kind": self.kind,
             "help": self.help,
             "count": self.count,
@@ -381,18 +543,30 @@ class Histogram:
             "mean": self.mean,
             "buckets": {_fmt_num(b): c for b, c in zip(self.bounds, self.counts)},
         }
+        if self.labels:
+            payload["labels"] = dict(self.labels)
+        return payload
+
+    def _bucket_series(self, le: str) -> str:
+        # `le` must come last by convention; sorted() would not keep it
+        # there, so render the suffix by hand.
+        inner = ",".join(
+            f'{key}="{escape_label_value(value)}"'
+            for key, value in sorted(self.labels.items())
+        )
+        inner = f'{inner},le="{le}"' if inner else f'le="{le}"'
+        return f"{self.name}_bucket{{{inner}}}"
 
     def render_prometheus(self) -> str:
+        suffix = _label_suffix(self.labels)
         lines = []
         cumulative = 0
         for bound, count in zip(self.bounds, self.counts):
             cumulative += count
-            lines.append(
-                f'{self.name}_bucket{{le="{_fmt_num(bound)}"}} {cumulative}'
-            )
-        lines.append(f'{self.name}_bucket{{le="+Inf"}} {self.count}')
-        lines.append(f"{self.name}_sum {_fmt_num(self.sum)}")
-        lines.append(f"{self.name}_count {self.count}")
+            lines.append(f"{self._bucket_series(_fmt_num(bound))} {cumulative}")
+        lines.append(f'{self._bucket_series("+Inf")} {self.count}')
+        lines.append(f"{self.name}_sum{suffix} {_fmt_num(self.sum)}")
+        lines.append(f"{self.name}_count{suffix} {self.count}")
         return "\n".join(lines) + "\n"
 
 
@@ -404,35 +578,53 @@ def _fmt_num(value: float) -> str:
 
 
 class MetricsRegistry:
-    """A named collection of metrics with JSON and Prometheus export."""
+    """A named collection of metrics with JSON and Prometheus export.
+
+    Series are keyed by name plus (sorted, escaped) label suffix, so
+    ``counter("x_total", labels={"tenant": "a"})`` and the unlabeled
+    ``counter("x_total")`` are distinct series under one metric family;
+    the Prometheus rendering emits the family's HELP/TYPE once.
+    """
 
     def __init__(self) -> None:
         self._metrics: dict[str, Any] = {}
 
-    def counter(self, name: str, help: str = "") -> Counter:
-        return self._get_or_create(name, Counter, help)
+    def counter(
+        self, name: str, help: str = "", labels: dict[str, str] | None = None
+    ) -> Counter:
+        return self._get_or_create(name, Counter, help, labels)
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
-        return self._get_or_create(name, Gauge, help)
+    def gauge(
+        self, name: str, help: str = "", labels: dict[str, str] | None = None
+    ) -> Gauge:
+        return self._get_or_create(name, Gauge, help, labels)
 
     def histogram(
-        self, name: str, help: str = "", buckets: Iterable[float] | None = None
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] | None = None,
+        labels: dict[str, str] | None = None,
     ) -> Histogram:
-        metric = self._metrics.get(name)
+        key = series_key(name, labels)
+        metric = self._metrics.get(key)
         if metric is None:
-            metric = Histogram(name, help, buckets=buckets)
-            self._metrics[name] = metric
+            metric = Histogram(name, help, buckets=buckets, labels=labels)
+            self._metrics[key] = metric
         elif not isinstance(metric, Histogram):
-            raise ValueError(f"metric {name!r} is a {metric.kind}, not a histogram")
+            raise ValueError(f"metric {key!r} is a {metric.kind}, not a histogram")
         return metric
 
-    def _get_or_create(self, name: str, cls: type, help: str) -> Any:
-        metric = self._metrics.get(name)
+    def _get_or_create(
+        self, name: str, cls: type, help: str, labels: dict[str, str] | None = None
+    ) -> Any:
+        key = series_key(name, labels)
+        metric = self._metrics.get(key)
         if metric is None:
-            metric = cls(name, help)
-            self._metrics[name] = metric
+            metric = cls(name, help, labels=labels)
+            self._metrics[key] = metric
         elif not isinstance(metric, cls):
-            raise ValueError(f"metric {name!r} is a {metric.kind}, not a {cls.kind}")
+            raise ValueError(f"metric {key!r} is a {metric.kind}, not a {cls.kind}")
         return metric
 
     def __iter__(self):
@@ -450,10 +642,13 @@ class MetricsRegistry:
     def render_prometheus(self) -> str:
         """Prometheus textfile-collector format (HELP/TYPE + samples)."""
         out = io.StringIO()
-        for name, metric in self._metrics.items():
-            if metric.help:
-                out.write(f"# HELP {name} {metric.help}\n")
-            out.write(f"# TYPE {name} {metric.kind}\n")
+        seen_families: set[str] = set()
+        for metric in self._metrics.values():
+            if metric.name not in seen_families:
+                seen_families.add(metric.name)
+                if metric.help:
+                    out.write(f"# HELP {metric.name} {metric.help}\n")
+                out.write(f"# TYPE {metric.name} {metric.kind}\n")
             out.write(metric.render_prometheus())
         return out.getvalue()
 
@@ -466,6 +661,105 @@ class MetricsRegistry:
         else:
             text = self.render_prometheus()
         return write_text_atomic(path, text)
+
+
+# ----------------------------------------------------------------------
+# snapshot merging (the fleet-aggregation primitive)
+# ----------------------------------------------------------------------
+
+
+def merge_metric_snapshots(snapshots: Iterable[dict[str, Any]]) -> dict[str, Any]:
+    """Merge ``MetricsRegistry.to_jsonable()`` snapshots series-wise.
+
+    Counters and gauges sum their values; histograms sum bucket-wise
+    (non-cumulative per-bucket counts, as stored), sum their ``count``/
+    ``sum`` and fold ``min``/``max``; ``mean`` is recomputed from the
+    merged totals.  Series are matched by their full key — name plus
+    label suffix — so per-tenant series merge with their twins only.
+    ``repro fleet metrics`` is exactly this over N replicas' scrapes.
+    """
+    merged: dict[str, Any] = {}
+    for snapshot in snapshots:
+        if not isinstance(snapshot, dict):
+            continue
+        for key, entry in snapshot.items():
+            if not isinstance(entry, dict):
+                continue
+            current = merged.get(key)
+            if current is None:
+                merged[key] = json.loads(json.dumps(entry))  # deep copy
+                continue
+            if current.get("kind") != entry.get("kind"):
+                raise ValueError(
+                    f"series {key!r} changes kind across snapshots "
+                    f"({current.get('kind')} vs {entry.get('kind')})"
+                )
+            if entry.get("kind") == "histogram":
+                current["count"] = int(current.get("count", 0)) + int(
+                    entry.get("count", 0)
+                )
+                current["sum"] = float(current.get("sum", 0.0)) + float(
+                    entry.get("sum", 0.0)
+                )
+                for side, fold in (("min", min), ("max", max)):
+                    theirs = entry.get(side)
+                    if theirs is not None:
+                        ours = current.get(side)
+                        current[side] = (
+                            theirs if ours is None else fold(ours, theirs)
+                        )
+                current["mean"] = (
+                    current["sum"] / current["count"] if current["count"] else 0.0
+                )
+                buckets = current.setdefault("buckets", {})
+                for bound, count in (entry.get("buckets") or {}).items():
+                    buckets[bound] = int(buckets.get(bound, 0)) + int(count)
+            else:
+                current["value"] = float(current.get("value", 0.0)) + float(
+                    entry.get("value", 0.0)
+                )
+    return merged
+
+
+def render_prometheus_snapshot(snapshot: dict[str, Any]) -> str:
+    """Prometheus textfile rendering of a (possibly merged) JSON snapshot.
+
+    The inverse-ish of :meth:`MetricsRegistry.to_jsonable`: reconstructs
+    each series from its snapshot entry (labels are already baked into
+    the series key) and renders the same exposition format the live
+    registry would.
+    """
+    out = io.StringIO()
+    seen_families: set[str] = set()
+    for key, entry in snapshot.items():
+        if not isinstance(entry, dict):
+            continue
+        family = key.split("{", 1)[0]
+        suffix = key[len(family):]
+        if family not in seen_families:
+            seen_families.add(family)
+            if entry.get("help"):
+                out.write(f"# HELP {family} {entry['help']}\n")
+            out.write(f"# TYPE {family} {entry.get('kind', 'untyped')}\n")
+        if entry.get("kind") == "histogram":
+            buckets = entry.get("buckets") or {}
+            cumulative = 0
+            inner = suffix[1:-1] if suffix else ""
+            for bound in sorted(buckets, key=float):
+                cumulative += int(buckets[bound])
+                le = f'le="{bound}"'
+                label_part = f"{inner},{le}" if inner else le
+                out.write(f"{family}_bucket{{{label_part}}} {cumulative}\n")
+            le = 'le="+Inf"'
+            label_part = f"{inner},{le}" if inner else le
+            out.write(
+                f"{family}_bucket{{{label_part}}} {int(entry.get('count', 0))}\n"
+            )
+            out.write(f"{family}_sum{suffix} {_fmt_num(entry.get('sum', 0.0))}\n")
+            out.write(f"{family}_count{suffix} {int(entry.get('count', 0))}\n")
+        else:
+            out.write(f"{key} {_fmt_num(entry.get('value', 0))}\n")
+    return out.getvalue()
 
 
 # ----------------------------------------------------------------------

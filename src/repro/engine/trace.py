@@ -36,6 +36,44 @@ class TraceError(ReproError):
     """A journal could not be located or yielded no events."""
 
 
+#: The event vocabulary the structural readers understand.  Journals
+#: written by newer layers (the serve fleet's ``replica_failover``,
+#: circuit-breaker transitions, ...) may carry kinds outside this set;
+#: readers skip those with a *counted* warning instead of misparsing.
+KNOWN_EVENTS = frozenset(
+    {
+        "evaluation",
+        "cache_hit",
+        "cache_miss",
+        "batch",
+        "retry",
+        "task_timeout",
+        "pool_restart",
+        "checkpoint",
+        "fallback",
+        "phase_start",
+        "phase_end",
+        "span_start",
+        "span_end",
+        "task_span",
+        "search_run",
+        "strategy_timing",
+        "pareto_front",
+        "quarantine",
+        "storage_degraded",
+        "lock_takeover",
+        # serve-layer vocabulary (PR 6+): understood as instants/spans.
+        "job_start",
+        "job_end",
+        "cache_call",
+        "replica_failover",
+        "circuit_open",
+        "circuit_close",
+        "circuit_half_open",
+    }
+)
+
+
 def resolve_journal(target: str | Path) -> Path:
     """Map a run directory or journal path to the journal file itself."""
     target = Path(target)
@@ -119,6 +157,7 @@ class TraceSummary:
     phase_seconds: dict[str, float] = field(default_factory=dict)
     searches: dict[str, SearchTrace] = field(default_factory=dict)
     counts: dict[str, int] = field(default_factory=dict)
+    unknown_events: dict[str, int] = field(default_factory=dict)
 
     @property
     def wall_seconds(self) -> float:
@@ -163,6 +202,7 @@ class TraceSummary:
                 for name, s in self.searches.items()
             },
             "event_counts": dict(self.counts),
+            "unknown_events": dict(self.unknown_events),
         }
 
     def render(self) -> str:
@@ -201,11 +241,38 @@ class TraceSummary:
                     f"  {name}: {s.runs} runs ({strategies}), "
                     f"{s.evaluations} evaluations, best {s.best_score:.2f}"
                 )
+        if self.unknown_events:
+            skipped = sum(self.unknown_events.values())
+            kinds = ", ".join(sorted(self.unknown_events))
+            lines.append(
+                f"warning: skipped {skipped} event(s) of "
+                f"{len(self.unknown_events)} unknown kind(s): {kinds}"
+            )
         return "\n".join(lines)
 
 
+def _as_int(value: Any, default: int = 0) -> int:
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        return default
+
+
+def _as_float(value: Any, default: float = 0.0) -> float:
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return default
+
+
 def summarize(events: Iterable[dict]) -> TraceSummary:
-    """Fold an event stream into a :class:`TraceSummary` (single pass)."""
+    """Fold an event stream into a :class:`TraceSummary` (single pass).
+
+    Event kinds outside :data:`KNOWN_EVENTS` (journals written by newer
+    or foreign layers) still count toward totals and timing but are
+    tallied in ``unknown_events`` and surfaced as a warning, never
+    misparsed as the PR 5 vocabulary.
+    """
     summary = TraceSummary()
     traces_seen: set[str] = set()
     previous_seq: int | None = None
@@ -213,6 +280,8 @@ def summarize(events: Iterable[dict]) -> TraceSummary:
         summary.events += 1
         name = record.get("event", "?")
         summary.counts[name] = summary.counts.get(name, 0) + 1
+        if name not in KNOWN_EVENTS:
+            summary.unknown_events[name] = summary.unknown_events.get(name, 0) + 1
         ts = record.get("ts")
         if isinstance(ts, (int, float)):
             if summary.first_ts is None:
@@ -231,11 +300,11 @@ def summarize(events: Iterable[dict]) -> TraceSummary:
             traces_seen.add(trace)
 
         if name == "evaluation":
-            summary.evaluations += record.get("count", 1)
+            summary.evaluations += _as_int(record.get("count", 1), 1)
         elif name == "cache_hit":
-            summary.cache_hits += record.get("count", 1)
+            summary.cache_hits += _as_int(record.get("count", 1), 1)
         elif name == "cache_miss":
-            summary.cache_misses += record.get("count", 1)
+            summary.cache_misses += _as_int(record.get("count", 1), 1)
         elif name == "batch":
             summary.batches += 1
         elif name == "retry":
@@ -252,18 +321,18 @@ def summarize(events: Iterable[dict]) -> TraceSummary:
             phase = record.get("name", "?")
             summary.phase_seconds[phase] = summary.phase_seconds.get(
                 phase, 0.0
-            ) + float(record.get("seconds", 0.0))
+            ) + _as_float(record.get("seconds", 0.0))
         elif name == "task_span":
             summary.task_spans += 1
-            summary.task_seconds += float(record.get("seconds", 0.0) or 0.0)
+            summary.task_seconds += _as_float(record.get("seconds", 0.0))
         elif name == "search_run":
             workload = record.get("workload", "?")
             entry = summary.searches.setdefault(workload, SearchTrace(workload))
             entry.runs += 1
-            entry.evaluations += int(record.get("evaluations", 0) or 0)
-            entry.moves += int(record.get("moves", 0) or 0)
+            entry.evaluations += _as_int(record.get("evaluations", 0))
+            entry.moves += _as_int(record.get("moves", 0))
             entry.best_score = max(
-                entry.best_score, float(record.get("best_score", 0.0) or 0.0)
+                entry.best_score, _as_float(record.get("best_score", 0.0))
             )
             strategy = record.get("strategy")
             if isinstance(strategy, str):
@@ -375,12 +444,12 @@ def build_span_tree(events: Iterable[dict]) -> list[SpanNode]:
         elif event in ("phase_end", "span_end"):
             node = ensure(record)
             if node is not None:
-                node.seconds += float(record.get("seconds", 0.0) or 0.0)
+                node.seconds += _as_float(record.get("seconds", 0.0))
         elif event == "task_span":
             node = ensure(record)
             if node is not None:
                 node.kind = "task"
-                node.seconds += float(record.get("seconds", 0.0) or 0.0)
+                node.seconds += _as_float(record.get("seconds", 0.0))
 
     roots: list[SpanNode] = []
     for key in order:
@@ -429,37 +498,67 @@ def render_critical_path(path: list[SpanNode]) -> str:
 # ----------------------------------------------------------------------
 
 
-def chrome_trace(events: Iterable[dict]) -> dict[str, Any]:
+#: Event kinds rendered as Chrome instant ('i') markers.
+_INSTANT_EVENTS = frozenset(
+    {
+        "retry",
+        "task_timeout",
+        "pool_restart",
+        "checkpoint",
+        "fallback",
+        "quarantine",
+        "storage_degraded",
+        "lock_takeover",
+        "search_run",
+        "job_start",
+        "cache_call",
+        "replica_failover",
+        "circuit_open",
+        "circuit_close",
+        "circuit_half_open",
+    }
+)
+
+
+def chrome_trace(events: Iterable[dict], pid: int = 1) -> dict[str, Any]:
     """Chrome trace-event JSON for a journal (complete 'X' events).
 
     Wall-clock timestamps anchor each span's end; the worker-measured
     duration places its start.  Worker task spans carry their worker
-    pid as ``tid`` so per-worker lanes render separately.
+    pid as ``tid`` so per-worker lanes render separately.  ``pid``
+    distinguishes journals when a fleet export merges several replicas
+    into one trace.  Event kinds outside the known vocabulary are
+    skipped and tallied in ``metadata.unknown_events``.
     """
     trace_events: list[dict[str, Any]] = []
-    pid = 1
+    unknown: dict[str, int] = {}
     for record in events:
         event = record.get("event")
         ts = record.get("ts")
         if not isinstance(ts, (int, float)):
             continue
         micros = float(ts) * 1e6
-        if event in ("phase_end", "span_end"):
-            seconds = float(record.get("seconds", 0.0) or 0.0)
+        if event in ("phase_end", "span_end", "job_end"):
+            seconds = _as_float(record.get("seconds", 0.0))
             trace_events.append(
                 {
-                    "name": record.get("name", "?"),
-                    "cat": record.get("kind", "span"),
+                    "name": record.get("name") or record.get("job") or "?",
+                    "cat": record.get("kind", "span") if event != "job_end" else "job",
                     "ph": "X",
                     "ts": micros - seconds * 1e6,
                     "dur": seconds * 1e6,
                     "pid": pid,
                     "tid": 0,
-                    "args": {"span": record.get("span"), "seq": record.get("seq")},
+                    "args": {
+                        "span": record.get("span"),
+                        "seq": record.get("seq"),
+                        "trace_id": record.get("trace_id"),
+                        "replica_id": record.get("replica_id"),
+                    },
                 }
             )
         elif event == "task_span":
-            seconds = float(record.get("seconds", 0.0) or 0.0)
+            seconds = _as_float(record.get("seconds", 0.0))
             start = record.get("start_ts")
             start_us = (
                 float(start) * 1e6
@@ -482,9 +581,7 @@ def chrome_trace(events: Iterable[dict]) -> dict[str, Any]:
                     },
                 }
             )
-        elif event in ("retry", "task_timeout", "pool_restart", "checkpoint",
-                       "fallback", "quarantine", "storage_degraded",
-                       "lock_takeover", "search_run"):
+        elif event in _INSTANT_EVENTS:
             trace_events.append(
                 {
                     "name": event,
@@ -501,4 +598,10 @@ def chrome_trace(events: Iterable[dict]) -> dict[str, Any]:
                     },
                 }
             )
-    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+        elif event not in KNOWN_EVENTS:
+            key = event if isinstance(event, str) else "?"
+            unknown[key] = unknown.get(key, 0) + 1
+    out: dict[str, Any] = {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+    if unknown:
+        out["metadata"] = {"unknown_events": unknown}
+    return out

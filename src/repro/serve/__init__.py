@@ -8,6 +8,24 @@ tenancy/budget model, and backend selection.
 """
 
 from .client import ServeClient
+from .fleet import (
+    FleetError,
+    StitchedTrace,
+    aggregate_fleet,
+    collect_journal_files,
+    compare_benches,
+    fleet_chrome_trace,
+    fleet_critical_path,
+    fleet_span_tree,
+    load_slo,
+    render_fleet_critical_path,
+    render_fleet_metrics,
+    render_fleet_status,
+    render_fleet_tree,
+    scrape_fleet,
+    slo_violations,
+    stitch_journals,
+)
 from .jobs import Job, JobSpec, merge_budgets
 from .loadtest import LoadReport, run_load_test
 from .netfaults import ChaosProxy, ChaosReport, NetworkFaultPlan, run_chaos
@@ -19,6 +37,22 @@ from .sse import JournalFollower, format_sse
 
 __all__ = [
     "ServeClient",
+    "FleetError",
+    "StitchedTrace",
+    "aggregate_fleet",
+    "collect_journal_files",
+    "compare_benches",
+    "fleet_chrome_trace",
+    "fleet_critical_path",
+    "fleet_span_tree",
+    "load_slo",
+    "render_fleet_critical_path",
+    "render_fleet_metrics",
+    "render_fleet_status",
+    "render_fleet_tree",
+    "scrape_fleet",
+    "slo_violations",
+    "stitch_journals",
     "Job",
     "JobSpec",
     "merge_budgets",

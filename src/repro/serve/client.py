@@ -28,6 +28,7 @@ from urllib.parse import urlsplit
 
 from ..engine.keys import derive_seed
 from ..engine.resilience import RetryPolicy
+from ..engine.telemetry import TRACEPARENT_HEADER, TraceContext
 from ..errors import ServeClientError
 
 #: Statuses retried after the server's Retry-After (or the backoff ramp).
@@ -69,6 +70,12 @@ class ServeClient:
         client surfaces backpressure to its caller (the load harness
         counts rejections); the :class:`~repro.serve.replicas.ReplicaSet`
         failover client turns it on.
+    propagate_trace:
+        When True (the default), :meth:`submit` mints a W3C-style trace
+        context (or reuses one handed in) and sends ``traceparent`` on
+        the submit and on every follow-up call for that job — status,
+        result, SSE — so the service journals carry one fleet-wide
+        trace id per submission.
     """
 
     def __init__(
@@ -78,6 +85,7 @@ class ServeClient:
         retry: RetryPolicy | None = None,
         seed: int = 0,
         retry_backpressure: bool = False,
+        propagate_trace: bool = True,
     ) -> None:
         split = urlsplit(base_url)
         if split.scheme != "http" or not split.hostname:
@@ -95,6 +103,9 @@ class ServeClient:
             seed=derive_seed(seed),
         )
         self.retry_backpressure = retry_backpressure
+        self.propagate_trace = propagate_trace
+        #: job id -> the TraceContext minted (or supplied) at submit.
+        self.traces: dict[str, TraceContext] = {}
         #: Headers of the most recent response (lower-cased names).
         self.last_headers: dict[str, str] = {}
         #: Monotonic client-side telemetry (``repro_client_*`` territory).
@@ -233,19 +244,52 @@ class ServeClient:
     def metrics_json(self) -> dict[str, Any]:
         return self._request("GET", "/v1/metrics?format=json")[1]
 
-    def submit(self, payload: dict[str, Any]) -> dict[str, Any]:
-        """Submit one job; returns the 202 body (id, state, links)."""
-        return self._request("POST", "/v1/jobs", body=payload, expect=(202,))[1]
+    def _trace_headers(self, job_id: str | None) -> dict[str, str]:
+        """The ``traceparent`` header for a known job's trace (or none)."""
+        if job_id is None:
+            return {}
+        context = self.traces.get(job_id)
+        if context is None:
+            return {}
+        return {TRACEPARENT_HEADER: context.header()}
+
+    def submit(
+        self, payload: dict[str, Any], trace: TraceContext | None = None
+    ) -> dict[str, Any]:
+        """Submit one job; returns the 202 body (id, state, links).
+
+        With :attr:`propagate_trace` on, a trace context is minted (or
+        ``trace`` reused — failover resubmits keep their original trace
+        id) and sent as ``traceparent``; the mapping from the returned
+        job id to its context is kept so follow-up calls carry it too.
+        """
+        headers: dict[str, str] = {}
+        context: TraceContext | None = None
+        if self.propagate_trace:
+            context = trace if trace is not None else TraceContext.mint()
+            headers[TRACEPARENT_HEADER] = context.header()
+        body = self._request(
+            "POST", "/v1/jobs", body=payload, headers=headers, expect=(202,)
+        )[1]
+        if context is not None and isinstance(body, dict) and body.get("id"):
+            self.traces[body["id"]] = context
+        return body
 
     def list_jobs(self) -> list[dict[str, Any]]:
         return self._request("GET", "/v1/jobs")[1]["jobs"]
 
     def status(self, job_id: str) -> dict[str, Any]:
-        return self._request("GET", f"/v1/jobs/{job_id}")[1]
+        return self._request(
+            "GET", f"/v1/jobs/{job_id}", headers=self._trace_headers(job_id)
+        )[1]
 
     def result(self, job_id: str) -> dict[str, Any]:
         """The finished job record (raises 409 ServeClientError while pending)."""
-        return self._request("GET", f"/v1/jobs/{job_id}/result")[1]
+        return self._request(
+            "GET",
+            f"/v1/jobs/{job_id}/result",
+            headers=self._trace_headers(job_id),
+        )[1]
 
     def wait(
         self,
@@ -322,11 +366,10 @@ class ServeClient:
         """One SSE connection; returns True when the server ended the stream."""
         conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
-            conn.request(
-                "GET",
-                f"/v1/jobs/{job_id}/events",
-                headers={"Last-Event-ID": str(after_seq)} if after_seq else {},
-            )
+            headers = dict(self._trace_headers(job_id))
+            if after_seq:
+                headers["Last-Event-ID"] = str(after_seq)
+            conn.request("GET", f"/v1/jobs/{job_id}/events", headers=headers)
             response = conn.getresponse()
             if response.status != 200:
                 raise ServeClientError(

@@ -293,6 +293,10 @@ class Job:
     stats: dict[str, Any] = field(default_factory=dict)
     #: This job's private event journal (the SSE source).
     journal_path: Any = None
+    #: Distributed-trace identity from the submitter's ``traceparent``
+    #: header: the fleet-wide trace id and the caller's span id.
+    trace_id: str | None = None
+    parent_span_id: str | None = None
 
     @property
     def done(self) -> bool:
@@ -316,6 +320,7 @@ class Job:
             "wall_seconds": self.wall_seconds,
             "error": self.error,
             "stats": dict(self.stats),
+            "trace_id": self.trace_id,
         }
         if include_result:
             payload["result"] = self.result

@@ -37,7 +37,7 @@ import socket
 import struct
 import threading
 import time
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any
 
@@ -517,6 +517,12 @@ class ChaosReport:
     baseline_digests: list[str]
     chaos_digests: list[str]
     journal: list[dict[str, Any]]
+    #: Fleet-wide trace ids minted by the chaos submits (round major,
+    #: payload minor) — the pivot from this report into journal stitching.
+    trace_ids: list[str] = field(default_factory=list)
+    #: Per-replica journal directories (``serve_dir``s) of the fleet,
+    #: store service included — ``repro trace fleet`` fodder.
+    journal_dirs: list[str] = field(default_factory=list)
 
     def as_jsonable(self) -> dict[str, Any]:
         return {
@@ -529,6 +535,8 @@ class ChaosReport:
             "store": self.store,
             "baseline_digests": self.baseline_digests,
             "chaos_digests": self.chaos_digests,
+            "trace_ids": self.trace_ids,
+            "journal_dirs": self.journal_dirs,
         }
 
 
@@ -634,9 +642,12 @@ def run_chaos(
             replica_urls, seed=seed, timeout=min(timeout_s, 15.0)
         )
 
+        trace_ids: list[str] = []
         for round_no in range(2):
             for index, payload in enumerate(payloads):
                 handle = replica_set.submit(dict(payload))
+                if handle.trace_id is not None:
+                    trace_ids.append(handle.trace_id)
                 if (
                     kill_first_replica
                     and killed is None
@@ -703,4 +714,7 @@ def run_chaos(
         baseline_digests=baseline_digests,
         chaos_digests=chaos_digests,
         journal=journal,
+        trace_ids=trace_ids,
+        journal_dirs=[str(workdir / "store")]
+        + [str(workdir / f"replica-{index}") for index in range(replicas)],
     )

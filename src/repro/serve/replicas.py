@@ -43,6 +43,7 @@ from typing import Any, Iterator
 
 from ..engine.keys import digest, unit_draw
 from ..engine.resilience import RetryPolicy
+from ..engine.telemetry import TraceContext
 from ..errors import ServeClientError
 from .client import ServeClient
 
@@ -64,11 +65,20 @@ class JobHandle:
     job_id: str
     key: str
     attempts: list = field(default_factory=list)
+    #: The distributed-trace context minted at first submit; every
+    #: incarnation (failover resubmits included) reuses it, so the trace
+    #: id is constant across the job's whole cross-replica story.
+    trace: TraceContext | None = None
+
+    @property
+    def trace_id(self) -> str | None:
+        return self.trace.trace_id if self.trace is not None else None
 
     def to_jsonable(self) -> dict[str, Any]:
         return {
             "id": self.job_id,
             "replica": self.replica,
+            "trace_id": self.trace_id,
             "attempts": [list(a) for a in self.attempts],
         }
 
@@ -250,7 +260,13 @@ class ReplicaSet:
     #: bad luck.  A later pass re-probes and tries again.
     _placement_passes = 3
 
-    def _place(self, payload: dict[str, Any], key: str, exclude: str | None):
+    def _place(
+        self,
+        payload: dict[str, Any],
+        key: str,
+        exclude: str | None,
+        trace: TraceContext | None = None,
+    ):
         """Submit ``payload`` to the best healthy replica; multi-pass walk."""
         last: ServeClientError | None = None
         for attempt in range(self._placement_passes):
@@ -268,7 +284,7 @@ class ReplicaSet:
                 candidates = trimmed or candidates
             for url in self.rank(key, candidates):
                 try:
-                    return url, self.clients[url].submit(payload)
+                    return url, self.clients[url].submit(payload, trace=trace)
                 except ServeClientError as exc:
                     if not self._is_failover(exc):
                         raise
@@ -279,11 +295,16 @@ class ReplicaSet:
     def submit(self, payload: dict[str, Any]) -> JobHandle:
         """Place one job on the best healthy replica (walking the ranking)."""
         key = self.payload_key(payload)
-        url, submitted = self._place(payload, key, exclude=None)
+        trace = TraceContext.mint()
+        url, submitted = self._place(payload, key, exclude=None, trace=trace)
         with self._lock:
             self.counters["submits"] += 1
         handle = JobHandle(
-            payload=dict(payload), replica=url, job_id=submitted["id"], key=key
+            payload=dict(payload),
+            replica=url,
+            job_id=submitted["id"],
+            key=key,
+            trace=trace,
         )
         handle.attempts.append((url, submitted["id"]))
         return handle
@@ -298,8 +319,10 @@ class ReplicaSet:
         self.mark_down(handle.replica, reason)
         with self._lock:
             self.counters["failovers"] += 1
+        # Resubmit under the SAME trace context: the re-run is the same
+        # logical job, so its journal joins the original trace.
         url, submitted = self._place(
-            handle.payload, handle.key, exclude=handle.replica
+            handle.payload, handle.key, exclude=handle.replica, trace=handle.trace
         )
         with self._lock:
             self.counters["resubmits"] += 1
@@ -488,6 +511,7 @@ class ReplicaSet:
                     "from": incarnation[0],
                     "to": handle.replica,
                     "job": handle.job_id,
+                    "trace_id": handle.trace_id,
                 }
             else:
                 time.sleep(0.05)

@@ -55,8 +55,10 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import os
 import queue as queue_module
 import re
+import socket
 import sys
 import tempfile
 import threading
@@ -73,6 +75,13 @@ from ..engine import (
     RunJournal,
     ShutdownCoordinator,
     make_backend,
+)
+from ..engine.telemetry import (
+    TRACEPARENT_HEADER,
+    TraceContext,
+    activate_trace,
+    mint_span_id,
+    parse_traceparent,
 )
 from ..engine.cache_backends import CacheCorruption, CacheUnavailable
 from ..errors import QueueFullError, ReproError, ServeError
@@ -121,6 +130,10 @@ class ExplorationService:
         Directory for per-job journals (a temp dir when omitted).
     tenant_policy / max_total_queued:
         Admission limits (see :mod:`repro.serve.scheduler`).
+    replica_id:
+        Stable identity stamped on every journal line and surfaced by
+        ``/v1/healthz``/``/v1/stats`` so fleet tooling can tell replicas
+        apart; defaults to ``host:pid``.
     """
 
     def __init__(
@@ -130,11 +143,13 @@ class ExplorationService:
         serve_dir: str | Path | None = None,
         tenant_policy: TenantPolicy | None = None,
         max_total_queued: int = 64,
+        replica_id: str | None = None,
     ) -> None:
         if jobs < 1:
             raise ServeError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.cache_backend_spec = cache_backend
+        self.replica_id = replica_id or f"{socket.gethostname()}:{os.getpid()}"
         self.serve_dir = Path(
             serve_dir
             if serve_dir is not None
@@ -156,6 +171,11 @@ class ExplorationService:
         #: /v1/cache API (lazily opened; engines keep separate handles).
         self._store = None
         self._store_lock = threading.Lock()
+
+        #: Journal of /v1/cache API calls that carried a trace context —
+        #: the http store backend's half of a distributed trace (lazy;
+        #: only written when traced calls actually arrive).
+        self._service_journal: RunJournal | None = None
 
         self._executor = ThreadPoolExecutor(
             max_workers=jobs, thread_name_prefix="repro-serve"
@@ -217,6 +237,15 @@ class ExplorationService:
             "Cache API requests answered 5xx (store unavailable or corrupt)",
         )
 
+    def _tenant_inc(self, name: str, help: str, tenant: str, n: int = 1) -> None:
+        """Bump the per-tenant series of a counter (caller holds the lock).
+
+        The unlabeled series stays the fleet-wide total; these labeled
+        twins give the per-tenant breakdown (label values escaped by the
+        registry's Prometheus renderer).
+        """
+        self.registry.counter(name, help, labels={"tenant": tenant}).inc(n)
+
     # ------------------------------------------------------------------
     # engine leases over the shared store
     # ------------------------------------------------------------------
@@ -251,8 +280,14 @@ class ExplorationService:
     # submission
     # ------------------------------------------------------------------
 
-    def submit_job(self, payload: Any) -> Job:
-        """Validate and admit one job (raises ServeError/QueueFullError)."""
+    def submit_job(self, payload: Any, trace: TraceContext | None = None) -> Job:
+        """Validate and admit one job (raises ServeError/QueueFullError).
+
+        ``trace`` is the caller's trace context (parsed from the
+        ``traceparent`` header): the job's journal and every span it
+        emits will carry that trace id, with the caller's span as
+        parent.
+        """
         if self._stopping:
             raise ServeError("service is draining; not accepting jobs")
         tenant = "default"
@@ -267,6 +302,9 @@ class ExplorationService:
             self._job_counter += 1
             job_id = f"j{self._job_counter:05d}-{spec.content_digest[:10]}"
             job = Job(id=job_id, tenant=tenant, spec=spec)
+            if trace is not None:
+                job.trace_id = trace.trace_id
+                job.parent_span_id = trace.span_id
             job.journal_path = self.serve_dir / "jobs" / job_id / "events.jsonl"
             self._jobs[job_id] = job
         try:
@@ -279,6 +317,11 @@ class ExplorationService:
             raise
         with self._metrics_lock:
             self._m_submitted.inc()
+            self._tenant_inc(
+                "repro_serve_jobs_submitted_total",
+                "Jobs admitted to the queue",
+                tenant,
+            )
         self._update_gauges()
         return job
 
@@ -313,7 +356,15 @@ class ExplorationService:
 
     def _run_job(self, job: Job) -> None:
         engine = self._lease_engine()
-        journal = RunJournal(job.journal_path)
+        # Every journal line carries the distributed-trace identity: the
+        # caller's trace id, the caller's span as parent, and which
+        # replica wrote the line (the stitcher's correlation keys).
+        span_id = mint_span_id()
+        context: dict[str, Any] = {"replica_id": self.replica_id}
+        if job.trace_id is not None:
+            context["trace_id"] = job.trace_id
+            context["parent_span_id"] = job.parent_span_id
+        journal = RunJournal(job.journal_path, context=context)
         try:
             with self._state_lock:
                 job.state = RUNNING
@@ -323,6 +374,7 @@ class ExplorationService:
                 "job_start",
                 {
                     "job": job.id,
+                    "span": span_id,
                     "tenant": job.tenant,
                     "kind": job.spec.kind,
                     "queue_wait_s": round(queue_wait, 6),
@@ -336,15 +388,23 @@ class ExplorationService:
 
             error: str | None = None
             result: Any = None
+            # Downstream calls (the http: store backend) inherit the
+            # trace with this job's span as their parent.
+            ambient = (
+                activate_trace(TraceContext(job.trace_id, span_id))
+                if job.trace_id is not None
+                else contextlib.nullcontext()
+            )
             started = time.perf_counter()
-            try:
-                result = execute_job(job.spec, engine)
-            except ReproError as exc:
-                error = str(exc)
-            except RunInterrupted:
-                error = "interrupted by service shutdown"
-            except Exception as exc:  # pragma: no cover - defensive
-                error = f"internal error: {exc!r}"
+            with ambient:
+                try:
+                    result = execute_job(job.spec, engine)
+                except ReproError as exc:
+                    error = str(exc)
+                except RunInterrupted:
+                    error = "interrupted by service shutdown"
+                except Exception as exc:  # pragma: no cover - defensive
+                    error = f"internal error: {exc!r}"
             seconds = time.perf_counter() - started
 
             after = engine.metrics.snapshot()
@@ -363,6 +423,7 @@ class ExplorationService:
                 "job_end",
                 {
                     "job": job.id,
+                    "span": span_id,
                     "state": FAILED if error is not None else COMPLETED,
                     "seconds": round(seconds, 6),
                     "error": error,
@@ -388,7 +449,24 @@ class ExplorationService:
 
             with self._metrics_lock:
                 (self._m_failed if error is not None else self._m_completed).inc()
+                if error is not None:
+                    self._tenant_inc(
+                        "repro_serve_jobs_failed_total",
+                        "Jobs that ended in an error",
+                        job.tenant,
+                    )
+                else:
+                    self._tenant_inc(
+                        "repro_serve_jobs_completed_total",
+                        "Jobs finished successfully",
+                        job.tenant,
+                    )
                 self._m_job_seconds.observe(seconds)
+                self.registry.histogram(
+                    "repro_serve_job_seconds",
+                    "Job execution wall time",
+                    labels={"tenant": job.tenant},
+                ).observe(seconds)
                 self._m_queue_wait.observe(max(queue_wait, 0.0))
                 self._m_evaluations.inc(deltas["evaluations"])
                 self._m_cache_hits.inc(deltas["cache_hits"])
@@ -462,6 +540,7 @@ class ExplorationService:
                     200,
                     {
                         "status": "draining" if self._stopping else "ok",
+                        "replica_id": self.replica_id,
                         "uptime_s": round(time.time() - self._started_at, 3),
                         "jobs": len(self._jobs),
                         "slots": self.jobs,
@@ -539,6 +618,34 @@ class ExplorationService:
                 self._store = make_backend(self.cache_backend_spec)
             return self._store
 
+    def _journal_cache_call(self, request: Request, path: str) -> None:
+        """Journal a /v1/cache call that carried a trace context.
+
+        This is the store-side half of a distributed trace: the calling
+        engine's ``http:`` backend injects ``traceparent`` with the
+        job's span as parent, so the fleet stitcher can attach these
+        store calls under the job that made them.  Untraced calls are
+        not journalled.  Runs on the asyncio loop thread only.
+        """
+        trace = parse_traceparent(request.header(TRACEPARENT_HEADER))
+        if trace is None:
+            return
+        if self._service_journal is None:
+            self._service_journal = RunJournal(
+                self.serve_dir / "service-events.jsonl",
+                context={"replica_id": self.replica_id},
+            )
+        key = request.path[len("/v1/cache/"):] if path != "/v1/cache" else None
+        self._service_journal.append(
+            "cache_call",
+            {
+                "method": request.method,
+                "key": key,
+                "trace_id": trace.trace_id,
+                "parent_span_id": trace.span_id,
+            },
+        )
+
     def _handle_cache(self, request: Request, writer, path: str) -> None:
         """Serve the shared store over HTTP (the ``http:`` backend's peer).
 
@@ -550,6 +657,8 @@ class ExplorationService:
         """
         with self._metrics_lock:
             self._m_cache_api.inc()
+        with contextlib.suppress(Exception):
+            self._journal_cache_call(request, path)
         store = self._store_handle()
         if store is None:
             writer.write(error_response(404, "no shared store configured"))
@@ -636,8 +745,9 @@ class ExplorationService:
         except ValueError as exc:
             writer.write(error_response(400, f"invalid JSON body: {exc}"))
             return
+        trace = parse_traceparent(request.header(TRACEPARENT_HEADER))
         try:
-            job = self.submit_job(payload)
+            job = self.submit_job(payload, trace=trace)
         except QueueFullError as exc:
             writer.write(
                 error_response(
@@ -706,6 +816,7 @@ class ExplorationService:
             for job in self._jobs.values():
                 states[job.state] = states.get(job.state, 0) + 1
         payload = {
+            "replica_id": self.replica_id,
             "scheduler": depths,
             "jobs_by_state": states,
             "engines": self._engines_created,
@@ -812,6 +923,10 @@ class ExplorationService:
         if store is not None:
             with contextlib.suppress(Exception):
                 store.close()
+        journal, self._service_journal = self._service_journal, None
+        if journal is not None:
+            with contextlib.suppress(Exception):
+                journal.close()
         self._update_gauges()
 
     def __enter__(self) -> "ExplorationService":

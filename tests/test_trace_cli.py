@@ -161,3 +161,99 @@ class TestSearchDiagnosticsInJournal:
         summary = trace_analysis.summarize(events)
         assert "gzip" in summary.searches
         assert summary.searches["gzip"].strategies  # strategy names recorded
+
+
+class TestForeignEventKinds:
+    """Journals written by newer/foreign layers must degrade gracefully:
+    unknown kinds are skipped with a counted warning, never misparsed."""
+
+    @staticmethod
+    def _chaos_journal(path):
+        """A PR 9-style serve journal: failover + circuit events plus
+        kinds from a hypothetical future layer."""
+        records = [
+            {"event": "job_start", "job": "j1", "span": "s1",
+             "trace_id": "a" * 32, "replica_id": "r0"},
+            {"event": "evaluation", "count": 3},
+            {"event": "cache_call", "method": "GET", "key": "k1",
+             "trace_id": "a" * 32},
+            {"event": "replica_failover", "from": "r0", "to": "r1",
+             "trace_id": "a" * 32},
+            {"event": "circuit_open", "replica": "r0"},
+            {"event": "circuit_half_open", "replica": "r0"},
+            {"event": "gc_pause", "millis": 12},          # unknown
+            {"event": "gc_pause", "millis": 7},           # unknown
+            {"event": "flux_capacitor", "charge": 1.21},  # unknown
+            {"event": "job_end", "job": "j1", "span": "s1",
+             "state": "completed", "seconds": 0.5,
+             "trace_id": "a" * 32, "replica_id": "r1"},
+        ]
+        with path.open("w", encoding="utf-8") as handle:
+            for seq, record in enumerate(records, start=1):
+                handle.write(
+                    json.dumps({"seq": seq, "ts": 100.0 + seq * 0.05,
+                                "mono": 50.0 + seq * 0.05, **record})
+                    + "\n"
+                )
+        return path
+
+    def test_summary_counts_unknown_kinds_without_misparse(self, tmp_path):
+        path = self._chaos_journal(tmp_path / "events.jsonl")
+        summary = trace_analysis.summarize(trace_analysis.read_events(path))
+        assert summary.unknown_events == {"gc_pause": 2, "flux_capacitor": 1}
+        # Known serve-layer kinds are counted normally, not as unknown.
+        assert summary.counts["replica_failover"] == 1
+        assert summary.counts["circuit_open"] == 1
+        assert summary.evaluations == 3
+        assert summary.to_jsonable()["unknown_events"] == {
+            "gc_pause": 2, "flux_capacitor": 1
+        }
+
+    def test_render_warns_once_with_counts(self, tmp_path):
+        path = self._chaos_journal(tmp_path / "events.jsonl")
+        text = trace_analysis.summarize(
+            trace_analysis.read_events(path)
+        ).render()
+        assert (
+            "warning: skipped 3 event(s) of 2 unknown kind(s): "
+            "flux_capacitor, gc_pause" in text
+        )
+
+    def test_clean_journal_renders_no_warning(self, journal, capsys):
+        assert main(["trace", "summary", str(journal)]) == 0
+        assert "warning: skipped" not in capsys.readouterr().out
+
+    def test_chrome_export_skips_and_tallies_unknown_kinds(self, tmp_path):
+        path = self._chaos_journal(tmp_path / "events.jsonl")
+        payload = trace_analysis.chrome_trace(
+            trace_analysis.read_events(path)
+        )
+        assert payload["metadata"]["unknown_events"] == {
+            "gc_pause": 2, "flux_capacitor": 1
+        }
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert "replica_failover" in names
+        assert "gc_pause" not in names and "flux_capacitor" not in names
+        # job_end renders as a duration slice carrying the trace id.
+        (job,) = [e for e in payload["traceEvents"] if e.get("cat") == "job"]
+        assert job["ph"] == "X"
+        assert job["args"]["trace_id"] == "a" * 32
+        assert job["args"]["replica_id"] == "r1"
+
+    def test_search_compare_journal_has_no_unknown_kinds(self, tmp_path):
+        """First-party emitters (strategy_timing, pareto_front) are part
+        of the known vocabulary — a real search-compare journal must
+        summarize without warnings."""
+        path = tmp_path / "events.jsonl"
+        engine = EvaluationEngine()
+        journal = RunJournal(path).attach(engine.events)
+        compare_strategies(
+            [spec2000_profile("gzip")],
+            engine=engine,
+            iterations=40,
+            seed=7,
+            budget=SearchBudget(max_evaluations=80),
+        )
+        journal.close()
+        summary = trace_analysis.summarize(trace_analysis.read_events(path))
+        assert summary.unknown_events == {}
